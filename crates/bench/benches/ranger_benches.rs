@@ -1,0 +1,131 @@
+//! Criterion benchmarks complementing the experiment binaries.
+//!
+//! * `insertion/*` — wall-clock time of the Ranger transformation (Table III's
+//!   instrumentation time).
+//! * `inference/*` — forward-pass latency of the original vs. the protected model (the
+//!   wall-clock complement of Table IV's FLOPs overhead).
+//! * `profiling/bounds` — cost of deriving restriction bounds from profiling samples.
+//! * `injection/trial` — throughput of a single fault-injection trial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
+use ranger::transform::{apply_ranger, RangerConfig};
+use ranger_inject::{
+    CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget,
+};
+use ranger_models::archs;
+use ranger_models::{Model, ModelConfig, ModelKind};
+use ranger_tensor::Tensor;
+use std::time::Duration;
+
+fn model_input(model: &Model) -> Tensor {
+    match model.config.kind.image_domain() {
+        Some(domain) => {
+            let (c, h, w) = domain.image_shape();
+            Tensor::ones(vec![1, c, h, w])
+        }
+        None => {
+            let (c, h, w) = ranger_datasets::driving::FRAME_SHAPE;
+            Tensor::ones(vec![1, c, h, w])
+        }
+    }
+}
+
+fn bounds_for(model: &Model) -> ActivationBounds {
+    let samples = vec![model_input(model)];
+    profile_bounds(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &BoundsConfig::default(),
+    )
+    .expect("profiling succeeds")
+}
+
+fn protected(model: &Model) -> Model {
+    let bounds = bounds_for(model);
+    let (graph, _) = apply_ranger(&model.graph, &bounds, &RangerConfig::default()).expect("transform succeeds");
+    let mut m = model.clone();
+    m.graph = graph;
+    m
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insertion");
+    for kind in [ModelKind::LeNet, ModelKind::Vgg16, ModelKind::SqueezeNet, ModelKind::Dave] {
+        let model = archs::build(&ModelConfig::new(kind), 0);
+        let bounds = bounds_for(&model);
+        group.bench_function(kind.paper_name(), |b| {
+            b.iter(|| apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    for kind in [ModelKind::LeNet, ModelKind::Comma] {
+        let model = archs::build(&ModelConfig::new(kind), 0);
+        let input = model_input(&model);
+        let with_ranger = protected(&model);
+        group.bench_function(format!("{}/original", kind.paper_name()), |b| {
+            b.iter(|| model.forward(&input).unwrap())
+        });
+        group.bench_function(format!("{}/ranger", kind.paper_name()), |b| {
+            b.iter(|| with_ranger.forward(&input).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let samples: Vec<Tensor> = (0..8).map(|_| model_input(&model)).collect();
+    c.bench_function("profiling/bounds", |b| {
+        b.iter(|| {
+            profile_bounds(
+                &model.graph,
+                &model.input_name,
+                &samples,
+                &BoundsConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let input = model_input(&model);
+    let target = InjectionTarget {
+        graph: &model.graph,
+        input_name: &model.input_name,
+        output: model.output,
+        excluded: &model.excluded_from_injection,
+    };
+    let judge = ClassifierJudge::top1();
+    c.bench_function("injection/trial", |b| {
+        b.iter(|| {
+            let config = CampaignConfig {
+                trials: 1,
+                fault: FaultModel::single_bit_fixed32(),
+                seed: 3,
+            };
+            ranger_inject::run_campaign(&target, std::slice::from_ref(&input), &judge, &config).unwrap()
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_insertion, bench_inference, bench_profiling, bench_injection
+}
+criterion_main!(benches);

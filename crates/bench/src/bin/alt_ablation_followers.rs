@@ -1,0 +1,83 @@
+//! Ablation: protect only the ACT operations vs. the full Algorithm 1 (ACT operations plus
+//! the pooling/reshape/concatenation operations that follow them).
+//!
+//! Section III-C of the paper argues, with the MaxPool/Conv example, that restricting the
+//! ACT operations alone is not enough because faults striking the operations between
+//! activations can still be amplified; this experiment quantifies the difference.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
+    ExpOptions,
+};
+use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    configuration: String,
+    sdc_percent: f64,
+    clamps: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let default_models = [ModelKind::LeNet, ModelKind::AlexNet];
+    let judge = ClassifierJudge::top1();
+    let campaign = CampaignConfig {
+        trials: opts.trials,
+        fault: FaultModel::single_bit_fixed32(),
+        seed: opts.seed,
+    };
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&default_models) {
+        eprintln!("[ablation] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let inputs = correct_classifier_inputs(&trained.model, opts.seed, opts.inputs)?;
+
+        let unprotected = run_model_campaign(&trained.model, &inputs, &judge, &campaign)?;
+        rows.push(Row {
+            model: kind.paper_name().to_string(),
+            configuration: "Unprotected".to_string(),
+            sdc_percent: unprotected.sdc_rate(0).rate_percent(),
+            clamps: 0,
+        });
+        for (name, config) in [
+            ("ACT only", RangerConfig::activations_only()),
+            ("ACT + followers (Algorithm 1)", RangerConfig::default()),
+        ] {
+            let protected = protect_model(&trained.model, opts.seed, &BoundsConfig::default(), &config)?;
+            let result = run_model_campaign(&protected.model, &inputs, &judge, &campaign)?;
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                configuration: name.to_string(),
+                sdc_percent: result.sdc_rate(0).rate_percent(),
+                clamps: protected.stats.clamps_inserted,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.configuration.clone(),
+                format!("{:.2}%", r.sdc_percent),
+                r.clamps.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — protecting ACT operations only vs. full Algorithm 1",
+        &["Model", "Configuration", "SDC rate", "Clamps"],
+        &table,
+    );
+    write_json("alt_ablation_followers", &rows);
+    Ok(())
+}

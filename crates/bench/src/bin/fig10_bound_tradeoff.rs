@@ -1,0 +1,82 @@
+//! Fig. 10: SDC rates of the degree-output Dave model protected with Ranger using
+//! different restriction-bound percentiles (100%, 99.9%, 99%, 98%), per steering
+//! threshold. Lower percentiles buy extra resilience at some accuracy cost (Table V).
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_steering_inputs, print_table, protect_model, run_model_campaign, write_json,
+    ExpOptions,
+};
+use ranger_datasets::driving::AngleUnit;
+use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bound: String,
+    threshold_degrees: f64,
+    sdc_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    // The paper's Section VI retrains Dave to output degrees for this study.
+    let config_deg = ModelConfig::new(ModelKind::Dave).with_steering_unit(AngleUnit::Degrees);
+    eprintln!("[fig10] preparing degree-output Dave ...");
+    let trained = zoo.load_or_train(&config_deg, opts.seed)?;
+    let inputs = correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?;
+    let judge = SteeringJudge::paper_thresholds(false);
+    let campaign = CampaignConfig {
+        trials: opts.trials,
+        fault: FaultModel::single_bit_fixed32(),
+        seed: opts.seed,
+    };
+
+    let mut rows = Vec::new();
+    // The unprotected baseline plus the four percentile bounds of the paper.
+    let original = run_model_campaign(&trained.model, &inputs, &judge, &campaign)?;
+    for (i, threshold) in judge.thresholds().iter().enumerate() {
+        rows.push(Row {
+            bound: "Original".to_string(),
+            threshold_degrees: *threshold,
+            sdc_percent: original.sdc_rate(i).rate_percent(),
+        });
+    }
+    for percentile in [100.0, 99.9, 99.0, 98.0] {
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::with_percentile(percentile),
+            &RangerConfig::default(),
+        )?;
+        let result = run_model_campaign(&protected.model, &inputs, &judge, &campaign)?;
+        for (i, threshold) in judge.thresholds().iter().enumerate() {
+            rows.push(Row {
+                bound: format!("Bound-{percentile}%"),
+                threshold_degrees: *threshold,
+                sdc_percent: result.sdc_rate(i).rate_percent(),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bound.clone(),
+                format!("{}", r.threshold_degrees),
+                format!("{:.2}%", r.sdc_percent),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 10 — SDC rates of the degree-output Dave model per restriction-bound percentile",
+        &["Bound", "Threshold (deg)", "SDC rate"],
+        &table,
+    );
+    write_json("fig10_bound_tradeoff", &rows);
+    Ok(())
+}

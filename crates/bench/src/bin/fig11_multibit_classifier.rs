@@ -1,0 +1,74 @@
+//! Fig. 11: SDC rates of the classifier models under multi-bit flips (2–5 independent bit
+//! flips per inference), with and without Ranger. The paper evaluates LeNet and ResNet-18.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
+    ExpOptions,
+};
+use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    bits: usize,
+    original_sdc_percent: f64,
+    ranger_sdc_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let default_models = [ModelKind::LeNet, ModelKind::ResNet18];
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&default_models) {
+        eprintln!("[fig11] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        let inputs = correct_classifier_inputs(&trained.model, opts.seed, opts.inputs)?;
+        let judge = ClassifierJudge::top1();
+        for bits in 2..=5 {
+            let config = CampaignConfig {
+                trials: opts.trials,
+                fault: FaultModel::multi_bit_fixed32(bits),
+                seed: opts.seed + bits as u64,
+            };
+            let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
+            let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                bits,
+                original_sdc_percent: original.sdc_rate(0).rate_percent(),
+                ranger_sdc_percent: with_ranger.sdc_rate(0).rate_percent(),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{} bit", r.bits),
+                format!("{:.2}%", r.original_sdc_percent),
+                format!("{:.2}%", r.ranger_sdc_percent),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 11 — classifier SDC rates under multi-bit flips",
+        &["Model", "Flips", "Original SDC", "Ranger SDC"],
+        &table,
+    );
+    write_json("fig11_multibit_classifier", &rows);
+    Ok(())
+}

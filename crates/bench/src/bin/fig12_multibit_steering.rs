@@ -1,0 +1,80 @@
+//! Fig. 12: SDC rates of the AV steering models under multi-bit flips (2–5 independent bit
+//! flips per inference), with and without Ranger.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_steering_inputs, outputs_radians, print_table, protect_model, run_model_campaign,
+    write_json, ExpOptions,
+};
+use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    bits: usize,
+    original_sdc_percent: f64,
+    ranger_sdc_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::steering()) {
+        eprintln!("[fig12] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        let inputs = correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?;
+        let judge = SteeringJudge::paper_thresholds(outputs_radians(&trained.model));
+        for bits in 2..=5 {
+            let config = CampaignConfig {
+                trials: opts.trials,
+                fault: FaultModel::multi_bit_fixed32(bits),
+                seed: opts.seed + bits as u64,
+            };
+            let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
+            let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;
+            // The paper's Fig. 12 reports the average across thresholds per bit count.
+            let avg = |r: &ranger_inject::CampaignResult| {
+                (0..r.categories.len())
+                    .map(|i| r.sdc_rate(i).rate_percent())
+                    .sum::<f64>()
+                    / r.categories.len().max(1) as f64
+            };
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                bits,
+                original_sdc_percent: avg(&original),
+                ranger_sdc_percent: avg(&with_ranger),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{} bit", r.bits),
+                format!("{:.2}%", r.original_sdc_percent),
+                format!("{:.2}%", r.ranger_sdc_percent),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12 — AV steering-model SDC rates under multi-bit flips",
+        &["Model", "Flips", "Original SDC", "Ranger SDC"],
+        &table,
+    );
+    write_json("fig12_multibit_steering", &rows);
+    Ok(())
+}

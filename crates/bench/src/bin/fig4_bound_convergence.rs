@@ -1,0 +1,55 @@
+//! Fig. 4: convergence of the per-activation restriction bounds with the amount of
+//! profiling data (the paper shows the VGG16 model's 13 activation layers).
+
+use ranger::bounds::profile_convergence;
+use ranger_bench::{print_table, profiling_samples, write_json, ExpOptions};
+use ranger_bench::options::parse_model_kind;
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let kind = opts
+        .models
+        .first()
+        .copied()
+        .or_else(|| parse_model_kind("vgg16"))
+        .unwrap_or(ModelKind::Vgg16);
+    eprintln!("[fig4] preparing {kind} ...");
+    let zoo = ModelZoo::with_default_dir();
+    let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+
+    // Use the full profiling pool (20% of the training set, as in the paper) and record
+    // the normalised per-activation maxima at a handful of checkpoints.
+    let samples = profiling_samples(kind, opts.seed, 0.2);
+    let n = samples.len();
+    let checkpoints: Vec<usize> = [n / 20, n / 10, n / 4, n / 2, n]
+        .into_iter()
+        .filter(|&c| c > 0)
+        .collect();
+    let points = profile_convergence(&trained.model.graph, &trained.model.input_name, &samples, &checkpoints)?;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mean: f64 = p.normalized_max.iter().sum::<f64>() / p.normalized_max.len().max(1) as f64;
+            let min = p
+                .normalized_max
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            vec![
+                format!("{}", p.samples_used),
+                format!("{:.4}", mean),
+                format!("{:.4}", min),
+                format!("{}", p.normalized_max.len()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 4 — bound convergence on {kind} (normalised to the global maximum)"),
+        &["Samples used", "Mean normalised max", "Min normalised max", "ACT layers"],
+        &rows,
+    );
+    write_json("fig4_bound_convergence", &points);
+    Ok(())
+}

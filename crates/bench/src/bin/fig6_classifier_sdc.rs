@@ -1,0 +1,84 @@
+//! Fig. 6: SDC rates of the classifier models with and without Ranger (single bit flips,
+//! 32-bit fixed-point datatype).
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
+    ExpOptions,
+};
+use ranger_datasets::classification::ImageDomain;
+use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    category: String,
+    original_sdc_percent: f64,
+    ranger_sdc_percent: f64,
+    confidence95_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::classifiers()) {
+        eprintln!("[fig6] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        let inputs = correct_classifier_inputs(&trained.model, opts.seed, opts.inputs)?;
+        let judge = if kind.image_domain() == Some(ImageDomain::NaturalScenes) {
+            ClassifierJudge::top1_and_top5()
+        } else {
+            ClassifierJudge::top1()
+        };
+        let config = CampaignConfig {
+            trials: opts.trials,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: opts.seed,
+        };
+        let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
+        let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;
+        for (i, category) in original.categories.iter().enumerate() {
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                category: category.clone(),
+                original_sdc_percent: original.sdc_rate(i).rate_percent(),
+                ranger_sdc_percent: with_ranger.sdc_rate(i).rate_percent(),
+                confidence95_percent: original.sdc_rate(i).confidence95_percent(),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.category.clone(),
+                format!("{:.2}%", r.original_sdc_percent),
+                format!("{:.2}%", r.ranger_sdc_percent),
+                format!("±{:.2}%", r.confidence95_percent),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 6 — SDC rates of classifier DNNs (original vs. Ranger)",
+        &["Model", "Category", "Original SDC", "Ranger SDC", "95% CI"],
+        &table,
+    );
+    let avg_orig: f64 = rows.iter().map(|r| r.original_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_ranger: f64 = rows.iter().map(|r| r.ranger_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    println!("\nAverage SDC rate: {avg_orig:.2}% (original) -> {avg_ranger:.2}% (Ranger)");
+    write_json("fig6_classifier_sdc", &rows);
+    Ok(())
+}

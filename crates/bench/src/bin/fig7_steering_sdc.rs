@@ -1,0 +1,72 @@
+//! Fig. 7: SDC rates of the two steering models (Dave, Comma.ai) with and without Ranger,
+//! for steering-deviation thresholds of 15°, 30°, 60° and 120°.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_steering_inputs, outputs_radians, print_table, protect_model, run_model_campaign,
+    write_json, ExpOptions,
+};
+use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    threshold_degrees: f64,
+    original_sdc_percent: f64,
+    ranger_sdc_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::steering()) {
+        eprintln!("[fig7] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        let inputs = correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?;
+        let judge = SteeringJudge::paper_thresholds(outputs_radians(&trained.model));
+        let config = CampaignConfig {
+            trials: opts.trials,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: opts.seed,
+        };
+        let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
+        let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;
+        for (i, threshold) in judge.thresholds().iter().enumerate() {
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                threshold_degrees: *threshold,
+                original_sdc_percent: original.sdc_rate(i).rate_percent(),
+                ranger_sdc_percent: with_ranger.sdc_rate(i).rate_percent(),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}-{}", r.model, r.threshold_degrees),
+                format!("{:.2}%", r.original_sdc_percent),
+                format!("{:.2}%", r.ranger_sdc_percent),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7 — SDC rates of the steering models (original vs. Ranger)",
+        &["Model-threshold", "Original SDC", "Ranger SDC"],
+        &table,
+    );
+    write_json("fig7_steering_sdc", &rows);
+    Ok(())
+}

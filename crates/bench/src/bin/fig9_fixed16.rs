@@ -1,0 +1,87 @@
+//! Fig. 9 (RQ4): SDC rates of all eight DNNs under the 16-bit fixed-point datatype (14
+//! integer bits, 2 fractional bits), with and without Ranger.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{
+    correct_classifier_inputs, correct_steering_inputs, outputs_radians, print_table,
+    protect_model, run_model_campaign, write_json, ExpOptions,
+};
+use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel, SdcJudge, SteeringJudge};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    original_sdc_percent: f64,
+    ranger_sdc_percent: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let config = CampaignConfig {
+        trials: opts.trials,
+        fault: FaultModel::single_bit_fixed16(),
+        seed: opts.seed,
+    };
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::all()) {
+        eprintln!("[fig9] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        let (inputs, judge): (Vec<_>, Box<dyn SdcJudge>) = if kind.is_steering() {
+            (
+                correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?,
+                Box::new(SteeringJudge::paper_thresholds(outputs_radians(&trained.model))),
+            )
+        } else {
+            (
+                correct_classifier_inputs(&trained.model, opts.seed, opts.inputs)?,
+                Box::new(ClassifierJudge::top1()),
+            )
+        };
+        let original = run_model_campaign(&trained.model, &inputs, judge.as_ref(), &config)?;
+        let with_ranger = run_model_campaign(&protected.model, &inputs, judge.as_ref(), &config)?;
+        // The paper's Fig. 9 reports the per-model average across categories.
+        let avg = |r: &ranger_inject::CampaignResult| {
+            (0..r.categories.len())
+                .map(|i| r.sdc_rate(i).rate_percent())
+                .sum::<f64>()
+                / r.categories.len().max(1) as f64
+        };
+        rows.push(Row {
+            model: kind.paper_name().to_string(),
+            original_sdc_percent: avg(&original),
+            ranger_sdc_percent: avg(&with_ranger),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.2}%", r.original_sdc_percent),
+                format!("{:.2}%", r.ranger_sdc_percent),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 9 — SDC rates under the 16-bit fixed-point datatype",
+        &["Model", "Original SDC", "Ranger SDC"],
+        &table,
+    );
+    let avg_orig: f64 = rows.iter().map(|r| r.original_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_ranger: f64 = rows.iter().map(|r| r.ranger_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    println!("\nAverage SDC rate: {avg_orig:.2}% (original) -> {avg_ranger:.2}% (Ranger)");
+    write_json("fig9_fixed16", &rows);
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Table II (RQ2): fault-free accuracy of every model with and without Ranger, evaluated
+//! on the validation set. Range restriction must not degrade accuracy.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_models::train::{classification_accuracy, regression_metrics};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    metric: String,
+    without_ranger: f64,
+    with_ranger: f64,
+    difference: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::all()) {
+        eprintln!("[table2] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        if kind.is_steering() {
+            let data = ModelZoo::driving_data(opts.seed);
+            let (rmse_orig, mad_orig) = regression_metrics(&trained.model, &data, true)?;
+            let (rmse_prot, mad_prot) = regression_metrics(&protected.model, &data, true)?;
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                metric: "RMSE (deg)".to_string(),
+                without_ranger: rmse_orig,
+                with_ranger: rmse_prot,
+                difference: rmse_prot - rmse_orig,
+            });
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                metric: "Avg. deviation (deg)".to_string(),
+                without_ranger: mad_orig,
+                with_ranger: mad_prot,
+                difference: mad_prot - mad_orig,
+            });
+        } else {
+            let data = ModelZoo::classification_data(kind, opts.seed);
+            let (top1_orig, top5_orig) = classification_accuracy(&trained.model, &data, true)?;
+            let (top1_prot, top5_prot) = classification_accuracy(&protected.model, &data, true)?;
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                metric: "top-1 accuracy (%)".to_string(),
+                without_ranger: top1_orig * 100.0,
+                with_ranger: top1_prot * 100.0,
+                difference: (top1_prot - top1_orig) * 100.0,
+            });
+            rows.push(Row {
+                model: kind.paper_name().to_string(),
+                metric: "top-5 accuracy (%)".to_string(),
+                without_ranger: top5_orig * 100.0,
+                with_ranger: top5_prot * 100.0,
+                difference: (top5_prot - top5_orig) * 100.0,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.metric.clone(),
+                format!("{:.3}", r.without_ranger),
+                format!("{:.3}", r.with_ranger),
+                format!("{:+.3}", r.difference),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II — fault-free accuracy with and without Ranger",
+        &["Model", "Metric", "w/o Ranger", "w/ Ranger", "Diff"],
+        &table,
+    );
+    write_json("table2_accuracy", &rows);
+    Ok(())
+}

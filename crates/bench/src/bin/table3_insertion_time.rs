@@ -1,0 +1,58 @@
+//! Table III: one-time instrumentation cost — how long it takes to automatically insert
+//! Ranger into each model, plus how many restriction operators are inserted.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    graph_operators: usize,
+    clamps_inserted: usize,
+    insertion_milliseconds: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::all()) {
+        eprintln!("[table3] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        rows.push(Row {
+            model: kind.paper_name().to_string(),
+            graph_operators: trained.model.graph.operator_nodes()?.len(),
+            clamps_inserted: protected.stats.clamps_inserted,
+            insertion_milliseconds: protected.stats.insertion_seconds * 1000.0,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.graph_operators.to_string(),
+                r.clamps_inserted.to_string(),
+                format!("{:.3} ms", r.insertion_milliseconds),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III — time to automatically insert Ranger",
+        &["Model", "Operators", "Clamps inserted", "Insertion time"],
+        &table,
+    );
+    write_json("table3_insertion_time", &rows);
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Table IV (RQ3): runtime overhead of Ranger measured in FLOPs (platform independent),
+//! plus the memory overhead of storing the restriction bounds.
+
+use ranger::bounds::BoundsConfig;
+use ranger::overhead::{flops_overhead, memory_overhead_bytes};
+use ranger::transform::RangerConfig;
+use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_datasets::driving::FRAME_SHAPE;
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use ranger_tensor::Tensor;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    baseline_flops: u64,
+    protected_flops: u64,
+    overhead_percent: f64,
+    bounds_storage_bytes: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let mut rows = Vec::new();
+
+    for kind in opts.models_or(&ModelKind::all()) {
+        eprintln!("[table4] preparing {kind} ...");
+        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )?;
+        let input = match kind.image_domain() {
+            Some(domain) => {
+                let (c, h, w) = domain.image_shape();
+                Tensor::ones(vec![1, c, h, w])
+            }
+            None => {
+                let (c, h, w) = FRAME_SHAPE;
+                Tensor::ones(vec![1, c, h, w])
+            }
+        };
+        let report = flops_overhead(
+            &trained.model.graph,
+            &protected.model.graph,
+            &trained.model.input_name,
+            &input,
+        )?;
+        rows.push(Row {
+            model: kind.paper_name().to_string(),
+            baseline_flops: report.baseline_flops,
+            protected_flops: report.protected_flops,
+            overhead_percent: report.percent(),
+            bounds_storage_bytes: memory_overhead_bytes(&protected.bounds),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.baseline_flops.to_string(),
+                r.protected_flops.to_string(),
+                format!("{:.3}%", r.overhead_percent),
+                format!("{} B", r.bounds_storage_bytes),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table IV — FLOPs overhead of Ranger (plus bound-storage memory)",
+        &["Model", "w/o Ranger", "w/ Ranger", "Overhead", "Bounds memory"],
+        &table,
+    );
+    let avg: f64 = rows.iter().map(|r| r.overhead_percent).sum::<f64>() / rows.len().max(1) as f64;
+    println!("\nAverage FLOPs overhead: {avg:.3}%");
+    write_json("table4_flops_overhead", &rows);
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Table V: accuracy of the degree-output Dave model when protected with Ranger using
+//! different restriction-bound percentiles (100%, 99.9%, 99%, 98%). Companion of Fig. 10.
+
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_datasets::driving::AngleUnit;
+use ranger_models::train::regression_metrics;
+use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bound: String,
+    rmse_degrees: f64,
+    avg_deviation_degrees: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExpOptions::from_args();
+    let zoo = ModelZoo::with_default_dir();
+    let config_deg = ModelConfig::new(ModelKind::Dave).with_steering_unit(AngleUnit::Degrees);
+    eprintln!("[table5] preparing degree-output Dave ...");
+    let trained = zoo.load_or_train(&config_deg, opts.seed)?;
+    let data = ModelZoo::driving_data(opts.seed);
+
+    let mut rows = Vec::new();
+    let (rmse, mad) = regression_metrics(&trained.model, &data, true)?;
+    rows.push(Row {
+        bound: "Original".to_string(),
+        rmse_degrees: rmse,
+        avg_deviation_degrees: mad,
+    });
+    for percentile in [100.0, 99.9, 99.0, 98.0] {
+        let protected = protect_model(
+            &trained.model,
+            opts.seed,
+            &BoundsConfig::with_percentile(percentile),
+            &RangerConfig::default(),
+        )?;
+        let (rmse, mad) = regression_metrics(&protected.model, &data, true)?;
+        rows.push(Row {
+            bound: format!("{percentile}% bound"),
+            rmse_degrees: rmse,
+            avg_deviation_degrees: mad,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bound.clone(),
+                format!("{:.3}", r.rmse_degrees),
+                format!("{:.3}", r.avg_deviation_degrees),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table V — accuracy of the degree-output Dave model per restriction-bound percentile",
+        &["Bound", "RMSE (deg)", "Avg. deviation (deg)"],
+        &table,
+    );
+    write_json("table5_bound_accuracy", &rows);
+    Ok(())
+}

@@ -1,0 +1,279 @@
+//! Shared experiment plumbing: protection, input selection, campaigns and reporting.
+
+use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
+use ranger::transform::{apply_ranger, RangerConfig, RangerStats};
+use ranger_graph::GraphError;
+use ranger_inject::{run_campaign, CampaignConfig, CampaignResult, SdcJudge};
+use ranger_inject::InjectionTarget;
+use ranger_models::zoo::ModelZoo;
+use ranger_models::{Model, ModelKind, Task};
+use ranger_tensor::Tensor;
+use std::path::PathBuf;
+
+/// A model protected by Ranger, together with the bounds and transformation statistics.
+#[derive(Debug, Clone)]
+pub struct ProtectedModel {
+    /// The protected model (same metadata as the original, rewritten graph).
+    pub model: Model,
+    /// The restriction bounds derived from the training data.
+    pub bounds: ActivationBounds,
+    /// Insertion statistics (clamp counts, instrumentation time).
+    pub stats: RangerStats,
+}
+
+/// Returns profiling samples for bound derivation: a fraction (default 20%, as in the
+/// paper) of the model's training set, each as a single-sample batch.
+pub fn profiling_samples(kind: ModelKind, seed: u64, fraction: f64) -> Vec<Tensor> {
+    let fraction = fraction.clamp(0.01, 1.0);
+    if kind.is_steering() {
+        let data = ModelZoo::driving_data(seed);
+        let n = ((data.train.len() as f64) * fraction).ceil() as usize;
+        (0..n.min(data.train.len()))
+            .map(|i| data.train_batch(&[i], ranger_datasets::driving::AngleUnit::Degrees).0)
+            .collect()
+    } else {
+        let data = ModelZoo::classification_data(kind, seed);
+        let n = ((data.train.len() as f64) * fraction).ceil() as usize;
+        (0..n.min(data.train.len()))
+            .map(|i| data.train_batch(&[i]).0)
+            .collect()
+    }
+}
+
+/// Profiles restriction bounds from the model's training data and applies Ranger.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if profiling or the transformation fails.
+pub fn protect_model(
+    model: &Model,
+    seed: u64,
+    bounds_config: &BoundsConfig,
+    ranger_config: &RangerConfig,
+) -> Result<ProtectedModel, GraphError> {
+    let samples = profiling_samples(model.config.kind, seed, 0.2);
+    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, bounds_config)?;
+    let (graph, stats) = apply_ranger(&model.graph, &bounds, ranger_config)?;
+    let mut protected = model.clone();
+    protected.graph = graph;
+    Ok(ProtectedModel {
+        model: protected,
+        bounds,
+        stats,
+    })
+}
+
+/// Selects up to `n` validation images the classifier predicts correctly in the absence of
+/// faults (the paper only injects into correctly-predicted inputs). Falls back to
+/// arbitrary validation images if fewer than `n` are predicted correctly.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if a forward pass fails.
+pub fn correct_classifier_inputs(
+    model: &Model,
+    seed: u64,
+    n: usize,
+) -> Result<Vec<Tensor>, GraphError> {
+    let data = ModelZoo::classification_data(model.config.kind, seed);
+    let mut chosen = Vec::new();
+    let mut fallback = Vec::new();
+    for i in 0..data.validation.len() {
+        if chosen.len() >= n {
+            break;
+        }
+        let (batch, labels) = data.validation_batch(&[i]);
+        let pred = model.predict_classes(&batch)?;
+        if pred[0] == labels[0] {
+            chosen.push(batch);
+        } else if fallback.len() < n {
+            fallback.push(batch);
+        }
+    }
+    while chosen.len() < n && !fallback.is_empty() {
+        chosen.push(fallback.remove(0));
+    }
+    Ok(chosen)
+}
+
+/// Selects up to `n` validation frames the steering model predicts within
+/// `tolerance_degrees` of the ground truth, falling back to arbitrary frames.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if a forward pass fails.
+pub fn correct_steering_inputs(
+    model: &Model,
+    seed: u64,
+    n: usize,
+    tolerance_degrees: f32,
+) -> Result<Vec<Tensor>, GraphError> {
+    let data = ModelZoo::driving_data(seed);
+    let mut chosen = Vec::new();
+    let mut fallback = Vec::new();
+    for i in 0..data.validation.len() {
+        if chosen.len() >= n {
+            break;
+        }
+        let (batch, target) =
+            data.validation_batch(&[i], ranger_datasets::driving::AngleUnit::Degrees);
+        let pred = model.predict_angles_degrees(&batch)?;
+        if (pred[0] - target.data()[0]).abs() <= tolerance_degrees {
+            chosen.push(batch);
+        } else if fallback.len() < n {
+            fallback.push(batch);
+        }
+    }
+    while chosen.len() < n && !fallback.is_empty() {
+        chosen.push(fallback.remove(0));
+    }
+    Ok(chosen)
+}
+
+/// Runs a fault-injection campaign against a model (protected or not).
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if any forward pass fails.
+pub fn run_model_campaign(
+    model: &Model,
+    inputs: &[Tensor],
+    judge: &dyn SdcJudge,
+    config: &CampaignConfig,
+) -> Result<CampaignResult, GraphError> {
+    let target = InjectionTarget {
+        graph: &model.graph,
+        input_name: &model.input_name,
+        output: model.output,
+        excluded: &model.excluded_from_injection,
+    };
+    run_campaign(&target, inputs, judge, config)
+}
+
+/// Returns `true` if the model predicts steering angles in radians (used to configure the
+/// steering SDC judge).
+pub fn outputs_radians(model: &Model) -> bool {
+    matches!(
+        model.task,
+        Task::Regression {
+            unit: ranger_datasets::driving::AngleUnit::Radians
+        }
+    )
+}
+
+/// Prints a fixed-width table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Writes an experiment record as JSON under `target/experiments/<name>.json` and returns
+/// the path. Failures to write are reported but not fatal (experiments still print their
+/// tables).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = std::env::var_os("RANGER_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments")
+        });
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            } else {
+                println!("(wrote {})", path.display());
+                Some(path)
+            }
+        }
+        Err(e) => {
+            eprintln!("warning: could not serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ranger_models::archs;
+    use ranger_models::ModelConfig;
+
+    #[test]
+    fn profiling_samples_cover_twenty_percent() {
+        let samples = profiling_samples(ModelKind::LeNet, 1, 0.2);
+        let expected = (ranger_models::TrainConfig::for_kind(ModelKind::LeNet).train_samples as f64 * 0.2).ceil() as usize;
+        assert_eq!(samples.len(), expected);
+        assert_eq!(samples[0].dims()[0], 1);
+        let driving = profiling_samples(ModelKind::Comma, 1, 0.05);
+        assert!(!driving.is_empty());
+    }
+
+    #[test]
+    fn protect_model_inserts_clamps_without_changing_metadata() {
+        let model = archs::build(&ModelConfig::lenet(), 5);
+        let protected = protect_model(
+            &model,
+            5,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )
+        .unwrap();
+        assert!(protected.stats.clamps_inserted > 0);
+        assert_eq!(protected.model.input_name, model.input_name);
+        assert_eq!(protected.model.output, model.output);
+        assert!(protected.model.graph.clamp_count() > 0);
+        assert_eq!(model.graph.clamp_count(), 0);
+        assert!(protected.bounds.len() > 0);
+    }
+
+    #[test]
+    fn input_selection_returns_requested_count() {
+        let model = archs::build(&ModelConfig::lenet(), 5);
+        // An untrained model rarely predicts correctly; the fallback must still supply
+        // the requested number of inputs.
+        let inputs = correct_classifier_inputs(&model, 5, 3).unwrap();
+        assert_eq!(inputs.len(), 3);
+        let steering = archs::build(&ModelConfig::new(ModelKind::Comma), 5);
+        let frames = correct_steering_inputs(&steering, 5, 2, 60.0).unwrap();
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn radian_detection_matches_task() {
+        let dave = archs::build(&ModelConfig::new(ModelKind::Dave), 0);
+        let comma = archs::build(&ModelConfig::new(ModelKind::Comma), 0);
+        assert!(outputs_radians(&dave));
+        assert!(!outputs_radians(&comma));
+    }
+}

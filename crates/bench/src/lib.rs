@@ -1,0 +1,23 @@
+//! Experiment harness shared by the per-figure/per-table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper (see
+//! `DESIGN.md` §3 for the mapping). They all follow the same recipe:
+//!
+//! 1. load (or train) the benchmark model from the [`ModelZoo`],
+//! 2. derive restriction bounds from a sample of the training data and apply Ranger,
+//! 3. run a fault-injection campaign on inputs the model predicts correctly,
+//! 4. print the same rows/series the paper reports and write a JSON record under
+//!    `target/experiments/`.
+//!
+//! The binaries accept `--trials N`, `--inputs N`, `--seed N` and `--full`; the defaults
+//! are scaled down so the whole suite completes on a single CPU core in minutes, while
+//! `--full` approaches the paper's campaign sizes (10 inputs, thousands of trials).
+
+pub mod harness;
+pub mod options;
+
+pub use harness::{
+    correct_classifier_inputs, correct_steering_inputs, outputs_radians, print_table,
+    profiling_samples, protect_model, run_model_campaign, write_json, ProtectedModel,
+};
+pub use options::ExpOptions;

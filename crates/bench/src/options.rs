@@ -1,0 +1,162 @@
+//! Command-line options shared by every experiment binary.
+
+use ranger_models::ModelKind;
+
+/// Options controlling an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpOptions {
+    /// Fault-injection trials per input.
+    pub trials: usize,
+    /// Number of (correctly predicted) inputs per model.
+    pub inputs: usize,
+    /// Seed for model training, datasets and fault sampling.
+    pub seed: u64,
+    /// Run at a scale close to the paper's campaigns (10 inputs, thousands of trials).
+    pub full: bool,
+    /// Restrict the experiment to these models (empty = the experiment's default set).
+    pub models: Vec<ModelKind>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            trials: 200,
+            inputs: 5,
+            seed: 42,
+            full: false,
+            models: Vec::new(),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses options from command-line arguments (`--trials N --inputs N --seed N
+    /// --full --models lenet,dave`). Unknown arguments are ignored so binaries can add
+    /// their own flags.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit argument iterator.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = ExpOptions::default();
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trials" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        opts.trials = v;
+                        i += 1;
+                    }
+                }
+                "--inputs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        opts.inputs = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--models" => {
+                    if let Some(list) = args.get(i + 1) {
+                        opts.models = list
+                            .split(',')
+                            .filter_map(|name| parse_model_kind(name.trim()))
+                            .collect();
+                        i += 1;
+                    }
+                }
+                "--full" => {
+                    opts.full = true;
+                    opts.trials = 3000;
+                    opts.inputs = 10;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The models to evaluate: the explicit `--models` list if given, otherwise `default`.
+    pub fn models_or(&self, default: &[ModelKind]) -> Vec<ModelKind> {
+        if self.models.is_empty() {
+            default.to_vec()
+        } else {
+            self.models.clone()
+        }
+    }
+}
+
+/// Parses a model name as used on the command line.
+pub fn parse_model_kind(name: &str) -> Option<ModelKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "lenet" => Some(ModelKind::LeNet),
+        "alexnet" => Some(ModelKind::AlexNet),
+        "vgg11" => Some(ModelKind::Vgg11),
+        "vgg16" => Some(ModelKind::Vgg16),
+        "resnet18" | "resnet-18" | "resnet" => Some(ModelKind::ResNet18),
+        "squeezenet" => Some(ModelKind::SqueezeNet),
+        "dave" => Some(ModelKind::Dave),
+        "comma" | "comma.ai" => Some(ModelKind::Comma),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExpOptions {
+        ExpOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_scaled_down() {
+        let opts = ExpOptions::default();
+        assert!(opts.trials < 3000 && opts.inputs < 10 && !opts.full);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let opts = parse(&["--trials", "500", "--inputs", "3", "--seed", "9"]);
+        assert_eq!(opts.trials, 500);
+        assert_eq!(opts.inputs, 3);
+        assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn full_matches_paper_scale() {
+        let opts = parse(&["--full"]);
+        assert_eq!(opts.trials, 3000);
+        assert_eq!(opts.inputs, 10);
+        assert!(opts.full);
+    }
+
+    #[test]
+    fn model_list_parses_and_falls_back() {
+        let opts = parse(&["--models", "lenet,dave,unknown"]);
+        assert_eq!(opts.models, vec![ModelKind::LeNet, ModelKind::Dave]);
+        assert_eq!(opts.models_or(&[ModelKind::Vgg16]), vec![ModelKind::LeNet, ModelKind::Dave]);
+        let empty = parse(&[]);
+        assert_eq!(empty.models_or(&[ModelKind::Vgg16]), vec![ModelKind::Vgg16]);
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let opts = parse(&["--percentile", "99", "--trials", "10"]);
+        assert_eq!(opts.trials, 10);
+    }
+
+    #[test]
+    fn model_names_parse_case_insensitively() {
+        assert_eq!(parse_model_kind("ResNet-18"), Some(ModelKind::ResNet18));
+        assert_eq!(parse_model_kind("COMMA"), Some(ModelKind::Comma));
+        assert_eq!(parse_model_kind("nope"), None);
+    }
+}

@@ -1,0 +1,344 @@
+//! Implementations of the `ranger-cli` subcommands.
+
+use crate::{CliError, Options};
+use ranger::bounds::{profile_bounds, BoundsConfig};
+use ranger::transform::{apply_ranger, RangerConfig};
+use ranger_datasets::driving::AngleUnit;
+use ranger_inject::{
+    run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, SdcJudge,
+    SteeringJudge,
+};
+use ranger_models::zoo::ModelZoo;
+use ranger_models::{Model, ModelConfig, ModelKind, Task, TrainConfig};
+use ranger_tensor::{DataType, Tensor};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The on-disk representation written by `train` and `protect` and read by the other
+/// commands: the model plus a record of how it was produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// The model itself (weights live in the graph's constant nodes).
+    pub model: Model,
+    /// Seed the model (and its dataset) was derived from.
+    pub seed: u64,
+    /// Whether the graph already contains Ranger's range-restriction operators.
+    pub protected: bool,
+    /// The bound percentile used when protecting, if any.
+    pub percentile: Option<f64>,
+}
+
+impl SavedModel {
+    /// Writes the model as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] if serialization or the write fails.
+    pub fn save(&self, path: &Path) -> Result<(), CliError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, serde_json::to_string(self)?)?;
+        Ok(())
+    }
+
+    /// Reads a model from a JSON file written by [`SavedModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] if the file cannot be read or decoded.
+    pub fn load(path: &Path) -> Result<Self, CliError> {
+        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+fn parse_model_name(name: &str) -> Result<ModelKind, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "lenet" => Ok(ModelKind::LeNet),
+        "alexnet" => Ok(ModelKind::AlexNet),
+        "vgg11" => Ok(ModelKind::Vgg11),
+        "vgg16" => Ok(ModelKind::Vgg16),
+        "resnet18" | "resnet-18" | "resnet" => Ok(ModelKind::ResNet18),
+        "squeezenet" => Ok(ModelKind::SqueezeNet),
+        "dave" => Ok(ModelKind::Dave),
+        "comma" | "comma.ai" => Ok(ModelKind::Comma),
+        other => Err(CliError::Usage(format!(
+            "unknown model '{other}' (expected lenet, alexnet, vgg11, vgg16, resnet18, squeezenet, dave or comma)"
+        ))),
+    }
+}
+
+/// `ranger-cli train`: trains a benchmark model and saves it.
+pub fn train(options: &Options) -> Result<String, CliError> {
+    let kind = parse_model_name(options.require("model")?)?;
+    let out = options.require("out")?.to_string();
+    let seed = options.get_parsed("seed", 42u64)?;
+    let config = ModelConfig::new(kind);
+    let zoo = ModelZoo::with_default_dir();
+    let trained = if options.has_flag("quick") {
+        zoo.train_with(&config, &TrainConfig::quick(), seed)?
+    } else {
+        zoo.train(&config, seed)?
+    };
+    let saved = SavedModel {
+        model: trained.model,
+        seed,
+        protected: false,
+        percentile: None,
+    };
+    saved.save(Path::new(&out))?;
+    Ok(format!(
+        "trained {kind} (validation accuracy {:.1}%) in {:.1}s and saved it to {out}",
+        trained.validation_accuracy * 100.0,
+        trained.train_seconds
+    ))
+}
+
+/// `ranger-cli protect`: derives bounds from the training data and inserts Ranger.
+pub fn protect(options: &Options) -> Result<String, CliError> {
+    let input = options.require("in")?.to_string();
+    let out = options.require("out")?.to_string();
+    let percentile = options.get_parsed("percentile", 100.0f64)?;
+    let saved = SavedModel::load(Path::new(&input))?;
+    if saved.protected {
+        return Err(CliError::Usage(format!("{input} is already protected")));
+    }
+    let seed = options.get_parsed("seed", saved.seed)?;
+    let samples = profiling_inputs(&saved.model, seed, 0.2);
+    let bounds = profile_bounds(
+        &saved.model.graph,
+        &saved.model.input_name,
+        &samples,
+        &BoundsConfig::with_percentile(percentile),
+    )?;
+    let (graph, stats) = apply_ranger(&saved.model.graph, &bounds, &RangerConfig::default())?;
+    let mut protected = saved.clone();
+    protected.model.graph = graph;
+    protected.protected = true;
+    protected.percentile = Some(percentile);
+    protected.save(Path::new(&out))?;
+    Ok(format!(
+        "inserted {} range-restriction operators ({} activations, {} followers) using the {percentile}% bound; saved to {out}",
+        stats.clamps_inserted, stats.activations_protected, stats.followers_protected
+    ))
+}
+
+/// `ranger-cli inject`: runs a fault-injection campaign against a saved model.
+pub fn inject(options: &Options) -> Result<String, CliError> {
+    let input = options.require("in")?.to_string();
+    let trials = options.get_parsed("trials", 100usize)?;
+    let inputs = options.get_parsed("inputs", 3usize)?;
+    let bits = options.get_parsed("bits", 1usize)?;
+    let saved = SavedModel::load(Path::new(&input))?;
+    let seed = options.get_parsed("seed", saved.seed)?;
+    let datatype = if options.has_flag("fixed16") {
+        DataType::fixed16()
+    } else {
+        DataType::fixed32()
+    };
+    let fault = FaultModel { datatype, bits };
+
+    let model = &saved.model;
+    let (batches, judge): (Vec<Tensor>, Box<dyn SdcJudge>) = match model.task {
+        Task::Classification { .. } => {
+            let data = ModelZoo::classification_data(model.config.kind, seed);
+            let n = inputs.min(data.validation.len());
+            (
+                (0..n).map(|i| data.validation_batch(&[i]).0).collect(),
+                Box::new(ClassifierJudge::top1()),
+            )
+        }
+        Task::Regression { unit } => {
+            let data = ModelZoo::driving_data(seed);
+            let n = inputs.min(data.validation.len());
+            (
+                (0..n)
+                    .map(|i| data.validation_batch(&[i], AngleUnit::Degrees).0)
+                    .collect(),
+                Box::new(SteeringJudge::paper_thresholds(unit == AngleUnit::Radians)),
+            )
+        }
+    };
+    let target = InjectionTarget {
+        graph: &model.graph,
+        input_name: &model.input_name,
+        output: model.output,
+        excluded: &model.excluded_from_injection,
+    };
+    let config = CampaignConfig { trials, fault, seed };
+    let result = run_campaign(&target, &batches, judge.as_ref(), &config)?;
+    let mut lines = vec![format!(
+        "{} | {} trials x {} inputs | fault model: {fault}",
+        if saved.protected { "protected with Ranger" } else { "unprotected" },
+        trials,
+        batches.len()
+    )];
+    for (category, rate) in result.rates() {
+        lines.push(format!(
+            "  {category:<14} SDC rate {:6.2}%  (±{:.2}%)",
+            rate.rate_percent(),
+            rate.confidence95_percent()
+        ));
+    }
+    Ok(lines.join("\n"))
+}
+
+/// `ranger-cli info`: prints a summary of a saved model.
+pub fn info(options: &Options) -> Result<String, CliError> {
+    let input = options.require("in")?.to_string();
+    let saved = SavedModel::load(Path::new(&input))?;
+    let model = &saved.model;
+    let task = match model.task {
+        Task::Classification { num_classes } => format!("classification ({num_classes} classes)"),
+        Task::Regression { unit } => format!(
+            "steering regression ({})",
+            match unit {
+                AngleUnit::Degrees => "degrees",
+                AngleUnit::Radians => "radians",
+            }
+        ),
+    };
+    Ok(format!(
+        "{}\n  task:        {}\n  operators:   {}\n  parameters:  {}\n  activations: {}\n  clamps:      {}\n  protected:   {}{}",
+        model.config.kind.paper_name(),
+        task,
+        model.graph.operator_nodes()?.len(),
+        model.parameter_count(),
+        model.activation_count(),
+        model.graph.clamp_count(),
+        saved.protected,
+        saved
+            .percentile
+            .map(|p| format!(" (bound percentile {p}%)"))
+            .unwrap_or_default()
+    ))
+}
+
+/// Builds profiling inputs for bound derivation from the model's training dataset.
+fn profiling_inputs(model: &Model, seed: u64, fraction: f64) -> Vec<Tensor> {
+    if model.config.kind.is_steering() {
+        let data = ModelZoo::driving_data(seed);
+        let n = ((data.train.len() as f64) * fraction).ceil() as usize;
+        (0..n.min(data.train.len()))
+            .map(|i| data.train_batch(&[i], AngleUnit::Degrees).0)
+            .collect()
+    } else {
+        let data = ModelZoo::classification_data(model.config.kind, seed);
+        let n = ((data.train.len() as f64) * fraction).ceil() as usize;
+        (0..n.min(data.train.len()))
+            .map(|i| data.train_batch(&[i]).0)
+            .collect()
+    }
+}
+
+/// Dispatches a parsed command line.
+pub fn run(mut args: std::env::Args) -> Result<String, CliError> {
+    let _program = args.next();
+    let command = args.next().unwrap_or_else(|| "help".to_string());
+    let options = Options::parse(args);
+    dispatch(&command, &options)
+}
+
+/// Dispatches a command by name (separated from [`run`] for testability).
+pub fn dispatch(command: &str, options: &Options) -> Result<String, CliError> {
+    match command {
+        "train" => train(options),
+        "protect" => protect(options),
+        "inject" => inject(options),
+        "info" => info(options),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'\n\n{}", crate::USAGE))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ranger-cli-test-{}-{name}", std::process::id()))
+    }
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn train_protect_info_inject_round_trip() {
+        let model_path = tmp("lenet.json");
+        let protected_path = tmp("lenet-protected.json");
+
+        // Train with the quick recipe so the test stays fast.
+        let msg = train(&opts(&[
+            "--model",
+            "lenet",
+            "--out",
+            model_path.to_str().unwrap(),
+            "--seed",
+            "5",
+            "--quick",
+        ]))
+        .unwrap();
+        assert!(msg.contains("LeNet"));
+
+        // Protect it.
+        let msg = protect(&opts(&[
+            "--in",
+            model_path.to_str().unwrap(),
+            "--out",
+            protected_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("range-restriction"));
+
+        // Inspect both.
+        let unprotected_info = info(&opts(&["--in", model_path.to_str().unwrap()])).unwrap();
+        assert!(unprotected_info.contains("protected:   false"));
+        let protected_info = info(&opts(&["--in", protected_path.to_str().unwrap()])).unwrap();
+        assert!(protected_info.contains("protected:   true"));
+
+        // Protecting an already-protected model is rejected.
+        assert!(protect(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--out",
+            protected_path.to_str().unwrap(),
+        ]))
+        .is_err());
+
+        // A small injection campaign runs on both files.
+        let report = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--trials",
+            "20",
+            "--inputs",
+            "1",
+        ]))
+        .unwrap();
+        assert!(report.contains("SDC rate"));
+
+        let _ = std::fs::remove_file(model_path);
+        let _ = std::fs::remove_file(protected_path);
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands_and_prints_help() {
+        assert!(dispatch("frobnicate", &opts(&[])).is_err());
+        assert!(dispatch("help", &opts(&[])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_model_name_is_a_usage_error() {
+        let err = train(&opts(&["--model", "resnext", "--out", "/tmp/x.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = info(&opts(&["--in", "/nonexistent/model.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

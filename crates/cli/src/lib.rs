@@ -1,0 +1,197 @@
+//! Library backing the `ranger-cli` binary.
+//!
+//! The command-line tool wraps the workflow a user of the original Ranger artifact would
+//! follow with TensorFlow checkpoints: train a benchmark model, derive restriction bounds
+//! from its training data, produce a protected copy of the model, and measure SDC rates
+//! with fault-injection campaigns — all against models serialized as JSON files so the
+//! steps can be run and inspected independently.
+
+pub mod commands;
+
+use std::fmt;
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed; the string is a usage message.
+    Usage(String),
+    /// An underlying graph/training operation failed.
+    Graph(ranger_graph::GraphError),
+    /// Training or the model zoo failed.
+    Zoo(ranger_models::zoo::ZooError),
+    /// Reading or writing a file failed.
+    Io(std::io::Error),
+    /// A model file could not be decoded.
+    Decode(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Zoo(e) => write!(f, "training error: {e}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Decode(e) => write!(f, "could not decode model file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ranger_graph::GraphError> for CliError {
+    fn from(e: ranger_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<ranger_models::zoo::ZooError> for CliError {
+    fn from(e: ranger_models::zoo::ZooError) -> Self {
+        CliError::Zoo(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Decode(e)
+    }
+}
+
+/// The usage text printed by `ranger-cli help`.
+pub const USAGE: &str = "\
+ranger-cli — train, protect and fault-inject the Ranger benchmark DNNs
+
+USAGE:
+    ranger-cli <command> [options]
+
+COMMANDS:
+    train    --model <name> --out <model.json> [--seed N] [--quick]
+             Train a benchmark model on its synthetic dataset and save it.
+    protect  --in <model.json> --out <protected.json> [--percentile P] [--seed N]
+             Derive restriction bounds from the training data and insert Ranger.
+    inject   --in <model.json> [--trials N] [--inputs N] [--bits N] [--fixed16] [--seed N]
+             Run a fault-injection campaign and report SDC rates.
+    info     --in <model.json>
+             Print a summary of a saved model (operators, parameters, clamps).
+    help     Print this message.
+
+MODELS:
+    lenet, alexnet, vgg11, vgg16, resnet18, squeezenet, dave, comma
+";
+
+/// Parses `--key value` style options (plus bare flags) from an argument list.
+///
+/// Unknown keys are collected verbatim so commands can reject them with a clear message.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    /// Parses options from raw arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut options = Options::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                // A value follows unless the next token is another option or absent.
+                match args.get(i + 1) {
+                    Some(value) if !value.starts_with("--") => {
+                        options.pairs.push((key.to_string(), value.clone()));
+                        i += 2;
+                    }
+                    _ => {
+                        options.flags.push(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                options.flags.push(arg.clone());
+                i += 1;
+            }
+        }
+        options
+    }
+
+    /// Returns the value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns the value of `--key` parsed as `T`, or `default` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage error if the value is present but cannot be parsed.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Usage(format!("invalid value '{raw}' for --{key}"))
+            }),
+        }
+    }
+
+    /// Returns the value of `--key` or a usage error naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}\n\n{USAGE}")))
+    }
+
+    /// Returns `true` if the bare flag `--key` was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_pairs_and_flags() {
+        let opts = Options::parse(
+            ["--model", "lenet", "--quick", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.get("model"), Some("lenet"));
+        assert_eq!(opts.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(opts.has_flag("quick"));
+        assert!(!opts.has_flag("full"));
+        assert_eq!(opts.get("missing"), None);
+        assert_eq!(opts.get_parsed("missing", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn require_reports_missing_options() {
+        let opts = Options::parse(std::iter::empty());
+        let err = opts.require("in").unwrap_err();
+        assert!(err.to_string().contains("--in"));
+    }
+
+    #[test]
+    fn invalid_numeric_values_are_usage_errors() {
+        let opts = Options::parse(["--trials", "lots"].iter().map(|s| s.to_string()));
+        assert!(matches!(opts.get_parsed("trials", 10usize), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn last_occurrence_of_a_key_wins() {
+        let opts = Options::parse(["--seed", "1", "--seed", "2"].iter().map(|s| s.to_string()));
+        assert_eq!(opts.get("seed"), Some("2"));
+    }
+}

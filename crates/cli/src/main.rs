@@ -1,0 +1,12 @@
+//! `ranger-cli`: train, protect and fault-inject the Ranger benchmark DNNs from the
+//! command line. Run `ranger-cli help` for usage.
+
+fn main() {
+    match ranger_cli::commands::run(std::env::args()) {
+        Ok(message) => println!("{message}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

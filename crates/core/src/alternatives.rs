@@ -1,0 +1,120 @@
+//! Design alternatives for the range-restriction operator (paper Section VI-C).
+//!
+//! Ranger restores out-of-bounds values to the restriction bound (saturation). The paper
+//! also evaluates two alternatives: resetting out-of-bounds values to zero (as proposed by
+//! Reagen et al. for Minerva) and replacing them with a random value inside the
+//! restriction range. Saturation preserves accuracy and is deterministic; zero-resetting
+//! degrades accuracy sharply because the value reduction is drastic and zeros propagate
+//! through subsequent multiplications.
+
+use crate::bounds::ActivationBounds;
+use crate::transform::{apply_ranger, RangerConfig, RangerStats};
+use ranger_graph::op::RestorePolicy;
+use ranger_graph::{Graph, GraphError};
+
+/// Applies the Ranger transformation with the given out-of-bounds policy.
+///
+/// `RestorePolicy::Saturate` is exactly [`apply_ranger`] with the default configuration;
+/// `Zero` and `Random` are the Section VI-C design alternatives.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if the graph is malformed.
+pub fn apply_design_alternative(
+    graph: &Graph,
+    bounds: &ActivationBounds,
+    policy: RestorePolicy,
+) -> Result<(Graph, RangerStats), GraphError> {
+    apply_ranger(graph, bounds, &RangerConfig::with_policy(policy))
+}
+
+/// The three restoration policies the paper discusses, in the order Section VI-C presents
+/// them.
+pub fn all_policies() -> [RestorePolicy; 3] {
+    [RestorePolicy::Saturate, RestorePolicy::Zero, RestorePolicy::Random]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{profile_bounds, BoundsConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::{Executor, GraphBuilder, NodeId, Op};
+    use ranger_tensor::Tensor;
+
+    fn toy() -> (Graph, NodeId, NodeId) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 3, 6, &mut rng);
+        let r = b.relu(h);
+        let y = b.dense(r, 6, 2, &mut rng);
+        (b.into_graph(), r, y)
+    }
+
+    #[test]
+    fn saturate_alternative_matches_default_ranger() {
+        let (graph, ..) = toy();
+        let samples: Vec<Tensor> = (0..4).map(|i| Tensor::filled(vec![1, 3], i as f32 * 0.3)).collect();
+        let bounds = profile_bounds(&graph, "x", &samples, &BoundsConfig::default()).unwrap();
+        let (a, _) = apply_design_alternative(&graph, &bounds, RestorePolicy::Saturate).unwrap();
+        let (b, _) = crate::transform::apply_ranger(&graph, &bounds, &RangerConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_policy_zeroes_out_of_bound_values() {
+        let (graph, relu, y) = toy();
+        let mut bounds = ActivationBounds::new();
+        bounds.set(relu, 0.0, 1.0);
+        let (zeroed, _) = apply_design_alternative(&graph, &bounds, RestorePolicy::Zero).unwrap();
+        assert!(zeroed
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::RangeRestore { policy: RestorePolicy::Zero, .. })));
+
+        // Feed an input that drives the ReLU above the bound: the zero policy collapses
+        // the downstream values harder than saturation does.
+        let input = Tensor::filled(vec![1, 3], 100.0);
+        let exec = Executor::new(&graph);
+        let golden = exec.run_simple(&[("x", input.clone())], y).unwrap();
+        let (saturated, _) =
+            apply_design_alternative(&graph, &bounds, RestorePolicy::Saturate).unwrap();
+        let out_sat = Executor::new(&saturated)
+            .run_simple(&[("x", input.clone())], y)
+            .unwrap();
+        let out_zero = Executor::new(&zeroed).run_simple(&[("x", input)], y).unwrap();
+        let dev_sat = golden.max_abs_diff(&out_sat).unwrap();
+        let dev_zero = golden.max_abs_diff(&out_zero).unwrap();
+        assert!(
+            dev_zero >= dev_sat,
+            "zero-resetting should deviate at least as much as saturation ({dev_zero} vs {dev_sat})"
+        );
+    }
+
+    #[test]
+    fn random_policy_stays_inside_the_bounds_and_is_deterministic() {
+        let (graph, relu, _) = toy();
+        let mut bounds = ActivationBounds::new();
+        bounds.set(relu, 0.0, 1.0);
+        let (randomized, _) =
+            apply_design_alternative(&graph, &bounds, RestorePolicy::Random).unwrap();
+        let clamp_node = randomized
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::RangeRestore { .. }))
+            .unwrap()
+            .id;
+        let input = Tensor::filled(vec![1, 3], 50.0);
+        let exec = Executor::new(&randomized);
+        let a = exec.run_simple(&[("x", input.clone())], clamp_node).unwrap();
+        let b = exec.run_simple(&[("x", input)], clamp_node).unwrap();
+        assert_eq!(a, b, "random replacement must be reproducible");
+        assert!(a.max() <= 1.0 && a.min() >= 0.0);
+    }
+
+    #[test]
+    fn all_policies_lists_three() {
+        assert_eq!(all_policies().len(), 3);
+    }
+}

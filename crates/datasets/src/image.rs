@@ -1,0 +1,175 @@
+//! Small image-drawing primitives used by the synthetic dataset generators.
+//!
+//! Images are `(channels, height, width)` tensors with values in `[0, 1]` before
+//! normalization.
+
+use ranger_tensor::Tensor;
+
+/// A mutable multi-channel raster image.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a black canvas.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Canvas {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Returns `(channels, height, width)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Sets one pixel of one channel, ignoring out-of-bounds coordinates.
+    pub fn set(&mut self, channel: usize, y: isize, x: isize, value: f32) {
+        if channel >= self.channels || y < 0 || x < 0 {
+            return;
+        }
+        let (y, x) = (y as usize, x as usize);
+        if y >= self.height || x >= self.width {
+            return;
+        }
+        self.data[(channel * self.height + y) * self.width + x] = value;
+    }
+
+    /// Adds `value` to one pixel of one channel, ignoring out-of-bounds coordinates.
+    pub fn splat(&mut self, channel: usize, y: isize, x: isize, value: f32) {
+        if channel >= self.channels || y < 0 || x < 0 {
+            return;
+        }
+        let (y, x) = (y as usize, x as usize);
+        if y >= self.height || x >= self.width {
+            return;
+        }
+        let v = &mut self.data[(channel * self.height + y) * self.width + x];
+        *v = (*v + value).clamp(0.0, 1.0);
+    }
+
+    /// Fills every channel of every pixel with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Draws an axis-aligned filled rectangle on one channel.
+    pub fn fill_rect(&mut self, channel: usize, y0: isize, x0: isize, h: usize, w: usize, value: f32) {
+        for dy in 0..h as isize {
+            for dx in 0..w as isize {
+                self.set(channel, y0 + dy, x0 + dx, value);
+            }
+        }
+    }
+
+    /// Draws a filled circle on one channel.
+    pub fn fill_circle(&mut self, channel: usize, cy: isize, cx: isize, radius: f32, value: f32) {
+        let r = radius.ceil() as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if ((dy * dy + dx * dx) as f32).sqrt() <= radius {
+                    self.set(channel, cy + dy, cx + dx, value);
+                }
+            }
+        }
+    }
+
+    /// Draws a straight line segment on one channel using simple linear interpolation.
+    pub fn line(&mut self, channel: usize, y0: f32, x0: f32, y1: f32, x1: f32, value: f32) {
+        let steps = ((y1 - y0).abs().max((x1 - x0).abs()).ceil() as usize).max(1);
+        for s in 0..=steps {
+            let t = s as f32 / steps as f32;
+            let y = y0 + (y1 - y0) * t;
+            let x = x0 + (x1 - x0) * t;
+            self.set(channel, y.round() as isize, x.round() as isize, value);
+        }
+    }
+
+    /// Converts the canvas into a `(C, H, W)` tensor.
+    pub fn into_tensor(self) -> Tensor {
+        Tensor::from_vec(vec![self.channels, self.height, self.width], self.data)
+            .expect("canvas dimensions are consistent by construction")
+    }
+}
+
+/// Stacks `(C, H, W)` images into a single `(N, C, H, W)` batch tensor.
+///
+/// # Panics
+///
+/// Panics if the images do not all share the same shape or `images` is empty.
+pub fn stack(images: &[&Tensor]) -> Tensor {
+    assert!(!images.is_empty(), "cannot stack an empty list of images");
+    let dims = images[0].dims().to_vec();
+    let mut data = Vec::with_capacity(images.len() * images[0].len());
+    for img in images {
+        assert_eq!(img.dims(), dims.as_slice(), "all images must share a shape");
+        data.extend_from_slice(img.data());
+    }
+    let mut out_dims = vec![images.len()];
+    out_dims.extend_from_slice(&dims);
+    Tensor::from_vec(out_dims, data).expect("stacked dimensions are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_set_and_bounds() {
+        let mut c = Canvas::new(1, 4, 4);
+        c.set(0, 1, 2, 0.5);
+        c.set(0, -1, 0, 0.9); // silently ignored
+        c.set(0, 10, 10, 0.9); // silently ignored
+        let t = c.into_tensor();
+        assert_eq!(t.get(&[0, 1, 2]), 0.5);
+        assert_eq!(t.sum(), 0.5);
+    }
+
+    #[test]
+    fn rectangle_and_circle_cover_expected_area() {
+        let mut c = Canvas::new(1, 8, 8);
+        c.fill_rect(0, 1, 1, 3, 2, 1.0);
+        let t = c.clone().into_tensor();
+        assert_eq!(t.sum(), 6.0);
+
+        let mut c = Canvas::new(1, 9, 9);
+        c.fill_circle(0, 4, 4, 2.0, 1.0);
+        let t = c.into_tensor();
+        assert!(t.sum() >= 9.0 && t.sum() <= 21.0);
+        assert_eq!(t.get(&[0, 4, 4]), 1.0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = Canvas::new(1, 8, 8);
+        c.line(0, 0.0, 0.0, 7.0, 7.0, 1.0);
+        let t = c.into_tensor();
+        assert_eq!(t.get(&[0, 0, 0]), 1.0);
+        assert_eq!(t.get(&[0, 7, 7]), 1.0);
+        assert!(t.sum() >= 8.0);
+    }
+
+    #[test]
+    fn stack_builds_batches() {
+        let a = Tensor::filled(vec![1, 2, 2], 1.0);
+        let b = Tensor::filled(vec![1, 2, 2], 2.0);
+        let batch = stack(&[&a, &b]);
+        assert_eq!(batch.dims(), &[2, 1, 2, 2]);
+        assert_eq!(batch.get(&[1, 0, 1, 1]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(vec![1, 2, 2]);
+        let b = Tensor::zeros(vec![1, 3, 3]);
+        stack(&[&a, &b]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic synthetic datasets for the Ranger reproduction.
+//!
+//! The paper evaluates on MNIST, CIFAR-10, GTSRB, ImageNet and a real-world driving
+//! dataset. Those datasets (and the pretrained weights that go with them) are not
+//! available to this reproduction, so this crate generates synthetic datasets with the
+//! same *task shape*:
+//!
+//! * [`classification`] — class-conditional structured images (digit strokes, coloured
+//!   textures, sign glyphs) with a train/validation split, standing in for
+//!   MNIST/CIFAR-10/GTSRB/ImageNet.
+//! * [`driving`] — rendered road scenes whose ground-truth steering angle is computed from
+//!   the road curvature, standing in for the SullyChen driving dataset used by the Nvidia
+//!   Dave and Comma.ai models. Targets are available in both radians and degrees because
+//!   the radians/degrees distinction drives the paper's Fig. 7/Fig. 10 analysis.
+//!
+//! Every generator is a pure function of its seed, so experiments are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
+//!
+//! let data = ClassificationDataset::generate(ImageDomain::Digits, 200, 50, 7);
+//! assert_eq!(data.train.len(), 200);
+//! assert_eq!(data.validation.len(), 50);
+//! let (batch, labels) = data.train_batch(&[0, 1, 2]);
+//! assert_eq!(batch.dims()[0], 3);
+//! assert_eq!(labels.len(), 3);
+//! ```
+
+pub mod classification;
+pub mod driving;
+pub mod image;
+
+pub use classification::{ClassificationDataset, ImageDomain, LabeledImage};
+pub use driving::{AngleUnit, DrivingDataset, DrivingFrame};

@@ -1,0 +1,72 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
+use ranger_datasets::driving::{AngleUnit, DrivingDataset, FRAME_SHAPE, MAX_ANGLE_DEGREES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated classification sample has a valid label and pixel values in [0, 1].
+    #[test]
+    fn classification_samples_are_well_formed(seed in 0u64..500, n in 1usize..40) {
+        for domain in [
+            ImageDomain::Digits,
+            ImageDomain::Objects,
+            ImageDomain::TrafficSigns,
+            ImageDomain::NaturalScenes,
+        ] {
+            let data = ClassificationDataset::generate(domain, n, n / 2, seed);
+            prop_assert_eq!(data.train.len(), n);
+            prop_assert_eq!(data.validation.len(), n / 2);
+            let (c, h, w) = domain.image_shape();
+            for sample in data.train.iter().chain(&data.validation) {
+                prop_assert!(sample.label < domain.num_classes());
+                prop_assert_eq!(sample.image.dims(), &[c, h, w]);
+                prop_assert!(sample.image.min() >= 0.0 && sample.image.max() <= 1.0);
+                prop_assert!(!sample.image.has_non_finite());
+            }
+        }
+    }
+
+    /// Dataset generation is a pure function of its seed.
+    #[test]
+    fn classification_generation_is_deterministic(seed in 0u64..500) {
+        let a = ClassificationDataset::generate(ImageDomain::Objects, 12, 4, seed);
+        let b = ClassificationDataset::generate(ImageDomain::Objects, 12, 4, seed);
+        for (x, y) in a.train.iter().zip(&b.train) {
+            prop_assert_eq!(&x.image, &y.image);
+            prop_assert_eq!(x.label, y.label);
+        }
+    }
+
+    /// Driving frames are well formed and their targets convert consistently between
+    /// degrees and radians.
+    #[test]
+    fn driving_frames_are_well_formed(seed in 0u64..500, n in 1usize..30) {
+        let data = DrivingDataset::generate(n, n / 2, seed);
+        let (c, h, w) = FRAME_SHAPE;
+        for frame in data.train.iter().chain(&data.validation) {
+            prop_assert_eq!(frame.image.dims(), &[c, h, w]);
+            prop_assert!(frame.angle_degrees.abs() <= MAX_ANGLE_DEGREES);
+            prop_assert!(!frame.image.has_non_finite());
+        }
+        if !data.train.is_empty() {
+            let indices: Vec<usize> = (0..data.train.len().min(4)).collect();
+            let (_, deg) = data.train_batch(&indices, AngleUnit::Degrees);
+            let (_, rad) = data.train_batch(&indices, AngleUnit::Radians);
+            for (d, r) in deg.data().iter().zip(rad.data()) {
+                prop_assert!((d.to_radians() - r).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Batching returns the requested samples in order with matching labels.
+    #[test]
+    fn batches_follow_requested_indices(seed in 0u64..200) {
+        let data = ClassificationDataset::generate(ImageDomain::Digits, 20, 10, seed);
+        let (batch, labels) = data.train_batch(&[3, 0, 7]);
+        prop_assert_eq!(batch.dims()[0], 3);
+        prop_assert_eq!(labels, vec![data.train[3].label, data.train[0].label, data.train[7].label]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for graph construction, execution and differentiation.
+
+use crate::graph::NodeId;
+use ranger_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by graph construction, execution and differentiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node referenced an id that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// A graph input was not fed at execution time.
+    MissingFeed(String),
+    /// A node that must carry a constant value does not.
+    MissingConstValue(NodeId),
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Operator name.
+        op: String,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// An operator received an input of an unsupported shape.
+    ShapeError {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The graph contains a cycle and cannot be topologically ordered.
+    CyclicGraph,
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// The backward pass does not support this operator.
+    UnsupportedBackward {
+        /// Operator name.
+        op: String,
+    },
+    /// A named node was not found.
+    UnknownName(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {}", id.index()),
+            GraphError::MissingFeed(name) => write!(f, "missing feed for input '{name}'"),
+            GraphError::MissingConstValue(id) => {
+                write!(f, "constant node {} has no value", id.index())
+            }
+            GraphError::ArityMismatch {
+                node,
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "operator {op} at node {} expects {expected} inputs but received {actual}",
+                node.index()
+            ),
+            GraphError::ShapeError { node, message } => {
+                write!(f, "shape error at node {}: {message}", node.index())
+            }
+            GraphError::CyclicGraph => write!(f, "graph contains a cycle"),
+            GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GraphError::UnsupportedBackward { op } => {
+                write!(f, "backward pass not supported for operator {op}")
+            }
+            GraphError::UnknownName(name) => write!(f, "no node named '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = GraphError::MissingFeed("x".to_string());
+        assert!(err.to_string().contains("x"));
+        let err = GraphError::ArityMismatch {
+            node: NodeId::new(3),
+            op: "Conv2D".into(),
+            expected: 2,
+            actual: 1,
+        };
+        assert!(err.to_string().contains("Conv2D"));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let terr = TensorError::ShapeDataMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        let gerr: GraphError = terr.clone().into();
+        assert_eq!(gerr, GraphError::Tensor(terr));
+    }
+}

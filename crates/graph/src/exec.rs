@@ -1,0 +1,392 @@
+//! Graph execution with per-operator interception hooks.
+//!
+//! The executor evaluates the graph in topological order. After computing each operator's
+//! output it hands the node and a mutable reference to the output tensor to the registered
+//! [`Interceptor`], which is how the fault injector corrupts a single operator output
+//! mid-inference (the TensorFI model) and how the bound profiler observes activation
+//! ranges without modifying the graph.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::Op;
+use crate::ops;
+use ranger_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Observes (and may mutate) operator outputs during a forward pass.
+///
+/// Implementors receive every operator node in execution order together with its freshly
+/// computed output. Constants and graph inputs are not intercepted, mirroring the paper's
+/// fault model in which memory is ECC-protected and faults arise in datapath computations.
+pub trait Interceptor {
+    /// Called after `node`'s output has been computed; the output may be mutated in place.
+    fn after_op(&mut self, node: &Node, output: &mut Tensor);
+}
+
+/// An interceptor that does nothing (fault-free golden runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopInterceptor;
+
+impl Interceptor for NoopInterceptor {
+    fn after_op(&mut self, _node: &Node, _output: &mut Tensor) {}
+}
+
+/// An interceptor that records every operator output, used for activation-range profiling
+/// and for debugging fault propagation.
+#[derive(Debug, Default)]
+pub struct RecordingInterceptor {
+    /// Operator outputs keyed by node id, in execution order.
+    pub outputs: Vec<(NodeId, Tensor)>,
+}
+
+impl Interceptor for RecordingInterceptor {
+    fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+        self.outputs.push((node.id, output.clone()));
+    }
+}
+
+/// The values produced by a full forward pass, indexed by node id.
+#[derive(Debug, Clone)]
+pub struct Values {
+    values: Vec<Option<Tensor>>,
+}
+
+impl Values {
+    fn new(len: usize) -> Self {
+        Values {
+            values: vec![None; len],
+        }
+    }
+
+    /// Returns the value computed for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if the node was not evaluated.
+    pub fn get(&self, id: NodeId) -> Result<&Tensor, GraphError> {
+        self.values
+            .get(id.index())
+            .and_then(|v| v.as_ref())
+            .ok_or(GraphError::UnknownNode(id))
+    }
+
+    fn set(&mut self, id: NodeId, value: Tensor) {
+        self.values[id.index()] = Some(value);
+    }
+
+    /// Iterates over all evaluated `(node id, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Tensor)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|t| (NodeId::new(i), t)))
+    }
+}
+
+/// Executes a [`Graph`] on fed inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Executor { graph }
+    }
+
+    /// Runs a forward pass and returns the values of every node.
+    ///
+    /// `feeds` maps input-node names to tensors. The `interceptor` is called after every
+    /// operator (not for inputs or constants).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a feed is missing, the graph is cyclic, or any operator
+    /// receives invalid operands.
+    pub fn run(
+        &self,
+        feeds: &[(&str, Tensor)],
+        interceptor: &mut dyn Interceptor,
+    ) -> Result<Values, GraphError> {
+        let feed_map: HashMap<&str, &Tensor> = feeds.iter().map(|(n, t)| (*n, t)).collect();
+        let order = self.graph.topological_order()?;
+        let mut values = Values::new(self.graph.len());
+
+        for id in order {
+            let node = self.graph.node(id)?;
+            let mut output = self.eval_node(node, &values, &feed_map)?;
+            if node.op.is_injectable() {
+                interceptor.after_op(node, &mut output);
+            }
+            values.set(id, output);
+        }
+        Ok(values)
+    }
+
+    /// Runs a forward pass and returns only the value of `fetch`, using no interceptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] under the same conditions as [`Executor::run`].
+    pub fn run_simple(&self, feeds: &[(&str, Tensor)], fetch: NodeId) -> Result<Tensor, GraphError> {
+        let values = self.run(feeds, &mut NoopInterceptor)?;
+        values.get(fetch).cloned()
+    }
+
+    /// Runs a forward pass with an interceptor and returns only the value of `fetch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] under the same conditions as [`Executor::run`].
+    pub fn run_with(
+        &self,
+        feeds: &[(&str, Tensor)],
+        fetch: NodeId,
+        interceptor: &mut dyn Interceptor,
+    ) -> Result<Tensor, GraphError> {
+        let values = self.run(feeds, interceptor)?;
+        values.get(fetch).cloned()
+    }
+
+    fn arity_err(node: &Node, expected: usize) -> GraphError {
+        GraphError::ArityMismatch {
+            node: node.id,
+            op: node.op.kind_name().to_string(),
+            expected,
+            actual: node.inputs.len(),
+        }
+    }
+
+    fn input<'v>(&self, node: &Node, values: &'v Values, idx: usize) -> Result<&'v Tensor, GraphError> {
+        let id = *node
+            .inputs
+            .get(idx)
+            .ok_or_else(|| Self::arity_err(node, idx + 1))?;
+        values.get(id)
+    }
+
+    fn eval_node(
+        &self,
+        node: &Node,
+        values: &Values,
+        feeds: &HashMap<&str, &Tensor>,
+    ) -> Result<Tensor, GraphError> {
+        match &node.op {
+            Op::Input => feeds
+                .get(node.name.as_str())
+                .map(|t| (*t).clone())
+                .or_else(|| node.value.clone())
+                .ok_or_else(|| GraphError::MissingFeed(node.name.clone())),
+            Op::Const => node
+                .value
+                .clone()
+                .ok_or(GraphError::MissingConstValue(node.id)),
+            Op::Conv2d { stride, padding } => {
+                if node.inputs.len() != 2 {
+                    return Err(Self::arity_err(node, 2));
+                }
+                let x = self.input(node, values, 0)?;
+                let w = self.input(node, values, 1)?;
+                ops::conv2d_forward(node.id, x, w, *stride, *padding)
+            }
+            Op::MatMul => {
+                if node.inputs.len() != 2 {
+                    return Err(Self::arity_err(node, 2));
+                }
+                ops::matmul_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
+            }
+            Op::BiasAdd => {
+                if node.inputs.len() != 2 {
+                    return Err(Self::arity_err(node, 2));
+                }
+                ops::bias_add_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
+            }
+            Op::Relu => Ok(ops::relu_forward(self.input(node, values, 0)?)),
+            Op::Tanh => Ok(ops::tanh_forward(self.input(node, values, 0)?)),
+            Op::Sigmoid => Ok(ops::sigmoid_forward(self.input(node, values, 0)?)),
+            Op::Atan => Ok(ops::atan_forward(self.input(node, values, 0)?)),
+            Op::Elu => Ok(ops::elu_forward(self.input(node, values, 0)?)),
+            Op::Softmax => ops::softmax_forward(node.id, self.input(node, values, 0)?),
+            Op::MaxPool { kernel, stride } => {
+                ops::max_pool_forward(node.id, self.input(node, values, 0)?, *kernel, *stride)
+            }
+            Op::AvgPool { kernel, stride } => {
+                ops::avg_pool_forward(node.id, self.input(node, values, 0)?, *kernel, *stride)
+            }
+            Op::GlobalAvgPool => ops::global_avg_pool_forward(node.id, self.input(node, values, 0)?),
+            Op::Flatten => ops::flatten_forward(node.id, self.input(node, values, 0)?),
+            Op::Reshape { dims } => ops::reshape_forward(node.id, self.input(node, values, 0)?, dims),
+            Op::Concat => {
+                if node.inputs.is_empty() {
+                    return Err(Self::arity_err(node, 1));
+                }
+                let mut tensors = Vec::with_capacity(node.inputs.len());
+                for i in 0..node.inputs.len() {
+                    tensors.push(self.input(node, values, i)?);
+                }
+                ops::concat_forward(node.id, &tensors)
+            }
+            Op::Add => {
+                if node.inputs.len() != 2 {
+                    return Err(Self::arity_err(node, 2));
+                }
+                ops::add_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
+            }
+            Op::Mul => {
+                if node.inputs.len() != 2 {
+                    return Err(Self::arity_err(node, 2));
+                }
+                ops::mul_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
+            }
+            Op::ScalarMul { factor } => Ok(self.input(node, values, 0)?.scale(*factor)),
+            Op::Identity => Ok(self.input(node, values, 0)?.clone()),
+            Op::Clamp { lo, hi } => Ok(ops::clamp_forward(self.input(node, values, 0)?, *lo, *hi)),
+            Op::RangeRestore { lo, hi, policy } => Ok(ops::range_restore_forward(
+                self.input(node, values, 0)?,
+                *lo,
+                *hi,
+                *policy,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Padding;
+
+    fn relu_net() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let w = g.add_const(
+            "w",
+            Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+            true,
+        );
+        let mm = g.add_node("matmul", Op::MatMul, vec![x, w]);
+        let relu = g.add_node("relu", Op::Relu, vec![mm]);
+        (g, mm, relu)
+    }
+
+    #[test]
+    fn forward_pass_computes_expected_values() {
+        let (g, _, relu) = relu_net();
+        let exec = Executor::new(&g);
+        let x = Tensor::from_vec(vec![1, 2], vec![-1.0, 2.0]).unwrap();
+        let out = exec.run_simple(&[("x", x)], relu).unwrap();
+        assert_eq!(out.data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn missing_feed_is_an_error() {
+        let (g, _, relu) = relu_net();
+        let exec = Executor::new(&g);
+        assert!(matches!(
+            exec.run_simple(&[], relu),
+            Err(GraphError::MissingFeed(_))
+        ));
+    }
+
+    #[test]
+    fn interceptor_sees_each_operator_once_in_order() {
+        let (g, mm, relu) = relu_net();
+        let exec = Executor::new(&g);
+        let mut rec = RecordingInterceptor::default();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        exec.run_with(&[("x", x)], relu, &mut rec).unwrap();
+        let ids: Vec<NodeId> = rec.outputs.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![mm, relu]);
+    }
+
+    #[test]
+    fn interceptor_can_corrupt_an_operator_output() {
+        struct CorruptMatmul;
+        impl Interceptor for CorruptMatmul {
+            fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+                if node.name == "matmul" {
+                    output.data_mut()[0] = 1.0e6;
+                }
+            }
+        }
+        let (g, _, relu) = relu_net();
+        let exec = Executor::new(&g);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let out = exec
+            .run_with(&[("x", x)], relu, &mut CorruptMatmul)
+            .unwrap();
+        assert_eq!(out.data()[0], 1.0e6);
+    }
+
+    #[test]
+    fn clamp_node_restricts_corrupted_value() {
+        struct CorruptMatmul;
+        impl Interceptor for CorruptMatmul {
+            fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+                if node.name == "matmul" {
+                    output.data_mut()[0] = 1.0e6;
+                }
+            }
+        }
+        let (mut g, mm, relu) = relu_net();
+        g.insert_after(mm, "ranger", Op::Clamp { lo: 0.0, hi: 10.0 })
+            .unwrap();
+        let exec = Executor::new(&g);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let out = exec
+            .run_with(&[("x", x)], relu, &mut CorruptMatmul)
+            .unwrap();
+        assert_eq!(out.data()[0], 10.0);
+    }
+
+    #[test]
+    fn conv_graph_end_to_end() {
+        let mut g = Graph::new();
+        let x = g.add_input("image");
+        let w = g.add_const("w", Tensor::ones(vec![2, 1, 3, 3]), true);
+        let b = g.add_const("b", Tensor::zeros(vec![2]), true);
+        let conv = g.add_node(
+            "conv",
+            Op::Conv2d {
+                stride: 1,
+                padding: Padding::Same,
+            },
+            vec![x, w],
+        );
+        let biased = g.add_node("bias", Op::BiasAdd, vec![conv, b]);
+        let relu = g.add_node("relu", Op::Relu, vec![biased]);
+        let pool = g.add_node("pool", Op::MaxPool { kernel: 2, stride: 2 }, vec![relu]);
+        let flat = g.add_node("flatten", Op::Flatten, vec![pool]);
+
+        let exec = Executor::new(&g);
+        let img = Tensor::ones(vec![1, 1, 4, 4]);
+        let out = exec.run_simple(&[("image", img)], flat).unwrap();
+        assert_eq!(out.dims(), &[1, 8]);
+        assert!(out.data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        g.add_node("bad", Op::MatMul, vec![x]);
+        let bad = g.by_name("bad").unwrap();
+        let exec = Executor::new(&g);
+        let err = exec
+            .run_simple(&[("x", Tensor::ones(vec![1, 1]))], bad)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn values_iterate_in_id_order() {
+        let (g, mm, relu) = relu_net();
+        let exec = Executor::new(&g);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        let values = exec.run(&[("x", x)], &mut NoopInterceptor).unwrap();
+        let ids: Vec<NodeId> = values.iter().map(|(id, _)| id).collect();
+        assert!(ids.contains(&mm) && ids.contains(&relu));
+        assert!(values.get(relu).is_ok());
+    }
+}

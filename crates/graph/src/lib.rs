@@ -1,0 +1,53 @@
+//! Static dataflow graph, operators, executor and autodiff.
+//!
+//! This crate is the reproduction's stand-in for the TensorFlow runtime the paper builds
+//! on. It provides the two interfaces Ranger and the fault injector need:
+//!
+//! 1. **A static, rewritable dataflow graph** ([`Graph`], [`Node`], [`Op`]) — Ranger's
+//!    Algorithm 1 walks the operator list and inserts range-restriction ([`Op::Clamp`])
+//!    operators after selected operations, exactly as the paper's TensorFlow implementation
+//!    duplicates the graph and remaps operator inputs.
+//! 2. **An executor with per-operator interception hooks** ([`exec::Executor`],
+//!    [`exec::Interceptor`]) — the TensorFI-style fault injector corrupts the output of a
+//!    randomly chosen operator during a forward pass.
+//!
+//! On top of those the crate provides reverse-mode automatic differentiation
+//! ([`autodiff`]) so the benchmark models can be trained from scratch, and a FLOPs
+//! profiler ([`flops`]) used to reproduce the paper's Table IV overhead accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use ranger_graph::builder::GraphBuilder;
+//! use ranger_graph::exec::Executor;
+//! use ranger_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut b = GraphBuilder::new();
+//! let x = b.input("x");
+//! let h = b.dense(x, 4, 8, &mut rng);
+//! let h = b.relu(h);
+//! let y = b.dense(h, 8, 3, &mut rng);
+//! let graph = b.into_graph();
+//!
+//! let exec = Executor::new(&graph);
+//! let out = exec.run_simple(&[("x", Tensor::zeros(vec![1, 4]))], y)?;
+//! assert_eq!(out.dims(), &[1, 3]);
+//! # Ok::<(), ranger_graph::GraphError>(())
+//! ```
+
+pub mod autodiff;
+pub mod builder;
+pub mod error;
+pub mod exec;
+pub mod flops;
+pub mod graph;
+pub mod op;
+pub mod ops;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use exec::{Executor, Interceptor};
+pub use graph::{Graph, Node, NodeId};
+pub use op::Op;

@@ -1,0 +1,260 @@
+//! The operator set of the dataflow graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a range-restriction operator does with an out-of-bounds value.
+///
+/// The paper's Section VI-C compares Ranger's default (saturating the value at the
+/// restriction bound) with two design alternatives: resetting it to zero (as Minerva-style
+/// detectors do) and replacing it with a random in-range value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RestorePolicy {
+    /// Clamp the value to the nearest restriction bound (Ranger's default).
+    #[default]
+    Saturate,
+    /// Replace any out-of-bounds value with zero.
+    Zero,
+    /// Replace any out-of-bounds value with a deterministic pseudo-random value inside the
+    /// restriction range (derived from the value's bit pattern, so runs stay reproducible).
+    Random,
+}
+
+/// Padding mode for convolution and pooling operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding; the output spatial size shrinks by `kernel - 1`.
+    Valid,
+    /// Zero padding so that the output spatial size equals `ceil(input / stride)`.
+    Same,
+}
+
+/// A graph operator.
+///
+/// The operator set mirrors the subset of TensorFlow operators the paper's eight benchmark
+/// DNNs are built from, plus [`Op::Clamp`] which is the range-restriction operator Ranger
+/// inserts (the paper implements it as a `tf.minimum`/`tf.maximum` pair).
+///
+/// Activation tensors use the `NCHW` layout: `[batch, channels, height, width]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// A graph input fed at execution time.
+    Input,
+    /// A constant tensor stored in the node (weights, biases, hyper-parameter constants).
+    Const,
+    /// 2-D convolution. Inputs: `[activations (N,Cin,H,W), weights (Cout,Cin,Kh,Kw)]`.
+    Conv2d {
+        /// Spatial stride (same in both dimensions).
+        stride: usize,
+        /// Padding mode.
+        padding: Padding,
+    },
+    /// Matrix multiplication. Inputs: `[activations (N,K), weights (K,M)]`.
+    MatMul,
+    /// Adds a per-channel (rank-4 input) or per-feature (rank-2 input) bias vector.
+    /// Inputs: `[activations, bias]`.
+    BiasAdd,
+    /// Rectified linear unit activation.
+    Relu,
+    /// Hyperbolic tangent activation.
+    Tanh,
+    /// Logistic sigmoid activation.
+    Sigmoid,
+    /// Elementwise arc-tangent. The Nvidia Dave model uses `2 * atan(x)` to produce a
+    /// steering angle in radians; the scaling is expressed with [`Op::ScalarMul`].
+    Atan,
+    /// Elementwise exponential linear unit with `alpha = 1` (used by the Comma.ai model).
+    Elu,
+    /// Softmax over the last dimension.
+    Softmax,
+    /// Max pooling with square window `kernel` and stride `stride`.
+    MaxPool {
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling with square window `kernel` and stride `stride`.
+    AvgPool {
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling over the spatial dimensions, producing `(N, C)`.
+    GlobalAvgPool,
+    /// Flattens `(N, ...)` into `(N, features)`.
+    Flatten,
+    /// Reshapes to `[batch, dims...]`, preserving the batch dimension.
+    Reshape {
+        /// Target dimensions excluding the batch dimension.
+        dims: Vec<usize>,
+    },
+    /// Concatenates inputs along the channel dimension (axis 1).
+    Concat,
+    /// Elementwise addition of two tensors with identical shapes (residual connections).
+    Add,
+    /// Elementwise multiplication of two tensors with identical shapes.
+    Mul,
+    /// Multiplies every element by a compile-time scalar constant.
+    ScalarMul {
+        /// The scalar factor (stored as bits for `Eq`/`Hash` friendliness is not needed;
+        /// plain `f32` keeps the API simple).
+        factor: f32,
+    },
+    /// Identity pass-through (used to give stable names to logical layer outputs).
+    Identity,
+    /// Range restriction: clamps every element into `[lo, hi]`. This is the operator
+    /// Ranger inserts.
+    Clamp {
+        /// Lower restriction bound.
+        lo: f32,
+        /// Upper restriction bound.
+        hi: f32,
+    },
+    /// Range restriction with an explicit out-of-bounds policy (the Section VI-C design
+    /// alternatives). `RangeRestore { policy: Saturate, .. }` behaves like [`Op::Clamp`].
+    RangeRestore {
+        /// Lower restriction bound.
+        lo: f32,
+        /// Upper restriction bound.
+        hi: f32,
+        /// What to do with out-of-bounds values.
+        policy: RestorePolicy,
+    },
+}
+
+impl Op {
+    /// Returns `true` if this operator is an activation function.
+    ///
+    /// Ranger's Algorithm 1 keys its insertion decisions off the activation (ACT)
+    /// operations of the network.
+    pub fn is_activation(&self) -> bool {
+        matches!(
+            self,
+            Op::Relu | Op::Tanh | Op::Sigmoid | Op::Elu | Op::Softmax
+        )
+    }
+
+    /// Returns `true` if this operator belongs to the set `{MaxPool, AvgPool, Reshape}`
+    /// that Algorithm 1 extends an ACT operation's restriction bound to (line 5–6).
+    pub fn extends_activation_bound(&self) -> bool {
+        matches!(
+            self,
+            Op::MaxPool { .. } | Op::AvgPool { .. } | Op::GlobalAvgPool | Op::Reshape { .. } | Op::Flatten
+        )
+    }
+
+    /// Returns `true` if this operator is a concatenation (Algorithm 1 line 7–8 handles
+    /// `Concat` specially by merging the bounds of the preceding ACT operations).
+    pub fn is_concat(&self) -> bool {
+        matches!(self, Op::Concat)
+    }
+
+    /// Returns `true` if this operator has inherently bounded output regardless of its
+    /// input (e.g. Tanh in (-1, 1)), in which case profiling is unnecessary.
+    pub fn inherent_bounds(&self) -> Option<(f32, f32)> {
+        match self {
+            Op::Tanh => Some((-1.0, 1.0)),
+            Op::Sigmoid => Some((0.0, 1.0)),
+            Op::Softmax => Some((0.0, 1.0)),
+            Op::Atan => Some((-std::f32::consts::FRAC_PI_2, std::f32::consts::FRAC_PI_2)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the operator carries trainable or constant data in its node.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Op::Const)
+    }
+
+    /// Returns a short, TensorFlow-flavoured operator name used in node naming and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Input => "Placeholder",
+            Op::Const => "Const",
+            Op::Conv2d { .. } => "Conv2D",
+            Op::MatMul => "MatMul",
+            Op::BiasAdd => "BiasAdd",
+            Op::Relu => "Relu",
+            Op::Tanh => "Tanh",
+            Op::Sigmoid => "Sigmoid",
+            Op::Atan => "Atan",
+            Op::Elu => "Elu",
+            Op::Softmax => "Softmax",
+            Op::MaxPool { .. } => "MaxPool",
+            Op::AvgPool { .. } => "AvgPool",
+            Op::GlobalAvgPool => "GlobalAvgPool",
+            Op::Flatten => "Flatten",
+            Op::Reshape { .. } => "Reshape",
+            Op::Concat => "ConcatV2",
+            Op::Add => "Add",
+            Op::Mul => "Mul",
+            Op::ScalarMul { .. } => "ScalarMul",
+            Op::Identity => "Identity",
+            Op::Clamp { .. } => "RangeRestriction",
+            Op::RangeRestore { .. } => "RangeRestore",
+        }
+    }
+
+    /// Returns `true` for operators whose outputs the fault injector may corrupt.
+    ///
+    /// Inputs and constants are excluded: the fault model assumes memory (weights and
+    /// inputs) is ECC-protected and faults arise in the datapath computations.
+    pub fn is_injectable(&self) -> bool {
+        !matches!(self, Op::Input | Op::Const)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_classification() {
+        assert!(Op::Relu.is_activation());
+        assert!(Op::Tanh.is_activation());
+        assert!(Op::Elu.is_activation());
+        assert!(!Op::Conv2d { stride: 1, padding: Padding::Same }.is_activation());
+        assert!(!Op::MaxPool { kernel: 2, stride: 2 }.is_activation());
+    }
+
+    #[test]
+    fn bound_extension_set_matches_algorithm1() {
+        assert!(Op::MaxPool { kernel: 2, stride: 2 }.extends_activation_bound());
+        assert!(Op::AvgPool { kernel: 2, stride: 2 }.extends_activation_bound());
+        assert!(Op::Reshape { dims: vec![10] }.extends_activation_bound());
+        assert!(Op::Flatten.extends_activation_bound());
+        assert!(!Op::Conv2d { stride: 1, padding: Padding::Valid }.extends_activation_bound());
+        assert!(Op::Concat.is_concat());
+    }
+
+    #[test]
+    fn inherent_bounds_for_saturating_activations() {
+        assert_eq!(Op::Tanh.inherent_bounds(), Some((-1.0, 1.0)));
+        assert_eq!(Op::Sigmoid.inherent_bounds(), Some((0.0, 1.0)));
+        assert_eq!(Op::Relu.inherent_bounds(), None);
+        let (lo, hi) = Op::Atan.inherent_bounds().unwrap();
+        assert!(lo < 0.0 && hi > 0.0);
+    }
+
+    #[test]
+    fn injectability_excludes_inputs_and_constants() {
+        assert!(!Op::Input.is_injectable());
+        assert!(!Op::Const.is_injectable());
+        assert!(Op::Relu.is_injectable());
+        assert!(Op::Clamp { lo: 0.0, hi: 1.0 }.is_injectable());
+    }
+
+    #[test]
+    fn display_uses_kind_name() {
+        assert_eq!(Op::Conv2d { stride: 1, padding: Padding::Same }.to_string(), "Conv2D");
+        assert_eq!(Op::Clamp { lo: 0.0, hi: 1.0 }.to_string(), "RangeRestriction");
+    }
+}

@@ -1,0 +1,18 @@
+//! Forward and backward kernels for every graph operator.
+//!
+//! The kernels are plain, allocation-per-call implementations: the models in this
+//! reproduction are scaled to run on a single CPU core, so clarity is preferred over
+//! cache-blocking tricks. Every kernel comes with its backward counterpart so the models
+//! can be trained from scratch with [`crate::autodiff`].
+
+pub mod activation;
+pub mod conv;
+pub mod linear;
+pub mod pool;
+pub mod shape_ops;
+
+pub use activation::*;
+pub use conv::*;
+pub use linear::*;
+pub use pool::*;
+pub use shape_ops::*;

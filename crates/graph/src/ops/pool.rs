@@ -1,0 +1,337 @@
+//! Pooling kernels (max, average and global average) in NCHW layout.
+
+use crate::error::GraphError;
+use crate::graph::NodeId;
+use ranger_tensor::Tensor;
+
+fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
+    GraphError::ShapeError {
+        node,
+        message: message.into(),
+    }
+}
+
+fn pool_geometry(input: usize, kernel: usize, stride: usize) -> usize {
+    if input >= kernel {
+        (input - kernel) / stride + 1
+    } else {
+        0
+    }
+}
+
+/// Max-pooling forward pass with a square window.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if `x` is not rank 4 or the window parameters are
+/// degenerate.
+pub fn max_pool_forward(
+    node: NodeId,
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, GraphError> {
+    pool_forward(node, x, kernel, stride, PoolKind::Max)
+}
+
+/// Average-pooling forward pass with a square window.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if `x` is not rank 4 or the window parameters are
+/// degenerate.
+pub fn avg_pool_forward(
+    node: NodeId,
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, GraphError> {
+    pool_forward(node, x, kernel, stride, PoolKind::Avg)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool_forward(
+    node: NodeId,
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    kind: PoolKind,
+) -> Result<Tensor, GraphError> {
+    let xd = x.dims();
+    if xd.len() != 4 {
+        return Err(shape_err(node, format!("pooling expects a rank-4 input, got {xd:?}")));
+    }
+    if kernel == 0 || stride == 0 {
+        return Err(shape_err(node, "pooling kernel and stride must be positive"));
+    }
+    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    let ho = pool_geometry(h, kernel, stride);
+    let wo = pool_geometry(w, kernel, stride);
+    if ho == 0 || wo == 0 {
+        return Err(shape_err(
+            node,
+            format!("pooling window {kernel} larger than input {h}x{w}"),
+        ));
+    }
+    let xdat = x.data();
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = if kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let v = xdat[((b * c + ch) * h + oy * stride + ky) * w + ox * stride + kx];
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                        }
+                    }
+                    if kind == PoolKind::Avg {
+                        acc /= (kernel * kernel) as f32;
+                    }
+                    out[((b * c + ch) * ho + oy) * wo + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(vec![n, c, ho, wo], out)?)
+}
+
+/// Max-pooling backward pass: routes each output gradient to the input position that
+/// achieved the maximum (ties broken toward the first position scanned, matching the
+/// forward pass).
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] on rank or shape mismatches.
+pub fn max_pool_backward(
+    node: NodeId,
+    x: &Tensor,
+    grad_out: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, GraphError> {
+    let xd = x.dims();
+    if xd.len() != 4 || grad_out.dims().len() != 4 {
+        return Err(shape_err(node, "max_pool backward expects rank-4 operands"));
+    }
+    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    let ho = pool_geometry(h, kernel, stride);
+    let wo = pool_geometry(w, kernel, stride);
+    if grad_out.dims() != [n, c, ho, wo] {
+        return Err(shape_err(node, "max_pool backward gradient shape mismatch"));
+    }
+    let xdat = x.data();
+    let gdat = grad_out.data();
+    let mut gx = vec![0.0f32; xdat.len()];
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let idx = ((b * c + ch) * h + oy * stride + ky) * w + ox * stride + kx;
+                            if xdat[idx] > best {
+                                best = xdat[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    gx[best_idx] += gdat[((b * c + ch) * ho + oy) * wo + ox];
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(xd.to_vec(), gx)?)
+}
+
+/// Average-pooling backward pass: distributes each output gradient evenly over its window.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] on rank or shape mismatches.
+pub fn avg_pool_backward(
+    node: NodeId,
+    x: &Tensor,
+    grad_out: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, GraphError> {
+    let xd = x.dims();
+    if xd.len() != 4 || grad_out.dims().len() != 4 {
+        return Err(shape_err(node, "avg_pool backward expects rank-4 operands"));
+    }
+    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    let ho = pool_geometry(h, kernel, stride);
+    let wo = pool_geometry(w, kernel, stride);
+    if grad_out.dims() != [n, c, ho, wo] {
+        return Err(shape_err(node, "avg_pool backward gradient shape mismatch"));
+    }
+    let gdat = grad_out.data();
+    let mut gx = vec![0.0f32; x.len()];
+    let scale = 1.0 / (kernel * kernel) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = gdat[((b * c + ch) * ho + oy) * wo + ox] * scale;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            gx[((b * c + ch) * h + oy * stride + ky) * w + ox * stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(xd.to_vec(), gx)?)
+}
+
+/// Global average pooling: reduces `(N, C, H, W)` to `(N, C)`.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if `x` is not rank 4.
+pub fn global_avg_pool_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
+    let xd = x.dims();
+    if xd.len() != 4 {
+        return Err(shape_err(node, format!("global average pooling expects rank-4 input, got {xd:?}")));
+    }
+    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    let xdat = x.data();
+    let mut out = vec![0.0f32; n * c];
+    let scale = 1.0 / (h * w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            out[b * c + ch] = xdat[base..base + h * w].iter().sum::<f32>() * scale;
+        }
+    }
+    Ok(Tensor::from_vec(vec![n, c], out)?)
+}
+
+/// Global average pooling backward pass.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] on shape mismatches.
+pub fn global_avg_pool_backward(
+    node: NodeId,
+    x: &Tensor,
+    grad_out: &Tensor,
+) -> Result<Tensor, GraphError> {
+    let xd = x.dims();
+    if xd.len() != 4 {
+        return Err(shape_err(node, "global average pooling backward expects rank-4 input"));
+    }
+    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    if grad_out.dims() != [n, c] {
+        return Err(shape_err(node, "global average pooling gradient shape mismatch"));
+    }
+    let scale = 1.0 / (h * w) as f32;
+    let gdat = grad_out.data();
+    let mut gx = vec![0.0f32; x.len()];
+    for b in 0..n {
+        for ch in 0..c {
+            let g = gdat[b * c + ch] * scale;
+            let base = (b * c + ch) * h * w;
+            for v in &mut gx[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(xd.to_vec(), gx)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid() -> NodeId {
+        NodeId::new(0)
+    }
+
+    #[test]
+    fn max_pool_known_result() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let y = max_pool_forward(nid(), &x, 2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_result() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let y = avg_pool_forward(nid(), &x, 2, 2).unwrap();
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial_dims() {
+        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]).unwrap();
+        let y = global_avg_pool_forward(nid(), &x).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let grad = Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]).unwrap();
+        let gx = max_pool_backward(nid(), &x, &grad, 2, 2).unwrap();
+        assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_evenly() {
+        let x = Tensor::ones(vec![1, 1, 2, 2]);
+        let grad = Tensor::from_vec(vec![1, 1, 1, 1], vec![8.0]).unwrap();
+        let gx = avg_pool_backward(nid(), &x, &grad, 2, 2).unwrap();
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads_gradient() {
+        let x = Tensor::ones(vec![1, 1, 2, 2]);
+        let grad = Tensor::from_vec(vec![1, 1], vec![4.0]).unwrap();
+        let gx = global_avg_pool_backward(nid(), &x, &grad).unwrap();
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pooling_rejects_bad_shapes() {
+        let x = Tensor::ones(vec![2, 2]);
+        assert!(max_pool_forward(nid(), &x, 2, 2).is_err());
+        let x = Tensor::ones(vec![1, 1, 2, 2]);
+        assert!(max_pool_forward(nid(), &x, 3, 1).is_err());
+        assert!(max_pool_forward(nid(), &x, 0, 1).is_err());
+        assert!(global_avg_pool_forward(nid(), &Tensor::ones(vec![3])).is_err());
+    }
+
+    #[test]
+    fn overlapping_windows_with_stride_one() {
+        let x = Tensor::from_vec(vec![1, 1, 3, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let y = max_pool_forward(nid(), &x, 2, 1).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+}

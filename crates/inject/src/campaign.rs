@@ -1,0 +1,280 @@
+//! Campaign runner: golden runs, repeated faulty runs and SDC statistics.
+
+use crate::fault::FaultModel;
+use crate::injector::FaultInjector;
+use crate::judge::SdcJudge;
+use crate::space::InjectionSpace;
+use crate::InjectionTarget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranger_graph::{Executor, GraphError};
+use ranger_tensor::stats::Proportion;
+use ranger_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of fault-injection trials per input.
+    pub trials: usize,
+    /// The fault model applied in every trial.
+    pub fault: FaultModel,
+    /// RNG seed so campaigns are reproducible.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials: 100,
+            fault: FaultModel::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a fault-injection campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The SDC categories evaluated (one entry per judge category).
+    pub categories: Vec<String>,
+    /// Number of trials that were SDCs, per category.
+    pub sdc_counts: Vec<u64>,
+    /// Total number of injected trials (per category the denominator is the same).
+    pub trials: u64,
+    /// Trials whose fault was masked before reaching any value (the planned operator was
+    /// not executed or the chosen element did not exist); these still count as trials —
+    /// they are benign faults.
+    pub unactivated: u64,
+}
+
+impl CampaignResult {
+    /// Returns the SDC rate (with confidence interval) for category `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn sdc_rate(&self, index: usize) -> Proportion {
+        Proportion::new(self.sdc_counts[index], self.trials)
+    }
+
+    /// Returns the SDC rate for the named category, if present.
+    pub fn sdc_rate_for(&self, category: &str) -> Option<Proportion> {
+        self.categories
+            .iter()
+            .position(|c| c == category)
+            .map(|i| self.sdc_rate(i))
+    }
+
+    /// Returns (category, SDC-rate) pairs for every category.
+    pub fn rates(&self) -> Vec<(String, Proportion)> {
+        self.categories
+            .iter()
+            .cloned()
+            .zip(self.sdc_counts.iter().map(|&c| Proportion::new(c, self.trials)))
+            .collect()
+    }
+
+    /// Merges two campaign results over the same categories (e.g. different inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the category lists differ.
+    pub fn merge(&self, other: &CampaignResult) -> CampaignResult {
+        assert_eq!(self.categories, other.categories, "cannot merge campaigns with different categories");
+        CampaignResult {
+            categories: self.categories.clone(),
+            sdc_counts: self
+                .sdc_counts
+                .iter()
+                .zip(&other.sdc_counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            trials: self.trials + other.trials,
+            unactivated: self.unactivated + other.unactivated,
+        }
+    }
+}
+
+/// Runs a fault-injection campaign: for every input, one golden (fault-free) run followed
+/// by `config.trials` faulty runs, each injecting one random fault according to the fault
+/// model, judged against the golden output.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if any forward pass fails.
+pub fn run_campaign(
+    target: &InjectionTarget<'_>,
+    inputs: &[Tensor],
+    judge: &dyn SdcJudge,
+    config: &CampaignConfig,
+) -> Result<CampaignResult, GraphError> {
+    let categories = judge.categories();
+    let mut result = CampaignResult {
+        categories: categories.clone(),
+        sdc_counts: vec![0; categories.len()],
+        trials: 0,
+        unactivated: 0,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let exec = Executor::new(target.graph);
+
+    for input in inputs {
+        let golden = exec.run_simple(&[(target.input_name, input.clone())], target.output)?;
+        let space = InjectionSpace::build(target, input)?;
+        for _ in 0..config.trials {
+            let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
+            let faulty = exec.run_with(
+                &[(target.input_name, input.clone())],
+                target.output,
+                &mut injector,
+            )?;
+            if !injector.fully_injected() {
+                result.unactivated += 1;
+            }
+            let verdicts = judge.judge(&golden, &faulty);
+            for (count, sdc) in result.sdc_counts.iter_mut().zip(verdicts) {
+                if sdc {
+                    *count += 1;
+                }
+            }
+            result.trials += 1;
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::judge::ClassifierJudge;
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::{GraphBuilder, Op};
+
+    fn toy_classifier() -> (ranger_graph::Graph, ranger_graph::NodeId) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 6, 12, &mut rng);
+        let h = b.relu(h);
+        let h = b.dense(h, 12, 8, &mut rng);
+        let h = b.relu(h);
+        let y = b.dense(h, 8, 4, &mut rng);
+        let probs = b.softmax(y);
+        (b.into_graph(), probs)
+    }
+
+    #[test]
+    fn campaign_is_reproducible_for_a_seed() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6])];
+        let config = CampaignConfig {
+            trials: 50,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 7,
+        };
+        let judge = ClassifierJudge::top1();
+        let a = run_campaign(&target, &inputs, &judge, &config).unwrap();
+        let b = run_campaign(&target, &inputs, &judge, &config).unwrap();
+        assert_eq!(a.sdc_counts, b.sdc_counts);
+        assert_eq!(a.trials, 50);
+    }
+
+    #[test]
+    fn protection_with_clamps_never_increases_sdc_rate() {
+        let (graph, probs) = toy_classifier();
+        let inputs = vec![Tensor::ones(vec![1, 6])];
+        let config = CampaignConfig {
+            trials: 150,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 11,
+        };
+        let judge = ClassifierJudge::top1();
+
+        let unprotected = {
+            let target = InjectionTarget {
+                graph: &graph,
+                input_name: "x",
+                output: probs,
+                excluded: &[],
+            };
+            run_campaign(&target, &inputs, &judge, &config).unwrap()
+        };
+
+        // Protect every ReLU output with a generous clamp.
+        let mut protected_graph = graph.clone();
+        let relu_ids: Vec<_> = protected_graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Relu))
+            .map(|n| n.id)
+            .collect();
+        for id in relu_ids {
+            protected_graph
+                .insert_after(id, "ranger", Op::Clamp { lo: 0.0, hi: 10.0 })
+                .unwrap();
+        }
+        let protected = {
+            let target = InjectionTarget {
+                graph: &protected_graph,
+                input_name: "x",
+                output: probs,
+                excluded: &[],
+            };
+            run_campaign(&target, &inputs, &judge, &config).unwrap()
+        };
+        assert!(
+            protected.sdc_rate(0).rate() <= unprotected.sdc_rate(0).rate(),
+            "range restriction must not increase the SDC rate ({} vs {})",
+            protected.sdc_rate(0).rate(),
+            unprotected.sdc_rate(0).rate()
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let a = CampaignResult {
+            categories: vec!["top-1".into()],
+            sdc_counts: vec![3],
+            trials: 10,
+            unactivated: 1,
+        };
+        let b = CampaignResult {
+            categories: vec!["top-1".into()],
+            sdc_counts: vec![5],
+            trials: 20,
+            unactivated: 0,
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.sdc_counts, vec![8]);
+        assert_eq!(merged.trials, 30);
+        assert_eq!(merged.unactivated, 1);
+        assert!((merged.sdc_rate(0).rate() - 8.0 / 30.0).abs() < 1e-12);
+        assert!(merged.sdc_rate_for("top-1").is_some());
+        assert!(merged.sdc_rate_for("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different categories")]
+    fn merge_rejects_mismatched_categories() {
+        let a = CampaignResult {
+            categories: vec!["top-1".into()],
+            sdc_counts: vec![0],
+            trials: 0,
+            unactivated: 0,
+        };
+        let b = CampaignResult {
+            categories: vec!["top-5".into()],
+            sdc_counts: vec![0],
+            trials: 0,
+            unactivated: 0,
+        };
+        a.merge(&b);
+    }
+}

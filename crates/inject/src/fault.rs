@@ -1,0 +1,104 @@
+//! The fault model: datatype and number of independent bit flips per execution.
+
+use ranger_tensor::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transient-fault model.
+///
+/// The paper's primary fault model is a single bit flip per inference in the output value
+/// of one operator, with the value encoded as a 32-bit fixed-point number (RQ1–RQ3); RQ4
+/// uses a 16-bit fixed-point datatype, and Section VI-B evaluates 2–5 independent bit
+/// flips per inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// The numeric representation the corrupted value is encoded in.
+    pub datatype: DataType,
+    /// Number of independent bit flips per execution. Each flip picks its own operator
+    /// output value, so `bits > 1` can corrupt several values (the conservative
+    /// multiple-independent-flip model of Section VI-B).
+    pub bits: usize,
+}
+
+impl FaultModel {
+    /// Single bit flip in the 32-bit fixed-point datatype (the paper's default).
+    pub fn single_bit_fixed32() -> Self {
+        FaultModel {
+            datatype: DataType::fixed32(),
+            bits: 1,
+        }
+    }
+
+    /// Single bit flip in the 16-bit fixed-point datatype (RQ4).
+    pub fn single_bit_fixed16() -> Self {
+        FaultModel {
+            datatype: DataType::fixed16(),
+            bits: 1,
+        }
+    }
+
+    /// Single bit flip in the IEEE-754 float32 representation.
+    pub fn single_bit_float32() -> Self {
+        FaultModel {
+            datatype: DataType::Float32,
+            bits: 1,
+        }
+    }
+
+    /// `bits` independent bit flips in the 32-bit fixed-point datatype (Section VI-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn multi_bit_fixed32(bits: usize) -> Self {
+        assert!(bits > 0, "a fault model needs at least one bit flip");
+        FaultModel {
+            datatype: DataType::fixed32(),
+            bits,
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::single_bit_fixed32()
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bit flip(s) in {}", self.bits, self.datatype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_primary_model() {
+        let m = FaultModel::default();
+        assert_eq!(m.bits, 1);
+        assert_eq!(m.datatype, DataType::fixed32());
+        assert_eq!(m, FaultModel::single_bit_fixed32());
+    }
+
+    #[test]
+    fn constructors_produce_expected_widths() {
+        assert_eq!(FaultModel::single_bit_fixed16().datatype.bit_width(), 16);
+        assert_eq!(FaultModel::single_bit_float32().datatype.bit_width(), 32);
+        assert_eq!(FaultModel::multi_bit_fixed32(3).bits, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bit_model_is_rejected() {
+        FaultModel::multi_bit_fixed32(0);
+    }
+
+    #[test]
+    fn display_mentions_bits_and_type() {
+        let s = FaultModel::multi_bit_fixed32(2).to_string();
+        assert!(s.contains('2') && s.contains("fixed"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The interceptor that corrupts operator outputs during a forward pass.
+
+use crate::fault::FaultModel;
+use crate::space::{InjectionSite, InjectionSpace};
+use rand::Rng;
+use ranger_graph::{Interceptor, Node, NodeId};
+use ranger_tensor::Tensor;
+
+/// One planned corruption: a site plus the bit to flip there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFlip {
+    /// Where the flip strikes.
+    pub site: InjectionSite,
+    /// Which bit of the datatype representation is flipped (0 = least significant).
+    pub bit: u32,
+}
+
+/// An [`Interceptor`] that applies a set of planned bit flips during one forward pass.
+///
+/// The injector is constructed per trial (one plan per execution, matching the paper's
+/// "at most one fault occurs per program execution" assumption — a multi-bit plan is still
+/// a single transient fault event).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    fault: FaultModel,
+    plan: Vec<PlannedFlip>,
+    injected: Vec<PlannedFlip>,
+}
+
+impl FaultInjector {
+    /// Creates an injector that applies exactly the given flips.
+    pub fn with_plan(fault: FaultModel, plan: Vec<PlannedFlip>) -> Self {
+        FaultInjector {
+            fault,
+            plan,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Plans a random fault according to `fault`: each of the `fault.bits` flips picks an
+    /// independent site in `space` and an independent bit position.
+    pub fn plan_random<R: Rng + ?Sized>(
+        fault: FaultModel,
+        space: &InjectionSpace,
+        rng: &mut R,
+    ) -> Self {
+        let plan = (0..fault.bits)
+            .map(|_| PlannedFlip {
+                site: space.sample(rng),
+                bit: rng.gen_range(0..fault.datatype.bit_width()),
+            })
+            .collect();
+        Self::with_plan(fault, plan)
+    }
+
+    /// The flips this injector will apply.
+    pub fn plan(&self) -> &[PlannedFlip] {
+        &self.plan
+    }
+
+    /// The flips that were actually applied during the last execution.
+    pub fn injected(&self) -> &[PlannedFlip] {
+        &self.injected
+    }
+
+    /// Returns `true` if every planned flip was applied (i.e. each targeted operator was
+    /// executed and its output was large enough).
+    pub fn fully_injected(&self) -> bool {
+        self.injected.len() == self.plan.len()
+    }
+
+    /// Nodes targeted by this plan.
+    pub fn targeted_nodes(&self) -> Vec<NodeId> {
+        self.plan.iter().map(|f| f.site.node).collect()
+    }
+}
+
+impl Interceptor for FaultInjector {
+    fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+        for flip in &self.plan {
+            if flip.site.node == node.id && flip.site.element < output.len() {
+                let value = output.data()[flip.site.element];
+                let corrupted = self.fault.datatype.flip_bit(value, flip.bit);
+                output.data_mut()[flip.site.element] = corrupted;
+                self.injected.push(*flip);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InjectionTarget;
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::{Executor, GraphBuilder};
+
+    fn toy() -> (ranger_graph::Graph, NodeId) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 3, 4, &mut rng);
+        let h = b.relu(h);
+        let y = b.dense(h, 4, 2, &mut rng);
+        (b.into_graph(), y)
+    }
+
+    #[test]
+    fn planned_flip_changes_exactly_one_value_path() {
+        let (graph, y) = toy();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let input = Tensor::ones(vec![1, 3]);
+        let exec = Executor::new(&graph);
+        let golden = exec.run_simple(&[("x", input.clone())], y).unwrap();
+
+        let space = InjectionSpace::build(&target, &input).unwrap();
+        assert!(space.total_values() > 0);
+        let fault = FaultModel::single_bit_fixed32();
+        // Flip a high-order bit of the final dense layer's output: the corruption cannot
+        // be masked by a downstream ReLU, so the output must deviate substantially.
+        let site = InjectionSite { node: y, element: 0 };
+        let mut injector = FaultInjector::with_plan(
+            fault,
+            vec![PlannedFlip { site, bit: 29 }],
+        );
+        let faulty = exec
+            .run_with(&[("x", input)], y, &mut injector)
+            .unwrap();
+        assert!(injector.fully_injected());
+        assert_eq!(injector.injected().len(), 1);
+        let deviation = golden.max_abs_diff(&faulty).unwrap();
+        assert!(deviation > 1.0, "high-order flip should propagate, deviation {deviation}");
+    }
+
+    #[test]
+    fn plan_random_respects_bit_width_and_count() {
+        let (graph, y) = toy();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let input = Tensor::ones(vec![1, 3]);
+        let space = InjectionSpace::build(&target, &input).unwrap();
+        let fault = FaultModel {
+            datatype: ranger_tensor::DataType::fixed16(),
+            bits: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let injector = FaultInjector::plan_random(fault, &space, &mut rng);
+        assert_eq!(injector.plan().len(), 3);
+        for flip in injector.plan() {
+            assert!(flip.bit < 16);
+        }
+        assert_eq!(injector.targeted_nodes().len(), 3);
+    }
+
+    #[test]
+    fn flips_outside_output_bounds_are_skipped() {
+        let (graph, y) = toy();
+        let fault = FaultModel::single_bit_fixed32();
+        let mut injector = FaultInjector::with_plan(
+            fault,
+            vec![PlannedFlip {
+                site: InjectionSite {
+                    node: y,
+                    element: 999,
+                },
+                bit: 1,
+            }],
+        );
+        let exec = Executor::new(&graph);
+        let input = Tensor::ones(vec![1, 3]);
+        let out = exec.run_with(&[("x", input)], y, &mut injector).unwrap();
+        assert!(!injector.fully_injected());
+        assert!(!out.has_non_finite());
+    }
+}

@@ -1,0 +1,205 @@
+//! Silent-Data-Corruption criteria.
+//!
+//! The paper defines an SDC as any DNN output that deviates from the fault-free output of
+//! the program: an image misclassification for the classifier models, and a steering-angle
+//! deviation exceeding a threshold (15°, 30°, 60° or 120°) for the AV models.
+
+use ranger_tensor::Tensor;
+
+/// Decides, for one faulty execution, which SDC categories the outcome falls into.
+///
+/// A judge may evaluate several categories at once (e.g. top-1 and top-5
+/// misclassification, or the four steering thresholds); each campaign trial is then
+/// counted against every category.
+pub trait SdcJudge {
+    /// Names of the categories this judge evaluates, in the order `judge` reports them.
+    fn categories(&self) -> Vec<String>;
+
+    /// Compares the fault-free output with the faulty output and returns, per category,
+    /// whether the deviation constitutes an SDC.
+    fn judge(&self, golden: &Tensor, faulty: &Tensor) -> Vec<bool>;
+}
+
+/// Misclassification judge for classifier models.
+///
+/// A fault is an SDC in category "top-k" if the fault-free top-1 class is no longer among
+/// the faulty run's top-k classes. (With the paper's experimental setup the fault-free
+/// prediction is correct by construction — inputs are chosen so the model classifies them
+/// correctly — so this matches "misclassification".)
+#[derive(Debug, Clone)]
+pub struct ClassifierJudge {
+    ks: Vec<usize>,
+}
+
+impl ClassifierJudge {
+    /// Judges only top-1 misclassification.
+    pub fn top1() -> Self {
+        ClassifierJudge { ks: vec![1] }
+    }
+
+    /// Judges top-1 and top-5 misclassification (used for the ImageNet-domain models).
+    pub fn top1_and_top5() -> Self {
+        ClassifierJudge { ks: vec![1, 5] }
+    }
+
+    /// Judges an arbitrary set of top-k categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks` is empty or contains zero.
+    pub fn new(ks: Vec<usize>) -> Self {
+        assert!(!ks.is_empty() && ks.iter().all(|&k| k > 0), "ks must be positive");
+        ClassifierJudge { ks }
+    }
+}
+
+impl SdcJudge for ClassifierJudge {
+    fn categories(&self) -> Vec<String> {
+        self.ks.iter().map(|k| format!("top-{k}")).collect()
+    }
+
+    fn judge(&self, golden: &Tensor, faulty: &Tensor) -> Vec<bool> {
+        let golden_class = golden.argmax().unwrap_or(0);
+        self.ks
+            .iter()
+            .map(|&k| {
+                let topk = faulty.top_k(k);
+                !topk.contains(&golden_class)
+            })
+            .collect()
+    }
+}
+
+/// Steering-deviation judge for the AV regression models.
+///
+/// A fault is an SDC in category "threshold-T" if the faulty steering angle deviates from
+/// the fault-free angle by more than `T` degrees. If the model outputs radians, set
+/// `output_in_radians` so the deviation is converted before thresholding.
+#[derive(Debug, Clone)]
+pub struct SteeringJudge {
+    thresholds_degrees: Vec<f64>,
+    output_in_radians: bool,
+}
+
+impl SteeringJudge {
+    /// The paper's four thresholds: 15°, 30°, 60° and 120°.
+    pub fn paper_thresholds(output_in_radians: bool) -> Self {
+        SteeringJudge {
+            thresholds_degrees: vec![15.0, 30.0, 60.0, 120.0],
+            output_in_radians,
+        }
+    }
+
+    /// A custom set of thresholds in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds_degrees` is empty.
+    pub fn new(thresholds_degrees: Vec<f64>, output_in_radians: bool) -> Self {
+        assert!(!thresholds_degrees.is_empty(), "at least one threshold is required");
+        SteeringJudge {
+            thresholds_degrees,
+            output_in_radians,
+        }
+    }
+
+    /// The thresholds this judge evaluates, in degrees.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds_degrees
+    }
+}
+
+impl SdcJudge for SteeringJudge {
+    fn categories(&self) -> Vec<String> {
+        self.thresholds_degrees
+            .iter()
+            .map(|t| format!("threshold-{t}"))
+            .collect()
+    }
+
+    fn judge(&self, golden: &Tensor, faulty: &Tensor) -> Vec<bool> {
+        let golden_angle = golden.data().first().copied().unwrap_or(0.0) as f64;
+        let faulty_angle = faulty.data().first().copied().unwrap_or(0.0) as f64;
+        let mut deviation = (golden_angle - faulty_angle).abs();
+        if self.output_in_radians {
+            deviation = deviation.to_degrees();
+        }
+        // A non-finite output (e.g. NaN propagated from a float32 exponent flip) deviates
+        // arbitrarily far and counts as an SDC in every category.
+        if !deviation.is_finite() {
+            return vec![true; self.thresholds_degrees.len()];
+        }
+        self.thresholds_degrees
+            .iter()
+            .map(|&t| deviation > t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(values: &[f32]) -> Tensor {
+        Tensor::from_vec(vec![1, values.len()], values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn classifier_judge_detects_top1_flip() {
+        let judge = ClassifierJudge::top1();
+        let golden = probs(&[0.7, 0.2, 0.1]);
+        let same = probs(&[0.6, 0.3, 0.1]);
+        let flipped = probs(&[0.2, 0.7, 0.1]);
+        assert_eq!(judge.judge(&golden, &same), vec![false]);
+        assert_eq!(judge.judge(&golden, &flipped), vec![true]);
+        assert_eq!(judge.categories(), vec!["top-1"]);
+    }
+
+    #[test]
+    fn classifier_judge_top5_is_more_lenient() {
+        let judge = ClassifierJudge::top1_and_top5();
+        let golden = probs(&[0.5, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        // The correct class drops to rank 2: top-1 SDC but not a top-5 SDC.
+        let shifted = probs(&[0.3, 0.4, 0.1, 0.1, 0.05, 0.05]);
+        assert_eq!(judge.judge(&golden, &shifted), vec![true, false]);
+        // The correct class drops out of the top 5 entirely.
+        let gone = probs(&[0.01, 0.3, 0.2, 0.2, 0.15, 0.14]);
+        assert_eq!(judge.judge(&golden, &gone), vec![true, true]);
+    }
+
+    #[test]
+    fn steering_judge_thresholds_in_degrees() {
+        let judge = SteeringJudge::paper_thresholds(false);
+        let golden = probs(&[100.0]);
+        let small = probs(&[110.0]);
+        let large = probs(&[-50.0]);
+        assert_eq!(judge.judge(&golden, &small), vec![false, false, false, false]);
+        assert_eq!(judge.judge(&golden, &large), vec![true, true, true, true]);
+        let medium = probs(&[60.0]); // 40 degrees off
+        assert_eq!(judge.judge(&golden, &medium), vec![true, true, false, false]);
+        assert_eq!(judge.categories().len(), 4);
+    }
+
+    #[test]
+    fn steering_judge_converts_radians() {
+        let judge = SteeringJudge::paper_thresholds(true);
+        let golden = probs(&[0.0]);
+        // 0.5 rad ≈ 28.6 degrees: exceeds 15 but not 30.
+        let faulty = probs(&[0.5]);
+        assert_eq!(judge.judge(&golden, &faulty), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn steering_judge_counts_nan_as_sdc() {
+        let judge = SteeringJudge::new(vec![15.0], false);
+        let golden = probs(&[10.0]);
+        let faulty = probs(&[f32::NAN]);
+        assert_eq!(judge.judge(&golden, &faulty), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn classifier_judge_rejects_zero_k() {
+        ClassifierJudge::new(vec![0]);
+    }
+}

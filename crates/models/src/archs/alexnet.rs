@@ -1,0 +1,60 @@
+//! AlexNet replica (CIFAR-10-like object images).
+//!
+//! Structure: five convolution layers (pooling after the first, second and fifth) followed
+//! by three fully-connected layers, matching AlexNet's layer ordering at reduced width for
+//! 16×16 inputs.
+
+use crate::archs::{activation, exclusion_from_last_dense};
+use crate::model::{Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_datasets::classification::ImageDomain;
+use ranger_graph::op::Padding;
+use ranger_graph::GraphBuilder;
+
+/// Builds the AlexNet replica.
+pub fn build(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let domain = ImageDomain::Objects;
+    let num_classes = domain.num_classes();
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // conv1 + pool: 16x16 -> 8x8.
+    let c1 = b.conv2d(x, 3, 12, 3, 1, Padding::Same, rng);
+    let a1 = activation(&mut b, config, c1);
+    let p1 = b.max_pool(a1, 2, 2);
+
+    // conv2 + pool: 8x8 -> 4x4.
+    let c2 = b.conv2d(p1, 12, 24, 3, 1, Padding::Same, rng);
+    let a2 = activation(&mut b, config, c2);
+    let p2 = b.max_pool(a2, 2, 2);
+
+    // conv3, conv4, conv5 + pool: 4x4 -> 2x2.
+    let c3 = b.conv2d(p2, 24, 32, 3, 1, Padding::Same, rng);
+    let a3 = activation(&mut b, config, c3);
+    let c4 = b.conv2d(a3, 32, 32, 3, 1, Padding::Same, rng);
+    let a4 = activation(&mut b, config, c4);
+    let c5 = b.conv2d(a4, 32, 24, 3, 1, Padding::Same, rng);
+    let a5 = activation(&mut b, config, c5);
+    let p3 = b.max_pool(a5, 2, 2);
+
+    // Three fully-connected layers.
+    let f = b.flatten(p3);
+    let d1 = b.dense(f, 24 * 2 * 2, 64, rng);
+    let a6 = activation(&mut b, config, d1);
+    let d2 = b.dense(a6, 64, 48, rng);
+    let a7 = activation(&mut b, config, d2);
+    let logits = b.dense(a7, 48, num_classes, rng);
+    let probs = b.softmax(logits);
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output: probs,
+        task: Task::Classification { num_classes },
+        excluded_from_injection: excluded,
+    }
+}

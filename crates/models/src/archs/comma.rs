@@ -1,0 +1,57 @@
+//! Comma.ai steering-model replica (driving dataset).
+//!
+//! Structure: three strided convolutions with ELU activations followed by two
+//! fully-connected layers producing the steering angle in degrees, matching the public
+//! comma.ai research model's layout at reduced width for 16×32 frames. When the model is
+//! configured with the Tanh activation family (the Hong et al. baseline of Fig. 8) every
+//! ELU is replaced by Tanh.
+
+use crate::archs::exclusion_from_last_dense;
+use crate::model::{Activation, Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_graph::op::Padding;
+use ranger_graph::{GraphBuilder, NodeId};
+
+/// Applies the Comma model's activation: ELU originally, Tanh for the Hong et al. variant.
+fn comma_activation(b: &mut GraphBuilder, config: &ModelConfig, x: NodeId) -> NodeId {
+    match config.activation {
+        Activation::Relu => b.elu(x),
+        Activation::Tanh => b.tanh(x),
+    }
+}
+
+/// Builds the Comma.ai replica. The output is a steering angle in degrees.
+pub fn build(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Three strided convolutions: 16x32 -> 8x16 -> 4x8 -> 2x4.
+    let c1 = b.conv2d(x, 3, 8, 3, 2, Padding::Same, rng);
+    let a1 = comma_activation(&mut b, config, c1);
+    let c2 = b.conv2d(a1, 8, 16, 3, 2, Padding::Same, rng);
+    let a2 = comma_activation(&mut b, config, c2);
+    let c3 = b.conv2d(a2, 16, 16, 3, 2, Padding::Same, rng);
+    let a3 = comma_activation(&mut b, config, c3);
+
+    // Two fully-connected layers: 128 -> 64 -> 1. The network predicts a normalized
+    // steering value in roughly [-1, 1]; the output node scales it to degrees.
+    let f = b.flatten(a3);
+    let d1 = b.dense(f, 16 * 2 * 4, 64, rng);
+    let a4 = comma_activation(&mut b, config, d1);
+    let logits = b.dense(a4, 64, 1, rng);
+    let output = b.scalar_mul(logits, ranger_datasets::driving::MAX_ANGLE_DEGREES);
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output,
+        task: Task::Regression {
+            unit: config.steering_unit,
+        },
+        excluded_from_injection: excluded,
+    }
+}

@@ -1,0 +1,70 @@
+//! Nvidia Dave steering-model replica (driving dataset).
+//!
+//! Structure: five convolution layers (the first three strided) followed by five
+//! fully-connected layers, ending in a single steering output — the Dave-2 layout at
+//! reduced width for 16×32 frames. The original model converts its final activation to a
+//! steering angle in radians through `2·atan(x)`; the paper's Section VI retrains a
+//! variant that outputs degrees directly (a linear head), which this constructor builds
+//! when the configured steering unit is degrees.
+
+use crate::archs::{activation, exclusion_from_last_dense};
+use crate::model::{Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_datasets::driving::AngleUnit;
+use ranger_graph::op::Padding;
+use ranger_graph::GraphBuilder;
+
+/// Builds the Dave replica. The output unit follows `config.steering_unit`.
+pub fn build(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Convolution stack: 16x32 -> 8x16 -> 4x8 -> 2x4, then two stride-1 convolutions.
+    let c1 = b.conv2d(x, 3, 8, 3, 2, Padding::Same, rng);
+    let a1 = activation(&mut b, config, c1);
+    let c2 = b.conv2d(a1, 8, 12, 3, 2, Padding::Same, rng);
+    let a2 = activation(&mut b, config, c2);
+    let c3 = b.conv2d(a2, 12, 16, 3, 2, Padding::Same, rng);
+    let a3 = activation(&mut b, config, c3);
+    let c4 = b.conv2d(a3, 16, 16, 3, 1, Padding::Same, rng);
+    let a4 = activation(&mut b, config, c4);
+    let c5 = b.conv2d(a4, 16, 16, 3, 1, Padding::Same, rng);
+    let a5 = activation(&mut b, config, c5);
+
+    // Five fully-connected layers: 128 -> 64 -> 32 -> 16 -> 8 -> 1.
+    let f = b.flatten(a5);
+    let d1 = b.dense(f, 16 * 2 * 4, 64, rng);
+    let a6 = activation(&mut b, config, d1);
+    let d2 = b.dense(a6, 64, 32, rng);
+    let a7 = activation(&mut b, config, d2);
+    let d3 = b.dense(a7, 32, 16, rng);
+    let a8 = activation(&mut b, config, d3);
+    let d4 = b.dense(a8, 16, 8, rng);
+    let a9 = activation(&mut b, config, d4);
+    let logits = b.dense(a9, 8, 1, rng);
+
+    // Output head: radians go through the horizontally-asymptotic 2·atan (the property
+    // the paper blames for Dave's weaker protection); the degree variant predicts a
+    // normalized steering value that the output node scales to degrees.
+    let output = match config.steering_unit {
+        AngleUnit::Radians => {
+            let atan = b.atan(logits);
+            b.scalar_mul(atan, 2.0)
+        }
+        AngleUnit::Degrees => b.scalar_mul(logits, ranger_datasets::driving::MAX_ANGLE_DEGREES),
+    };
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output,
+        task: Task::Regression {
+            unit: config.steering_unit,
+        },
+        excluded_from_injection: excluded,
+    }
+}

@@ -1,0 +1,50 @@
+//! LeNet replica (MNIST-like digits).
+//!
+//! Structure: two convolution + pooling stages followed by three fully-connected layers,
+//! as in the classic LeNet-5, at reduced width for the 14×14 synthetic digit images.
+
+use crate::archs::{activation, exclusion_from_last_dense};
+use crate::model::{Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_datasets::classification::ImageDomain;
+use ranger_graph::op::Padding;
+use ranger_graph::GraphBuilder;
+
+/// Builds the LeNet replica.
+pub fn build(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let domain = ImageDomain::Digits;
+    let num_classes = domain.num_classes();
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Stage 1: 14x14 -> 7x7.
+    let c1 = b.conv2d(x, 1, 6, 5, 1, Padding::Same, rng);
+    let a1 = activation(&mut b, config, c1);
+    let p1 = b.max_pool(a1, 2, 2);
+
+    // Stage 2: 7x7 -> 3x3 -> 1x1.
+    let c2 = b.conv2d(p1, 6, 16, 5, 1, Padding::Valid, rng);
+    let a2 = activation(&mut b, config, c2);
+    let p2 = b.max_pool(a2, 2, 2);
+
+    // Classifier head.
+    let f = b.flatten(p2);
+    let d1 = b.dense(f, 16, 32, rng);
+    let a3 = activation(&mut b, config, d1);
+    let d2 = b.dense(a3, 32, 16, rng);
+    let a4 = activation(&mut b, config, d2);
+    let logits = b.dense(a4, 16, num_classes, rng);
+    let probs = b.softmax(logits);
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output: probs,
+        task: Task::Classification { num_classes },
+        excluded_from_injection: excluded,
+    }
+}

@@ -1,0 +1,81 @@
+//! ResNet-18 replica (natural-scene domain).
+//!
+//! Structure: an initial convolution followed by four stages of two basic residual blocks
+//! each (17 convolutions) and a final dense layer — the ResNet-18 layer count — with
+//! identity or 1×1-projection shortcuts. Batch normalization is folded away (the replica
+//! trains without it at this scale), which does not affect Ranger: the transformation
+//! keys off activation, pooling, reshape and concatenation operators only.
+
+use crate::archs::{activation, exclusion_from_last_dense};
+use crate::model::{Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_datasets::classification::ImageDomain;
+use ranger_graph::op::Padding;
+use ranger_graph::{GraphBuilder, NodeId};
+
+/// Adds one basic residual block: two 3×3 convolutions with a shortcut connection.
+///
+/// When `stride != 1` or the channel count changes, the shortcut is a 1×1 convolution with
+/// the same stride (a projection shortcut); otherwise it is the identity.
+fn basic_block(
+    b: &mut GraphBuilder,
+    config: &ModelConfig,
+    x: NodeId,
+    cin: usize,
+    cout: usize,
+    stride: usize,
+    rng: &mut StdRng,
+) -> NodeId {
+    let c1 = b.conv2d(x, cin, cout, 3, stride, Padding::Same, rng);
+    let a1 = activation(b, config, c1);
+    let c2 = b.conv2d(a1, cout, cout, 3, 1, Padding::Same, rng);
+    let shortcut = if stride != 1 || cin != cout {
+        b.conv2d(x, cin, cout, 1, stride, Padding::Same, rng)
+    } else {
+        x
+    };
+    let sum = b.add(c2, shortcut);
+    activation(b, config, sum)
+}
+
+/// Builds the ResNet-18 replica.
+pub fn build(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let domain = ImageDomain::NaturalScenes;
+    let num_classes = domain.num_classes();
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Stem: 32x32, 8 channels.
+    let c = b.conv2d(x, 3, 8, 3, 1, Padding::Same, rng);
+    let h = activation(&mut b, config, c);
+
+    // Four stages of two basic blocks; spatial size 32 -> 32 -> 16 -> 8 -> 4.
+    let h = basic_block(&mut b, config, h, 8, 8, 1, rng);
+    let h = basic_block(&mut b, config, h, 8, 8, 1, rng);
+
+    let h = basic_block(&mut b, config, h, 8, 16, 2, rng);
+    let h = basic_block(&mut b, config, h, 16, 16, 1, rng);
+
+    let h = basic_block(&mut b, config, h, 16, 24, 2, rng);
+    let h = basic_block(&mut b, config, h, 24, 24, 1, rng);
+
+    let h = basic_block(&mut b, config, h, 24, 32, 2, rng);
+    let h = basic_block(&mut b, config, h, 32, 32, 1, rng);
+
+    // Head: global average pooling and one dense layer.
+    let pooled = b.global_avg_pool(h);
+    let logits = b.dense(pooled, 32, num_classes, rng);
+    let probs = b.softmax(logits);
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output: probs,
+        task: Task::Classification { num_classes },
+        excluded_from_injection: excluded,
+    }
+}

@@ -1,0 +1,80 @@
+//! SqueezeNet replica (natural-scene domain).
+//!
+//! Structure: an initial strided convolution, four fire modules (a 1×1 squeeze convolution
+//! feeding parallel 1×1 and 3×3 expand convolutions whose outputs are concatenated along
+//! the channel axis) separated by max pooling, a final 1×1 convolution producing one
+//! channel per class, global average pooling and softmax. The channel-axis `Concat` after
+//! two activation outputs is what exercises the Concat rule (lines 7–8) of Ranger's
+//! Algorithm 1.
+
+use crate::archs::{activation, downstream_of};
+use crate::model::{Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_datasets::classification::ImageDomain;
+use ranger_graph::op::Padding;
+use ranger_graph::{GraphBuilder, NodeId};
+
+/// Adds one fire module and returns its concatenated output (channel count
+/// `2 * expand_channels`).
+fn fire_module(
+    b: &mut GraphBuilder,
+    config: &ModelConfig,
+    x: NodeId,
+    cin: usize,
+    squeeze_channels: usize,
+    expand_channels: usize,
+    rng: &mut StdRng,
+) -> NodeId {
+    let squeeze = b.conv2d(x, cin, squeeze_channels, 1, 1, Padding::Same, rng);
+    let squeeze = activation(b, config, squeeze);
+    let expand1 = b.conv2d(squeeze, squeeze_channels, expand_channels, 1, 1, Padding::Same, rng);
+    let expand1 = activation(b, config, expand1);
+    let expand3 = b.conv2d(squeeze, squeeze_channels, expand_channels, 3, 1, Padding::Same, rng);
+    let expand3 = activation(b, config, expand3);
+    b.concat(vec![expand1, expand3])
+}
+
+/// Builds the SqueezeNet replica.
+pub fn build(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let domain = ImageDomain::NaturalScenes;
+    let num_classes = domain.num_classes();
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Stem: strided convolution 32 -> 16, then pool 16 -> 8.
+    let c1 = b.conv2d(x, 3, 16, 3, 2, Padding::Same, rng);
+    let a1 = activation(&mut b, config, c1);
+    let p1 = b.max_pool(a1, 2, 2);
+
+    // Fire modules 2 and 3 at 8x8.
+    let f2 = fire_module(&mut b, config, p1, 16, 4, 8, rng);
+    let f3 = fire_module(&mut b, config, f2, 16, 4, 8, rng);
+    let p2 = b.max_pool(f3, 2, 2); // 8 -> 4
+
+    // Fire modules 4 and 5 at 4x4.
+    let f4 = fire_module(&mut b, config, p2, 16, 6, 12, rng);
+    let f5 = fire_module(&mut b, config, f4, 24, 6, 12, rng);
+    let p3 = b.max_pool(f5, 2, 2); // 4 -> 2
+
+    // Final 1x1 convolution producing one channel per class, then global pooling.
+    let conv_final = b.conv2d(p3, 24, num_classes, 1, 1, Padding::Same, rng);
+    let a_final = activation(&mut b, config, conv_final);
+    let pooled = b.global_avg_pool(a_final);
+    let logits = b.identity(pooled, "logits");
+    let probs = b.softmax(logits);
+
+    let graph = b.into_graph();
+    // SqueezeNet has no final dense layer; the exclusion set starts at the class-scoring
+    // 1x1 convolution, which plays the same role as the last FC layer in the other models.
+    let conv_node = graph.node(conv_final).expect("conv_final exists").inputs[0];
+    let excluded = downstream_of(&graph, conv_node);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output: probs,
+        task: Task::Classification { num_classes },
+        excluded_from_injection: excluded,
+    }
+}

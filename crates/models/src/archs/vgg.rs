@@ -1,0 +1,130 @@
+//! VGG11 and VGG16 replicas.
+//!
+//! VGG11 (8 convolutions + 3 fully-connected layers) classifies the traffic-sign domain;
+//! VGG16 (13 convolutions + 3 fully-connected layers) classifies the natural-scene domain.
+//! Channel widths are scaled down; the layer ordering (conv blocks separated by max
+//! pooling, then three dense layers) follows the original architectures.
+
+use crate::archs::{activation, exclusion_from_last_dense};
+use crate::model::{Model, ModelConfig, Task};
+use rand::rngs::StdRng;
+use ranger_datasets::classification::ImageDomain;
+use ranger_graph::op::Padding;
+use ranger_graph::{GraphBuilder, NodeId};
+
+/// Adds one `conv -> activation` unit.
+fn conv_act(
+    b: &mut GraphBuilder,
+    config: &ModelConfig,
+    x: NodeId,
+    cin: usize,
+    cout: usize,
+    rng: &mut StdRng,
+) -> NodeId {
+    let c = b.conv2d(x, cin, cout, 3, 1, Padding::Same, rng);
+    activation(b, config, c)
+}
+
+/// Builds the VGG11 replica on the traffic-sign domain (16×16 inputs).
+///
+/// The original VGG11 applies five max-pooling stages to 224×224 inputs; at 16×16 the
+/// replica applies four (after blocks 1, 2, 4 and 6) so that the final feature map is 1×1.
+pub fn build_vgg11(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let domain = ImageDomain::TrafficSigns;
+    let num_classes = domain.num_classes();
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Block 1: 16 -> 8.
+    let h = conv_act(&mut b, config, x, 3, 8, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 2: 8 -> 4.
+    let h = conv_act(&mut b, config, h, 8, 16, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 3 (two convolutions): 4 -> 2.
+    let h = conv_act(&mut b, config, h, 16, 24, rng);
+    let h = conv_act(&mut b, config, h, 24, 24, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 4 (two convolutions): 2 -> 1.
+    let h = conv_act(&mut b, config, h, 24, 32, rng);
+    let h = conv_act(&mut b, config, h, 32, 32, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 5 (two convolutions) at 1x1.
+    let h = conv_act(&mut b, config, h, 32, 32, rng);
+    let h = conv_act(&mut b, config, h, 32, 32, rng);
+
+    // Classifier head: three dense layers.
+    let f = b.flatten(h);
+    let d1 = b.dense(f, 32, 64, rng);
+    let a1 = activation(&mut b, config, d1);
+    let d2 = b.dense(a1, 64, 64, rng);
+    let a2 = activation(&mut b, config, d2);
+    let logits = b.dense(a2, 64, num_classes, rng);
+    let probs = b.softmax(logits);
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output: probs,
+        task: Task::Classification { num_classes },
+        excluded_from_injection: excluded,
+    }
+}
+
+/// Builds the VGG16 replica on the natural-scene domain (32×32 inputs): 13 convolutions in
+/// five blocks, five max-pooling stages, three dense layers.
+pub fn build_vgg16(config: &ModelConfig, rng: &mut StdRng) -> Model {
+    let domain = ImageDomain::NaturalScenes;
+    let num_classes = domain.num_classes();
+    let mut b = GraphBuilder::new();
+    let x = b.input("image");
+
+    // Block 1 (2 convs): 32 -> 16.
+    let h = conv_act(&mut b, config, x, 3, 8, rng);
+    let h = conv_act(&mut b, config, h, 8, 8, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 2 (2 convs): 16 -> 8.
+    let h = conv_act(&mut b, config, h, 8, 12, rng);
+    let h = conv_act(&mut b, config, h, 12, 12, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 3 (3 convs): 8 -> 4.
+    let h = conv_act(&mut b, config, h, 12, 16, rng);
+    let h = conv_act(&mut b, config, h, 16, 16, rng);
+    let h = conv_act(&mut b, config, h, 16, 16, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 4 (3 convs): 4 -> 2.
+    let h = conv_act(&mut b, config, h, 16, 24, rng);
+    let h = conv_act(&mut b, config, h, 24, 24, rng);
+    let h = conv_act(&mut b, config, h, 24, 24, rng);
+    let h = b.max_pool(h, 2, 2);
+    // Block 5 (3 convs): 2 -> 1.
+    let h = conv_act(&mut b, config, h, 24, 24, rng);
+    let h = conv_act(&mut b, config, h, 24, 24, rng);
+    let h = conv_act(&mut b, config, h, 24, 24, rng);
+    let h = b.max_pool(h, 2, 2);
+
+    // Classifier head.
+    let f = b.flatten(h);
+    let d1 = b.dense(f, 24, 48, rng);
+    let a1 = activation(&mut b, config, d1);
+    let d2 = b.dense(a1, 48, 48, rng);
+    let a2 = activation(&mut b, config, d2);
+    let logits = b.dense(a2, 48, num_classes, rng);
+    let probs = b.softmax(logits);
+
+    let graph = b.into_graph();
+    let excluded = exclusion_from_last_dense(&graph, logits);
+    Model {
+        config: *config,
+        graph,
+        input_name: "image".to_string(),
+        logits,
+        output: probs,
+        task: Task::Classification { num_classes },
+        excluded_from_injection: excluded,
+    }
+}

@@ -1,0 +1,35 @@
+//! The eight DNN benchmarks of the Ranger paper, with training recipes and a model zoo.
+//!
+//! The paper evaluates Ranger on six classifiers (LeNet, AlexNet, VGG11, VGG16, ResNet-18,
+//! SqueezeNet) and two steering-angle regression models used in autonomous vehicles
+//! (Nvidia Dave and Comma.ai). This crate provides faithful *structure* replicas of those
+//! architectures — same layer types, depth, activation placement, pooling structure,
+//! residual connections and fire-module concatenations — at reduced width and input
+//! resolution so they can be trained from scratch and fault-injected on a single CPU core
+//! (see `DESIGN.md` §4 for the substitution argument).
+//!
+//! * [`model`] — the [`Model`](model::Model) wrapper tying a graph to its task metadata.
+//! * [`archs`] — one constructor per benchmark architecture.
+//! * [`train`] — SGD training loops and accuracy/RMSE evaluation.
+//! * [`zoo`] — a disk-backed cache of trained models so experiments do not retrain.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ranger_models::model::ModelConfig;
+//! use ranger_models::zoo::ModelZoo;
+//!
+//! let zoo = ModelZoo::with_default_dir();
+//! let trained = zoo.load_or_train(&ModelConfig::lenet(), 42)?;
+//! println!("validation accuracy: {:.2}%", trained.validation_accuracy * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod archs;
+pub mod model;
+pub mod train;
+pub mod zoo;
+
+pub use model::{Activation, Model, ModelConfig, ModelKind, Task};
+pub use train::TrainConfig;
+pub use zoo::{ModelZoo, TrainedModel};

@@ -1,0 +1,143 @@
+//! Datatype-aware bit-flip primitives.
+//!
+//! A transient hardware fault manifests as one (or a few) flipped bits in the value a
+//! processor datapath produces. The datatype determines how a bit flip maps to a numeric
+//! deviation, so the fault injector is parameterised by a [`DataType`].
+
+use crate::fixed::FixedSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The numeric representation in which faults are injected.
+///
+/// Inference itself runs in `f32`; when a fault is injected into an operator output the
+/// affected value is encoded in this datatype, the chosen bit(s) are flipped, and the value
+/// is decoded back. This mirrors how TensorFI emulates datatype-level faults on top of a
+/// floating-point runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataType {
+    /// IEEE-754 single-precision floating point (32 bits).
+    Float32,
+    /// Two's-complement fixed point with the given format.
+    Fixed(FixedSpec),
+}
+
+impl DataType {
+    /// The 32-bit fixed-point datatype the paper uses for RQ1–RQ3.
+    pub fn fixed32() -> Self {
+        DataType::Fixed(FixedSpec::q32())
+    }
+
+    /// The 16-bit fixed-point datatype the paper uses for RQ4 (14 integer / 2 fractional).
+    pub fn fixed16() -> Self {
+        DataType::Fixed(FixedSpec::q16())
+    }
+
+    /// Number of bits in a value of this datatype.
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            DataType::Float32 => 32,
+            DataType::Fixed(spec) => spec.total_bits(),
+        }
+    }
+
+    /// Flips bit `bit` (0 = least significant) of `value` under this datatype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.bit_width()`.
+    pub fn flip_bit(&self, value: f32, bit: u32) -> f32 {
+        assert!(
+            bit < self.bit_width(),
+            "bit {bit} out of range for {self} ({} bits)",
+            self.bit_width()
+        );
+        match self {
+            DataType::Float32 => f32::from_bits(value.to_bits() ^ (1u32 << bit)),
+            DataType::Fixed(spec) => spec.flip_bit(value, bit),
+        }
+    }
+
+    /// Flips several distinct bits of `value` under this datatype.
+    ///
+    /// Duplicate bit positions cancel out, matching the physics of independent bit flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range for the datatype.
+    pub fn flip_bits(&self, value: f32, bits: &[u32]) -> f32 {
+        bits.iter().fold(value, |v, &b| self.flip_bit(v, b))
+    }
+
+    /// Quantizes `value` to this datatype's representable grid (identity for `Float32`).
+    pub fn quantize(&self, value: f32) -> f32 {
+        match self {
+            DataType::Float32 => value,
+            DataType::Fixed(spec) => spec.quantize(value),
+        }
+    }
+}
+
+impl Default for DataType {
+    fn default() -> Self {
+        DataType::fixed32()
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Float32 => write!(f, "float32"),
+            DataType::Fixed(spec) => write!(f, "fixed-{}", spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float32_flip_uses_ieee_bits() {
+        let dt = DataType::Float32;
+        // Flipping the sign bit (bit 31) of 1.0 yields -1.0.
+        assert_eq!(dt.flip_bit(1.0, 31), -1.0);
+        // Flipping the exponent MSB of 1.0 causes a huge deviation.
+        assert!(dt.flip_bit(1.0, 30).abs() > 1.0e30);
+    }
+
+    #[test]
+    fn fixed_flip_delegates_to_spec() {
+        let dt = DataType::fixed16();
+        let spec = FixedSpec::q16();
+        assert_eq!(dt.flip_bit(5.0, 3), spec.flip_bit(5.0, 3));
+    }
+
+    #[test]
+    fn flip_bits_is_order_independent_and_cancels_duplicates() {
+        let dt = DataType::fixed32();
+        let v = 42.5f32;
+        let a = dt.flip_bits(v, &[3, 17]);
+        let b = dt.flip_bits(v, &[17, 3]);
+        assert_eq!(a, b);
+        assert_eq!(dt.flip_bits(v, &[9, 9]), dt.quantize(v));
+    }
+
+    #[test]
+    fn default_is_fixed32() {
+        assert_eq!(DataType::default(), DataType::fixed32());
+        assert_eq!(DataType::default().bit_width(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_panics_out_of_range() {
+        DataType::fixed16().flip_bit(1.0, 40);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Float32.to_string(), "float32");
+        assert_eq!(DataType::fixed16().to_string(), "fixed-Q14.2");
+    }
+}

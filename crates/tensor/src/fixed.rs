@@ -1,0 +1,243 @@
+//! Two's-complement fixed-point codecs.
+//!
+//! The paper evaluates the DNNs with a 32-bit fixed-point datatype (RQ1–RQ3) and a 16-bit
+//! fixed-point datatype with 14 integer bits and 2 fractional bits (RQ4). This module
+//! implements the encode/decode that the fault injector uses to flip bits in the same
+//! representation the paper's hardware would have carried.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A two's-complement fixed-point format with `total_bits` bits, of which `frac_bits` are
+/// fractional. The remaining high-order bits hold the signed integer part (sign included in
+/// the two's-complement representation).
+///
+/// # Example
+///
+/// ```
+/// use ranger_tensor::FixedSpec;
+///
+/// let q = FixedSpec::new(16, 2);
+/// let bits = q.encode(3.25);
+/// assert_eq!(q.decode(bits), 3.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedSpec {
+    total_bits: u32,
+    frac_bits: u32,
+}
+
+impl FixedSpec {
+    /// Creates a fixed-point format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bits` is 0 or greater than 64, or if `frac_bits >= total_bits`.
+    pub fn new(total_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            total_bits > 0 && total_bits <= 64,
+            "total_bits must be in 1..=64, got {total_bits}"
+        );
+        assert!(
+            frac_bits < total_bits,
+            "frac_bits ({frac_bits}) must be smaller than total_bits ({total_bits})"
+        );
+        FixedSpec {
+            total_bits,
+            frac_bits,
+        }
+    }
+
+    /// The 32-bit fixed-point format used for RQ1–RQ3 (23 integer bits, 8 fractional bits,
+    /// sign carried by two's complement).
+    pub fn q32() -> Self {
+        FixedSpec::new(32, 8)
+    }
+
+    /// The 16-bit fixed-point format used for RQ4: 14 integer bits and 2 fractional bits.
+    pub fn q16() -> Self {
+        FixedSpec::new(16, 2)
+    }
+
+    /// Total number of bits in the representation.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Smallest representable increment.
+    pub fn resolution(&self) -> f64 {
+        1.0 / (1u64 << self.frac_bits) as f64
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        let max_raw = (1i128 << (self.total_bits - 1)) - 1;
+        max_raw as f64 * self.resolution()
+    }
+
+    /// Most negative representable value.
+    pub fn min_value(&self) -> f64 {
+        let min_raw = -(1i128 << (self.total_bits - 1));
+        min_raw as f64 * self.resolution()
+    }
+
+    /// Encodes an `f32` value into the raw two's-complement bit pattern (stored in the low
+    /// `total_bits` bits of the returned `u64`), saturating at the representable range.
+    pub fn encode(&self, value: f32) -> u64 {
+        let scaled = (value as f64 / self.resolution()).round();
+        let max_raw = ((1i128 << (self.total_bits - 1)) - 1) as f64;
+        let min_raw = (-(1i128 << (self.total_bits - 1))) as f64;
+        let clamped = scaled.clamp(min_raw, max_raw);
+        let raw = clamped as i64;
+        (raw as u64) & self.mask()
+    }
+
+    /// Decodes a raw two's-complement bit pattern back into an `f32` value.
+    pub fn decode(&self, bits: u64) -> f32 {
+        let bits = bits & self.mask();
+        let sign_bit = 1u64 << (self.total_bits - 1);
+        let raw = if bits & sign_bit != 0 {
+            // Sign-extend the two's-complement value.
+            (bits | !self.mask()) as i64
+        } else {
+            bits as i64
+        };
+        (raw as f64 * self.resolution()) as f32
+    }
+
+    /// Returns the quantization of `value` under this format (encode followed by decode).
+    pub fn quantize(&self, value: f32) -> f32 {
+        self.decode(self.encode(value))
+    }
+
+    /// Returns a mask selecting the low `total_bits` bits.
+    pub fn mask(&self) -> u64 {
+        if self.total_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits) - 1
+        }
+    }
+
+    /// Flips bit `bit` (0 = least significant) of the fixed-point representation of `value`
+    /// and returns the decoded result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= total_bits`.
+    pub fn flip_bit(&self, value: f32, bit: u32) -> f32 {
+        assert!(
+            bit < self.total_bits,
+            "bit {bit} out of range for {} bit format",
+            self.total_bits
+        );
+        let encoded = self.encode(value);
+        self.decode(encoded ^ (1u64 << bit))
+    }
+}
+
+impl fmt::Display for FixedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Q{}.{}",
+            self.total_bits - self.frac_bits,
+            self.frac_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q16_round_trips_exact_values() {
+        let q = FixedSpec::q16();
+        for v in [-3.0f32, -0.5, 0.0, 0.25, 1.75, 100.0, 8191.75] {
+            assert_eq!(q.quantize(v), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn q32_round_trip_error_bounded_by_resolution() {
+        let q = FixedSpec::q32();
+        for v in [-1234.567f32, 0.1, 3.14159, 99999.5, -0.0039] {
+            let back = q.quantize(v);
+            assert!(
+                (back - v).abs() as f64 <= q.resolution(),
+                "round trip of {v} produced {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let q = FixedSpec::q16();
+        assert_eq!(q.quantize(1.0e9) as f64, q.max_value());
+        assert_eq!(q.quantize(-1.0e9) as f64, q.min_value());
+    }
+
+    #[test]
+    fn negative_values_use_twos_complement() {
+        let q = FixedSpec::new(8, 0);
+        assert_eq!(q.encode(-1.0), 0xFF);
+        assert_eq!(q.decode(0xFF), -1.0);
+        assert_eq!(q.decode(0x80), -128.0);
+    }
+
+    #[test]
+    fn high_order_bit_flip_causes_large_deviation() {
+        let q = FixedSpec::q32();
+        let original = 2.0f32;
+        let corrupted = q.flip_bit(original, q.total_bits() - 2);
+        assert!(
+            (corrupted - original).abs() > 1.0e6,
+            "flipping a high-order bit should produce a large deviation, got {corrupted}"
+        );
+    }
+
+    #[test]
+    fn low_order_bit_flip_causes_small_deviation() {
+        let q = FixedSpec::q32();
+        let original = 2.0f32;
+        let corrupted = q.flip_bit(original, 0);
+        assert!(((corrupted - original).abs() as f64 - q.resolution()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flip_bit_is_an_involution_for_representable_values() {
+        let q = FixedSpec::q16();
+        let v = 12.25f32;
+        for bit in 0..q.total_bits() {
+            let once = q.flip_bit(v, bit);
+            let twice = q.flip_bit(once, bit);
+            assert_eq!(twice, v, "double flip of bit {bit} must restore the value");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_rejects_out_of_range_bit() {
+        FixedSpec::q16().flip_bit(1.0, 16);
+    }
+
+    #[test]
+    fn display_shows_q_notation() {
+        assert_eq!(FixedSpec::q16().to_string(), "Q14.2");
+        assert_eq!(FixedSpec::q32().to_string(), "Q24.8");
+    }
+
+    #[test]
+    fn resolution_and_range() {
+        let q = FixedSpec::q16();
+        assert_eq!(q.resolution(), 0.25);
+        assert_eq!(q.max_value(), 8191.75);
+        assert_eq!(q.min_value(), -8192.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use ranger_tensor::{bits::DataType, FixedSpec, Shape, Tensor};
+
+proptest! {
+    /// Encoding then decoding a value that is within range never deviates by more than the
+    /// format resolution.
+    #[test]
+    fn fixed_round_trip_error_is_bounded(v in -8000.0f32..8000.0f32) {
+        let q16 = FixedSpec::q16();
+        let q32 = FixedSpec::q32();
+        prop_assert!(((q16.quantize(v) - v).abs() as f64) <= q16.resolution());
+        prop_assert!(((q32.quantize(v) - v).abs() as f64) <= q32.resolution());
+    }
+
+    /// Flipping the same bit twice restores a value already on the representable grid.
+    #[test]
+    fn bit_flip_is_involution(v in -5000.0f32..5000.0f32, bit in 0u32..16u32) {
+        let dt = DataType::fixed16();
+        let snapped = dt.quantize(v);
+        prop_assert_eq!(dt.flip_bit(dt.flip_bit(snapped, bit), bit), snapped);
+    }
+
+    /// The deviation caused by a bit flip is monotonically non-decreasing in bit
+    /// significance for non-negative in-range values: this is the monotone property the
+    /// paper's range-restriction argument relies on (critical faults cluster in high-order
+    /// bits).
+    #[test]
+    fn higher_order_bits_cause_larger_deviation(v in 0.0f32..100.0f32) {
+        let dt = DataType::fixed32();
+        let snapped = dt.quantize(v);
+        // Skip the sign bit: its deviation depends on the value's magnitude.
+        let deviations: Vec<f64> = (0..31)
+            .map(|bit| (dt.flip_bit(snapped, bit) - snapped).abs() as f64)
+            .collect();
+        for w in deviations.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "deviations must grow with bit order: {deviations:?}");
+        }
+    }
+
+    /// Clamping always produces values within the bound and is idempotent.
+    #[test]
+    fn clamp_is_bounded_and_idempotent(values in prop::collection::vec(-1.0e6f32..1.0e6f32, 1..64), hi in 0.1f32..1000.0f32) {
+        let n = values.len();
+        let t = Tensor::from_vec(vec![n], values).unwrap();
+        let clamped = t.clamp(0.0, hi);
+        prop_assert!(clamped.max() <= hi);
+        prop_assert!(clamped.min() >= 0.0);
+        prop_assert_eq!(clamped.clamp(0.0, hi), clamped);
+    }
+
+    /// Reshape round-trips preserve data for any compatible factorization.
+    #[test]
+    fn reshape_round_trip(rows in 1usize..8, cols in 1usize..8) {
+        let t = Tensor::from_vec(vec![rows, cols], (0..rows * cols).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshape(vec![cols, rows]).unwrap().reshape(vec![rows, cols]).unwrap();
+        prop_assert_eq!(r, t);
+    }
+
+    /// Flat/multi index conversions are mutually inverse.
+    #[test]
+    fn index_round_trip(d0 in 1usize..6, d1 in 1usize..6, d2 in 1usize..6) {
+        let s = Shape::new(vec![d0, d1, d2]);
+        for flat in 0..s.num_elements() {
+            let idx = s.multi_index(flat).unwrap();
+            prop_assert_eq!(s.flat_index(&idx), Some(flat));
+        }
+    }
+}

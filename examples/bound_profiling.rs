@@ -1,0 +1,59 @@
+//! Explore Ranger's restriction-bound derivation (the paper's Fig. 4 and Section VI-A).
+//!
+//! ```text
+//! cargo run --example bound_profiling
+//! ```
+//!
+//! The example profiles a VGG11-style model's activation ranges with increasing amounts of
+//! training data, showing how quickly the observed maxima converge to the global maxima,
+//! and then compares the bounds obtained at different percentiles (the accuracy/resilience
+//! trade-off of Section VI-A).
+
+use ranger::bounds::{profile_bounds, profile_convergence, BoundsConfig};
+use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
+use ranger_models::{archs, ModelConfig, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ClassificationDataset::generate(ImageDomain::TrafficSigns, 200, 0, 5);
+    let model = archs::build(&ModelConfig::new(ModelKind::Vgg11), 5);
+    let samples: Vec<_> = (0..100).map(|i| data.train_batch(&[i]).0).collect();
+
+    // Fig. 4: convergence of the per-activation maxima with the amount of profiling data.
+    println!("bound convergence (normalised to the maximum over all 100 samples):");
+    let points = profile_convergence(&model.graph, &model.input_name, &samples, &[5, 10, 25, 50, 100])?;
+    for p in &points {
+        let mean: f64 = p.normalized_max.iter().sum::<f64>() / p.normalized_max.len() as f64;
+        let min = p.normalized_max.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {:>3} samples: mean {:.3}, minimum {:.3} across {} activation layers",
+            p.samples_used,
+            mean,
+            min,
+            p.normalized_max.len()
+        );
+    }
+
+    // Section VI-A: tighter percentile bounds trade accuracy for resilience.
+    println!("\nupper restriction bounds per percentile (first three ReLU layers):");
+    for percentile in [100.0, 99.9, 99.0, 98.0] {
+        let bounds = profile_bounds(
+            &model.graph,
+            &model.input_name,
+            &samples,
+            &BoundsConfig::with_percentile(percentile),
+        )?;
+        let mut uppers: Vec<(usize, f32)> = bounds
+            .iter()
+            .map(|(node, (_, hi))| (node.index(), hi))
+            .collect();
+        uppers.sort_by_key(|(idx, _)| *idx);
+        let first_three: Vec<String> = uppers
+            .iter()
+            .take(3)
+            .map(|(_, hi)| format!("{hi:.3}"))
+            .collect();
+        println!("  {percentile:>5}% bound: [{}]", first_three.join(", "));
+    }
+    println!("\nLower percentiles give tighter bounds: more faults are truncated (higher resilience)\nbut large legitimate activations may be clipped too (potential accuracy loss).");
+    Ok(())
+}
