@@ -1,22 +1,41 @@
-//! Criterion benchmarks complementing the experiment binaries.
+//! Micro-benchmarks complementing the experiment binaries (std::time::Instant harness;
+//! the build environment has no criterion).
 //!
 //! * `insertion/*` — wall-clock time of the Ranger transformation (Table III's
 //!   instrumentation time).
 //! * `inference/*` — forward-pass latency of the original vs. the protected model (the
 //!   wall-clock complement of Table IV's FLOPs overhead).
+//! * `exec_plan/*` — repeated forward passes through a fresh `Executor` per pass vs. a
+//!   compiled `ExecPlan` with reused buffers: the hot-path speedup the campaign runner
+//!   and `Pipeline` rely on.
 //! * `profiling/bounds` — cost of deriving restriction bounds from profiling samples.
 //! * `injection/trial` — throughput of a single fault-injection trial.
+//!
+//! Run with `cargo bench -p ranger-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
 use ranger::transform::{apply_ranger, RangerConfig};
-use ranger_inject::{
-    CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget,
-};
+use ranger_graph::exec::NoopInterceptor;
+use ranger_graph::Executor;
+use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget};
 use ranger_models::archs;
 use ranger_models::{Model, ModelConfig, ModelKind};
 use ranger_tensor::Tensor;
-use std::time::Duration;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations after `warmup` warm-up calls; returns ns/iter.
+fn bench<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {:>12.0} ns/iter   ({iters} iters)", ns);
+    ns
+}
 
 fn model_input(model: &Model) -> Tensor {
     match model.config.kind.image_domain() {
@@ -44,57 +63,139 @@ fn bounds_for(model: &Model) -> ActivationBounds {
 
 fn protected(model: &Model) -> Model {
     let bounds = bounds_for(model);
-    let (graph, _) = apply_ranger(&model.graph, &bounds, &RangerConfig::default()).expect("transform succeeds");
+    let (graph, _) =
+        apply_ranger(&model.graph, &bounds, &RangerConfig::default()).expect("transform succeeds");
     let mut m = model.clone();
     m.graph = graph;
     m
 }
 
-fn bench_insertion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("insertion");
-    for kind in [ModelKind::LeNet, ModelKind::Vgg16, ModelKind::SqueezeNet, ModelKind::Dave] {
+fn bench_insertion() {
+    for kind in [
+        ModelKind::LeNet,
+        ModelKind::Vgg16,
+        ModelKind::SqueezeNet,
+        ModelKind::Dave,
+    ] {
         let model = archs::build(&ModelConfig::new(kind), 0);
         let bounds = bounds_for(&model);
-        group.bench_function(kind.paper_name(), |b| {
-            b.iter(|| apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap())
+        bench(&format!("insertion/{}", kind.paper_name()), 2, 20, || {
+            apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inference");
+fn bench_inference() {
     for kind in [ModelKind::LeNet, ModelKind::Comma] {
         let model = archs::build(&ModelConfig::new(kind), 0);
         let input = model_input(&model);
         let with_ranger = protected(&model);
-        group.bench_function(format!("{}/original", kind.paper_name()), |b| {
-            b.iter(|| model.forward(&input).unwrap())
-        });
-        group.bench_function(format!("{}/ranger", kind.paper_name()), |b| {
-            b.iter(|| with_ranger.forward(&input).unwrap())
-        });
+        bench(
+            &format!("inference/{}/original", kind.paper_name()),
+            2,
+            30,
+            || {
+                model.forward(&input).unwrap();
+            },
+        );
+        bench(
+            &format!("inference/{}/ranger", kind.paper_name()),
+            2,
+            30,
+            || {
+                with_ranger.forward(&input).unwrap();
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_profiling(c: &mut Criterion) {
+/// The acceptance benchmark for the compiled execution plan: repeated forward passes of
+/// the same graph through (a) a fresh `Executor` per pass — re-deriving the topological
+/// order and re-allocating the value store every time — and (b) one compiled `ExecPlan`
+/// with reused buffers. (b) must be measurably faster.
+///
+/// Two graphs are measured. On LeNet the convolution arithmetic dominates, so the
+/// planning overhead is a small relative cost; on a deep narrow MLP (many cheap
+/// operators, the shape of a production model pipelined across shards) the per-pass
+/// planning work is a large fraction and the plan's advantage is unmistakable.
+fn bench_exec_plan() {
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::GraphBuilder;
+
+    // Deep, narrow MLP: 64 dense+relu blocks of width 8 → ~260 cheap operator nodes.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let mut h = b.dense(x, 8, 8, &mut rng);
+    for _ in 0..63 {
+        h = b.relu(h);
+        h = b.dense(h, 8, 8, &mut rng);
+    }
+    let deep = b.into_graph();
+    let deep_out = h;
+    let deep_input = Tensor::ones(vec![1, 8]);
+
+    let executor_ns = bench("exec_plan/deep_mlp/executor_per_pass", 10, 500, || {
+        let exec = Executor::new(&deep);
+        exec.run_simple(&[("x", deep_input.clone())], deep_out)
+            .unwrap();
+    });
+    let plan = deep.compile().unwrap();
+    let mut values = plan.buffers();
+    let plan_ns = bench("exec_plan/deep_mlp/compiled_plan", 10, 500, || {
+        plan.run_into(
+            &mut values,
+            &[("x", deep_input.clone())],
+            &mut NoopInterceptor,
+        )
+        .unwrap();
+        values.get(deep_out).unwrap();
+    });
+    println!(
+        "exec_plan/deep_mlp: compiled plan is {:.2}x the speed of per-pass planning",
+        executor_ns / plan_ns
+    );
+
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let input = model_input(&model);
+    let output = model.output;
+    let executor_ns = bench("exec_plan/lenet/executor_per_pass", 5, 200, || {
+        let exec = Executor::new(&model.graph);
+        exec.run_simple(&[(model.input_name.as_str(), input.clone())], output)
+            .unwrap();
+    });
+    let plan = model.graph.compile().unwrap();
+    let mut values = plan.buffers();
+    let plan_ns = bench("exec_plan/lenet/compiled_plan", 5, 200, || {
+        plan.run_into(
+            &mut values,
+            &[(model.input_name.as_str(), input.clone())],
+            &mut NoopInterceptor,
+        )
+        .unwrap();
+        values.get(output).unwrap();
+    });
+    println!(
+        "exec_plan/lenet: compiled plan is {:.2}x the speed of per-pass planning",
+        executor_ns / plan_ns
+    );
+}
+
+fn bench_profiling() {
     let model = archs::build(&ModelConfig::lenet(), 0);
     let samples: Vec<Tensor> = (0..8).map(|_| model_input(&model)).collect();
-    c.bench_function("profiling/bounds", |b| {
-        b.iter(|| {
-            profile_bounds(
-                &model.graph,
-                &model.input_name,
-                &samples,
-                &BoundsConfig::default(),
-            )
-            .unwrap()
-        })
+    bench("profiling/bounds", 2, 20, || {
+        profile_bounds(
+            &model.graph,
+            &model.input_name,
+            &samples,
+            &BoundsConfig::default(),
+        )
+        .unwrap();
     });
 }
 
-fn bench_injection(c: &mut Criterion) {
+fn bench_injection() {
     let model = archs::build(&ModelConfig::lenet(), 0);
     let input = model_input(&model);
     let target = InjectionTarget {
@@ -104,28 +205,21 @@ fn bench_injection(c: &mut Criterion) {
         excluded: &model.excluded_from_injection,
     };
     let judge = ClassifierJudge::top1();
-    c.bench_function("injection/trial", |b| {
-        b.iter(|| {
-            let config = CampaignConfig {
-                trials: 1,
-                fault: FaultModel::single_bit_fixed32(),
-                seed: 3,
-            };
-            ranger_inject::run_campaign(&target, std::slice::from_ref(&input), &judge, &config).unwrap()
-        })
+    bench("injection/trial", 2, 50, || {
+        let config = CampaignConfig {
+            trials: 1,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 3,
+        };
+        ranger_inject::run_campaign(&target, std::slice::from_ref(&input), &judge, &config)
+            .unwrap();
     });
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
+fn main() {
+    bench_insertion();
+    bench_inference();
+    bench_exec_plan();
+    bench_profiling();
+    bench_injection();
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = bench_insertion, bench_inference, bench_profiling, bench_injection
-}
-criterion_main!(benches);

@@ -9,7 +9,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
-    ExpOptions,
+    ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
@@ -44,19 +44,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(Row {
             model: kind.paper_name().to_string(),
             configuration: "Unprotected".to_string(),
-            sdc_percent: unprotected.sdc_rate(0).rate_percent(),
+            sdc_percent: unprotected
+                .sdc_rate(0)
+                .expect("category in range")
+                .rate_percent(),
             clamps: 0,
         });
         for (name, config) in [
             ("ACT only", RangerConfig::activations_only()),
             ("ACT + followers (Algorithm 1)", RangerConfig::default()),
         ] {
-            let protected = protect_model(&trained.model, opts.seed, &BoundsConfig::default(), &config)?;
+            let protected = protect_model(
+                &trained.model,
+                opts.seed,
+                DEFAULT_PROFILE_FRACTION,
+                &BoundsConfig::default(),
+                &config,
+            )?;
             let result = run_model_campaign(&protected.model, &inputs, &judge, &campaign)?;
             rows.push(Row {
                 model: kind.paper_name().to_string(),
                 configuration: name.to_string(),
-                sdc_percent: result.sdc_rate(0).rate_percent(),
+                sdc_percent: result
+                    .sdc_rate(0)
+                    .expect("category in range")
+                    .rate_percent(),
                 clamps: protected.stats.clamps_inserted,
             });
         }

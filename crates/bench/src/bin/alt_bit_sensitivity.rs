@@ -6,6 +6,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_classifier_inputs, print_table, protect_model, write_json, ExpOptions,
+    DEFAULT_PROFILE_FRACTION,
 };
 use ranger_inject::{bit_sensitivity, ClassifierJudge, FaultModel, InjectionTarget};
 use ranger_models::{Model, ModelConfig, ModelKind, ModelZoo};
@@ -18,7 +19,12 @@ struct Row {
     ranger_sdc_percent: f64,
 }
 
-fn sensitivity(model: &Model, input: &ranger_tensor::Tensor, trials: usize, seed: u64) -> Result<ranger_inject::BitSensitivity, Box<dyn std::error::Error>> {
+fn sensitivity(
+    model: &Model,
+    input: &ranger_tensor::Tensor,
+    trials: usize,
+    seed: u64,
+) -> Result<ranger_inject::BitSensitivity, Box<dyn std::error::Error>> {
     let target = InjectionTarget {
         graph: &model.graph,
         input_name: &model.input_name,
@@ -44,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let protected = protect_model(
         &trained.model,
         opts.seed,
+        DEFAULT_PROFILE_FRACTION,
         &BoundsConfig::default(),
         &RangerConfig::default(),
     )?;

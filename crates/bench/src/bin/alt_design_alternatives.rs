@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(Row {
         policy: "Unprotected".to_string(),
         top1_accuracy_percent: top1 * 100.0,
-        sdc_percent: unprotected.sdc_rate(0).rate_percent(),
+        sdc_percent: unprotected
+            .sdc_rate(0)
+            .expect("category in range")
+            .rate_percent(),
     });
 
     for policy in all_policies() {
@@ -62,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(Row {
             policy: format!("{policy:?}"),
             top1_accuracy_percent: top1 * 100.0,
-            sdc_percent: result.sdc_rate(0).rate_percent(),
+            sdc_percent: result
+                .sdc_rate(0)
+                .expect("category in range")
+                .rate_percent(),
         });
     }
 
@@ -78,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print_table(
         &format!("Section VI-C — design alternatives on {kind}"),
-        &["Out-of-bounds policy", "Top-1 accuracy (no faults)", "SDC rate"],
+        &[
+            "Out-of-bounds policy",
+            "Top-1 accuracy (no faults)",
+            "SDC rate",
+        ],
         &table,
     );
     write_json("alt_design_alternatives", &rows);

@@ -6,7 +6,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_steering_inputs, print_table, protect_model, run_model_campaign, write_json,
-    ExpOptions,
+    ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_datasets::driving::AngleUnit;
 use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
@@ -42,13 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(Row {
             bound: "Original".to_string(),
             threshold_degrees: *threshold,
-            sdc_percent: original.sdc_rate(i).rate_percent(),
+            sdc_percent: original
+                .sdc_rate(i)
+                .expect("category in range")
+                .rate_percent(),
         });
     }
     for percentile in [100.0, 99.9, 99.0, 98.0] {
         let protected = protect_model(
             &trained.model,
             opts.seed,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::with_percentile(percentile),
             &RangerConfig::default(),
         )?;
@@ -57,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rows.push(Row {
                 bound: format!("Bound-{percentile}%"),
                 threshold_degrees: *threshold,
-                sdc_percent: result.sdc_rate(i).rate_percent(),
+                sdc_percent: result
+                    .sdc_rate(i)
+                    .expect("category in range")
+                    .rate_percent(),
             });
         }
     }

@@ -5,7 +5,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
-    ExpOptions,
+    ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let protected = protect_model(
             &trained.model,
             opts.seed,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::default(),
             &RangerConfig::default(),
         )?;
@@ -47,8 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rows.push(Row {
                 model: kind.paper_name().to_string(),
                 bits,
-                original_sdc_percent: original.sdc_rate(0).rate_percent(),
-                ranger_sdc_percent: with_ranger.sdc_rate(0).rate_percent(),
+                original_sdc_percent: original
+                    .sdc_rate(0)
+                    .expect("category in range")
+                    .rate_percent(),
+                ranger_sdc_percent: with_ranger
+                    .sdc_rate(0)
+                    .expect("category in range")
+                    .rate_percent(),
             });
         }
     }

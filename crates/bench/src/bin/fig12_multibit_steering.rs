@@ -5,7 +5,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_steering_inputs, outputs_radians, print_table, protect_model, run_model_campaign,
-    write_json, ExpOptions,
+    write_json, ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let protected = protect_model(
             &trained.model,
             opts.seed,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::default(),
             &RangerConfig::default(),
         )?;
@@ -46,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // The paper's Fig. 12 reports the average across thresholds per bit count.
             let avg = |r: &ranger_inject::CampaignResult| {
                 (0..r.categories.len())
-                    .map(|i| r.sdc_rate(i).rate_percent())
+                    .map(|i| r.sdc_rate(i).expect("category in range").rate_percent())
                     .sum::<f64>()
                     / r.categories.len().max(1) as f64
             };

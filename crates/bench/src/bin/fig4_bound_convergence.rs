@@ -2,8 +2,8 @@
 //! profiling data (the paper shows the VGG16 model's 13 activation layers).
 
 use ranger::bounds::profile_convergence;
-use ranger_bench::{print_table, profiling_samples, write_json, ExpOptions};
 use ranger_bench::options::parse_model_kind;
+use ranger_bench::{print_table, profiling_samples, write_json, ExpOptions};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,12 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .filter(|&c| c > 0)
         .collect();
-    let points = profile_convergence(&trained.model.graph, &trained.model.input_name, &samples, &checkpoints)?;
+    let points = profile_convergence(
+        &trained.model.graph,
+        &trained.model.input_name,
+        &samples,
+        &checkpoints,
+    )?;
 
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            let mean: f64 = p.normalized_max.iter().sum::<f64>() / p.normalized_max.len().max(1) as f64;
+            let mean: f64 =
+                p.normalized_max.iter().sum::<f64>() / p.normalized_max.len().max(1) as f64;
             let min = p
                 .normalized_max
                 .iter()
@@ -47,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print_table(
         &format!("Fig. 4 — bound convergence on {kind} (normalised to the global maximum)"),
-        &["Samples used", "Mean normalised max", "Min normalised max", "ACT layers"],
+        &[
+            "Samples used",
+            "Mean normalised max",
+            "Min normalised max",
+            "ACT layers",
+        ],
         &rows,
     );
     write_json("fig4_bound_convergence", &points);

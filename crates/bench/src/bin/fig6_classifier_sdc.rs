@@ -1,15 +1,14 @@
 //! Fig. 6: SDC rates of the classifier models with and without Ranger (single bit flips,
 //! 32-bit fixed-point datatype).
+//!
+//! This binary runs entirely through the [`Pipeline`] API: one builder chain per model
+//! replaces the hand-wired load → profile → protect → select-inputs → campaign sequence.
 
 use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
-use ranger_bench::{
-    correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
-    ExpOptions,
-};
-use ranger_datasets::classification::ImageDomain;
-use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
-use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use ranger_bench::{print_table, write_json, ExpOptions, Pipeline};
+use ranger_inject::{CampaignConfig, FaultModel};
+use ranger_models::ModelKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,38 +22,29 @@ struct Row {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExpOptions::from_args();
-    let zoo = ModelZoo::with_default_dir();
     let mut rows = Vec::new();
 
     for kind in opts.models_or(&ModelKind::classifiers()) {
         eprintln!("[fig6] preparing {kind} ...");
-        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
-        let protected = protect_model(
-            &trained.model,
-            opts.seed,
-            &BoundsConfig::default(),
-            &RangerConfig::default(),
-        )?;
-        let inputs = correct_classifier_inputs(&trained.model, opts.seed, opts.inputs)?;
-        let judge = if kind.image_domain() == Some(ImageDomain::NaturalScenes) {
-            ClassifierJudge::top1_and_top5()
-        } else {
-            ClassifierJudge::top1()
-        };
-        let config = CampaignConfig {
-            trials: opts.trials,
-            fault: FaultModel::single_bit_fixed32(),
-            seed: opts.seed,
-        };
-        let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
-        let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;
-        for (i, category) in original.categories.iter().enumerate() {
+        let report = Pipeline::for_model(kind)
+            .seed(opts.seed)
+            .profile(BoundsConfig::default())
+            .protect(RangerConfig::default())
+            .campaign(CampaignConfig {
+                trials: opts.trials,
+                fault: FaultModel::single_bit_fixed32(),
+                seed: opts.seed,
+            })
+            .inputs(opts.inputs)
+            .run()?;
+        let campaign = report.campaign.expect("campaign configured");
+        for (base, prot) in campaign.baseline.iter().zip(&campaign.protected) {
             rows.push(Row {
-                model: kind.paper_name().to_string(),
-                category: category.clone(),
-                original_sdc_percent: original.sdc_rate(i).rate_percent(),
-                ranger_sdc_percent: with_ranger.sdc_rate(i).rate_percent(),
-                confidence95_percent: original.sdc_rate(i).confidence95_percent(),
+                model: report.model.clone(),
+                category: base.category.clone(),
+                original_sdc_percent: base.sdc_percent,
+                ranger_sdc_percent: prot.sdc_percent,
+                confidence95_percent: base.ci95_percent,
             });
         }
     }
@@ -76,8 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["Model", "Category", "Original SDC", "Ranger SDC", "95% CI"],
         &table,
     );
-    let avg_orig: f64 = rows.iter().map(|r| r.original_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
-    let avg_ranger: f64 = rows.iter().map(|r| r.ranger_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_orig: f64 =
+        rows.iter().map(|r| r.original_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_ranger: f64 =
+        rows.iter().map(|r| r.ranger_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
     println!("\nAverage SDC rate: {avg_orig:.2}% (original) -> {avg_ranger:.2}% (Ranger)");
     write_json("fig6_classifier_sdc", &rows);
     Ok(())

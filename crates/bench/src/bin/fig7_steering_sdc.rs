@@ -1,14 +1,14 @@
 //! Fig. 7: SDC rates of the two steering models (Dave, Comma.ai) with and without Ranger,
 //! for steering-deviation thresholds of 15°, 30°, 60° and 120°.
+//!
+//! Runs through the [`Pipeline`] API; the steering judge (thresholds, radians handling)
+//! is selected automatically from the model's task.
 
 use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
-use ranger_bench::{
-    correct_steering_inputs, outputs_radians, print_table, protect_model, run_model_campaign,
-    write_json, ExpOptions,
-};
-use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
-use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use ranger_bench::{print_table, write_json, ExpOptions, Pipeline};
+use ranger_inject::{CampaignConfig, FaultModel};
+use ranger_models::ModelKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,33 +21,40 @@ struct Row {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExpOptions::from_args();
-    let zoo = ModelZoo::with_default_dir();
     let mut rows = Vec::new();
 
-    for kind in opts.models_or(&ModelKind::steering()) {
+    let kinds = opts.models_or(&ModelKind::steering());
+    // Fail fast before any training/campaign work: this figure only exists for the
+    // steering models, and a late abort would discard completed campaigns.
+    if let Some(kind) = kinds.iter().find(|k| !k.is_steering()) {
+        return Err(format!("fig7 is a steering-model experiment; {kind} is a classifier").into());
+    }
+
+    for kind in kinds {
         eprintln!("[fig7] preparing {kind} ...");
-        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
-        let protected = protect_model(
-            &trained.model,
-            opts.seed,
-            &BoundsConfig::default(),
-            &RangerConfig::default(),
-        )?;
-        let inputs = correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?;
-        let judge = SteeringJudge::paper_thresholds(outputs_radians(&trained.model));
-        let config = CampaignConfig {
-            trials: opts.trials,
-            fault: FaultModel::single_bit_fixed32(),
-            seed: opts.seed,
-        };
-        let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
-        let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;
-        for (i, threshold) in judge.thresholds().iter().enumerate() {
+        let report = Pipeline::for_model(kind)
+            .seed(opts.seed)
+            .profile(BoundsConfig::default())
+            .protect(RangerConfig::default())
+            .campaign(CampaignConfig {
+                trials: opts.trials,
+                fault: FaultModel::single_bit_fixed32(),
+                seed: opts.seed,
+            })
+            .inputs(opts.inputs)
+            .run()?;
+        let campaign = report.campaign.expect("campaign configured");
+        for (base, prot) in campaign.baseline.iter().zip(&campaign.protected) {
+            let threshold_degrees = base
+                .category
+                .strip_prefix("threshold-")
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| panic!("unexpected steering category '{}'", base.category));
             rows.push(Row {
-                model: kind.paper_name().to_string(),
-                threshold_degrees: *threshold,
-                original_sdc_percent: original.sdc_rate(i).rate_percent(),
-                ranger_sdc_percent: with_ranger.sdc_rate(i).rate_percent(),
+                model: report.model.clone(),
+                threshold_degrees,
+                original_sdc_percent: base.sdc_percent,
+                ranger_sdc_percent: prot.sdc_percent,
             });
         }
     }

@@ -6,7 +6,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_classifier_inputs, correct_steering_inputs, outputs_radians, print_table,
-    protect_model, run_model_campaign, write_json, ExpOptions,
+    protect_model, run_model_campaign, write_json, ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel, SdcJudge, SteeringJudge};
 use ranger_models::{Model, ModelConfig, ModelKind, ModelZoo};
@@ -24,10 +24,15 @@ struct Row {
 
 /// Average SDC rate over every category of a campaign (the paper reports the average over
 /// thresholds for the steering models).
-fn mean_sdc(model: &Model, inputs: &[ranger_tensor::Tensor], judge: &dyn SdcJudge, cfg: &CampaignConfig) -> Result<f64, Box<dyn std::error::Error>> {
+fn mean_sdc(
+    model: &Model,
+    inputs: &[ranger_tensor::Tensor],
+    judge: &dyn SdcJudge,
+    cfg: &CampaignConfig,
+) -> Result<f64, Box<dyn std::error::Error>> {
     let result = run_model_campaign(model, inputs, judge, cfg)?;
     let rates: Vec<f64> = (0..result.categories.len())
-        .map(|i| result.sdc_rate(i).rate())
+        .map(|i| result.sdc_rate(i).expect("category in range").rate())
         .collect();
     Ok(rates.iter().sum::<f64>() / rates.len().max(1) as f64)
 }
@@ -69,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             correct_classifier_inputs(&relu.model, opts.seed, opts.inputs)?
         };
         let judge: Box<dyn SdcJudge> = if kind.is_steering() {
-            Box::new(SteeringJudge::paper_thresholds(outputs_radians(&relu.model)))
+            Box::new(SteeringJudge::paper_thresholds(outputs_radians(
+                &relu.model,
+            )))
         } else {
             Box::new(ClassifierJudge::top1())
         };
@@ -89,6 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ranger_model = protect_model(
                 &base.model,
                 opts.seed,
+                DEFAULT_PROFILE_FRACTION,
                 &BoundsConfig::default(),
                 &RangerConfig::default(),
             )?;

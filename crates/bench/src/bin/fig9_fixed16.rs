@@ -5,7 +5,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{
     correct_classifier_inputs, correct_steering_inputs, outputs_radians, print_table,
-    protect_model, run_model_campaign, write_json, ExpOptions,
+    protect_model, run_model_campaign, write_json, ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel, SdcJudge, SteeringJudge};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
@@ -34,13 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let protected = protect_model(
             &trained.model,
             opts.seed,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::default(),
             &RangerConfig::default(),
         )?;
         let (inputs, judge): (Vec<_>, Box<dyn SdcJudge>) = if kind.is_steering() {
             (
                 correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?,
-                Box::new(SteeringJudge::paper_thresholds(outputs_radians(&trained.model))),
+                Box::new(SteeringJudge::paper_thresholds(outputs_radians(
+                    &trained.model,
+                ))),
             )
         } else {
             (
@@ -53,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's Fig. 9 reports the per-model average across categories.
         let avg = |r: &ranger_inject::CampaignResult| {
             (0..r.categories.len())
-                .map(|i| r.sdc_rate(i).rate_percent())
+                .map(|i| r.sdc_rate(i).expect("category in range").rate_percent())
                 .sum::<f64>()
                 / r.categories.len().max(1) as f64
         };
@@ -79,8 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["Model", "Original SDC", "Ranger SDC"],
         &table,
     );
-    let avg_orig: f64 = rows.iter().map(|r| r.original_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
-    let avg_ranger: f64 = rows.iter().map(|r| r.ranger_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_orig: f64 =
+        rows.iter().map(|r| r.original_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_ranger: f64 =
+        rows.iter().map(|r| r.ranger_sdc_percent).sum::<f64>() / rows.len().max(1) as f64;
     println!("\nAverage SDC rate: {avg_orig:.2}% (original) -> {avg_ranger:.2}% (Ranger)");
     write_json("fig9_fixed16", &rows);
     Ok(())

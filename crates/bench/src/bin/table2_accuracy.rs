@@ -1,11 +1,14 @@
 //! Table II (RQ2): fault-free accuracy of every model with and without Ranger, evaluated
 //! on the validation set. Range restriction must not degrade accuracy.
+//!
+//! Uses [`Pipeline::run_full`] (no campaign step) to obtain the trained and protected
+//! models, then evaluates the paper's accuracy metrics on both.
 
 use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
-use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_bench::{print_table, write_json, ExpOptions, Pipeline};
 use ranger_models::train::{classification_accuracy, regression_metrics};
-use ranger_models::{ModelConfig, ModelKind, ModelZoo};
+use ranger_models::{ModelKind, ModelZoo};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -19,22 +22,20 @@ struct Row {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExpOptions::from_args();
-    let zoo = ModelZoo::with_default_dir();
     let mut rows = Vec::new();
 
     for kind in opts.models_or(&ModelKind::all()) {
         eprintln!("[table2] preparing {kind} ...");
-        let trained = zoo.load_or_train(&ModelConfig::new(kind), opts.seed)?;
-        let protected = protect_model(
-            &trained.model,
-            opts.seed,
-            &BoundsConfig::default(),
-            &RangerConfig::default(),
-        )?;
+        let outcome = Pipeline::for_model(kind)
+            .seed(opts.seed)
+            .profile(BoundsConfig::default())
+            .protect(RangerConfig::default())
+            .run_full()?;
+        let (model, protected) = (&outcome.model, &outcome.protected.model);
         if kind.is_steering() {
             let data = ModelZoo::driving_data(opts.seed);
-            let (rmse_orig, mad_orig) = regression_metrics(&trained.model, &data, true)?;
-            let (rmse_prot, mad_prot) = regression_metrics(&protected.model, &data, true)?;
+            let (rmse_orig, mad_orig) = regression_metrics(model, &data, true)?;
+            let (rmse_prot, mad_prot) = regression_metrics(protected, &data, true)?;
             rows.push(Row {
                 model: kind.paper_name().to_string(),
                 metric: "RMSE (deg)".to_string(),
@@ -51,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         } else {
             let data = ModelZoo::classification_data(kind, opts.seed);
-            let (top1_orig, top5_orig) = classification_accuracy(&trained.model, &data, true)?;
-            let (top1_prot, top5_prot) = classification_accuracy(&protected.model, &data, true)?;
+            let (top1_orig, top5_orig) = classification_accuracy(model, &data, true)?;
+            let (top1_prot, top5_prot) = classification_accuracy(protected, &data, true)?;
             rows.push(Row {
                 model: kind.paper_name().to_string(),
                 metric: "top-1 accuracy (%)".to_string(),

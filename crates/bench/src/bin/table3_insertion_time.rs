@@ -3,7 +3,7 @@
 
 use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
-use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_bench::{print_table, protect_model, write_json, ExpOptions, DEFAULT_PROFILE_FRACTION};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 use serde::Serialize;
 
@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let protected = protect_model(
             &trained.model,
             opts.seed,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::default(),
             &RangerConfig::default(),
         )?;

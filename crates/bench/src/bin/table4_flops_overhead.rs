@@ -4,7 +4,7 @@
 use ranger::bounds::BoundsConfig;
 use ranger::overhead::{flops_overhead, memory_overhead_bytes};
 use ranger::transform::RangerConfig;
-use ranger_bench::{print_table, protect_model, write_json, ExpOptions};
+use ranger_bench::{print_table, protect_model, write_json, ExpOptions, DEFAULT_PROFILE_FRACTION};
 use ranger_datasets::driving::FRAME_SHAPE;
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 use ranger_tensor::Tensor;
@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let protected = protect_model(
             &trained.model,
             opts.seed,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::default(),
             &RangerConfig::default(),
         )?;
@@ -72,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     print_table(
         "Table IV — FLOPs overhead of Ranger (plus bound-storage memory)",
-        &["Model", "w/o Ranger", "w/ Ranger", "Overhead", "Bounds memory"],
+        &[
+            "Model",
+            "w/o Ranger",
+            "w/ Ranger",
+            "Overhead",
+            "Bounds memory",
+        ],
         &table,
     );
     let avg: f64 = rows.iter().map(|r| r.overhead_percent).sum::<f64>() / rows.len().max(1) as f64;

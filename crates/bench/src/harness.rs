@@ -1,46 +1,30 @@
-//! Shared experiment plumbing: protection, input selection, campaigns and reporting.
+//! Shared experiment plumbing, now a thin layer over `ranger-engine`.
+//!
+//! The input-selection and protection helpers that used to be hand-wired here live in
+//! [`ranger_engine`] so the bench binaries, the CLI and the [`Pipeline`](ranger_engine::Pipeline)
+//! all pull inputs and protection the same way. This module re-exports them (keeping the
+//! historical `ranger_bench::` paths working) and keeps the reporting conveniences
+//! (`print_table`, `write_json`) that only the binaries need.
 
-use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
-use ranger::transform::{apply_ranger, RangerConfig, RangerStats};
+use ranger::bounds::BoundsConfig;
+use ranger::protect::{Protector, RangerProtector};
+use ranger::transform::RangerConfig;
 use ranger_graph::GraphError;
-use ranger_inject::{run_campaign, CampaignConfig, CampaignResult, SdcJudge};
-use ranger_inject::InjectionTarget;
-use ranger_models::zoo::ModelZoo;
-use ranger_models::{Model, ModelKind, Task};
-use ranger_tensor::Tensor;
+use ranger_models::Model;
 use std::path::PathBuf;
 
-/// A model protected by Ranger, together with the bounds and transformation statistics.
-#[derive(Debug, Clone)]
-pub struct ProtectedModel {
-    /// The protected model (same metadata as the original, rewritten graph).
-    pub model: Model,
-    /// The restriction bounds derived from the training data.
-    pub bounds: ActivationBounds,
-    /// Insertion statistics (clamp counts, instrumentation time).
-    pub stats: RangerStats,
-}
+pub use ranger_engine::data::{
+    correct_classifier_inputs, correct_steering_inputs, outputs_radians, profiling_samples,
+};
+pub use ranger_engine::pipeline::{run_model_campaign, ProtectedModel};
+pub use ranger_engine::DEFAULT_PROFILE_FRACTION;
 
-/// Returns profiling samples for bound derivation: a fraction (default 20%, as in the
-/// paper) of the model's training set, each as a single-sample batch.
-pub fn profiling_samples(kind: ModelKind, seed: u64, fraction: f64) -> Vec<Tensor> {
-    let fraction = fraction.clamp(0.01, 1.0);
-    if kind.is_steering() {
-        let data = ModelZoo::driving_data(seed);
-        let n = ((data.train.len() as f64) * fraction).ceil() as usize;
-        (0..n.min(data.train.len()))
-            .map(|i| data.train_batch(&[i], ranger_datasets::driving::AngleUnit::Degrees).0)
-            .collect()
-    } else {
-        let data = ModelZoo::classification_data(kind, seed);
-        let n = ((data.train.len() as f64) * fraction).ceil() as usize;
-        (0..n.min(data.train.len()))
-            .map(|i| data.train_batch(&[i]).0)
-            .collect()
-    }
-}
-
-/// Profiles restriction bounds from the model's training data and applies Ranger.
+/// Profiles restriction bounds from `fraction` of the model's training data and applies
+/// Ranger.
+///
+/// The profiling fraction is explicit (the paper's default is
+/// [`DEFAULT_PROFILE_FRACTION`]); bound-sensitivity experiments pass their own grid values
+/// instead of re-implementing sampling.
 ///
 /// # Errors
 ///
@@ -48,117 +32,33 @@ pub fn profiling_samples(kind: ModelKind, seed: u64, fraction: f64) -> Vec<Tenso
 pub fn protect_model(
     model: &Model,
     seed: u64,
+    fraction: f64,
     bounds_config: &BoundsConfig,
     ranger_config: &RangerConfig,
 ) -> Result<ProtectedModel, GraphError> {
-    let samples = profiling_samples(model.config.kind, seed, 0.2);
-    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, bounds_config)?;
-    let (graph, stats) = apply_ranger(&model.graph, &bounds, ranger_config)?;
-    let mut protected = model.clone();
-    protected.graph = graph;
-    Ok(ProtectedModel {
-        model: protected,
-        bounds,
-        stats,
-    })
-}
-
-/// Selects up to `n` validation images the classifier predicts correctly in the absence of
-/// faults (the paper only injects into correctly-predicted inputs). Falls back to
-/// arbitrary validation images if fewer than `n` are predicted correctly.
-///
-/// # Errors
-///
-/// Returns a [`GraphError`] if a forward pass fails.
-pub fn correct_classifier_inputs(
-    model: &Model,
-    seed: u64,
-    n: usize,
-) -> Result<Vec<Tensor>, GraphError> {
-    let data = ModelZoo::classification_data(model.config.kind, seed);
-    let mut chosen = Vec::new();
-    let mut fallback = Vec::new();
-    for i in 0..data.validation.len() {
-        if chosen.len() >= n {
-            break;
-        }
-        let (batch, labels) = data.validation_batch(&[i]);
-        let pred = model.predict_classes(&batch)?;
-        if pred[0] == labels[0] {
-            chosen.push(batch);
-        } else if fallback.len() < n {
-            fallback.push(batch);
-        }
-    }
-    while chosen.len() < n && !fallback.is_empty() {
-        chosen.push(fallback.remove(0));
-    }
-    Ok(chosen)
-}
-
-/// Selects up to `n` validation frames the steering model predicts within
-/// `tolerance_degrees` of the ground truth, falling back to arbitrary frames.
-///
-/// # Errors
-///
-/// Returns a [`GraphError`] if a forward pass fails.
-pub fn correct_steering_inputs(
-    model: &Model,
-    seed: u64,
-    n: usize,
-    tolerance_degrees: f32,
-) -> Result<Vec<Tensor>, GraphError> {
-    let data = ModelZoo::driving_data(seed);
-    let mut chosen = Vec::new();
-    let mut fallback = Vec::new();
-    for i in 0..data.validation.len() {
-        if chosen.len() >= n {
-            break;
-        }
-        let (batch, target) =
-            data.validation_batch(&[i], ranger_datasets::driving::AngleUnit::Degrees);
-        let pred = model.predict_angles_degrees(&batch)?;
-        if (pred[0] - target.data()[0]).abs() <= tolerance_degrees {
-            chosen.push(batch);
-        } else if fallback.len() < n {
-            fallback.push(batch);
-        }
-    }
-    while chosen.len() < n && !fallback.is_empty() {
-        chosen.push(fallback.remove(0));
-    }
-    Ok(chosen)
-}
-
-/// Runs a fault-injection campaign against a model (protected or not).
-///
-/// # Errors
-///
-/// Returns a [`GraphError`] if any forward pass fails.
-pub fn run_model_campaign(
-    model: &Model,
-    inputs: &[Tensor],
-    judge: &dyn SdcJudge,
-    config: &CampaignConfig,
-) -> Result<CampaignResult, GraphError> {
-    let target = InjectionTarget {
-        graph: &model.graph,
-        input_name: &model.input_name,
-        output: model.output,
-        excluded: &model.excluded_from_injection,
-    };
-    run_campaign(&target, inputs, judge, config)
-}
-
-/// Returns `true` if the model predicts steering angles in radians (used to configure the
-/// steering SDC judge).
-pub fn outputs_radians(model: &Model) -> bool {
-    matches!(
-        model.task,
-        Task::Regression {
-            unit: ranger_datasets::driving::AngleUnit::Radians
-        }
+    ranger_engine::protect_model(
+        model,
+        seed,
+        fraction,
+        bounds_config,
+        &RangerProtector::new(*ranger_config),
     )
+}
+
+/// Profiles bounds and applies an arbitrary [`Protector`] (design alternatives, baseline
+/// arms) — the trait-level twin of [`protect_model`].
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if profiling or the transformation fails.
+pub fn protect_model_with(
+    model: &Model,
+    seed: u64,
+    fraction: f64,
+    bounds_config: &BoundsConfig,
+    protector: &dyn Protector,
+) -> Result<ProtectedModel, GraphError> {
+    ranger_engine::protect_model(model, seed, fraction, bounds_config, protector)
 }
 
 /// Prints a fixed-width table to stdout.
@@ -227,12 +127,14 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> Option<PathBuf>
 mod tests {
     use super::*;
     use ranger_models::archs;
-    use ranger_models::ModelConfig;
+    use ranger_models::{ModelConfig, ModelKind};
 
     #[test]
     fn profiling_samples_cover_twenty_percent() {
-        let samples = profiling_samples(ModelKind::LeNet, 1, 0.2);
-        let expected = (ranger_models::TrainConfig::for_kind(ModelKind::LeNet).train_samples as f64 * 0.2).ceil() as usize;
+        let samples = profiling_samples(ModelKind::LeNet, 1, DEFAULT_PROFILE_FRACTION);
+        let expected = (ranger_models::TrainConfig::for_kind(ModelKind::LeNet).train_samples as f64
+            * 0.2)
+            .ceil() as usize;
         assert_eq!(samples.len(), expected);
         assert_eq!(samples[0].dims()[0], 1);
         let driving = profiling_samples(ModelKind::Comma, 1, 0.05);
@@ -245,6 +147,7 @@ mod tests {
         let protected = protect_model(
             &model,
             5,
+            DEFAULT_PROFILE_FRACTION,
             &BoundsConfig::default(),
             &RangerConfig::default(),
         )
@@ -254,7 +157,38 @@ mod tests {
         assert_eq!(protected.model.output, model.output);
         assert!(protected.model.graph.clamp_count() > 0);
         assert_eq!(model.graph.clamp_count(), 0);
-        assert!(protected.bounds.len() > 0);
+        assert!(!protected.bounds.is_empty());
+    }
+
+    #[test]
+    fn explicit_fraction_changes_the_profiling_set() {
+        let model = archs::build(&ModelConfig::lenet(), 5);
+        // A tiny fraction profiles fewer samples but still derives usable bounds.
+        let tiny = protect_model(
+            &model,
+            5,
+            0.02,
+            &BoundsConfig::default(),
+            &RangerConfig::default(),
+        )
+        .unwrap();
+        assert!(tiny.stats.clamps_inserted > 0);
+    }
+
+    #[test]
+    fn trait_level_protection_supports_baseline_arms() {
+        use ranger::protect::Unprotected;
+        let model = archs::build(&ModelConfig::lenet(), 5);
+        let arm = protect_model_with(
+            &model,
+            5,
+            DEFAULT_PROFILE_FRACTION,
+            &BoundsConfig::default(),
+            &Unprotected,
+        )
+        .unwrap();
+        assert_eq!(arm.stats.clamps_inserted, 0);
+        assert_eq!(arm.model.graph, model.graph);
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub mod options;
 
 pub use harness::{
     correct_classifier_inputs, correct_steering_inputs, outputs_radians, print_table,
-    profiling_samples, protect_model, run_model_campaign, write_json, ProtectedModel,
+    profiling_samples, protect_model, protect_model_with, run_model_campaign, write_json,
+    ProtectedModel, DEFAULT_PROFILE_FRACTION,
 };
 pub use options::ExpOptions;
+pub use ranger_engine::{Pipeline, PipelineReport};

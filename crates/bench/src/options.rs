@@ -142,7 +142,10 @@ mod tests {
     fn model_list_parses_and_falls_back() {
         let opts = parse(&["--models", "lenet,dave,unknown"]);
         assert_eq!(opts.models, vec![ModelKind::LeNet, ModelKind::Dave]);
-        assert_eq!(opts.models_or(&[ModelKind::Vgg16]), vec![ModelKind::LeNet, ModelKind::Dave]);
+        assert_eq!(
+            opts.models_or(&[ModelKind::Vgg16]),
+            vec![ModelKind::LeNet, ModelKind::Dave]
+        );
         let empty = parse(&[]);
         assert_eq!(empty.models_or(&[ModelKind::Vgg16]), vec![ModelKind::Vgg16]);
     }

@@ -2,8 +2,11 @@
 
 use crate::{CliError, Options};
 use ranger::bounds::{profile_bounds, BoundsConfig};
-use ranger::transform::{apply_ranger, RangerConfig};
+use ranger::protect::{Protector, RangerProtector};
+use ranger::transform::RangerConfig;
 use ranger_datasets::driving::AngleUnit;
+use ranger_engine::Pipeline;
+use ranger_graph::op::RestorePolicy;
 use ranger_inject::{
     run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, SdcJudge,
     SteeringJudge,
@@ -96,24 +99,38 @@ pub fn train(options: &Options) -> Result<String, CliError> {
     ))
 }
 
-/// `ranger-cli protect`: derives bounds from the training data and inserts Ranger.
+/// Parses `--policy saturate|zero|random` into the protector for that policy.
+fn parse_policy(options: &Options) -> Result<RestorePolicy, CliError> {
+    match options.get("policy").unwrap_or("saturate") {
+        "saturate" => Ok(RestorePolicy::Saturate),
+        "zero" => Ok(RestorePolicy::Zero),
+        "random" => Ok(RestorePolicy::Random),
+        other => Err(CliError::Usage(format!(
+            "unknown policy '{other}' (expected saturate, zero or random)"
+        ))),
+    }
+}
+
+/// `ranger-cli protect`: derives bounds from the training data and applies a protector.
 pub fn protect(options: &Options) -> Result<String, CliError> {
     let input = options.require("in")?.to_string();
     let out = options.require("out")?.to_string();
     let percentile = options.get_parsed("percentile", 100.0f64)?;
+    let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
     let saved = SavedModel::load(Path::new(&input))?;
     if saved.protected {
         return Err(CliError::Usage(format!("{input} is already protected")));
     }
     let seed = options.get_parsed("seed", saved.seed)?;
-    let samples = profiling_inputs(&saved.model, seed, 0.2);
+    let samples = profiling_inputs(&saved.model, seed, fraction);
     let bounds = profile_bounds(
         &saved.model.graph,
         &saved.model.input_name,
         &samples,
         &BoundsConfig::with_percentile(percentile),
     )?;
-    let (graph, stats) = apply_ranger(&saved.model.graph, &bounds, &RangerConfig::default())?;
+    let protector = RangerProtector::new(RangerConfig::with_policy(parse_policy(options)?));
+    let (graph, stats) = protector.protect(&saved.model.graph, &bounds)?;
     let mut protected = saved.clone();
     protected.model.graph = graph;
     protected.protected = true;
@@ -123,6 +140,46 @@ pub fn protect(options: &Options) -> Result<String, CliError> {
         "inserted {} range-restriction operators ({} activations, {} followers) using the {percentile}% bound; saved to {out}",
         stats.clamps_inserted, stats.activations_protected, stats.followers_protected
     ))
+}
+
+/// `ranger-cli pipeline`: the full profile → protect → inject arc in one command,
+/// printing (and optionally saving) the JSON experiment record.
+pub fn pipeline(options: &Options) -> Result<String, CliError> {
+    let kind = parse_model_name(options.require("model")?)?;
+    let seed = options.get_parsed("seed", 42u64)?;
+    let trials = options.get_parsed("trials", 100usize)?;
+    let inputs = options.get_parsed("inputs", 3usize)?;
+    let percentile = options.get_parsed("percentile", 100.0f64)?;
+    let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
+    let bits = options.get_parsed("bits", 1usize)?;
+    let datatype = if options.has_flag("fixed16") {
+        DataType::fixed16()
+    } else {
+        DataType::fixed32()
+    };
+
+    let mut builder = Pipeline::for_model(kind)
+        .seed(seed)
+        .profile(BoundsConfig::with_percentile(percentile))
+        .profile_fraction(fraction)
+        .protect(RangerConfig::with_policy(parse_policy(options)?))
+        .campaign(CampaignConfig {
+            trials,
+            fault: FaultModel { datatype, bits },
+            seed,
+        })
+        .inputs(inputs);
+    if options.has_flag("quick") {
+        builder = builder.train(TrainConfig::quick());
+    }
+    let report = builder.run()?;
+    let json = serde_json::to_string_pretty(&report)?;
+    if let Some(out) = options.get("out") {
+        std::fs::write(out, &json)?;
+        Ok(format!("{json}\n(wrote {out})"))
+    } else {
+        Ok(json)
+    }
 }
 
 /// `ranger-cli inject`: runs a fault-injection campaign against a saved model.
@@ -167,11 +224,19 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
         output: model.output,
         excluded: &model.excluded_from_injection,
     };
-    let config = CampaignConfig { trials, fault, seed };
+    let config = CampaignConfig {
+        trials,
+        fault,
+        seed,
+    };
     let result = run_campaign(&target, &batches, judge.as_ref(), &config)?;
     let mut lines = vec![format!(
         "{} | {} trials x {} inputs | fault model: {fault}",
-        if saved.protected { "protected with Ranger" } else { "unprotected" },
+        if saved.protected {
+            "protected with Ranger"
+        } else {
+            "unprotected"
+        },
         trials,
         batches.len()
     )];
@@ -201,13 +266,15 @@ pub fn info(options: &Options) -> Result<String, CliError> {
         ),
     };
     Ok(format!(
-        "{}\n  task:        {}\n  operators:   {}\n  parameters:  {}\n  activations: {}\n  clamps:      {}\n  protected:   {}{}",
+        "{}\n  task:         {}\n  operators:    {}\n  parameters:   {}\n  activations:  {}\n  restrictions: {}\n  protected:    {}{}",
         model.config.kind.paper_name(),
         task,
         model.graph.operator_nodes()?.len(),
         model.parameter_count(),
         model.activation_count(),
-        model.graph.clamp_count(),
+        // Count every range-restriction operator, whatever its out-of-bounds policy —
+        // zero/random protected models are protected too.
+        model.graph.restriction_count(),
         saved.protected,
         saved
             .percentile
@@ -247,9 +314,13 @@ pub fn dispatch(command: &str, options: &Options) -> Result<String, CliError> {
         "train" => train(options),
         "protect" => protect(options),
         "inject" => inject(options),
+        "pipeline" => pipeline(options),
         "info" => info(options),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
-        other => Err(CliError::Usage(format!("unknown command '{other}'\n\n{}", crate::USAGE))),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            crate::USAGE
+        ))),
     }
 }
 
@@ -295,9 +366,9 @@ mod tests {
 
         // Inspect both.
         let unprotected_info = info(&opts(&["--in", model_path.to_str().unwrap()])).unwrap();
-        assert!(unprotected_info.contains("protected:   false"));
+        assert!(unprotected_info.contains("protected:    false"));
         let protected_info = info(&opts(&["--in", protected_path.to_str().unwrap()])).unwrap();
-        assert!(protected_info.contains("protected:   true"));
+        assert!(protected_info.contains("protected:    true"));
 
         // Protecting an already-protected model is rejected.
         assert!(protect(&opts(&[
@@ -328,6 +399,25 @@ mod tests {
     fn dispatch_rejects_unknown_commands_and_prints_help() {
         assert!(dispatch("frobnicate", &opts(&[])).is_err());
         assert!(dispatch("help", &opts(&[])).unwrap().contains("USAGE"));
+        assert!(dispatch("help", &opts(&[])).unwrap().contains("pipeline"));
+    }
+
+    #[test]
+    fn pipeline_command_prints_a_json_report() {
+        // --quick trains with the fast recipe and bypasses the zoo cache entirely.
+        let report = pipeline(&opts(&[
+            "--model", "lenet", "--quick", "--seed", "3", "--trials", "10", "--inputs", "1",
+        ]))
+        .unwrap();
+        assert!(report.contains("\"model\": \"LeNet\""));
+        assert!(report.contains("\"protector\": \"ranger\""));
+        assert!(report.contains("\"campaign\""));
+    }
+
+    #[test]
+    fn unknown_policy_is_a_usage_error() {
+        let err = pipeline(&opts(&["--model", "lenet", "--policy", "clip"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -63,6 +63,16 @@ impl From<serde_json::Error> for CliError {
     }
 }
 
+impl From<ranger_engine::PipelineError> for CliError {
+    fn from(e: ranger_engine::PipelineError) -> Self {
+        // Preserve the error category instead of collapsing everything into Usage.
+        match e {
+            ranger_engine::PipelineError::Zoo(e) => CliError::Zoo(e),
+            ranger_engine::PipelineError::Graph(e) => CliError::Graph(e),
+        }
+    }
+}
+
 /// The usage text printed by `ranger-cli help`.
 pub const USAGE: &str = "\
 ranger-cli — train, protect and fault-inject the Ranger benchmark DNNs
@@ -73,12 +83,17 @@ USAGE:
 COMMANDS:
     train    --model <name> --out <model.json> [--seed N] [--quick]
              Train a benchmark model on its synthetic dataset and save it.
-    protect  --in <model.json> --out <protected.json> [--percentile P] [--seed N]
+    protect  --in <model.json> --out <protected.json> [--percentile P] [--fraction F]
+             [--policy saturate|zero|random] [--seed N]
              Derive restriction bounds from the training data and insert Ranger.
     inject   --in <model.json> [--trials N] [--inputs N] [--bits N] [--fixed16] [--seed N]
              Run a fault-injection campaign and report SDC rates.
+    pipeline --model <name> [--trials N] [--inputs N] [--seed N] [--percentile P]
+             [--fraction F] [--policy saturate|zero|random] [--bits N] [--fixed16]
+             [--quick] [--out report.json]
+             Run the full profile -> protect -> inject pipeline and print the JSON report.
     info     --in <model.json>
-             Print a summary of a saved model (operators, parameters, clamps).
+             Print a summary of a saved model (operators, parameters, restrictions).
     help     Print this message.
 
 MODELS:
@@ -139,9 +154,9 @@ impl Options {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("invalid value '{raw}' for --{key}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value '{raw}' for --{key}"))),
         }
     }
 
@@ -186,7 +201,10 @@ mod tests {
     #[test]
     fn invalid_numeric_values_are_usage_errors() {
         let opts = Options::parse(["--trials", "lots"].iter().map(|s| s.to_string()));
-        assert!(matches!(opts.get_parsed("trials", 10usize), Err(CliError::Usage(_))));
+        assert!(matches!(
+            opts.get_parsed("trials", 10usize),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

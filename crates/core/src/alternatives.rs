@@ -8,14 +8,17 @@
 //! through subsequent multiplications.
 
 use crate::bounds::ActivationBounds;
-use crate::transform::{apply_ranger, RangerConfig, RangerStats};
+use crate::protect::{DesignAlternative, Protector};
+use crate::transform::RangerStats;
 use ranger_graph::op::RestorePolicy;
 use ranger_graph::{Graph, GraphError};
 
 /// Applies the Ranger transformation with the given out-of-bounds policy.
 ///
-/// `RestorePolicy::Saturate` is exactly [`apply_ranger`] with the default configuration;
-/// `Zero` and `Random` are the Section VI-C design alternatives.
+/// `RestorePolicy::Saturate` is exactly [`apply_ranger`](crate::transform::apply_ranger)
+/// with the default configuration; `Zero` and `Random` are the Section VI-C design
+/// alternatives. This is a thin wrapper over the
+/// [`DesignAlternative`](crate::protect::DesignAlternative) protector.
 ///
 /// # Errors
 ///
@@ -25,13 +28,17 @@ pub fn apply_design_alternative(
     bounds: &ActivationBounds,
     policy: RestorePolicy,
 ) -> Result<(Graph, RangerStats), GraphError> {
-    apply_ranger(graph, bounds, &RangerConfig::with_policy(policy))
+    DesignAlternative::new(policy).protect(graph, bounds)
 }
 
 /// The three restoration policies the paper discusses, in the order Section VI-C presents
 /// them.
 pub fn all_policies() -> [RestorePolicy; 3] {
-    [RestorePolicy::Saturate, RestorePolicy::Zero, RestorePolicy::Random]
+    [
+        RestorePolicy::Saturate,
+        RestorePolicy::Zero,
+        RestorePolicy::Random,
+    ]
 }
 
 #[cfg(test)]
@@ -55,10 +62,17 @@ mod tests {
     #[test]
     fn saturate_alternative_matches_default_ranger() {
         let (graph, ..) = toy();
-        let samples: Vec<Tensor> = (0..4).map(|i| Tensor::filled(vec![1, 3], i as f32 * 0.3)).collect();
+        let samples: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::filled(vec![1, 3], i as f32 * 0.3))
+            .collect();
         let bounds = profile_bounds(&graph, "x", &samples, &BoundsConfig::default()).unwrap();
         let (a, _) = apply_design_alternative(&graph, &bounds, RestorePolicy::Saturate).unwrap();
-        let (b, _) = crate::transform::apply_ranger(&graph, &bounds, &RangerConfig::default()).unwrap();
+        let (b, _) = crate::transform::apply_ranger(
+            &graph,
+            &bounds,
+            &crate::transform::RangerConfig::default(),
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 
@@ -68,10 +82,13 @@ mod tests {
         let mut bounds = ActivationBounds::new();
         bounds.set(relu, 0.0, 1.0);
         let (zeroed, _) = apply_design_alternative(&graph, &bounds, RestorePolicy::Zero).unwrap();
-        assert!(zeroed
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.op, Op::RangeRestore { policy: RestorePolicy::Zero, .. })));
+        assert!(zeroed.nodes().iter().any(|n| matches!(
+            n.op,
+            Op::RangeRestore {
+                policy: RestorePolicy::Zero,
+                ..
+            }
+        )));
 
         // Feed an input that drives the ReLU above the bound: the zero policy collapses
         // the downstream values harder than saturation does.
@@ -83,7 +100,9 @@ mod tests {
         let out_sat = Executor::new(&saturated)
             .run_simple(&[("x", input.clone())], y)
             .unwrap();
-        let out_zero = Executor::new(&zeroed).run_simple(&[("x", input)], y).unwrap();
+        let out_zero = Executor::new(&zeroed)
+            .run_simple(&[("x", input)], y)
+            .unwrap();
         let dev_sat = golden.max_abs_diff(&out_sat).unwrap();
         let dev_zero = golden.max_abs_diff(&out_zero).unwrap();
         assert!(
@@ -107,7 +126,9 @@ mod tests {
             .id;
         let input = Tensor::filled(vec![1, 3], 50.0);
         let exec = Executor::new(&randomized);
-        let a = exec.run_simple(&[("x", input.clone())], clamp_node).unwrap();
+        let a = exec
+            .run_simple(&[("x", input.clone())], clamp_node)
+            .unwrap();
         let b = exec.run_simple(&[("x", input)], clamp_node).unwrap();
         assert_eq!(a, b, "random replacement must be reproducible");
         assert!(a.max() <= 1.0 && a.min() >= 0.0);

@@ -107,7 +107,9 @@ mod tests {
         let tmr = &entries[0];
         assert_eq!(tmr.sdc_coverage_percent, 100.0);
         assert_eq!(tmr.overhead_percent, 200.0);
-        assert!(entries.iter().all(|e| e.provenance == Provenance::ReportedByPaper));
+        assert!(entries
+            .iter()
+            .all(|e| e.provenance == Provenance::ReportedByPaper));
     }
 
     #[test]
@@ -117,7 +119,10 @@ mod tests {
         assert_eq!(e.provenance, Provenance::Measured);
         // Degenerate cases.
         assert_eq!(measured_entry("x", 0.0, 0.1, 1.0).sdc_coverage_percent, 0.0);
-        assert_eq!(measured_entry("x", 0.1, 0.0, 1.0).sdc_coverage_percent, 100.0);
+        assert_eq!(
+            measured_entry("x", 0.1, 0.0, 1.0).sdc_coverage_percent,
+            100.0
+        );
         assert_eq!(measured_entry("x", 0.1, 0.2, 1.0).sdc_coverage_percent, 0.0);
     }
 }

@@ -294,8 +294,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         (0..n)
             .map(|_| {
-                Tensor::from_vec(vec![1, 4], (0..4).map(|_| rng.gen_range(0.0..scale)).collect())
-                    .unwrap()
+                Tensor::from_vec(
+                    vec![1, 4],
+                    (0..4).map(|_| rng.gen_range(0.0..scale)).collect(),
+                )
+                .unwrap()
             })
             .collect()
     }
@@ -321,7 +324,8 @@ mod tests {
         let (graph, relu) = relu_net();
         let data = samples(50, 2.0);
         let full = profile_bounds(&graph, "x", &data, &BoundsConfig::default()).unwrap();
-        let tight = profile_bounds(&graph, "x", &data, &BoundsConfig::with_percentile(90.0)).unwrap();
+        let tight =
+            profile_bounds(&graph, "x", &data, &BoundsConfig::with_percentile(90.0)).unwrap();
         assert!(tight.get(relu).unwrap().1 <= full.get(relu).unwrap().1);
     }
 
@@ -333,7 +337,12 @@ mod tests {
         let h = b.dense(x, 2, 2, &mut rng);
         let t = b.tanh(h);
         let graph = b.into_graph();
-        let bounds = profile_bounds(&graph, "x", &samples(3, 1.0 /* unused scale */), &BoundsConfig::default());
+        let bounds = profile_bounds(
+            &graph,
+            "x",
+            &samples(3, 1.0 /* unused scale */),
+            &BoundsConfig::default(),
+        );
         // Samples have the wrong width for this graph, so profiling would fail — but Tanh
         // bounds must be available even with zero samples.
         let bounds = match bounds {
@@ -346,7 +355,8 @@ mod tests {
     #[test]
     fn storage_overhead_is_two_floats_per_activation() {
         let (graph, _) = relu_net();
-        let bounds = profile_bounds(&graph, "x", &samples(5, 1.0), &BoundsConfig::default()).unwrap();
+        let bounds =
+            profile_bounds(&graph, "x", &samples(5, 1.0), &BoundsConfig::default()).unwrap();
         assert_eq!(bounds.storage_bytes(), bounds.len() * 8);
         assert!(!bounds.is_empty());
         assert_eq!(bounds.iter().count(), bounds.len());

@@ -49,9 +49,11 @@ pub mod alternatives;
 pub mod baselines;
 pub mod bounds;
 pub mod overhead;
+pub mod protect;
 pub mod transform;
 
 pub use bounds::{profile_bounds, profile_convergence, ActivationBounds, BoundsConfig};
+pub use protect::{DesignAlternative, Protector, RangerProtector, Unprotected};
 pub use transform::{apply_ranger, RangerConfig, RangerStats};
 
 /// Convenience re-exports for experiment code.
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::alternatives::apply_design_alternative;
     pub use crate::bounds::{profile_bounds, profile_convergence, ActivationBounds, BoundsConfig};
     pub use crate::overhead::{flops_overhead, memory_overhead_bytes, OverheadReport};
+    pub use crate::protect::{DesignAlternative, Protector, RangerProtector, Unprotected};
     pub use crate::transform::{apply_ranger, RangerConfig, RangerStats};
     pub use ranger_graph::op::RestorePolicy;
 }

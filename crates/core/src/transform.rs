@@ -2,10 +2,10 @@
 //! (Algorithm 1 of the paper).
 
 use crate::bounds::ActivationBounds;
+use crate::protect::{Protector, RangerProtector};
 use ranger_graph::op::RestorePolicy;
-use ranger_graph::{Graph, GraphError, NodeId, Op};
+use ranger_graph::{Graph, GraphError};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Configuration of the Ranger transformation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,28 +62,14 @@ pub struct RangerStats {
     pub insertion_seconds: f64,
 }
 
-/// Builds the restriction operator for the configured policy.
-fn restriction_op(lo: f32, hi: f32, policy: RestorePolicy) -> Op {
-    match policy {
-        RestorePolicy::Saturate => Op::Clamp { lo, hi },
-        other => Op::RangeRestore {
-            lo,
-            hi,
-            policy: other,
-        },
-    }
-}
-
 /// Applies Ranger to a graph, returning the protected graph and transformation statistics.
 ///
-/// This is Algorithm 1 of the paper: traverse the operations of the network in order; for
-/// every ACT operation with a known restriction bound insert a range-restriction operator
-/// after it; if the operation consuming the ACT output is a max-pool, average-pool or
-/// reshape, bound it with the same restriction bound; if it is a concatenation, bound it
-/// with the merged bounds (minimum of the lower bounds, maximum of the upper bounds) of
-/// the ACT operations feeding it. The input graph is not modified — like the TensorFlow
-/// implementation, which duplicates the (append-only) graph and remaps operator inputs,
-/// the transformation works on a copy.
+/// This is Algorithm 1 of the paper; the canonical implementation lives in
+/// [`RangerProtector`](crate::protect::RangerProtector) and this free function is a thin
+/// wrapper over it, kept for the many call sites (and readers of the paper) that want a
+/// direct function. The input graph is not modified — like the TensorFlow implementation,
+/// which duplicates the (append-only) graph and remaps operator inputs, the transformation
+/// works on a copy.
 ///
 /// # Errors
 ///
@@ -93,88 +79,7 @@ pub fn apply_ranger(
     bounds: &ActivationBounds,
     config: &RangerConfig,
 ) -> Result<(Graph, RangerStats), GraphError> {
-    let start = Instant::now();
-    let mut protected = graph.clone();
-    let mut stats = RangerStats {
-        clamps_inserted: 0,
-        activations_protected: 0,
-        followers_protected: 0,
-        insertion_seconds: 0.0,
-    };
-
-    // Traverse the *original* operator list so freshly inserted restriction operators are
-    // not revisited.
-    let order: Vec<NodeId> = graph.operator_nodes()?;
-    for id in order {
-        let node = graph.node(id)?;
-        if !node.op.is_activation() {
-            continue;
-        }
-        let Some((lo, hi)) = bounds.get(id) else {
-            continue;
-        };
-        // Degenerate bounds (inverted or non-finite) would make the clamp meaningless —
-        // skip them instead of producing an operator that rejects every value.
-        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
-            continue;
-        }
-
-        // Line 3-4: bound the ACT operation itself.
-        let name = format!("{}/ranger", node.name);
-        protected.insert_after(id, name, restriction_op(lo, hi, config.policy))?;
-        stats.clamps_inserted += 1;
-        stats.activations_protected += 1;
-
-        if !config.protect_followers {
-            continue;
-        }
-
-        // Lines 5-8: bound the operations that consume this ACT operation's output.
-        // Consumers are looked up in the original graph (the paper's op_{i+1}).
-        for consumer_id in graph.consumers(id) {
-            let consumer = graph.node(consumer_id)?;
-            if consumer.op.extends_activation_bound() {
-                let name = format!("{}/ranger", consumer.name);
-                protected.insert_after(consumer_id, name, restriction_op(lo, hi, config.policy))?;
-                stats.clamps_inserted += 1;
-                stats.followers_protected += 1;
-            } else if consumer.op.is_concat() {
-                // Merge the bounds of every bounded ACT operation feeding the concat.
-                let mut merged_lo = lo;
-                let mut merged_hi = hi;
-                for &concat_input in &consumer.inputs {
-                    if let Some((l, h)) = bounds.get(concat_input) {
-                        merged_lo = merged_lo.min(l);
-                        merged_hi = merged_hi.max(h);
-                    }
-                }
-                // Insert at most one restriction per concat operation, even though several
-                // of its inputs are ACT operations.
-                let already = protected
-                    .consumers(consumer_id)
-                    .into_iter()
-                    .any(|c| {
-                        matches!(
-                            protected.node(c).map(|n| &n.op),
-                            Ok(Op::Clamp { .. }) | Ok(Op::RangeRestore { .. })
-                        )
-                    });
-                if !already {
-                    let name = format!("{}/ranger", consumer.name);
-                    protected.insert_after(
-                        consumer_id,
-                        name,
-                        restriction_op(merged_lo, merged_hi, config.policy),
-                    )?;
-                    stats.clamps_inserted += 1;
-                    stats.followers_protected += 1;
-                }
-            }
-        }
-    }
-
-    stats.insertion_seconds = start.elapsed().as_secs_f64();
-    Ok((protected, stats))
+    RangerProtector::new(*config).protect(graph, bounds)
 }
 
 #[cfg(test)]
@@ -183,7 +88,7 @@ mod tests {
     use crate::bounds::{profile_bounds, BoundsConfig};
     use rand::{rngs::StdRng, SeedableRng};
     use ranger_graph::exec::{Executor, NoopInterceptor};
-    use ranger_graph::GraphBuilder;
+    use ranger_graph::{GraphBuilder, NodeId, Op};
     use ranger_tensor::Tensor;
 
     /// Builds a small CNN-like graph with a ReLU feeding a max-pool (the Algorithm 1
@@ -201,13 +106,16 @@ mod tests {
     }
 
     fn profiling_samples() -> Vec<Tensor> {
-        (0..5).map(|i| Tensor::filled(vec![1, 1, 4, 4], 0.2 * i as f32)).collect()
+        (0..5)
+            .map(|i| Tensor::filled(vec![1, 1, 4, 4], 0.2 * i as f32))
+            .collect()
     }
 
     #[test]
     fn algorithm1_bounds_act_and_following_pool() {
         let (graph, relu, pool, _) = relu_pool_net();
-        let bounds = profile_bounds(&graph, "x", &profiling_samples(), &BoundsConfig::default()).unwrap();
+        let bounds =
+            profile_bounds(&graph, "x", &profiling_samples(), &BoundsConfig::default()).unwrap();
         let (protected, stats) = apply_ranger(&graph, &bounds, &RangerConfig::default()).unwrap();
 
         assert_eq!(stats.activations_protected, 1);
@@ -233,7 +141,8 @@ mod tests {
     #[test]
     fn activations_only_config_skips_followers() {
         let (graph, ..) = relu_pool_net();
-        let bounds = profile_bounds(&graph, "x", &profiling_samples(), &BoundsConfig::default()).unwrap();
+        let bounds =
+            profile_bounds(&graph, "x", &profiling_samples(), &BoundsConfig::default()).unwrap();
         let (protected, stats) =
             apply_ranger(&graph, &bounds, &RangerConfig::activations_only()).unwrap();
         assert_eq!(stats.followers_protected, 0);
@@ -303,7 +212,8 @@ mod tests {
     #[test]
     fn design_alternative_policy_inserts_range_restore_ops() {
         let (graph, ..) = relu_pool_net();
-        let bounds = profile_bounds(&graph, "x", &profiling_samples(), &BoundsConfig::default()).unwrap();
+        let bounds =
+            profile_bounds(&graph, "x", &profiling_samples(), &BoundsConfig::default()).unwrap();
         let (protected, _) = apply_ranger(
             &graph,
             &bounds,
@@ -313,7 +223,15 @@ mod tests {
         let restore_count = protected
             .nodes()
             .iter()
-            .filter(|n| matches!(n.op, Op::RangeRestore { policy: RestorePolicy::Zero, .. }))
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    Op::RangeRestore {
+                        policy: RestorePolicy::Zero,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(restore_count, 2);
         assert_eq!(protected.clamp_count(), 0);
@@ -352,11 +270,17 @@ mod tests {
 
         let unprotected_dev = golden.max_abs_diff(&faulty_unprotected).unwrap();
         let protected_dev = golden.max_abs_diff(&faulty_protected).unwrap();
-        assert!(unprotected_dev > 1.0e3, "the fault must matter without Ranger");
+        assert!(
+            unprotected_dev > 1.0e3,
+            "the fault must matter without Ranger"
+        );
         assert!(
             protected_dev < unprotected_dev / 1.0e3,
             "Ranger must dampen the deviation ({unprotected_dev} -> {protected_dev})"
         );
-        let _ = exec.run(&[("x", Tensor::zeros(vec![1, 1, 4, 4]))], &mut NoopInterceptor);
+        let _ = exec.run(
+            &[("x", Tensor::zeros(vec![1, 1, 4, 4]))],
+            &mut NoopInterceptor,
+        );
     }
 }

@@ -73,7 +73,9 @@ impl DrivingDataset {
     pub fn generate(n_train: usize, n_validation: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let train = (0..n_train).map(|_| generate_frame(&mut rng)).collect();
-        let validation = (0..n_validation).map(|_| generate_frame(&mut rng)).collect();
+        let validation = (0..n_validation)
+            .map(|_| generate_frame(&mut rng))
+            .collect();
         DrivingDataset { train, validation }
     }
 
@@ -211,7 +213,10 @@ mod tests {
     #[test]
     fn angle_unit_round_trips() {
         let deg = 123.4f32;
-        assert!((AngleUnit::Radians.to_degrees(AngleUnit::Radians.from_degrees(deg)) - deg).abs() < 1e-4);
+        assert!(
+            (AngleUnit::Radians.to_degrees(AngleUnit::Radians.from_degrees(deg)) - deg).abs()
+                < 1e-4
+        );
         assert_eq!(AngleUnit::Degrees.from_degrees(deg), deg);
     }
 

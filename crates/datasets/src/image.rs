@@ -61,7 +61,15 @@ impl Canvas {
     }
 
     /// Draws an axis-aligned filled rectangle on one channel.
-    pub fn fill_rect(&mut self, channel: usize, y0: isize, x0: isize, h: usize, w: usize, value: f32) {
+    pub fn fill_rect(
+        &mut self,
+        channel: usize,
+        y0: isize,
+        x0: isize,
+        h: usize,
+        w: usize,
+        value: f32,
+    ) {
         for dy in 0..h as isize {
             for dx in 0..w as isize {
                 self.set(channel, y0 + dy, x0 + dx, value);

@@ -134,7 +134,10 @@ pub fn backward(
             }
             Op::GlobalAvgPool => {
                 let x = values.get(node.inputs[0])?;
-                grads.accumulate(node.inputs[0], ops::global_avg_pool_backward(id, x, &grad_out)?)?;
+                grads.accumulate(
+                    node.inputs[0],
+                    ops::global_avg_pool_backward(id, x, &grad_out)?,
+                )?;
             }
             Op::Flatten | Op::Reshape { .. } => {
                 let x = values.get(node.inputs[0])?;
@@ -185,7 +188,10 @@ pub fn backward(
 ///
 /// Returns a [`GraphError::ShapeError`] if `logits` is not rank 2 or a label is out of
 /// range.
-pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), GraphError> {
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), GraphError> {
     let dims = logits.dims();
     if dims.len() != 2 || dims[0] != labels.len() {
         return Err(GraphError::ShapeError {
@@ -223,10 +229,12 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
 ///
 /// Returns a [`GraphError::ShapeError`] if the shapes differ.
 pub fn mse_loss(predictions: &Tensor, targets: &Tensor) -> Result<(f32, Tensor), GraphError> {
-    let diff = predictions.sub(targets).map_err(|e| GraphError::ShapeError {
-        node: NodeId::new(usize::MAX),
-        message: e.to_string(),
-    })?;
+    let diff = predictions
+        .sub(targets)
+        .map_err(|e| GraphError::ShapeError {
+            node: NodeId::new(usize::MAX),
+            message: e.to_string(),
+        })?;
     let n = diff.len().max(1) as f32;
     let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
     let grad = diff.scale(2.0 / n);
@@ -493,7 +501,8 @@ mod tests {
         let mut graph = b.into_graph();
 
         // Learn y = x0 + x1 on a fixed batch.
-        let inputs = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        let inputs =
+            Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         let targets = Tensor::from_vec(vec![4, 1], vec![0.0, 1.0, 1.0, 2.0]).unwrap();
 
         let mut opt = SgdOptimizer::new(0.05, 0.9, 0.0);
@@ -527,7 +536,8 @@ mod tests {
         let h = b.relu(h);
         let y = b.dense(h, 8, 1, &mut rng);
         let mut graph = b.into_graph();
-        let inputs = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        let inputs =
+            Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         let targets = Tensor::from_vec(vec![4, 1], vec![0.0, 1.0, 1.0, 2.0]).unwrap();
         let mut opt = AdamOptimizer::new(0.02).with_betas(0.9, 0.999);
         assert!((opt.learning_rate() - 0.02).abs() < 1e-9);
@@ -535,14 +545,20 @@ mod tests {
         let mut last = 0.0;
         for _ in 0..150 {
             let exec = Executor::new(&graph);
-            let values = exec.run(&[("x", inputs.clone())], &mut NoopInterceptor).unwrap();
+            let values = exec
+                .run(&[("x", inputs.clone())], &mut NoopInterceptor)
+                .unwrap();
             let (loss, grad) = mse_loss(values.get(y).unwrap(), &targets).unwrap();
             first.get_or_insert(loss);
             last = loss;
             let grads = backward(&graph, &values, y, &grad).unwrap();
             opt.step(&mut graph, &grads).unwrap();
         }
-        assert!(last < first.unwrap() * 0.1, "Adam should fit the toy problem: {} -> {last}", first.unwrap());
+        assert!(
+            last < first.unwrap() * 0.1,
+            "Adam should fit the toy problem: {} -> {last}",
+            first.unwrap()
+        );
     }
 
     #[test]
@@ -551,7 +567,9 @@ mod tests {
         let _x = g.add_input("x");
         let w = g.add_const("w", Tensor::from_vec(vec![1], vec![2.0]).unwrap(), true);
         let mut grads = Gradients::default();
-        grads.accumulate(w, Tensor::from_vec(vec![1], vec![f32::INFINITY]).unwrap()).unwrap();
+        grads
+            .accumulate(w, Tensor::from_vec(vec![1], vec![f32::INFINITY]).unwrap())
+            .unwrap();
         let mut opt = AdamOptimizer::new(0.1);
         opt.step(&mut g, &grads).unwrap();
         assert_eq!(g.node(w).unwrap().value.as_ref().unwrap().data()[0], 2.0);
@@ -565,23 +583,46 @@ mod tests {
         let y = g.add_node("y", Op::MatMul, vec![x, w]);
         let exec = Executor::new(&g);
         let values = exec
-            .run(&[("x", Tensor::from_vec(vec![1, 1], vec![1000.0]).unwrap())], &mut NoopInterceptor)
+            .run(
+                &[("x", Tensor::from_vec(vec![1, 1], vec![1000.0]).unwrap())],
+                &mut NoopInterceptor,
+            )
             .unwrap();
         // Huge seed gradient -> huge parameter gradient; clipping must bound the step.
-        let grads = backward(&g, &values, y, &Tensor::from_vec(vec![1, 1], vec![1000.0]).unwrap()).unwrap();
+        let grads = backward(
+            &g,
+            &values,
+            y,
+            &Tensor::from_vec(vec![1, 1], vec![1000.0]).unwrap(),
+        )
+        .unwrap();
         let mut clipped = SgdOptimizer::new(1.0, 0.0, 0.0).with_clip_norm(1.0);
         let mut graph_clipped = g.clone();
         clipped.step(&mut graph_clipped, &grads).unwrap();
-        let updated = graph_clipped.node(w).unwrap().value.as_ref().unwrap().data()[0];
-        assert!((updated - 0.0).abs() < 1e-3, "clipped update should move by about the clip norm, got {updated}");
+        let updated = graph_clipped
+            .node(w)
+            .unwrap()
+            .value
+            .as_ref()
+            .unwrap()
+            .data()[0];
+        assert!(
+            (updated - 0.0).abs() < 1e-3,
+            "clipped update should move by about the clip norm, got {updated}"
+        );
 
         // A NaN gradient must not touch the weights when clipping is enabled.
         let mut nan_grads = Gradients::default();
-        nan_grads.accumulate(w, Tensor::from_vec(vec![1, 1], vec![f32::NAN]).unwrap()).unwrap();
+        nan_grads
+            .accumulate(w, Tensor::from_vec(vec![1, 1], vec![f32::NAN]).unwrap())
+            .unwrap();
         let mut graph_nan = g.clone();
         let mut opt = SgdOptimizer::new(0.1, 0.0, 0.0).with_clip_norm(1.0);
         opt.step(&mut graph_nan, &nan_grads).unwrap();
-        assert_eq!(graph_nan.node(w).unwrap().value.as_ref().unwrap().data()[0], 1.0);
+        assert_eq!(
+            graph_nan.node(w).unwrap().value.as_ref().unwrap().data()[0],
+            1.0
+        );
     }
 
     #[test]
@@ -592,7 +633,10 @@ mod tests {
         let exec = Executor::new(&g);
         let values = exec
             .run(
-                &[("x", Tensor::from_vec(vec![1, 3], vec![-1.0, 0.5, 2.0]).unwrap())],
+                &[(
+                    "x",
+                    Tensor::from_vec(vec![1, 3], vec![-1.0, 0.5, 2.0]).unwrap(),
+                )],
                 &mut NoopInterceptor,
             )
             .unwrap();

@@ -50,6 +50,7 @@ impl GraphBuilder {
     ///
     /// `in_channels`/`out_channels` describe the filter bank; `kernel` is the square
     /// window size.
+    #[allow(clippy::too_many_arguments)]
     pub fn conv2d<R: Rng + ?Sized>(
         &mut self,
         x: NodeId,
@@ -62,20 +63,18 @@ impl GraphBuilder {
     ) -> NodeId {
         let name = self.next_layer_name("conv");
         let fan_in = in_channels * kernel * kernel;
-        let w = init::he_normal(
-            vec![out_channels, in_channels, kernel, kernel],
-            fan_in,
-            rng,
-        );
+        let w = init::he_normal(vec![out_channels, in_channels, kernel, kernel], fan_in, rng);
         let w = self.graph.add_const(format!("{name}/weights"), w, true);
         let b = self.graph.add_const(
             format!("{name}/bias"),
             ranger_tensor::Tensor::zeros(vec![out_channels]),
             true,
         );
-        let conv = self
-            .graph
-            .add_node(format!("{name}/Conv2D"), Op::Conv2d { stride, padding }, vec![x, w]);
+        let conv = self.graph.add_node(
+            format!("{name}/Conv2D"),
+            Op::Conv2d { stride, padding },
+            vec![x, w],
+        );
         self.graph
             .add_node(format!("{name}/BiasAdd"), Op::BiasAdd, vec![conv, b])
     }
@@ -106,13 +105,15 @@ impl GraphBuilder {
     /// Adds a ReLU activation.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
         let name = self.next_layer_name("relu");
-        self.graph.add_node(format!("{name}/Relu"), Op::Relu, vec![x])
+        self.graph
+            .add_node(format!("{name}/Relu"), Op::Relu, vec![x])
     }
 
     /// Adds a Tanh activation.
     pub fn tanh(&mut self, x: NodeId) -> NodeId {
         let name = self.next_layer_name("tanh");
-        self.graph.add_node(format!("{name}/Tanh"), Op::Tanh, vec![x])
+        self.graph
+            .add_node(format!("{name}/Tanh"), Op::Tanh, vec![x])
     }
 
     /// Adds a sigmoid activation.
@@ -131,7 +132,8 @@ impl GraphBuilder {
     /// Adds an elementwise arc-tangent.
     pub fn atan(&mut self, x: NodeId) -> NodeId {
         let name = self.next_layer_name("atan");
-        self.graph.add_node(format!("{name}/Atan"), Op::Atan, vec![x])
+        self.graph
+            .add_node(format!("{name}/Atan"), Op::Atan, vec![x])
     }
 
     /// Adds a softmax over the last dimension.
@@ -144,15 +146,21 @@ impl GraphBuilder {
     /// Adds a max-pooling layer.
     pub fn max_pool(&mut self, x: NodeId, kernel: usize, stride: usize) -> NodeId {
         let name = self.next_layer_name("maxpool");
-        self.graph
-            .add_node(format!("{name}/MaxPool"), Op::MaxPool { kernel, stride }, vec![x])
+        self.graph.add_node(
+            format!("{name}/MaxPool"),
+            Op::MaxPool { kernel, stride },
+            vec![x],
+        )
     }
 
     /// Adds an average-pooling layer.
     pub fn avg_pool(&mut self, x: NodeId, kernel: usize, stride: usize) -> NodeId {
         let name = self.next_layer_name("avgpool");
-        self.graph
-            .add_node(format!("{name}/AvgPool"), Op::AvgPool { kernel, stride }, vec![x])
+        self.graph.add_node(
+            format!("{name}/AvgPool"),
+            Op::AvgPool { kernel, stride },
+            vec![x],
+        )
     }
 
     /// Adds a global average pooling layer.
@@ -186,14 +194,18 @@ impl GraphBuilder {
     /// Adds an elementwise addition (residual connection).
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let name = self.next_layer_name("add");
-        self.graph.add_node(format!("{name}/Add"), Op::Add, vec![a, b])
+        self.graph
+            .add_node(format!("{name}/Add"), Op::Add, vec![a, b])
     }
 
     /// Adds a multiplication by a scalar constant.
     pub fn scalar_mul(&mut self, x: NodeId, factor: f32) -> NodeId {
         let name = self.next_layer_name("scale");
-        self.graph
-            .add_node(format!("{name}/ScalarMul"), Op::ScalarMul { factor }, vec![x])
+        self.graph.add_node(
+            format!("{name}/ScalarMul"),
+            Op::ScalarMul { factor },
+            vec![x],
+        )
     }
 
     /// Adds an identity node with a descriptive name (useful for marking logical outputs).

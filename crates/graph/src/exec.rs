@@ -5,13 +5,17 @@
 //! [`Interceptor`], which is how the fault injector corrupts a single operator output
 //! mid-inference (the TensorFI model) and how the bound profiler observes activation
 //! ranges without modifying the graph.
+//!
+//! [`Executor`] plans every forward pass from scratch; hot paths that execute the same
+//! graph repeatedly (fault-injection campaigns, batched profiling) should call
+//! [`Graph::compile`] once and reuse the returned [`ExecPlan`](crate::plan::ExecPlan),
+//! which `Executor` itself is a thin per-run wrapper over.
 
 use crate::error::GraphError;
 use crate::graph::{Graph, Node, NodeId};
 use crate::op::Op;
 use crate::ops;
 use ranger_tensor::Tensor;
-use std::collections::HashMap;
 
 /// Observes (and may mutate) operator outputs during a forward pass.
 ///
@@ -46,16 +50,28 @@ impl Interceptor for RecordingInterceptor {
 }
 
 /// The values produced by a full forward pass, indexed by node id.
-#[derive(Debug, Clone)]
+///
+/// A `Values` doubles as the reusable store of a compiled
+/// [`ExecPlan`](crate::plan::ExecPlan): `ExecPlan::run_into` resets it in place, so
+/// repeated forward passes reuse the per-node slot spine instead of re-allocating it
+/// (the tensors themselves are still produced per pass by each operator).
+#[derive(Debug, Clone, Default)]
 pub struct Values {
     values: Vec<Option<Tensor>>,
 }
 
 impl Values {
-    fn new(len: usize) -> Self {
+    pub(crate) fn new(len: usize) -> Self {
         Values {
             values: vec![None; len],
         }
+    }
+
+    /// Clears all stored values while keeping the backing allocation, then re-sizes the
+    /// store for a graph of `len` nodes.
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.values.clear();
+        self.values.resize(len, None);
     }
 
     /// Returns the value computed for `id`.
@@ -70,7 +86,7 @@ impl Values {
             .ok_or(GraphError::UnknownNode(id))
     }
 
-    fn set(&mut self, id: NodeId, value: Tensor) {
+    pub(crate) fn set(&mut self, id: NodeId, value: Tensor) {
         self.values[id.index()] = Some(value);
     }
 
@@ -83,7 +99,117 @@ impl Values {
     }
 }
 
-/// Executes a [`Graph`] on fed inputs.
+pub(crate) fn arity_err(node: &Node, expected: usize) -> GraphError {
+    GraphError::ArityMismatch {
+        node: node.id,
+        op: node.op.kind_name().to_string(),
+        expected,
+        actual: node.inputs.len(),
+    }
+}
+
+fn input<'v>(node: &Node, values: &'v Values, idx: usize) -> Result<&'v Tensor, GraphError> {
+    let id = *node
+        .inputs
+        .get(idx)
+        .ok_or_else(|| arity_err(node, idx + 1))?;
+    values.get(id)
+}
+
+/// Evaluates one node given the values of its inputs and the feed list.
+///
+/// Shared by [`Executor`] and [`ExecPlan`](crate::plan::ExecPlan) so the two paths cannot
+/// diverge semantically.
+pub(crate) fn eval_node(
+    node: &Node,
+    values: &Values,
+    feeds: &[(&str, Tensor)],
+) -> Result<Tensor, GraphError> {
+    match &node.op {
+        Op::Input => feeds
+            .iter()
+            .find(|(name, _)| *name == node.name)
+            .map(|(_, t)| t.clone())
+            .or_else(|| node.value.clone())
+            .ok_or_else(|| GraphError::MissingFeed(node.name.clone())),
+        Op::Const => node
+            .value
+            .clone()
+            .ok_or(GraphError::MissingConstValue(node.id)),
+        Op::Conv2d { stride, padding } => {
+            if node.inputs.len() != 2 {
+                return Err(arity_err(node, 2));
+            }
+            let x = input(node, values, 0)?;
+            let w = input(node, values, 1)?;
+            ops::conv2d_forward(node.id, x, w, *stride, *padding)
+        }
+        Op::MatMul => {
+            if node.inputs.len() != 2 {
+                return Err(arity_err(node, 2));
+            }
+            ops::matmul_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+        }
+        Op::BiasAdd => {
+            if node.inputs.len() != 2 {
+                return Err(arity_err(node, 2));
+            }
+            ops::bias_add_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+        }
+        Op::Relu => Ok(ops::relu_forward(input(node, values, 0)?)),
+        Op::Tanh => Ok(ops::tanh_forward(input(node, values, 0)?)),
+        Op::Sigmoid => Ok(ops::sigmoid_forward(input(node, values, 0)?)),
+        Op::Atan => Ok(ops::atan_forward(input(node, values, 0)?)),
+        Op::Elu => Ok(ops::elu_forward(input(node, values, 0)?)),
+        Op::Softmax => ops::softmax_forward(node.id, input(node, values, 0)?),
+        Op::MaxPool { kernel, stride } => {
+            ops::max_pool_forward(node.id, input(node, values, 0)?, *kernel, *stride)
+        }
+        Op::AvgPool { kernel, stride } => {
+            ops::avg_pool_forward(node.id, input(node, values, 0)?, *kernel, *stride)
+        }
+        Op::GlobalAvgPool => ops::global_avg_pool_forward(node.id, input(node, values, 0)?),
+        Op::Flatten => ops::flatten_forward(node.id, input(node, values, 0)?),
+        Op::Reshape { dims } => ops::reshape_forward(node.id, input(node, values, 0)?, dims),
+        Op::Concat => {
+            if node.inputs.is_empty() {
+                return Err(arity_err(node, 1));
+            }
+            let mut tensors = Vec::with_capacity(node.inputs.len());
+            for i in 0..node.inputs.len() {
+                tensors.push(input(node, values, i)?);
+            }
+            ops::concat_forward(node.id, &tensors)
+        }
+        Op::Add => {
+            if node.inputs.len() != 2 {
+                return Err(arity_err(node, 2));
+            }
+            ops::add_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+        }
+        Op::Mul => {
+            if node.inputs.len() != 2 {
+                return Err(arity_err(node, 2));
+            }
+            ops::mul_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+        }
+        Op::ScalarMul { factor } => Ok(input(node, values, 0)?.scale(*factor)),
+        Op::Identity => Ok(input(node, values, 0)?.clone()),
+        Op::Clamp { lo, hi } => Ok(ops::clamp_forward(input(node, values, 0)?, *lo, *hi)),
+        Op::RangeRestore { lo, hi, policy } => Ok(ops::range_restore_forward(
+            input(node, values, 0)?,
+            *lo,
+            *hi,
+            *policy,
+        )),
+    }
+}
+
+/// Executes a [`Graph`] on fed inputs, planning each run from scratch.
+///
+/// This is the convenience single-shot API; it compiles a fresh
+/// [`ExecPlan`](crate::plan::ExecPlan) per call. Code that runs the same graph many times
+/// should compile the plan once instead.
 #[derive(Debug, Clone, Copy)]
 pub struct Executor<'g> {
     graph: &'g Graph,
@@ -109,19 +235,7 @@ impl<'g> Executor<'g> {
         feeds: &[(&str, Tensor)],
         interceptor: &mut dyn Interceptor,
     ) -> Result<Values, GraphError> {
-        let feed_map: HashMap<&str, &Tensor> = feeds.iter().map(|(n, t)| (*n, t)).collect();
-        let order = self.graph.topological_order()?;
-        let mut values = Values::new(self.graph.len());
-
-        for id in order {
-            let node = self.graph.node(id)?;
-            let mut output = self.eval_node(node, &values, &feed_map)?;
-            if node.op.is_injectable() {
-                interceptor.after_op(node, &mut output);
-            }
-            values.set(id, output);
-        }
-        Ok(values)
+        self.graph.compile()?.run(feeds, interceptor)
     }
 
     /// Runs a forward pass and returns only the value of `fetch`, using no interceptor.
@@ -129,7 +243,11 @@ impl<'g> Executor<'g> {
     /// # Errors
     ///
     /// Returns a [`GraphError`] under the same conditions as [`Executor::run`].
-    pub fn run_simple(&self, feeds: &[(&str, Tensor)], fetch: NodeId) -> Result<Tensor, GraphError> {
+    pub fn run_simple(
+        &self,
+        feeds: &[(&str, Tensor)],
+        fetch: NodeId,
+    ) -> Result<Tensor, GraphError> {
         let values = self.run(feeds, &mut NoopInterceptor)?;
         values.get(fetch).cloned()
     }
@@ -147,108 +265,6 @@ impl<'g> Executor<'g> {
     ) -> Result<Tensor, GraphError> {
         let values = self.run(feeds, interceptor)?;
         values.get(fetch).cloned()
-    }
-
-    fn arity_err(node: &Node, expected: usize) -> GraphError {
-        GraphError::ArityMismatch {
-            node: node.id,
-            op: node.op.kind_name().to_string(),
-            expected,
-            actual: node.inputs.len(),
-        }
-    }
-
-    fn input<'v>(&self, node: &Node, values: &'v Values, idx: usize) -> Result<&'v Tensor, GraphError> {
-        let id = *node
-            .inputs
-            .get(idx)
-            .ok_or_else(|| Self::arity_err(node, idx + 1))?;
-        values.get(id)
-    }
-
-    fn eval_node(
-        &self,
-        node: &Node,
-        values: &Values,
-        feeds: &HashMap<&str, &Tensor>,
-    ) -> Result<Tensor, GraphError> {
-        match &node.op {
-            Op::Input => feeds
-                .get(node.name.as_str())
-                .map(|t| (*t).clone())
-                .or_else(|| node.value.clone())
-                .ok_or_else(|| GraphError::MissingFeed(node.name.clone())),
-            Op::Const => node
-                .value
-                .clone()
-                .ok_or(GraphError::MissingConstValue(node.id)),
-            Op::Conv2d { stride, padding } => {
-                if node.inputs.len() != 2 {
-                    return Err(Self::arity_err(node, 2));
-                }
-                let x = self.input(node, values, 0)?;
-                let w = self.input(node, values, 1)?;
-                ops::conv2d_forward(node.id, x, w, *stride, *padding)
-            }
-            Op::MatMul => {
-                if node.inputs.len() != 2 {
-                    return Err(Self::arity_err(node, 2));
-                }
-                ops::matmul_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
-            }
-            Op::BiasAdd => {
-                if node.inputs.len() != 2 {
-                    return Err(Self::arity_err(node, 2));
-                }
-                ops::bias_add_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
-            }
-            Op::Relu => Ok(ops::relu_forward(self.input(node, values, 0)?)),
-            Op::Tanh => Ok(ops::tanh_forward(self.input(node, values, 0)?)),
-            Op::Sigmoid => Ok(ops::sigmoid_forward(self.input(node, values, 0)?)),
-            Op::Atan => Ok(ops::atan_forward(self.input(node, values, 0)?)),
-            Op::Elu => Ok(ops::elu_forward(self.input(node, values, 0)?)),
-            Op::Softmax => ops::softmax_forward(node.id, self.input(node, values, 0)?),
-            Op::MaxPool { kernel, stride } => {
-                ops::max_pool_forward(node.id, self.input(node, values, 0)?, *kernel, *stride)
-            }
-            Op::AvgPool { kernel, stride } => {
-                ops::avg_pool_forward(node.id, self.input(node, values, 0)?, *kernel, *stride)
-            }
-            Op::GlobalAvgPool => ops::global_avg_pool_forward(node.id, self.input(node, values, 0)?),
-            Op::Flatten => ops::flatten_forward(node.id, self.input(node, values, 0)?),
-            Op::Reshape { dims } => ops::reshape_forward(node.id, self.input(node, values, 0)?, dims),
-            Op::Concat => {
-                if node.inputs.is_empty() {
-                    return Err(Self::arity_err(node, 1));
-                }
-                let mut tensors = Vec::with_capacity(node.inputs.len());
-                for i in 0..node.inputs.len() {
-                    tensors.push(self.input(node, values, i)?);
-                }
-                ops::concat_forward(node.id, &tensors)
-            }
-            Op::Add => {
-                if node.inputs.len() != 2 {
-                    return Err(Self::arity_err(node, 2));
-                }
-                ops::add_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
-            }
-            Op::Mul => {
-                if node.inputs.len() != 2 {
-                    return Err(Self::arity_err(node, 2));
-                }
-                ops::mul_forward(node.id, self.input(node, values, 0)?, self.input(node, values, 1)?)
-            }
-            Op::ScalarMul { factor } => Ok(self.input(node, values, 0)?.scale(*factor)),
-            Op::Identity => Ok(self.input(node, values, 0)?.clone()),
-            Op::Clamp { lo, hi } => Ok(ops::clamp_forward(self.input(node, values, 0)?, *lo, *hi)),
-            Op::RangeRestore { lo, hi, policy } => Ok(ops::range_restore_forward(
-                self.input(node, values, 0)?,
-                *lo,
-                *hi,
-                *policy,
-            )),
-        }
     }
 }
 
@@ -356,7 +372,14 @@ mod tests {
         );
         let biased = g.add_node("bias", Op::BiasAdd, vec![conv, b]);
         let relu = g.add_node("relu", Op::Relu, vec![biased]);
-        let pool = g.add_node("pool", Op::MaxPool { kernel: 2, stride: 2 }, vec![relu]);
+        let pool = g.add_node(
+            "pool",
+            Op::MaxPool {
+                kernel: 2,
+                stride: 2,
+            },
+            vec![relu],
+        );
         let flat = g.add_node("flatten", Op::Flatten, vec![pool]);
 
         let exec = Executor::new(&g);

@@ -83,8 +83,7 @@ fn flops_for(node: &Node, input_shapes: &[Vec<usize>], output_shape: &[usize]) -
 
 impl Interceptor for ShapeRecorder {
     fn after_op(&mut self, node: &Node, output: &mut Tensor) {
-        self.output_shapes
-            .insert(node.id, output.dims().to_vec());
+        self.output_shapes.insert(node.id, output.dims().to_vec());
     }
 }
 
@@ -172,7 +171,8 @@ mod tests {
         let r = b.relu(h);
         let mut g = b.into_graph();
         let baseline = profile(&g, &[("x", Tensor::ones(vec![1, 16]))]).unwrap();
-        g.insert_after(r, "ranger", Op::Clamp { lo: 0.0, hi: 1.0 }).unwrap();
+        g.insert_after(r, "ranger", Op::Clamp { lo: 0.0, hi: 1.0 })
+            .unwrap();
         let protected = profile(&g, &[("x", Tensor::ones(vec![1, 16]))]).unwrap();
         assert_eq!(protected.total - baseline.total, 2 * 16);
         let clamp_only = protected.total_for(&g, |op| matches!(op, Op::Clamp { .. }));

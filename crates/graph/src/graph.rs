@@ -263,7 +263,12 @@ impl Graph {
     /// # Errors
     ///
     /// Returns [`GraphError::UnknownNode`] if any id does not exist.
-    pub fn rewire_input(&mut self, node: NodeId, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+    pub fn rewire_input(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), GraphError> {
         if to.0 >= self.nodes.len() {
             return Err(GraphError::UnknownNode(to));
         }
@@ -297,6 +302,15 @@ impl Graph {
         self.nodes
             .iter()
             .filter(|n| matches!(n.op, Op::Clamp { .. }))
+            .count()
+    }
+
+    /// Counts all range-restriction operators, regardless of out-of-bounds policy:
+    /// [`Op::Clamp`] plus [`Op::RangeRestore`] (the Section VI-C design alternatives).
+    pub fn restriction_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Clamp { .. } | Op::RangeRestore { .. }))
             .count()
     }
 }
@@ -396,9 +410,7 @@ mod tests {
     #[test]
     fn insert_after_unknown_node_errors() {
         let (mut g, ..) = tiny_graph();
-        assert!(g
-            .insert_after(NodeId::new(42), "c", Op::Identity)
-            .is_err());
+        assert!(g.insert_after(NodeId::new(42), "c", Op::Identity).is_err());
     }
 
     #[test]

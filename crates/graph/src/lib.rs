@@ -45,9 +45,11 @@ pub mod flops;
 pub mod graph;
 pub mod op;
 pub mod ops;
+pub mod plan;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use exec::{Executor, Interceptor};
 pub use graph::{Graph, Node, NodeId};
 pub use op::Op;
+pub use plan::ExecPlan;

@@ -141,7 +141,11 @@ impl Op {
     pub fn extends_activation_bound(&self) -> bool {
         matches!(
             self,
-            Op::MaxPool { .. } | Op::AvgPool { .. } | Op::GlobalAvgPool | Op::Reshape { .. } | Op::Flatten
+            Op::MaxPool { .. }
+                | Op::AvgPool { .. }
+                | Op::GlobalAvgPool
+                | Op::Reshape { .. }
+                | Op::Flatten
         )
     }
 
@@ -221,17 +225,37 @@ mod tests {
         assert!(Op::Relu.is_activation());
         assert!(Op::Tanh.is_activation());
         assert!(Op::Elu.is_activation());
-        assert!(!Op::Conv2d { stride: 1, padding: Padding::Same }.is_activation());
-        assert!(!Op::MaxPool { kernel: 2, stride: 2 }.is_activation());
+        assert!(!Op::Conv2d {
+            stride: 1,
+            padding: Padding::Same
+        }
+        .is_activation());
+        assert!(!Op::MaxPool {
+            kernel: 2,
+            stride: 2
+        }
+        .is_activation());
     }
 
     #[test]
     fn bound_extension_set_matches_algorithm1() {
-        assert!(Op::MaxPool { kernel: 2, stride: 2 }.extends_activation_bound());
-        assert!(Op::AvgPool { kernel: 2, stride: 2 }.extends_activation_bound());
+        assert!(Op::MaxPool {
+            kernel: 2,
+            stride: 2
+        }
+        .extends_activation_bound());
+        assert!(Op::AvgPool {
+            kernel: 2,
+            stride: 2
+        }
+        .extends_activation_bound());
         assert!(Op::Reshape { dims: vec![10] }.extends_activation_bound());
         assert!(Op::Flatten.extends_activation_bound());
-        assert!(!Op::Conv2d { stride: 1, padding: Padding::Valid }.extends_activation_bound());
+        assert!(!Op::Conv2d {
+            stride: 1,
+            padding: Padding::Valid
+        }
+        .extends_activation_bound());
         assert!(Op::Concat.is_concat());
     }
 
@@ -254,7 +278,17 @@ mod tests {
 
     #[test]
     fn display_uses_kind_name() {
-        assert_eq!(Op::Conv2d { stride: 1, padding: Padding::Same }.to_string(), "Conv2D");
-        assert_eq!(Op::Clamp { lo: 0.0, hi: 1.0 }.to_string(), "RangeRestriction");
+        assert_eq!(
+            Op::Conv2d {
+                stride: 1,
+                padding: Padding::Same
+            }
+            .to_string(),
+            "Conv2D"
+        );
+        assert_eq!(
+            Op::Clamp { lo: 0.0, hi: 1.0 }.to_string(),
+            "RangeRestriction"
+        );
     }
 }

@@ -138,7 +138,12 @@ pub fn clamp_forward(x: &Tensor, lo: f32, hi: f32) -> Tensor {
 /// Range restriction with an explicit out-of-bounds policy (the Section VI-C design
 /// alternatives): saturate at the bound, reset to zero, or substitute a deterministic
 /// pseudo-random in-range value.
-pub fn range_restore_forward(x: &Tensor, lo: f32, hi: f32, policy: crate::op::RestorePolicy) -> Tensor {
+pub fn range_restore_forward(
+    x: &Tensor,
+    lo: f32,
+    hi: f32,
+    policy: crate::op::RestorePolicy,
+) -> Tensor {
     use crate::op::RestorePolicy;
     x.map(|v| {
         if v >= lo && v <= hi {
@@ -160,7 +165,12 @@ pub fn range_restore_forward(x: &Tensor, lo: f32, hi: f32, policy: crate::op::Re
 }
 
 /// Clamp backward: the gradient flows only where the input was strictly inside the bounds.
-pub fn clamp_backward(x: &Tensor, grad_out: &Tensor, lo: f32, hi: f32) -> Result<Tensor, GraphError> {
+pub fn clamp_backward(
+    x: &Tensor,
+    grad_out: &Tensor,
+    lo: f32,
+    hi: f32,
+) -> Result<Tensor, GraphError> {
     Ok(x.zip_map(grad_out, |xi, g| if xi > lo && xi < hi { g } else { 0.0 })?)
 }
 
@@ -259,7 +269,11 @@ mod tests {
             let fp = softmax_forward(nid(), &xp).unwrap().data()[0];
             let fm = softmax_forward(nid(), &xm).unwrap().data()[0];
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 1e-3, "softmax grad {i}: {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 1e-3,
+                "softmax grad {i}: {num} vs {}",
+                gx.data()[i]
+            );
         }
     }
 
@@ -269,7 +283,10 @@ mod tests {
         let y = clamp_forward(&x, 0.0, 1.0);
         assert_eq!(y.data(), &[0.0, 0.5, 1.0]);
         let g = Tensor::ones(vec![3]);
-        assert_eq!(clamp_backward(&x, &g, 0.0, 1.0).unwrap().data(), &[0.0, 1.0, 0.0]);
+        assert_eq!(
+            clamp_backward(&x, &g, 0.0, 1.0).unwrap().data(),
+            &[0.0, 1.0, 0.0]
+        );
     }
 
     #[test]

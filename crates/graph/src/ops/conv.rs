@@ -51,12 +51,18 @@ pub fn conv2d_forward(
     let xd = x.dims();
     let wd = w.dims();
     if xd.len() != 4 || wd.len() != 4 {
-        return Err(shape_err(node, format!("conv2d expects rank-4 operands, got {xd:?} and {wd:?}")));
+        return Err(shape_err(
+            node,
+            format!("conv2d expects rank-4 operands, got {xd:?} and {wd:?}"),
+        ));
     }
     if xd[1] != wd[1] {
         return Err(shape_err(
             node,
-            format!("conv2d channel mismatch: input has {} channels, filter expects {}", xd[1], wd[1]),
+            format!(
+                "conv2d channel mismatch: input has {} channels, filter expects {}",
+                xd[1], wd[1]
+            ),
         ));
     }
     if stride == 0 {
@@ -87,7 +93,8 @@ pub fn conv2d_forward(
                                 if ix < 0 || ix >= win as isize {
                                     continue;
                                 }
-                                let xv = xdat[((b * cin + ic) * h + iy as usize) * win + ix as usize];
+                                let xv =
+                                    xdat[((b * cin + ic) * h + iy as usize) * win + ix as usize];
                                 let wv = wdat[((oc * cin + ic) * kh + ky) * kw + kx];
                                 acc += xv * wv;
                             }
@@ -130,7 +137,10 @@ pub fn conv2d_backward(
     if gd != [n, cout, ho, wo] {
         return Err(shape_err(
             node,
-            format!("conv2d backward gradient shape {gd:?} does not match expected {:?}", [n, cout, ho, wo]),
+            format!(
+                "conv2d backward gradient shape {gd:?} does not match expected {:?}",
+                [n, cout, ho, wo]
+            ),
         ));
     }
 
@@ -249,8 +259,16 @@ mod tests {
     fn backward_matches_numerical_gradient() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        let x = Tensor::from_vec(vec![1, 2, 4, 4], (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap();
-        let w = Tensor::from_vec(vec![3, 2, 3, 3], (0..54).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 2, 4, 4],
+            (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let w = Tensor::from_vec(
+            vec![3, 2, 3, 3],
+            (0..54).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
         let stride = 1;
         let padding = Padding::Same;
 
@@ -266,10 +284,18 @@ mod tests {
             wp.data_mut()[idx] += eps;
             let mut wm = w.clone();
             wm.data_mut()[idx] -= eps;
-            let fp = conv2d_forward(nid(), &x, &wp, stride, padding).unwrap().sum();
-            let fm = conv2d_forward(nid(), &x, &wm, stride, padding).unwrap().sum();
+            let fp = conv2d_forward(nid(), &x, &wp, stride, padding)
+                .unwrap()
+                .sum();
+            let fm = conv2d_forward(nid(), &x, &wm, stride, padding)
+                .unwrap()
+                .sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - gw.data()[idx]).abs() < 1e-2, "dW[{idx}]: numerical {num} vs analytic {}", gw.data()[idx]);
+            assert!(
+                (num - gw.data()[idx]).abs() < 1e-2,
+                "dW[{idx}]: numerical {num} vs analytic {}",
+                gw.data()[idx]
+            );
         }
         // And a few input coordinates.
         for &idx in &[0usize, 5, 17, 31] {
@@ -277,10 +303,18 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let fp = conv2d_forward(nid(), &xp, &w, stride, padding).unwrap().sum();
-            let fm = conv2d_forward(nid(), &xm, &w, stride, padding).unwrap().sum();
+            let fp = conv2d_forward(nid(), &xp, &w, stride, padding)
+                .unwrap()
+                .sum();
+            let fm = conv2d_forward(nid(), &xm, &w, stride, padding)
+                .unwrap()
+                .sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - gx.data()[idx]).abs() < 1e-2, "dX[{idx}]: numerical {num} vs analytic {}", gx.data()[idx]);
+            assert!(
+                (num - gx.data()[idx]).abs() < 1e-2,
+                "dX[{idx}]: numerical {num} vs analytic {}",
+                gx.data()[idx]
+            );
         }
     }
 

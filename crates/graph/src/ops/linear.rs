@@ -19,7 +19,10 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
 pub fn transpose(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
     let d = x.dims();
     if d.len() != 2 {
-        return Err(shape_err(node, format!("transpose expects a rank-2 tensor, got {d:?}")));
+        return Err(shape_err(
+            node,
+            format!("transpose expects a rank-2 tensor, got {d:?}"),
+        ));
     }
     let (r, c) = (d[0], d[1]);
     let data = x.data();
@@ -54,8 +57,12 @@ pub fn matmul_backward(
 ) -> Result<(Tensor, Tensor), GraphError> {
     let wt = transpose(node, w)?;
     let xt = transpose(node, x)?;
-    let gx = grad_out.matmul(&wt).map_err(|e| shape_err(node, e.to_string()))?;
-    let gw = xt.matmul(grad_out).map_err(|e| shape_err(node, e.to_string()))?;
+    let gx = grad_out
+        .matmul(&wt)
+        .map_err(|e| shape_err(node, e.to_string()))?;
+    let gw = xt
+        .matmul(grad_out)
+        .map_err(|e| shape_err(node, e.to_string()))?;
     Ok((gx, gw))
 }
 
@@ -74,14 +81,17 @@ pub fn bias_add_forward(node: NodeId, x: &Tensor, bias: &Tensor) -> Result<Tenso
         4 => {
             let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
             if b.len() != c {
-                return Err(shape_err(node, format!("bias length {} does not match {} channels", b.len(), c)));
+                return Err(shape_err(
+                    node,
+                    format!("bias length {} does not match {} channels", b.len(), c),
+                ));
             }
             let mut out = x.data().to_vec();
             for bi in 0..n {
-                for ch in 0..c {
+                for (ch, &bias_v) in b.iter().enumerate().take(c) {
                     let base = (bi * c + ch) * h * w;
                     for v in &mut out[base..base + h * w] {
-                        *v += b[ch];
+                        *v += bias_v;
                     }
                 }
             }
@@ -90,7 +100,10 @@ pub fn bias_add_forward(node: NodeId, x: &Tensor, bias: &Tensor) -> Result<Tenso
         2 => {
             let (n, f) = (xd[0], xd[1]);
             if b.len() != f {
-                return Err(shape_err(node, format!("bias length {} does not match {} features", b.len(), f)));
+                return Err(shape_err(
+                    node,
+                    format!("bias length {} does not match {} features", b.len(), f),
+                ));
             }
             let mut out = x.data().to_vec();
             for bi in 0..n {
@@ -100,7 +113,10 @@ pub fn bias_add_forward(node: NodeId, x: &Tensor, bias: &Tensor) -> Result<Tenso
             }
             Ok(Tensor::from_vec(xd.to_vec(), out)?)
         }
-        _ => Err(shape_err(node, format!("bias_add expects rank-2 or rank-4 input, got {xd:?}"))),
+        _ => Err(shape_err(
+            node,
+            format!("bias_add expects rank-2 or rank-4 input, got {xd:?}"),
+        )),
     }
 }
 
@@ -124,24 +140,44 @@ pub fn bias_add_backward(
     match xd.len() {
         4 => {
             let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+            if bias.len() != c {
+                return Err(shape_err(
+                    node,
+                    format!("bias length {} does not match {} channels", bias.len(), c),
+                ));
+            }
             for bi in 0..n {
-                for ch in 0..c {
+                for (ch, g) in gb.iter_mut().enumerate() {
                     let base = (bi * c + ch) * h * w;
-                    gb[ch] += gdat[base..base + h * w].iter().sum::<f32>();
+                    *g += gdat[base..base + h * w].iter().sum::<f32>();
                 }
             }
         }
         2 => {
             let (n, f) = (xd[0], xd[1]);
+            if bias.len() != f {
+                return Err(shape_err(
+                    node,
+                    format!("bias length {} does not match {} features", bias.len(), f),
+                ));
+            }
             for bi in 0..n {
                 for j in 0..f {
                     gb[j] += gdat[bi * f + j];
                 }
             }
         }
-        _ => return Err(shape_err(node, "bias_add backward expects rank-2 or rank-4 input")),
+        _ => {
+            return Err(shape_err(
+                node,
+                "bias_add backward expects rank-2 or rank-4 input",
+            ))
+        }
     }
-    Ok((grad_out.clone(), Tensor::from_vec(bias.dims().to_vec(), gb)?))
+    Ok((
+        grad_out.clone(),
+        Tensor::from_vec(bias.dims().to_vec(), gb)?,
+    ))
 }
 
 #[cfg(test)]
@@ -165,8 +201,16 @@ mod tests {
     fn matmul_backward_matches_numerical_gradient() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(9);
-        let x = Tensor::from_vec(vec![2, 3], (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap();
-        let w = Tensor::from_vec(vec![3, 4], (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap();
+        let x = Tensor::from_vec(
+            vec![2, 3],
+            (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let w = Tensor::from_vec(
+            vec![3, 4],
+            (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
         let y = matmul_forward(nid(), &x, &w).unwrap();
         let grad_out = Tensor::ones(y.dims().to_vec());
         let (gx, gw) = matmul_backward(nid(), &x, &w, &grad_out).unwrap();

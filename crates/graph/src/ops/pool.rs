@@ -64,10 +64,16 @@ fn pool_forward(
 ) -> Result<Tensor, GraphError> {
     let xd = x.dims();
     if xd.len() != 4 {
-        return Err(shape_err(node, format!("pooling expects a rank-4 input, got {xd:?}")));
+        return Err(shape_err(
+            node,
+            format!("pooling expects a rank-4 input, got {xd:?}"),
+        ));
     }
     if kernel == 0 || stride == 0 {
-        return Err(shape_err(node, "pooling kernel and stride must be positive"));
+        return Err(shape_err(
+            node,
+            "pooling kernel and stride must be positive",
+        ));
     }
     let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
     let ho = pool_geometry(h, kernel, stride);
@@ -84,10 +90,15 @@ fn pool_forward(
         for ch in 0..c {
             for oy in 0..ho {
                 for ox in 0..wo {
-                    let mut acc = if kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut acc = if kind == PoolKind::Max {
+                        f32::NEG_INFINITY
+                    } else {
+                        0.0
+                    };
                     for ky in 0..kernel {
                         for kx in 0..kernel {
-                            let v = xdat[((b * c + ch) * h + oy * stride + ky) * w + ox * stride + kx];
+                            let v =
+                                xdat[((b * c + ch) * h + oy * stride + ky) * w + ox * stride + kx];
                             match kind {
                                 PoolKind::Max => acc = acc.max(v),
                                 PoolKind::Avg => acc += v,
@@ -205,7 +216,10 @@ pub fn avg_pool_backward(
 pub fn global_avg_pool_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
     let xd = x.dims();
     if xd.len() != 4 {
-        return Err(shape_err(node, format!("global average pooling expects rank-4 input, got {xd:?}")));
+        return Err(shape_err(
+            node,
+            format!("global average pooling expects rank-4 input, got {xd:?}"),
+        ));
     }
     let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
     let xdat = x.data();
@@ -232,11 +246,17 @@ pub fn global_avg_pool_backward(
 ) -> Result<Tensor, GraphError> {
     let xd = x.dims();
     if xd.len() != 4 {
-        return Err(shape_err(node, "global average pooling backward expects rank-4 input"));
+        return Err(shape_err(
+            node,
+            "global average pooling backward expects rank-4 input",
+        ));
     }
     let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
     if grad_out.dims() != [n, c] {
-        return Err(shape_err(node, "global average pooling gradient shape mismatch"));
+        return Err(shape_err(
+            node,
+            "global average pooling gradient shape mismatch",
+        ));
     }
     let scale = 1.0 / (h * w) as f32;
     let gdat = grad_out.data();
@@ -287,7 +307,11 @@ mod tests {
 
     #[test]
     fn global_avg_pool_reduces_spatial_dims() {
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        )
+        .unwrap();
         let y = global_avg_pool_forward(nid(), &x).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 25.0]);
@@ -329,7 +353,11 @@ mod tests {
 
     #[test]
     fn overlapping_windows_with_stride_one() {
-        let x = Tensor::from_vec(vec![1, 1, 3, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap();
         let y = max_pool_forward(nid(), &x, 2, 1).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 6.0, 8.0, 9.0]);

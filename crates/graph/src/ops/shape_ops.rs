@@ -75,7 +75,10 @@ pub fn concat_forward(node: NodeId, inputs: &[&Tensor]) -> Result<Tensor, GraphE
     for t in inputs {
         let d = t.dims();
         if d.len() != rank || d[0] != n || d[2..] != spatial[..] {
-            return Err(shape_err(node, "concat inputs must agree in every dimension except channels"));
+            return Err(shape_err(
+                node,
+                "concat inputs must agree in every dimension except channels",
+            ));
         }
         total_c += d[1];
     }
@@ -107,14 +110,20 @@ pub fn concat_backward(
     grad_out: &Tensor,
 ) -> Result<Vec<Tensor>, GraphError> {
     if inputs.is_empty() {
-        return Err(shape_err(node, "concat backward requires at least one input"));
+        return Err(shape_err(
+            node,
+            "concat backward requires at least one input",
+        ));
     }
     let n = inputs[0].dims()[0];
     let spatial: Vec<usize> = inputs[0].dims()[2..].to_vec();
     let inner: usize = spatial.iter().product::<usize>().max(1);
     let total_c: usize = inputs.iter().map(|t| t.dims()[1]).sum();
     if grad_out.len() != n * total_c * inner {
-        return Err(shape_err(node, "concat backward gradient element count mismatch"));
+        return Err(shape_err(
+            node,
+            "concat backward gradient element count mismatch",
+        ));
     }
     let gdat = grad_out.data();
     let mut grads = Vec::with_capacity(inputs.len());
@@ -125,7 +134,8 @@ pub fn concat_backward(
         for b in 0..n {
             let src_base = (b * total_c + c_offset) * inner;
             let dst_base = b * c * inner;
-            g[dst_base..dst_base + c * inner].copy_from_slice(&gdat[src_base..src_base + c * inner]);
+            g[dst_base..dst_base + c * inner]
+                .copy_from_slice(&gdat[src_base..src_base + c * inner]);
         }
         grads.push(Tensor::from_vec(t.dims().to_vec(), g)?);
         c_offset += c;

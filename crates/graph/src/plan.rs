@@ -1,0 +1,315 @@
+//! Compiled execution plans: plan a graph once, run it many times.
+//!
+//! [`Executor`](crate::exec::Executor) re-derives the topological order and re-allocates
+//! its value store on every forward pass. That is fine for one-shot evaluation but wasteful
+//! on the reproduction's hot path — a fault-injection campaign runs the *same* graph
+//! thousands of times, and a bound-profiling pass runs it once per profiling sample. An
+//! [`ExecPlan`] front-loads the per-run planning work:
+//!
+//! * the topological order is computed once at [`Graph::compile`] time instead of being
+//!   re-derived (with its O(nodes) bookkeeping allocations) on every pass,
+//! * the output shape of every node can be recorded once ([`ExecPlan::warm`]) and reused
+//!   for introspection instead of being recomputed,
+//! * the node-value store ([`Values`]) is reset in place between runs, so the per-node
+//!   slot spine is not re-allocated per pass (each operator still allocates its output
+//!   tensor — an arena over the warmed shapes is a ROADMAP item).
+//!
+//! The [`Interceptor`] hook behaves exactly as it does under `Executor` — the fault
+//! injector and the bound profiler observe the same nodes in the same order — and the
+//! computed values are bit-for-bit identical (`Executor` is itself implemented as
+//! "compile, then run once").
+//!
+//! # Example
+//!
+//! ```
+//! use ranger_graph::exec::NoopInterceptor;
+//! use ranger_graph::builder::GraphBuilder;
+//! use ranger_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut b = GraphBuilder::new();
+//! let x = b.input("x");
+//! let h = b.dense(x, 4, 8, &mut rng);
+//! let y = b.relu(h);
+//! let graph = b.into_graph();
+//!
+//! let plan = graph.compile()?;
+//! let mut values = plan.buffers();
+//! for _ in 0..100 {
+//!     plan.run_into(&mut values, &[("x", Tensor::ones(vec![1, 4]))], &mut NoopInterceptor)?;
+//!     assert_eq!(values.get(y)?.dims(), &[1, 8]);
+//! }
+//! # Ok::<(), ranger_graph::GraphError>(())
+//! ```
+
+use crate::error::GraphError;
+use crate::exec::{eval_node, Interceptor, NoopInterceptor, Values};
+use crate::graph::{Graph, NodeId};
+use ranger_tensor::Tensor;
+use std::sync::OnceLock;
+
+impl Graph {
+    /// Compiles this graph into a reusable execution plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CyclicGraph`] if the graph contains a cycle (the same check
+    /// every `Executor` run would perform).
+    pub fn compile(&self) -> Result<ExecPlan<'_>, GraphError> {
+        let order = self.topological_order()?;
+        Ok(ExecPlan {
+            graph: self,
+            order,
+            shapes: OnceLock::new(),
+        })
+    }
+}
+
+/// A compiled execution plan over a borrowed [`Graph`].
+///
+/// Create with [`Graph::compile`]. The plan borrows the graph immutably, so any number of
+/// plans can coexist, and the graph cannot be rewritten while a plan over it is alive —
+/// exactly the staleness bug the borrow checker should reject.
+#[derive(Debug)]
+pub struct ExecPlan<'g> {
+    graph: &'g Graph,
+    order: Vec<NodeId>,
+    /// Per-node output dimensions, recorded on the first completed run.
+    shapes: OnceLock<Vec<Option<Vec<usize>>>>,
+}
+
+impl<'g> ExecPlan<'g> {
+    /// The graph this plan executes.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The topological execution order computed at compile time.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Returns a value store sized for this plan, for use with [`ExecPlan::run_into`].
+    pub fn buffers(&self) -> Values {
+        Values::new(self.graph.len())
+    }
+
+    /// Runs a forward pass into a caller-owned value store, reusing its allocation.
+    ///
+    /// This is the hot-path entry point: `values` is reset (not re-allocated) before the
+    /// pass, and afterwards holds the value of every node. The `interceptor` is called
+    /// after every operator, as under [`Executor`](crate::exec::Executor).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a feed is missing or any operator receives invalid
+    /// operands.
+    pub fn run_into(
+        &self,
+        values: &mut Values,
+        feeds: &[(&str, Tensor)],
+        interceptor: &mut dyn Interceptor,
+    ) -> Result<(), GraphError> {
+        values.reset(self.graph.len());
+        for &id in &self.order {
+            let node = self.graph.node(id)?;
+            let mut output = eval_node(node, values, feeds)?;
+            if node.op.is_injectable() {
+                interceptor.after_op(node, &mut output);
+            }
+            values.set(id, output);
+        }
+        Ok(())
+    }
+
+    /// Runs one forward pass on `feeds` and records every node's output shape, making
+    /// [`ExecPlan::output_dims`] available. Shapes are computed at most once per plan;
+    /// subsequent calls only run the pass if recording has not happened yet.
+    ///
+    /// Recording is explicit (not part of [`ExecPlan::run_into`]) so single-shot
+    /// executions — including every [`Executor`](crate::exec::Executor) call, which
+    /// compiles a throwaway plan — never pay for shape bookkeeping they cannot use.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecPlan::run_into`].
+    pub fn warm(&self, feeds: &[(&str, Tensor)]) -> Result<(), GraphError> {
+        if self.shapes.get().is_some() {
+            return Ok(());
+        }
+        let values = self.run(feeds, &mut NoopInterceptor)?;
+        let recorded: Vec<Option<Vec<usize>>> = (0..self.graph.len())
+            .map(|i| values.get(NodeId::new(i)).ok().map(|t| t.dims().to_vec()))
+            .collect();
+        let _ = self.shapes.set(recorded);
+        Ok(())
+    }
+
+    /// Runs a forward pass and returns a freshly allocated value store.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecPlan::run_into`].
+    pub fn run(
+        &self,
+        feeds: &[(&str, Tensor)],
+        interceptor: &mut dyn Interceptor,
+    ) -> Result<Values, GraphError> {
+        let mut values = self.buffers();
+        self.run_into(&mut values, feeds, interceptor)?;
+        Ok(values)
+    }
+
+    /// Runs a forward pass and returns only the value of `fetch`, using no interceptor.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecPlan::run_into`].
+    pub fn run_simple(
+        &self,
+        feeds: &[(&str, Tensor)],
+        fetch: NodeId,
+    ) -> Result<Tensor, GraphError> {
+        let values = self.run(feeds, &mut NoopInterceptor)?;
+        values.get(fetch).cloned()
+    }
+
+    /// The output dimensions of `id` as recorded by [`ExecPlan::warm`], or `None` if the
+    /// plan has not been warmed (or the node produced no value).
+    pub fn output_dims(&self, id: NodeId) -> Option<&[usize]> {
+        self.shapes
+            .get()
+            .and_then(|shapes| shapes.get(id.index()))
+            .and_then(|dims| dims.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::exec::{Executor, RecordingInterceptor};
+    use crate::graph::Node;
+    use crate::op::Op;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (Graph, NodeId) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 4, 6, &mut rng);
+        let h = b.relu(h);
+        let y = b.dense(h, 6, 2, &mut rng);
+        (b.into_graph(), y)
+    }
+
+    #[test]
+    fn plan_matches_executor_bit_for_bit() {
+        let (graph, y) = toy();
+        let plan = graph.compile().unwrap();
+        let exec = Executor::new(&graph);
+        for i in 0..5 {
+            let input = Tensor::filled(vec![1, 4], 0.3 * i as f32);
+            let a = exec.run_simple(&[("x", input.clone())], y).unwrap();
+            let b = plan.run_simple(&[("x", input)], y).unwrap();
+            assert_eq!(a, b, "plan output must equal executor output exactly");
+        }
+    }
+
+    #[test]
+    fn run_into_reuses_the_store_across_passes() {
+        let (graph, y) = toy();
+        let plan = graph.compile().unwrap();
+        let mut values = plan.buffers();
+        let mut outputs = Vec::new();
+        for i in 0..3 {
+            let input = Tensor::filled(vec![1, 4], i as f32);
+            plan.run_into(&mut values, &[("x", input)], &mut NoopInterceptor)
+                .unwrap();
+            outputs.push(values.get(y).unwrap().clone());
+        }
+        // Stale values from earlier passes must not leak into later ones.
+        assert_ne!(outputs[0], outputs[1]);
+        let exec = Executor::new(&graph);
+        let fresh = exec
+            .run_simple(&[("x", Tensor::filled(vec![1, 4], 2.0))], y)
+            .unwrap();
+        assert_eq!(outputs[2], fresh);
+    }
+
+    #[test]
+    fn interceptor_order_matches_executor() {
+        let (graph, y) = toy();
+        let plan = graph.compile().unwrap();
+        let exec = Executor::new(&graph);
+        let input = Tensor::ones(vec![1, 4]);
+        let mut rec_plan = RecordingInterceptor::default();
+        let mut rec_exec = RecordingInterceptor::default();
+        plan.run(&[("x", input.clone())], &mut rec_plan).unwrap();
+        exec.run_with(&[("x", input)], y, &mut rec_exec).unwrap();
+        let ids =
+            |r: &RecordingInterceptor| r.outputs.iter().map(|(id, _)| *id).collect::<Vec<_>>();
+        assert_eq!(ids(&rec_plan), ids(&rec_exec));
+    }
+
+    #[test]
+    fn interceptor_corruption_propagates_under_the_plan() {
+        struct Corrupt;
+        impl Interceptor for Corrupt {
+            fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+                if matches!(node.op, Op::Relu) {
+                    output.data_mut()[0] = 77.0;
+                }
+            }
+        }
+        let (graph, _) = toy();
+        let relu = graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::Relu))
+            .unwrap()
+            .id;
+        let plan = graph.compile().unwrap();
+        let values = plan
+            .run(&[("x", Tensor::ones(vec![1, 4]))], &mut Corrupt)
+            .unwrap();
+        assert_eq!(values.get(relu).unwrap().data()[0], 77.0);
+    }
+
+    #[test]
+    fn output_shapes_are_recorded_by_warming() {
+        let (graph, y) = toy();
+        let plan = graph.compile().unwrap();
+        // Plain runs never record shapes — single-shot executions skip the bookkeeping.
+        plan.run_simple(&[("x", Tensor::ones(vec![1, 4]))], y)
+            .unwrap();
+        assert!(plan.output_dims(y).is_none(), "no shapes before warming");
+        plan.warm(&[("x", Tensor::ones(vec![1, 4]))]).unwrap();
+        assert_eq!(plan.output_dims(y), Some(&[1usize, 2][..]));
+        // Warming twice is a no-op.
+        plan.warm(&[("x", Tensor::ones(vec![1, 4]))]).unwrap();
+        assert_eq!(plan.order().len(), graph.len());
+    }
+
+    #[test]
+    fn compile_rejects_cyclic_graphs() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g.add_node("a", Op::Identity, vec![x]);
+        let b = g.add_node("b", Op::Identity, vec![a]);
+        g.rewire_input(a, x, b).unwrap();
+        assert!(matches!(g.compile(), Err(GraphError::CyclicGraph)));
+    }
+
+    #[test]
+    fn missing_feed_error_is_preserved() {
+        let (graph, y) = toy();
+        let plan = graph.compile().unwrap();
+        assert!(matches!(
+            plan.run_simple(&[], y),
+            Err(GraphError::MissingFeed(_))
+        ));
+    }
+}

@@ -23,7 +23,9 @@ fn small_mlp(hidden: usize, seed: u64) -> (Graph, NodeId, usize) {
 /// Evaluates the scalar loss `mean((f(x) - target)^2)` for the current parameters.
 fn loss_of(graph: &Graph, output: NodeId, input: &Tensor, target: &Tensor) -> f32 {
     let exec = Executor::new(graph);
-    let values = exec.run(&[("x", input.clone())], &mut NoopInterceptor).unwrap();
+    let values = exec
+        .run(&[("x", input.clone())], &mut NoopInterceptor)
+        .unwrap();
     mse_loss(values.get(output).unwrap(), target).unwrap().0
 }
 

@@ -1,4 +1,12 @@
 //! Campaign runner: golden runs, repeated faulty runs and SDC statistics.
+//!
+//! The campaign runner is the reproduction's hottest path — `inputs × trials` forward
+//! passes of the same graph — so it executes through a compiled
+//! [`ExecPlan`](ranger_graph::ExecPlan): the topological order is planned once per
+//! campaign instead of once per trial, and the node-value store's slot spine is reused
+//! across trials (per-operator output tensors are still allocated each pass). The
+//! per-trial results are bit-for-bit identical to running each pass through a fresh
+//! [`Executor`](ranger_graph::Executor).
 
 use crate::fault::FaultModel;
 use crate::injector::FaultInjector;
@@ -7,7 +15,8 @@ use crate::space::InjectionSpace;
 use crate::InjectionTarget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ranger_graph::{Executor, GraphError};
+use ranger_graph::exec::NoopInterceptor;
+use ranger_graph::GraphError;
 use ranger_tensor::stats::Proportion;
 use ranger_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -49,13 +58,12 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Returns the SDC rate (with confidence interval) for category `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn sdc_rate(&self, index: usize) -> Proportion {
-        Proportion::new(self.sdc_counts[index], self.trials)
+    /// Returns the SDC rate (with confidence interval) for category `index`, or `None` if
+    /// the index is out of range.
+    pub fn sdc_rate(&self, index: usize) -> Option<Proportion> {
+        self.sdc_counts
+            .get(index)
+            .map(|&count| Proportion::new(count, self.trials))
     }
 
     /// Returns the SDC rate for the named category, if present.
@@ -63,7 +71,7 @@ impl CampaignResult {
         self.categories
             .iter()
             .position(|c| c == category)
-            .map(|i| self.sdc_rate(i))
+            .and_then(|i| self.sdc_rate(i))
     }
 
     /// Returns (category, SDC-rate) pairs for every category.
@@ -71,7 +79,11 @@ impl CampaignResult {
         self.categories
             .iter()
             .cloned()
-            .zip(self.sdc_counts.iter().map(|&c| Proportion::new(c, self.trials)))
+            .zip(
+                self.sdc_counts
+                    .iter()
+                    .map(|&c| Proportion::new(c, self.trials)),
+            )
             .collect()
     }
 
@@ -81,7 +93,10 @@ impl CampaignResult {
     ///
     /// Panics if the category lists differ.
     pub fn merge(&self, other: &CampaignResult) -> CampaignResult {
-        assert_eq!(self.categories, other.categories, "cannot merge campaigns with different categories");
+        assert_eq!(
+            self.categories, other.categories,
+            "cannot merge campaigns with different categories"
+        );
         CampaignResult {
             categories: self.categories.clone(),
             sdc_counts: self
@@ -117,22 +132,23 @@ pub fn run_campaign(
         unactivated: 0,
     };
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let exec = Executor::new(target.graph);
+    // Plan once, then reuse the value buffers across every golden and faulty pass.
+    let plan = target.graph.compile()?;
+    let mut values = plan.buffers();
 
     for input in inputs {
-        let golden = exec.run_simple(&[(target.input_name, input.clone())], target.output)?;
+        let feeds = [(target.input_name, input.clone())];
+        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)?;
+        let golden = values.get(target.output)?.clone();
         let space = InjectionSpace::build(target, input)?;
         for _ in 0..config.trials {
             let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
-            let faulty = exec.run_with(
-                &[(target.input_name, input.clone())],
-                target.output,
-                &mut injector,
-            )?;
+            plan.run_into(&mut values, &feeds, &mut injector)?;
+            let faulty = values.get(target.output)?;
             if !injector.fully_injected() {
                 result.unactivated += 1;
             }
-            let verdicts = judge.judge(&golden, &faulty);
+            let verdicts = judge.judge(&golden, faulty);
             for (count, sdc) in result.sdc_counts.iter_mut().zip(verdicts) {
                 if sdc {
                     *count += 1;
@@ -149,7 +165,7 @@ mod tests {
     use super::*;
     use crate::judge::ClassifierJudge;
     use rand::{rngs::StdRng, SeedableRng};
-    use ranger_graph::{GraphBuilder, Op};
+    use ranger_graph::{Executor, GraphBuilder, Op};
 
     fn toy_classifier() -> (ranger_graph::Graph, ranger_graph::NodeId) {
         let mut rng = StdRng::seed_from_u64(2);
@@ -184,6 +200,48 @@ mod tests {
         let b = run_campaign(&target, &inputs, &judge, &config).unwrap();
         assert_eq!(a.sdc_counts, b.sdc_counts);
         assert_eq!(a.trials, 50);
+    }
+
+    /// The ExecPlan-backed campaign must match a hand-rolled Executor-per-pass campaign
+    /// trial-for-trial: same RNG stream, same interception points, same SDC counts.
+    #[test]
+    fn plan_backed_campaign_matches_executor_per_pass() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
+        let config = CampaignConfig {
+            trials: 40,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 21,
+        };
+        let judge = ClassifierJudge::top1();
+        let fast = run_campaign(&target, &inputs, &judge, &config).unwrap();
+
+        // Legacy-style reference: a fresh Executor run per pass.
+        let mut counts = vec![0u64; 1];
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let exec = Executor::new(&graph);
+        for input in &inputs {
+            let golden = exec.run_simple(&[("x", input.clone())], probs).unwrap();
+            let space = InjectionSpace::build(&target, input).unwrap();
+            for _ in 0..config.trials {
+                let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
+                let faulty = exec
+                    .run_with(&[("x", input.clone())], probs, &mut injector)
+                    .unwrap();
+                for (count, sdc) in counts.iter_mut().zip(judge.judge(&golden, &faulty)) {
+                    if sdc {
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(fast.sdc_counts, counts);
     }
 
     #[test]
@@ -229,11 +287,11 @@ mod tests {
             };
             run_campaign(&target, &inputs, &judge, &config).unwrap()
         };
+        let protected_rate = protected.sdc_rate(0).expect("category 0 exists").rate();
+        let unprotected_rate = unprotected.sdc_rate(0).expect("category 0 exists").rate();
         assert!(
-            protected.sdc_rate(0).rate() <= unprotected.sdc_rate(0).rate(),
-            "range restriction must not increase the SDC rate ({} vs {})",
-            protected.sdc_rate(0).rate(),
-            unprotected.sdc_rate(0).rate()
+            protected_rate <= unprotected_rate,
+            "range restriction must not increase the SDC rate ({protected_rate} vs {unprotected_rate})"
         );
     }
 
@@ -255,9 +313,22 @@ mod tests {
         assert_eq!(merged.sdc_counts, vec![8]);
         assert_eq!(merged.trials, 30);
         assert_eq!(merged.unactivated, 1);
-        assert!((merged.sdc_rate(0).rate() - 8.0 / 30.0).abs() < 1e-12);
+        assert!((merged.sdc_rate(0).unwrap().rate() - 8.0 / 30.0).abs() < 1e-12);
         assert!(merged.sdc_rate_for("top-1").is_some());
         assert!(merged.sdc_rate_for("nope").is_none());
+    }
+
+    #[test]
+    fn out_of_range_category_is_none_not_a_panic() {
+        let result = CampaignResult {
+            categories: vec!["top-1".into()],
+            sdc_counts: vec![2],
+            trials: 10,
+            unactivated: 0,
+        };
+        assert!(result.sdc_rate(0).is_some());
+        assert!(result.sdc_rate(1).is_none());
+        assert!(result.sdc_rate(usize::MAX).is_none());
     }
 
     #[test]

@@ -123,18 +123,19 @@ mod tests {
         let fault = FaultModel::single_bit_fixed32();
         // Flip a high-order bit of the final dense layer's output: the corruption cannot
         // be masked by a downstream ReLU, so the output must deviate substantially.
-        let site = InjectionSite { node: y, element: 0 };
-        let mut injector = FaultInjector::with_plan(
-            fault,
-            vec![PlannedFlip { site, bit: 29 }],
-        );
-        let faulty = exec
-            .run_with(&[("x", input)], y, &mut injector)
-            .unwrap();
+        let site = InjectionSite {
+            node: y,
+            element: 0,
+        };
+        let mut injector = FaultInjector::with_plan(fault, vec![PlannedFlip { site, bit: 29 }]);
+        let faulty = exec.run_with(&[("x", input)], y, &mut injector).unwrap();
         assert!(injector.fully_injected());
         assert_eq!(injector.injected().len(), 1);
         let deviation = golden.max_abs_diff(&faulty).unwrap();
-        assert!(deviation > 1.0, "high-order flip should propagate, deviation {deviation}");
+        assert!(
+            deviation > 1.0,
+            "high-order flip should propagate, deviation {deviation}"
+        );
     }
 
     #[test]

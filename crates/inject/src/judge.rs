@@ -48,7 +48,10 @@ impl ClassifierJudge {
     ///
     /// Panics if `ks` is empty or contains zero.
     pub fn new(ks: Vec<usize>) -> Self {
-        assert!(!ks.is_empty() && ks.iter().all(|&k| k > 0), "ks must be positive");
+        assert!(
+            !ks.is_empty() && ks.iter().all(|&k| k > 0),
+            "ks must be positive"
+        );
         ClassifierJudge { ks }
     }
 }
@@ -96,7 +99,10 @@ impl SteeringJudge {
     ///
     /// Panics if `thresholds_degrees` is empty.
     pub fn new(thresholds_degrees: Vec<f64>, output_in_radians: bool) -> Self {
-        assert!(!thresholds_degrees.is_empty(), "at least one threshold is required");
+        assert!(
+            !thresholds_degrees.is_empty(),
+            "at least one threshold is required"
+        );
         SteeringJudge {
             thresholds_degrees,
             output_in_radians,
@@ -173,10 +179,16 @@ mod tests {
         let golden = probs(&[100.0]);
         let small = probs(&[110.0]);
         let large = probs(&[-50.0]);
-        assert_eq!(judge.judge(&golden, &small), vec![false, false, false, false]);
+        assert_eq!(
+            judge.judge(&golden, &small),
+            vec![false, false, false, false]
+        );
         assert_eq!(judge.judge(&golden, &large), vec![true, true, true, true]);
         let medium = probs(&[60.0]); // 40 degrees off
-        assert_eq!(judge.judge(&golden, &medium), vec![true, true, false, false]);
+        assert_eq!(
+            judge.judge(&golden, &medium),
+            vec![true, true, false, false]
+        );
         assert_eq!(judge.categories().len(), 4);
     }
 
@@ -186,7 +198,10 @@ mod tests {
         let golden = probs(&[0.0]);
         // 0.5 rad ≈ 28.6 degrees: exceeds 15 but not 30.
         let faulty = probs(&[0.5]);
-        assert_eq!(judge.judge(&golden, &faulty), vec![true, false, false, false]);
+        assert_eq!(
+            judge.judge(&golden, &faulty),
+            vec![true, false, false, false]
+        );
     }
 
     #[test]

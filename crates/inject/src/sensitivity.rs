@@ -156,8 +156,14 @@ mod tests {
             sensitivity.high_order_rate(),
             sensitivity.low_order_rate()
         );
-        assert!(sensitivity.high_order_rate() > 0.0, "high-order flips should cause some SDCs");
-        assert!(sensitivity.low_order_rate() < 0.2, "low-order flips should be mostly benign");
+        assert!(
+            sensitivity.high_order_rate() > 0.0,
+            "high-order flips should cause some SDCs"
+        );
+        assert!(
+            sensitivity.low_order_rate() < 0.2,
+            "low-order flips should be mostly benign"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl InjectionSpace {
 
     /// Returns the number of injectable values produced by `node`, if it is injectable.
     pub fn values_of(&self, node: NodeId) -> Option<usize> {
-        self.sites.iter().find(|(id, _)| *id == node).map(|(_, n)| *n)
+        self.sites
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, n)| *n)
     }
 
     /// Samples an injection site uniformly over the state space (operators weighted by the
@@ -83,7 +86,10 @@ impl InjectionSpace {
     ///
     /// Panics if the space is empty.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> InjectionSite {
-        assert!(self.total > 0, "cannot sample from an empty injection space");
+        assert!(
+            self.total > 0,
+            "cannot sample from an empty injection space"
+        );
         let mut pick = rng.gen_range(0..self.total);
         for &(node, count) in &self.sites {
             if pick < count {
@@ -167,7 +173,10 @@ mod tests {
         }
         // The ReLU holds 6/22 of the state space; allow a generous tolerance.
         let fraction = relu_hits as f64 / n as f64;
-        assert!((fraction - 6.0 / 22.0).abs() < 0.05, "fraction was {fraction}");
+        assert!(
+            (fraction - 6.0 / 22.0).abs() < 0.05,
+            "fraction was {fraction}"
+        );
     }
 
     #[test]

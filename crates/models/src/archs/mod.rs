@@ -104,12 +104,17 @@ mod tests {
                     Tensor::ones(vec![1, c, h, w])
                 }
             };
-            let out = model.forward(&batch).unwrap_or_else(|e| panic!("{kind} forward failed: {e}"));
+            let out = model
+                .forward(&batch)
+                .unwrap_or_else(|e| panic!("{kind} forward failed: {e}"));
             match model.task {
                 Task::Classification { num_classes } => {
                     assert_eq!(out.dims(), &[1, num_classes], "{kind} output shape");
                     let sum: f32 = out.data().iter().sum();
-                    assert!((sum - 1.0).abs() < 1e-4, "{kind} softmax should sum to 1, got {sum}");
+                    assert!(
+                        (sum - 1.0).abs() < 1e-4,
+                        "{kind} softmax should sum to 1, got {sum}"
+                    );
                 }
                 Task::Regression { .. } => {
                     assert_eq!(out.dims(), &[1, 1], "{kind} output shape");
@@ -141,7 +146,12 @@ mod tests {
             .iter()
             .any(|n| matches!(n.op, ranger_graph::Op::Atan));
         assert!(has_atan);
-        assert_eq!(radians.task, Task::Regression { unit: AngleUnit::Radians });
+        assert_eq!(
+            radians.task,
+            Task::Regression {
+                unit: AngleUnit::Radians
+            }
+        );
 
         let degrees = build(
             &ModelConfig::new(ModelKind::Dave).with_steering_unit(AngleUnit::Degrees),
@@ -208,7 +218,9 @@ mod tests {
         let x = Tensor::ones(vec![1, c, h, w]);
         let exec_a = Executor::new(&a.graph);
         let exec_b = Executor::new(&b.graph);
-        let out_a = exec_a.run_simple(&[("image", x.clone())], a.output).unwrap();
+        let out_a = exec_a
+            .run_simple(&[("image", x.clone())], a.output)
+            .unwrap();
         let out_b = exec_b.run_simple(&[("image", x)], b.output).unwrap();
         assert_eq!(out_a, out_b);
     }

@@ -27,9 +27,25 @@ fn fire_module(
 ) -> NodeId {
     let squeeze = b.conv2d(x, cin, squeeze_channels, 1, 1, Padding::Same, rng);
     let squeeze = activation(b, config, squeeze);
-    let expand1 = b.conv2d(squeeze, squeeze_channels, expand_channels, 1, 1, Padding::Same, rng);
+    let expand1 = b.conv2d(
+        squeeze,
+        squeeze_channels,
+        expand_channels,
+        1,
+        1,
+        Padding::Same,
+        rng,
+    );
     let expand1 = activation(b, config, expand1);
-    let expand3 = b.conv2d(squeeze, squeeze_channels, expand_channels, 3, 1, Padding::Same, rng);
+    let expand3 = b.conv2d(
+        squeeze,
+        squeeze_channels,
+        expand_channels,
+        3,
+        1,
+        Padding::Same,
+        rng,
+    );
     let expand3 = activation(b, config, expand3);
     b.concat(vec![expand1, expand3])
 }

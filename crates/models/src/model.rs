@@ -308,9 +308,18 @@ mod tests {
 
     #[test]
     fn default_config_uses_radians_only_for_dave() {
-        assert_eq!(ModelConfig::new(ModelKind::Dave).steering_unit, AngleUnit::Radians);
-        assert_eq!(ModelConfig::new(ModelKind::Comma).steering_unit, AngleUnit::Degrees);
-        assert_eq!(ModelConfig::new(ModelKind::LeNet).activation, Activation::Relu);
+        assert_eq!(
+            ModelConfig::new(ModelKind::Dave).steering_unit,
+            AngleUnit::Radians
+        );
+        assert_eq!(
+            ModelConfig::new(ModelKind::Comma).steering_unit,
+            AngleUnit::Degrees
+        );
+        assert_eq!(
+            ModelConfig::new(ModelKind::LeNet).activation,
+            Activation::Relu
+        );
     }
 
     #[test]

@@ -143,10 +143,7 @@ pub fn train_classifier(
         for chunk in indices.chunks(cfg.batch_size) {
             let (batch, labels) = data.train_batch(chunk);
             let exec = Executor::new(&model.graph);
-            let values = exec.run(
-                &[(model.input_name.as_str(), batch)],
-                &mut NoopInterceptor,
-            )?;
+            let values = exec.run(&[(model.input_name.as_str(), batch)], &mut NoopInterceptor)?;
             let logits = values.get(model.logits)?;
             let (loss, grad) = softmax_cross_entropy(logits, &labels)?;
             let grads = backward(&model.graph, &values, model.logits, &grad)?;
@@ -205,10 +202,7 @@ pub fn train_regressor(
             let (batch, targets) = data.train_batch(chunk, target_unit);
             let targets = targets.scale(target_scale);
             let exec = Executor::new(&model.graph);
-            let values = exec.run(
-                &[(model.input_name.as_str(), batch)],
-                &mut NoopInterceptor,
-            )?;
+            let values = exec.run(&[(model.input_name.as_str(), batch)], &mut NoopInterceptor)?;
             let output = values.get(fit_node)?;
             let (loss, grad) = mse_loss(output, &targets)?;
             let grads = backward(&model.graph, &values, fit_node, &grad)?;
@@ -236,7 +230,11 @@ pub fn classification_accuracy(
             op: "classification_accuracy on a regression model".to_string(),
         });
     };
-    let samples = if use_validation { &data.validation } else { &data.train };
+    let samples = if use_validation {
+        &data.validation
+    } else {
+        &data.train
+    };
     if samples.is_empty() {
         return Ok((0.0, 0.0));
     }
@@ -250,10 +248,19 @@ pub fn classification_accuracy(
             data.train_batch(chunk)
         };
         let out = model.forward(&batch)?;
-        for (row, &label) in chunk.iter().zip(labels.iter()).enumerate().map(|(i, (_, l))| (i, l)) {
+        for (row, &label) in chunk
+            .iter()
+            .zip(labels.iter())
+            .enumerate()
+            .map(|(i, (_, l))| (i, l))
+        {
             let probs = &out.data()[row * num_classes..(row + 1) * num_classes];
             let mut order: Vec<usize> = (0..num_classes).collect();
-            order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&a, &b| {
+                probs[b]
+                    .partial_cmp(&probs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             if order[0] == label {
                 top1 += 1;
             }
@@ -276,7 +283,11 @@ pub fn regression_metrics(
     data: &DrivingDataset,
     use_validation: bool,
 ) -> Result<(f64, f64), GraphError> {
-    let samples = if use_validation { &data.validation } else { &data.train };
+    let samples = if use_validation {
+        &data.validation
+    } else {
+        &data.train
+    };
     if samples.is_empty() {
         return Ok((0.0, 0.0));
     }
@@ -317,12 +328,23 @@ mod tests {
             train_samples: 150,
             validation_samples: 60,
         };
-        let data = ClassificationDataset::generate(ImageDomain::Digits, cfg.train_samples, cfg.validation_samples, 0);
+        let data = ClassificationDataset::generate(
+            ImageDomain::Digits,
+            cfg.train_samples,
+            cfg.validation_samples,
+            0,
+        );
         let mut model = archs::build(&ModelConfig::lenet(), 0);
         let history = train_classifier(&mut model, &data, &cfg, 0).unwrap();
-        assert!(history.last().unwrap() < history.first().unwrap(), "loss must decrease: {history:?}");
+        assert!(
+            history.last().unwrap() < history.first().unwrap(),
+            "loss must decrease: {history:?}"
+        );
         let (top1, top5) = classification_accuracy(&model, &data, true).unwrap();
-        assert!(top1 > 0.5, "LeNet should learn the digits quickly, got top1 {top1}");
+        assert!(
+            top1 > 0.5,
+            "LeNet should learn the digits quickly, got top1 {top1}"
+        );
         assert!(top5 >= top1);
     }
 
@@ -343,7 +365,10 @@ mod tests {
         let history = train_regressor(&mut model, &data, &cfg, 1).unwrap();
         let (rmse_after, mad_after) = regression_metrics(&model, &data, true).unwrap();
         assert!(history.last().unwrap() < history.first().unwrap());
-        assert!(rmse_after < rmse_before, "training should reduce RMSE: {rmse_before} -> {rmse_after}");
+        assert!(
+            rmse_after < rmse_before,
+            "training should reduce RMSE: {rmse_before} -> {rmse_after}"
+        );
         assert!(mad_after <= rmse_after + 1e-9);
     }
 
@@ -360,6 +385,9 @@ mod tests {
             let cfg = TrainConfig::for_kind(kind);
             assert!(cfg.epochs > 0 && cfg.batch_size > 0 && cfg.train_samples > 0);
         }
-        assert!(TrainConfig::quick().train_samples < TrainConfig::for_kind(ModelKind::LeNet).train_samples);
+        assert!(
+            TrainConfig::quick().train_samples
+                < TrainConfig::for_kind(ModelKind::LeNet).train_samples
+        );
     }
 }

@@ -88,8 +88,7 @@ impl ModelZoo {
         let dir = std::env::var_os("RANGER_ZOO_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| {
-                Path::new(env!("CARGO_MANIFEST_DIR"))
-                    .join("../../target/ranger-model-zoo")
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/ranger-model-zoo")
             });
         ModelZoo::new(dir)
     }
@@ -218,7 +217,8 @@ fn fraction_within_degrees(
     let indices: Vec<usize> = (0..data.validation.len()).collect();
     let mut within = 0usize;
     for chunk in indices.chunks(64) {
-        let (batch, targets) = data.validation_batch(chunk, ranger_datasets::driving::AngleUnit::Degrees);
+        let (batch, targets) =
+            data.validation_batch(chunk, ranger_datasets::driving::AngleUnit::Degrees);
         let preds = model.predict_angles_degrees(&batch)?;
         for (p, t) in preds.iter().zip(targets.data()) {
             if ((*p - *t).abs() as f64) <= threshold {
@@ -235,7 +235,8 @@ mod tests {
     use crate::model::ModelConfig;
 
     fn temp_zoo(tag: &str) -> ModelZoo {
-        let dir = std::env::temp_dir().join(format!("ranger-zoo-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ranger-zoo-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         ModelZoo::new(dir)
     }
@@ -281,7 +282,10 @@ mod tests {
         assert_eq!(data.train.len(), cfg.train_samples);
         assert_eq!(data.validation.len(), cfg.validation_samples);
         let driving = ModelZoo::driving_data(1);
-        assert_eq!(driving.train.len(), TrainConfig::for_kind(ModelKind::Dave).train_samples);
+        assert_eq!(
+            driving.train.len(),
+            TrainConfig::for_kind(ModelKind::Dave).train_samples
+        );
     }
 
     #[test]

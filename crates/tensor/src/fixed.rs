@@ -160,14 +160,18 @@ mod tests {
     fn q16_round_trips_exact_values() {
         let q = FixedSpec::q16();
         for v in [-3.0f32, -0.5, 0.0, 0.25, 1.75, 100.0, 8191.75] {
-            assert_eq!(q.quantize(v), v, "value {v} should be exactly representable");
+            assert_eq!(
+                q.quantize(v),
+                v,
+                "value {v} should be exactly representable"
+            );
         }
     }
 
     #[test]
     fn q32_round_trip_error_bounded_by_resolution() {
         let q = FixedSpec::q32();
-        for v in [-1234.567f32, 0.1, 3.14159, 99999.5, -0.0039] {
+        for v in [-1234.567f32, 0.1, 3.146, 99999.5, -0.0039] {
             let back = q.quantize(v);
             assert!(
                 (back - v).abs() as f64 <= q.resolution(),

@@ -70,7 +70,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = normal(vec![10_000], 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean was {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std was {}", var.sqrt());
     }

@@ -255,7 +255,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape.clone(),
@@ -464,10 +468,7 @@ mod tests {
     fn elementwise_ops_reject_shape_mismatch() {
         let a = Tensor::zeros(vec![2]);
         let b = Tensor::zeros(vec![3]);
-        assert!(matches!(
-            a.add(&b),
-            Err(TensorError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
     }
 
     #[test]

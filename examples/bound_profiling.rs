@@ -20,10 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fig. 4: convergence of the per-activation maxima with the amount of profiling data.
     println!("bound convergence (normalised to the maximum over all 100 samples):");
-    let points = profile_convergence(&model.graph, &model.input_name, &samples, &[5, 10, 25, 50, 100])?;
+    let points = profile_convergence(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &[5, 10, 25, 50, 100],
+    )?;
     for p in &points {
         let mean: f64 = p.normalized_max.iter().sum::<f64>() / p.normalized_max.len() as f64;
-        let min = p.normalized_max.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = p
+            .normalized_max
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         println!(
             "  {:>3} samples: mean {:.3}, minimum {:.3} across {} activation layers",
             p.samples_used,

@@ -4,31 +4,17 @@
 //! cargo run --example fault_injection_campaign
 //! ```
 //!
-//! The example trains a LeNet, measures its SDC rate under single-bit-flip injection with
-//! and without Ranger, and prints the resulting rates with 95% confidence intervals — a
-//! miniature version of the paper's Fig. 6 for a single model.
+//! The example runs the [`Pipeline`] API end to end: train a LeNet (quick recipe), derive
+//! restriction bounds from 20% of the training data, measure the SDC rate under
+//! single-bit-flip injection with and without Ranger, and print the resulting rates with
+//! 95% confidence intervals — a miniature version of the paper's Fig. 6 for a single
+//! model, in one builder chain.
 
-use ranger::bounds::{profile_bounds, BoundsConfig};
-use ranger::transform::{apply_ranger, RangerConfig};
-use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
-use ranger_inject::{run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget};
-use ranger_models::train::train_classifier;
-use ranger_models::{archs, Model, ModelConfig, TrainConfig};
-
-fn campaign(model: &Model, inputs: &[ranger_tensor::Tensor], trials: usize) -> Result<ranger_inject::CampaignResult, Box<dyn std::error::Error>> {
-    let target = InjectionTarget {
-        graph: &model.graph,
-        input_name: &model.input_name,
-        output: model.output,
-        excluded: &model.excluded_from_injection,
-    };
-    let config = CampaignConfig {
-        trials,
-        fault: FaultModel::single_bit_fixed32(),
-        seed: 99,
-    };
-    Ok(run_campaign(&target, inputs, &ClassifierJudge::top1(), &config)?)
-}
+use ranger::bounds::BoundsConfig;
+use ranger::transform::RangerConfig;
+use ranger_engine::Pipeline;
+use ranger_inject::{CampaignConfig, FaultModel};
+use ranger_models::{ModelKind, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = 200;
@@ -41,43 +27,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         train_samples: 300,
         validation_samples: 100,
     };
-    let data = ClassificationDataset::generate(ImageDomain::Digits, cfg.train_samples, cfg.validation_samples, 21);
-    let mut model = archs::build(&ModelConfig::lenet(), 21);
-    println!("training LeNet ...");
-    train_classifier(&mut model, &data, &cfg, 21)?;
 
-    // Choose inputs the model classifies correctly in the absence of faults.
-    let mut inputs = Vec::new();
-    for i in 0..data.validation.len() {
-        if inputs.len() >= 5 {
-            break;
-        }
-        let (batch, labels) = data.validation_batch(&[i]);
-        if model.predict_classes(&batch)?[0] == labels[0] {
-            inputs.push(batch);
-        }
-    }
-    println!("selected {} correctly-classified inputs, {trials} trials each", inputs.len());
+    println!("running the LeNet pipeline ({trials} trials per input) ...");
+    let report = Pipeline::for_model(ModelKind::LeNet)
+        .seed(21)
+        .train(cfg)
+        .profile(BoundsConfig::default())
+        .protect(RangerConfig::default())
+        .campaign(CampaignConfig {
+            trials,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 99,
+        })
+        .inputs(5)
+        .run()?;
 
-    // Protect with Ranger.
-    let samples: Vec<_> = (0..cfg.train_samples / 5).map(|i| data.train_batch(&[i]).0).collect();
-    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, &BoundsConfig::default())?;
-    let (protected_graph, _) = apply_ranger(&model.graph, &bounds, &RangerConfig::default())?;
-    let mut protected = model.clone();
-    protected.graph = protected_graph;
-
-    // Run both campaigns.
-    println!("running the unprotected campaign ...");
-    let original = campaign(&model, &inputs, trials)?;
-    println!("running the Ranger-protected campaign ...");
-    let with_ranger = campaign(&protected, &inputs, trials)?;
-
-    let orig = original.sdc_rate(0);
-    let prot = with_ranger.sdc_rate(0);
-    println!("\nSDC rate without Ranger: {:.2}% (±{:.2}%)", orig.rate_percent(), orig.confidence95_percent());
-    println!("SDC rate with Ranger:    {:.2}% (±{:.2}%)", prot.rate_percent(), prot.confidence95_percent());
-    if prot.rate() > 0.0 {
-        println!("reduction factor: {:.1}x", orig.rate() / prot.rate());
+    println!(
+        "validation accuracy: {:.1}%, {} clamps inserted, {:.2}% FLOPs overhead",
+        report.validation_accuracy * 100.0,
+        report.insertion.clamps_inserted,
+        report.overhead.flops_percent
+    );
+    let campaign = report.campaign.expect("campaign configured");
+    println!(
+        "selected {} correctly-classified inputs, {trials} trials each",
+        campaign.inputs
+    );
+    let orig = &campaign.baseline[0];
+    let prot = &campaign.protected[0];
+    println!(
+        "\nSDC rate without Ranger: {:.2}% (±{:.2}%)",
+        orig.sdc_percent, orig.ci95_percent
+    );
+    println!(
+        "SDC rate with Ranger:    {:.2}% (±{:.2}%)",
+        prot.sdc_percent, prot.ci95_percent
+    );
+    if prot.sdc_percent > 0.0 {
+        println!(
+            "reduction factor: {:.1}x (coverage {:.1}%)",
+            orig.sdc_percent / prot.sdc_percent,
+            campaign.coverage_percent[0]
+        );
     } else {
         println!("Ranger eliminated every SDC observed in this campaign.");
     }

@@ -11,12 +11,12 @@
 //! still predicts the right digit.
 
 use ranger::bounds::{profile_bounds, BoundsConfig};
-use ranger::transform::{apply_ranger, RangerConfig};
+use ranger::protect::{Protector, RangerProtector};
 use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
+use ranger_graph::Executor;
 use ranger_inject::{FaultInjector, FaultModel, InjectionSpace, InjectionTarget};
 use ranger_models::train::{classification_accuracy, train_classifier};
 use ranger_models::{archs, ModelConfig, TrainConfig};
-use ranger_graph::Executor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Train a small LeNet on the synthetic digit dataset.
@@ -36,16 +36,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         7,
     );
     let mut model = archs::build(&ModelConfig::lenet(), 7);
-    println!("training LeNet ({} parameters) ...", model.parameter_count());
+    println!(
+        "training LeNet ({} parameters) ...",
+        model.parameter_count()
+    );
     train_classifier(&mut model, &data, &cfg, 7)?;
     let (top1, _) = classification_accuracy(&model, &data, true)?;
     println!("validation top-1 accuracy: {:.1}%", top1 * 100.0);
 
-    // 2. Derive restriction bounds from 20% of the training data and apply Ranger.
+    // 2. Derive restriction bounds from 20% of the training data and apply Ranger — the
+    //    protection step goes through the `Protector` trait, the same interface the
+    //    design alternatives and baseline arms implement.
     let n_profile = cfg.train_samples / 5;
     let samples: Vec<_> = (0..n_profile).map(|i| data.train_batch(&[i]).0).collect();
-    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, &BoundsConfig::default())?;
-    let (protected_graph, stats) = apply_ranger(&model.graph, &bounds, &RangerConfig::default())?;
+    let bounds = profile_bounds(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &BoundsConfig::default(),
+    )?;
+    let (protected_graph, stats) = RangerProtector::default().protect(&model.graph, &bounds)?;
     let mut protected = model.clone();
     protected.graph = protected_graph;
     println!(
@@ -59,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Inject a high-order bit flip into the first convolution's output.
     let (image, label) = data.validation_batch(&[0]);
     let golden_pred = model.predict_classes(&image)?[0];
-    println!("\nfault-free prediction: {golden_pred} (ground truth {})", label[0]);
+    println!(
+        "\nfault-free prediction: {golden_pred} (ground truth {})",
+        label[0]
+    );
 
     let target = InjectionTarget {
         graph: &model.graph,
@@ -114,7 +127,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("\nThis particular fault escaped correction (Ranger reduces the SDC rate, it does not eliminate it).");
             }
         }
-        None => println!("\nEvery sampled fault was benign — the DNN's inherent resilience absorbed them all."),
+        None => println!(
+            "\nEvery sampled fault was benign — the DNN's inherent resilience absorbed them all."
+        ),
     }
     Ok(())
 }

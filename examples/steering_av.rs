@@ -43,11 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples: Vec<_> = (0..n_profile)
         .map(|i| data.train_batch(&[i], AngleUnit::Degrees).0)
         .collect();
-    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, &BoundsConfig::default())?;
+    let bounds = profile_bounds(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &BoundsConfig::default(),
+    )?;
     let (protected_graph, stats) = apply_ranger(&model.graph, &bounds, &RangerConfig::default())?;
     let mut protected = model.clone();
     protected.graph = protected_graph;
-    println!("Ranger inserted {} range-restriction operators", stats.clamps_inserted);
+    println!(
+        "Ranger inserted {} range-restriction operators",
+        stats.clamps_inserted
+    );
 
     // 3. Drive one frame through both models with the same injected fault.
     let (frame, target) = data.validation_batch(&[3], AngleUnit::Degrees);

@@ -1,6 +1,7 @@
 //! Umbrella crate for the Ranger reproduction: re-exports the workspace crates used by the examples and integration tests.
 pub use ranger;
 pub use ranger_datasets as datasets;
+pub use ranger_engine as engine;
 pub use ranger_graph as graph;
 pub use ranger_inject as inject;
 pub use ranger_models as models;

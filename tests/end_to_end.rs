@@ -1,14 +1,20 @@
 //! End-to-end integration tests spanning the workspace crates: train → profile → protect
-//! → inject → verify, the full pipeline every experiment binary uses.
+//! → inject → verify, the full pipeline every experiment binary uses. Protection runs
+//! through the `Protector` trait and campaigns through the `ExecPlan`-backed runner — the
+//! same path the `Pipeline` builder drives.
 
 use ranger::bounds::{profile_bounds, BoundsConfig};
+use ranger::protect::{Protector, RangerProtector};
 use ranger::transform::{apply_ranger, RangerConfig};
 use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
 use ranger_datasets::driving::{AngleUnit, DrivingDataset};
+use ranger_engine::Pipeline;
 use ranger_inject::{
     run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, SteeringJudge,
 };
-use ranger_models::train::{classification_accuracy, regression_metrics, train_classifier, train_regressor};
+use ranger_models::train::{
+    classification_accuracy, regression_metrics, train_classifier, train_regressor,
+};
 use ranger_models::{archs, Model, ModelConfig, ModelKind, TrainConfig};
 use ranger_tensor::Tensor;
 
@@ -22,7 +28,12 @@ fn quick_train_lenet(seed: u64) -> (Model, ClassificationDataset) {
         train_samples: 200,
         validation_samples: 80,
     };
-    let data = ClassificationDataset::generate(ImageDomain::Digits, cfg.train_samples, cfg.validation_samples, seed);
+    let data = ClassificationDataset::generate(
+        ImageDomain::Digits,
+        cfg.train_samples,
+        cfg.validation_samples,
+        seed,
+    );
     let mut model = archs::build(&ModelConfig::lenet(), seed);
     train_classifier(&mut model, &data, &cfg, seed).expect("training succeeds");
     (model, data)
@@ -30,16 +41,28 @@ fn quick_train_lenet(seed: u64) -> (Model, ClassificationDataset) {
 
 fn protect(model: &Model, data: &ClassificationDataset) -> Model {
     let samples: Vec<Tensor> = (0..40).map(|i| data.train_batch(&[i]).0).collect();
-    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, &BoundsConfig::default())
-        .expect("profiling succeeds");
-    let (graph, stats) = apply_ranger(&model.graph, &bounds, &RangerConfig::default()).expect("transform succeeds");
+    let bounds = profile_bounds(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &BoundsConfig::default(),
+    )
+    .expect("profiling succeeds");
+    let (graph, stats) = RangerProtector::default()
+        .protect(&model.graph, &bounds)
+        .expect("transform succeeds");
     assert!(stats.clamps_inserted > 0);
     let mut protected = model.clone();
     protected.graph = graph;
     protected
 }
 
-fn campaign(model: &Model, inputs: &[Tensor], trials: usize, seed: u64) -> ranger_inject::CampaignResult {
+fn campaign(
+    model: &Model,
+    inputs: &[Tensor],
+    trials: usize,
+    seed: u64,
+) -> ranger_inject::CampaignResult {
     let target = InjectionTarget {
         graph: &model.graph,
         input_name: &model.input_name,
@@ -62,7 +85,10 @@ fn ranger_reduces_classifier_sdc_rate_without_hurting_accuracy() {
     // RQ2: accuracy is preserved in the absence of faults.
     let (top1_orig, top5_orig) = classification_accuracy(&model, &data, true).unwrap();
     let (top1_prot, top5_prot) = classification_accuracy(&protected, &data, true).unwrap();
-    assert!(top1_orig > 0.5, "the model must learn the task, got {top1_orig}");
+    assert!(
+        top1_orig > 0.5,
+        "the model must learn the task, got {top1_orig}"
+    );
     assert!(
         top1_prot >= top1_orig - 1e-9,
         "Ranger must not degrade top-1 accuracy ({top1_orig} -> {top1_prot})"
@@ -83,9 +109,12 @@ fn ranger_reduces_classifier_sdc_rate_without_hurting_accuracy() {
     assert!(!inputs.is_empty(), "need correctly-classified inputs");
     let original = campaign(&model, &inputs, 150, 3);
     let with_ranger = campaign(&protected, &inputs, 150, 3);
-    let orig_rate = original.sdc_rate(0).rate();
-    let prot_rate = with_ranger.sdc_rate(0).rate();
-    assert!(orig_rate > 0.0, "the unprotected model should exhibit some SDCs");
+    let orig_rate = original.sdc_rate(0).expect("category in range").rate();
+    let prot_rate = with_ranger.sdc_rate(0).expect("category in range").rate();
+    assert!(
+        orig_rate > 0.0,
+        "the unprotected model should exhibit some SDCs"
+    );
     assert!(
         prot_rate < orig_rate,
         "Ranger must reduce the SDC rate ({orig_rate} -> {prot_rate})"
@@ -110,7 +139,13 @@ fn ranger_protects_the_steering_model_and_preserves_regression_accuracy() {
     let samples: Vec<Tensor> = (0..40)
         .map(|i| data.train_batch(&[i], AngleUnit::Degrees).0)
         .collect();
-    let bounds = profile_bounds(&model.graph, &model.input_name, &samples, &BoundsConfig::default()).unwrap();
+    let bounds = profile_bounds(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &BoundsConfig::default(),
+    )
+    .unwrap();
     let (graph, _) = apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap();
     let mut protected = model.clone();
     protected.graph = graph;
@@ -152,11 +187,12 @@ fn ranger_protects_the_steering_model_and_preserves_regression_accuracy() {
     let with_ranger = run_campaign(&target_prot, &inputs, &judge, &config).unwrap();
     for i in 0..original.categories.len() {
         assert!(
-            with_ranger.sdc_rate(i).rate() <= original.sdc_rate(i).rate() + 1e-9,
+            with_ranger.sdc_rate(i).expect("category in range").rate()
+                <= original.sdc_rate(i).expect("category in range").rate() + 1e-9,
             "threshold {} got worse: {} -> {}",
             original.categories[i],
-            original.sdc_rate(i).rate(),
-            with_ranger.sdc_rate(i).rate()
+            original.sdc_rate(i).expect("category in range").rate(),
+            with_ranger.sdc_rate(i).expect("category in range").rate()
         );
     }
 }
@@ -182,7 +218,10 @@ fn fixed16_campaign_also_benefits_from_ranger() {
     };
     let original = run(&model);
     let with_ranger = run(&protected);
-    assert!(with_ranger.sdc_rate(0).rate() <= original.sdc_rate(0).rate() + 1e-9);
+    assert!(
+        with_ranger.sdc_rate(0).expect("category in range").rate()
+            <= original.sdc_rate(0).expect("category in range").rate() + 1e-9
+    );
 }
 
 #[test]
@@ -208,10 +247,11 @@ fn multi_bit_faults_are_still_mitigated() {
         let original = run(&model);
         let with_ranger = run(&protected);
         assert!(
-            with_ranger.sdc_rate(0).rate() <= original.sdc_rate(0).rate() + 1e-9,
+            with_ranger.sdc_rate(0).expect("category in range").rate()
+                <= original.sdc_rate(0).expect("category in range").rate() + 1e-9,
             "{bits}-bit faults: {} -> {}",
-            original.sdc_rate(0).rate(),
-            with_ranger.sdc_rate(0).rate()
+            original.sdc_rate(0).expect("category in range").rate(),
+            with_ranger.sdc_rate(0).expect("category in range").rate()
         );
     }
 }
@@ -233,10 +273,18 @@ fn protected_graph_has_low_flops_overhead_on_every_architecture() {
             }
         };
         let samples = vec![input.clone()];
-        let bounds = profile_bounds(&model.graph, &model.input_name, &samples, &BoundsConfig::default()).unwrap();
+        let bounds = profile_bounds(
+            &model.graph,
+            &model.input_name,
+            &samples,
+            &BoundsConfig::default(),
+        )
+        .unwrap();
         let (graph, stats) = apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap();
         assert!(stats.clamps_inserted > 0, "{kind} must receive clamps");
-        let report = ranger::overhead::flops_overhead(&model.graph, &graph, &model.input_name, &input).unwrap();
+        let report =
+            ranger::overhead::flops_overhead(&model.graph, &graph, &model.input_name, &input)
+                .unwrap();
         // The replicas are far smaller than the paper's models, so the fixed per-element
         // clamp cost is relatively larger; a single-digit percentage is still "low" here
         // (SqueezeNet, the smallest network per clamp, sits around 6%).
@@ -250,6 +298,66 @@ fn protected_graph_has_low_flops_overhead_on_every_architecture() {
         protected.graph = graph;
         let a = model.forward(&input).unwrap();
         let b = protected.forward(&input).unwrap();
-        assert!(a.approx_eq(&b, 1e-5).unwrap(), "{kind}: fault-free output changed");
+        assert!(
+            a.approx_eq(&b, 1e-5).unwrap(),
+            "{kind}: fault-free output changed"
+        );
     }
+}
+
+/// The entire experiment arc through the `Pipeline` builder: train → profile → protect →
+/// inject, with the report carrying RQ1 (SDC reduction) and RQ3 (low overhead) evidence.
+#[test]
+fn pipeline_end_to_end_reduces_sdc_and_keeps_overhead_low() {
+    let quick = TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        train_samples: 200,
+        validation_samples: 80,
+    };
+    let zoo_dir = std::env::temp_dir().join(format!("ranger-e2e-zoo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&zoo_dir);
+    let report = Pipeline::for_model(ModelKind::LeNet)
+        .seed(1)
+        .train(quick)
+        .zoo(ranger_models::zoo::ModelZoo::new(&zoo_dir))
+        .profile(BoundsConfig::default())
+        .protect(RangerConfig::default())
+        .campaign(CampaignConfig {
+            trials: 150,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 3,
+        })
+        .inputs(3)
+        .run()
+        .expect("pipeline runs");
+    let _ = std::fs::remove_dir_all(&zoo_dir);
+
+    assert!(
+        report.validation_accuracy > 0.5,
+        "the model must learn the task"
+    );
+    assert!(report.insertion.clamps_inserted > 0);
+    assert!(
+        report.overhead.flops_percent < 10.0,
+        "Ranger FLOPs overhead should be small, got {:.3}%",
+        report.overhead.flops_percent
+    );
+    let campaign = report.campaign.expect("campaign configured");
+    let base = &campaign.baseline[0];
+    let prot = &campaign.protected[0];
+    assert!(
+        base.sdc_percent > 0.0,
+        "the unprotected model should exhibit some SDCs"
+    );
+    assert!(
+        prot.sdc_percent < base.sdc_percent,
+        "Ranger must reduce the SDC rate ({} -> {})",
+        base.sdc_percent,
+        prot.sdc_percent
+    );
+    assert!(campaign.coverage_percent[0] > 0.0);
 }

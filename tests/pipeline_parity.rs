@@ -1,0 +1,220 @@
+//! Parity tests for the unified experiment API: the `Protector` trait, the compiled
+//! `ExecPlan` and the `Pipeline` builder must reproduce the legacy hand-wired paths
+//! exactly — same graphs, same forward-pass values, same SDC counts for the same seed.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use ranger::bounds::{profile_bounds, BoundsConfig};
+use ranger::protect::{Protector, RangerProtector};
+use ranger::transform::{apply_ranger, RangerConfig};
+use ranger_engine::{
+    canonical_input, correct_classifier_inputs_for, profiling_samples_for, run_model_campaign,
+    JudgeSpec, Pipeline,
+};
+use ranger_graph::exec::NoopInterceptor;
+use ranger_graph::{Executor, GraphBuilder};
+use ranger_inject::{CampaignConfig, FaultModel};
+use ranger_models::zoo::ModelZoo;
+use ranger_models::{archs, ModelConfig, ModelKind, TrainConfig};
+use ranger_tensor::Tensor;
+
+/// The `Protector` trait path and the legacy `apply_ranger` free function produce
+/// structurally identical graphs and identical clamp counts for every zoo model.
+#[test]
+fn protector_matches_legacy_apply_ranger_on_every_zoo_model() {
+    for kind in ModelKind::all() {
+        let model = archs::build(&ModelConfig::new(kind), 0);
+        let samples = vec![canonical_input(&model)];
+        let bounds = profile_bounds(
+            &model.graph,
+            &model.input_name,
+            &samples,
+            &BoundsConfig::default(),
+        )
+        .unwrap();
+        for config in [RangerConfig::default(), RangerConfig::activations_only()] {
+            let (legacy, legacy_stats) = apply_ranger(&model.graph, &bounds, &config).unwrap();
+            let (via_trait, trait_stats) = RangerProtector::new(config)
+                .protect(&model.graph, &bounds)
+                .unwrap();
+            assert_eq!(
+                via_trait, legacy,
+                "{kind}: graphs must be structurally identical"
+            );
+            assert_eq!(
+                trait_stats.clamps_inserted, legacy_stats.clamps_inserted,
+                "{kind}: clamp counts must match"
+            );
+            assert_eq!(via_trait.clamp_count(), legacy.clamp_count(), "{kind}");
+        }
+    }
+}
+
+/// `ExecPlan` forward passes match the existing `Executor` bit-for-bit on every zoo
+/// model, protected and unprotected.
+#[test]
+fn exec_plan_matches_executor_bit_for_bit_on_every_zoo_model() {
+    for kind in ModelKind::all() {
+        let model = archs::build(&ModelConfig::new(kind), 0);
+        let input = canonical_input(&model);
+        let samples = vec![input.clone()];
+        let bounds = profile_bounds(
+            &model.graph,
+            &model.input_name,
+            &samples,
+            &BoundsConfig::default(),
+        )
+        .unwrap();
+        let (protected, _) = apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap();
+
+        for graph in [&model.graph, &protected] {
+            let exec = Executor::new(graph);
+            let plan = graph.compile().unwrap();
+            let mut buffers = plan.buffers();
+            let via_exec = exec
+                .run(
+                    &[(model.input_name.as_str(), input.clone())],
+                    &mut NoopInterceptor,
+                )
+                .unwrap();
+            plan.run_into(
+                &mut buffers,
+                &[(model.input_name.as_str(), input.clone())],
+                &mut NoopInterceptor,
+            )
+            .unwrap();
+            for (id, tensor) in via_exec.iter() {
+                // Bit-for-bit: Tensor equality is exact on the raw f32 payload.
+                assert_eq!(
+                    buffers.get(id).unwrap(),
+                    tensor,
+                    "{kind}: node {id} diverged between Executor and ExecPlan"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Protector/legacy parity holds on random MLPs, not just the fixed zoo shapes.
+    #[test]
+    fn protector_parity_on_random_mlps(hidden in 2usize..10, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 4, hidden, &mut rng);
+        let h = b.relu(h);
+        let h = b.dense(h, hidden, hidden, &mut rng);
+        let h = b.relu(h);
+        let _y = b.dense(h, hidden, 3, &mut rng);
+        let graph = b.into_graph();
+        let samples: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::filled(vec![1, 4], 0.4 * (i as f32 + 1.0)))
+            .collect();
+        let bounds = profile_bounds(&graph, "x", &samples, &BoundsConfig::default()).unwrap();
+        let (legacy, legacy_stats) = apply_ranger(&graph, &bounds, &RangerConfig::default()).unwrap();
+        let (via_trait, trait_stats) =
+            RangerProtector::default().protect(&graph, &bounds).unwrap();
+        prop_assert_eq!(via_trait, legacy);
+        prop_assert_eq!(trait_stats.clamps_inserted, legacy_stats.clamps_inserted);
+    }
+
+    /// ExecPlan/Executor parity holds on random MLPs and random inputs.
+    #[test]
+    fn exec_plan_parity_on_random_mlps(hidden in 2usize..10, seed in 0u64..100, v in -2.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 4, hidden, &mut rng);
+        let h = b.relu(h);
+        let y = b.dense(h, hidden, 2, &mut rng);
+        let graph = b.into_graph();
+        let input = Tensor::filled(vec![1, 4], v);
+        let via_exec = Executor::new(&graph).run_simple(&[("x", input.clone())], y).unwrap();
+        let plan = graph.compile().unwrap();
+        let via_plan = plan.run_simple(&[("x", input)], y).unwrap();
+        prop_assert_eq!(via_exec, via_plan);
+    }
+}
+
+/// The acceptance criterion for the API redesign: a fig6-style campaign run through the
+/// new `Pipeline` API reproduces the legacy hand-wired path's SDC counts exactly for the
+/// same seed.
+#[test]
+fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
+    let kind = ModelKind::LeNet;
+    let seed = 17u64;
+    let trials = 60usize;
+    let n_inputs = 2usize;
+    let quick = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        train_samples: 120,
+        validation_samples: 48,
+    };
+    let zoo_dir = std::env::temp_dir().join(format!("ranger-parity-zoo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&zoo_dir);
+
+    // New API: one Pipeline chain.
+    let outcome = Pipeline::for_model(kind)
+        .seed(seed)
+        .train(quick)
+        .zoo(ModelZoo::new(&zoo_dir))
+        .profile(BoundsConfig::default())
+        .protect(RangerConfig::default())
+        .campaign(CampaignConfig {
+            trials,
+            fault: FaultModel::single_bit_fixed32(),
+            seed,
+        })
+        .inputs(n_inputs)
+        .judge(JudgeSpec::TopK(vec![1]))
+        .run_full()
+        .unwrap();
+
+    // Legacy hand-wired path, replayed on the identical trained model.
+    let model = &outcome.model;
+    let samples = profiling_samples_for(kind, seed, 0.2, &quick);
+    let bounds = profile_bounds(
+        &model.graph,
+        &model.input_name,
+        &samples,
+        &BoundsConfig::default(),
+    )
+    .unwrap();
+    let (protected_graph, _) =
+        apply_ranger(&model.graph, &bounds, &RangerConfig::default()).unwrap();
+    let mut protected = model.clone();
+    protected.graph = protected_graph;
+    let inputs = correct_classifier_inputs_for(model, seed, n_inputs, &quick).unwrap();
+    let config = CampaignConfig {
+        trials,
+        fault: FaultModel::single_bit_fixed32(),
+        seed,
+    };
+    let judge = ranger_inject::ClassifierJudge::top1();
+    let legacy_baseline = run_model_campaign(model, &inputs, &judge, &config).unwrap();
+    let legacy_protected = run_model_campaign(&protected, &inputs, &judge, &config).unwrap();
+
+    let pipeline_baseline = outcome.baseline_result.expect("campaign ran");
+    let pipeline_protected = outcome.protected_result.expect("campaign ran");
+    assert_eq!(
+        pipeline_baseline.sdc_counts, legacy_baseline.sdc_counts,
+        "unprotected arm SDC counts must match the legacy path exactly"
+    );
+    assert_eq!(
+        pipeline_protected.sdc_counts, legacy_protected.sdc_counts,
+        "protected arm SDC counts must match the legacy path exactly"
+    );
+    assert_eq!(pipeline_baseline.trials, legacy_baseline.trials);
+    assert_eq!(pipeline_baseline.unactivated, legacy_baseline.unactivated);
+    // The protected graphs are structurally identical too.
+    assert_eq!(outcome.protected.model.graph, protected.graph);
+
+    let _ = std::fs::remove_dir_all(&zoo_dir);
+}

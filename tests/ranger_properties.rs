@@ -1,12 +1,12 @@
 //! Property-based integration tests of Ranger's core invariants across crates.
 
 use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
 use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
 use ranger::transform::{apply_ranger, RangerConfig};
 use ranger_graph::exec::NoopInterceptor;
 use ranger_graph::{Executor, GraphBuilder, Op};
 use ranger_tensor::{DataType, Tensor};
-use rand::{rngs::StdRng, SeedableRng};
 
 /// Builds a small random MLP with the given hidden width and returns (graph, output node).
 fn mlp(hidden: usize, seed: u64) -> (ranger_graph::Graph, ranger_graph::NodeId) {

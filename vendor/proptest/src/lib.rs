@@ -1,0 +1,204 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace uses.
+//!
+//! The vendored [`proptest!`] macro expands each property into an ordinary `#[test]`
+//! function that draws its arguments from [`strategy::Strategy`] implementations for a
+//! configurable number of cases. Sampling is deterministic: the RNG is seeded from the
+//! property's name, so failures reproduce across runs. Unlike upstream proptest there is
+//! no shrinking — a failing case panics with the case number so it can be replayed.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform, SeedableRng};
+
+    /// Generates values of an output type from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    /// Strategy producing vectors whose elements and length are drawn from inner
+    /// strategies.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) length: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.length.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Returns the deterministic RNG for a named property (FNV-1a over the name).
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from upstream.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::VecStrategy;
+
+        /// A strategy for vectors with elements from `element` and length from `length`.
+        pub fn vec<S>(element: S, length: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, length }
+        }
+    }
+}
+
+/// Controls how many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to draw per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier graph/tensor properties fast
+        // while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Declares property tests; see the crate docs for the supported envelope.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( $cfg:expr; $( $(#[$attr:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::strategy::rng_for(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )*
+                    let __run = || { $body };
+                    if let Err(payload) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!(
+                            "proptest: property '{}' failed at case {}/{}",
+                            stringify!($name), __case + 1, __config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(a in 3usize..9, b in -2.0f32..2.0, c in 0u32..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(c <= 4);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(values in prop::collection::vec(0.0f32..1.0, 1..16)) {
+            prop_assert!(!values.is_empty() && values.len() < 16);
+            prop_assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_property_name() {
+        let mut a = crate::strategy::rng_for("p");
+        let mut b = crate::strategy::rng_for("p");
+        let s = 0usize..1000;
+        for _ in 0..10 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline drop-in replacement for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a small
+//! serde-compatible facade: the [`Serialize`]/[`Deserialize`] traits (routed through an
+//! in-memory [`Value`] tree instead of upstream's visitor architecture), derive macros for
+//! structs and enums (re-exported from the vendored `serde_derive` proc-macro crate), and
+//! impls for the primitive, container and tuple types the workspace serializes.
+//!
+//! Representation choices mirror serde's defaults where they matter for readability:
+//! structs become JSON objects, unit enum variants become strings, data-carrying variants
+//! become externally tagged single-entry objects. Maps are encoded as arrays of
+//! `[key, value]` pairs so non-string keys (e.g. node ids) round-trip without a
+//! key-stringification layer.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model every serializable type converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, which JSON cannot represent).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number; `f64` is exact for every integer the workspace stores.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of named fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the fields of an object value.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements of an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// Returns the numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be decoded into the requested type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the serde data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the serde data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first mismatch between the value tree and the
+    /// expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    Err(Error::new(format!("expected {expected}, found {kind}")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => type_error("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => type_error("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as f64;
+                if n.is_finite() { Value::Num(n) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => type_error("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // Deserializing into a static string requires giving the data a static lifetime;
+        // the workspace only does this for small reference-table entries, so the leak is
+        // bounded and acceptable.
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => type_error("single-character string", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Entries are sorted by their serialized key so output is deterministic across
+        // runs (HashMap iteration order is not).
+        let mut entries: Vec<(String, Value, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = k.to_value();
+                (format!("{key:?}"), key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(_, k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair.as_array() {
+                    Some([k, v]) => Ok((K::from_value(k)?, V::from_value(v)?)),
+                    _ => Err(Error::new("expected [key, value] pair in map encoding")),
+                })
+                .collect(),
+            other => type_error("array of [key, value] pairs", other),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match value.as_array() {
+                    Some(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => type_error("fixed-length array", value),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let opt: Option<f64> = Some(2.5);
+        assert_eq!(Option::<f64>::from_value(&opt.to_value()).unwrap(), opt);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        let pair = (1usize, -2.0f32);
+        assert_eq!(<(usize, f32)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn maps_round_trip_with_non_string_keys() {
+        let mut m = HashMap::new();
+        m.insert(3usize, (1.0f32, 2.0f32));
+        m.insert(9usize, (-1.0, 0.5));
+        let back = HashMap::<usize, (f32, f32)>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn map_serialization_is_deterministic() {
+        let mut m = HashMap::new();
+        for i in 0..50usize {
+            m.insert(i, i as f64);
+        }
+        assert_eq!(m.to_value(), m.clone().to_value());
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::Num(1.0)).is_err());
+        let err = bool::from_value(&Value::Array(vec![])).unwrap_err();
+        assert!(err.to_string().contains("bool"));
+    }
+}
