@@ -208,6 +208,7 @@ fn bench_injection() {
     bench("injection/trial", 2, 50, || {
         let config = CampaignConfig {
             trials: 1,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         };
@@ -216,10 +217,104 @@ fn bench_injection() {
     });
 }
 
+/// The acceptance benchmark for batched campaigns: the same campaign (same seed, same
+/// trials, bit-for-bit identical SDC counts) run per-sample (`batch = 1`) and batched.
+/// The batched runs must be measurably faster per trial — fixed per-pass costs (graph
+/// walk, operator dispatch, interceptor scan, constant materialization) are amortized
+/// over `batch` trials.
+///
+/// Two models are measured: LeNet (convolution-dominated, modest win) and a deep narrow
+/// MLP (dispatch-dominated, large win).
+fn bench_campaign_batched() {
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::GraphBuilder;
+
+    let trials = 64usize;
+    let judge = ClassifierJudge::top1();
+
+    let campaign = |label: &str,
+                    graph: &ranger_graph::Graph,
+                    input_name: &str,
+                    output: ranger_graph::NodeId,
+                    input: &Tensor| {
+        let target = InjectionTarget {
+            graph,
+            input_name,
+            output,
+            excluded: &[],
+        };
+        let mut reference = None;
+        let mut per_sample_ns = 0.0;
+        for batch in [1usize, 16, 64] {
+            let config = CampaignConfig {
+                trials,
+                batch,
+                fault: FaultModel::single_bit_fixed32(),
+                seed: 5,
+            };
+            let mut counts = Vec::new();
+            let total_ns = bench(
+                &format!("campaign_batched/{label}/batch_{batch}"),
+                1,
+                10,
+                || {
+                    let result = ranger_inject::run_campaign(
+                        &target,
+                        std::slice::from_ref(input),
+                        &judge,
+                        &config,
+                    )
+                    .unwrap();
+                    counts = result.sdc_counts.clone();
+                },
+            );
+            match &reference {
+                None => {
+                    reference = Some(counts.clone());
+                    per_sample_ns = total_ns;
+                }
+                Some(expected) => assert_eq!(
+                    &counts, expected,
+                    "batched campaign must reproduce the per-sample SDC counts"
+                ),
+            }
+            println!(
+                "campaign_batched/{label}/batch_{batch}: {:>8.0} ns/trial ({:.2}x per-sample)",
+                total_ns / trials as f64,
+                per_sample_ns / total_ns
+            );
+        }
+    };
+
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let input = model_input(&model);
+    campaign(
+        "lenet",
+        &model.graph,
+        &model.input_name,
+        model.output,
+        &input,
+    );
+
+    // Deep, narrow MLP: 64 dense+relu blocks of width 8 — fixed per-pass costs dominate.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let mut h = b.dense(x, 8, 8, &mut rng);
+    for _ in 0..63 {
+        h = b.relu(h);
+        h = b.dense(h, 8, 8, &mut rng);
+    }
+    let probs = b.softmax(h);
+    let deep = b.into_graph();
+    campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
+}
+
 fn main() {
     bench_insertion();
     bench_inference();
     bench_exec_plan();
     bench_profiling();
     bench_injection();
+    bench_campaign_batched();
 }

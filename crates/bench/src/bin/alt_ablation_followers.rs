@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let judge = ClassifierJudge::top1();
     let campaign = CampaignConfig {
         trials: opts.trials,
+        batch: opts.batch,
         fault: FaultModel::single_bit_fixed32(),
         seed: opts.seed,
     };

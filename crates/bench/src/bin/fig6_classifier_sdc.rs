@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .protect(RangerConfig::default())
             .campaign(CampaignConfig {
                 trials: opts.trials,
+                batch: opts.batch,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: opts.seed,
             })

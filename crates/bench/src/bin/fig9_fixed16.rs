@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let zoo = ModelZoo::with_default_dir();
     let config = CampaignConfig {
         trials: opts.trials,
+        batch: opts.batch,
         fault: FaultModel::single_bit_fixed16(),
         seed: opts.seed,
     };

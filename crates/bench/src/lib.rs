@@ -1,9 +1,9 @@
 //! Experiment harness shared by the per-figure/per-table binaries.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the paper (see
-//! `DESIGN.md` §3 for the mapping). They all follow the same recipe:
+//! Every binary in `src/bin/` regenerates one table or figure of the paper (see the
+//! repository's `ARCHITECTURE.md` for the full mapping). They all follow the same recipe:
 //!
-//! 1. load (or train) the benchmark model from the [`ModelZoo`],
+//! 1. load (or train) the benchmark model from the [`ModelZoo`](ranger_models::zoo::ModelZoo),
 //! 2. derive restriction bounds from a sample of the training data and apply Ranger,
 //! 3. run a fault-injection campaign on inputs the model predicts correctly,
 //! 4. print the same rows/series the paper reports and write a JSON record under

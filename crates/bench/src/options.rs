@@ -7,6 +7,9 @@ use ranger_models::ModelKind;
 pub struct ExpOptions {
     /// Fault-injection trials per input.
     pub trials: usize,
+    /// Trials executed per batched forward pass (1 = the per-sample reference path;
+    /// any value reproduces identical SDC counts).
+    pub batch: usize,
     /// Number of (correctly predicted) inputs per model.
     pub inputs: usize,
     /// Seed for model training, datasets and fault sampling.
@@ -21,6 +24,7 @@ impl Default for ExpOptions {
     fn default() -> Self {
         ExpOptions {
             trials: 200,
+            batch: 1,
             inputs: 5,
             seed: 42,
             full: false,
@@ -30,9 +34,9 @@ impl Default for ExpOptions {
 }
 
 impl ExpOptions {
-    /// Parses options from command-line arguments (`--trials N --inputs N --seed N
-    /// --full --models lenet,dave`). Unknown arguments are ignored so binaries can add
-    /// their own flags.
+    /// Parses options from command-line arguments (`--trials N --batch N --inputs N
+    /// --seed N --full --models lenet,dave`). Unknown arguments are ignored so binaries
+    /// can add their own flags.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -47,6 +51,12 @@ impl ExpOptions {
                 "--trials" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         opts.trials = v;
+                        i += 1;
+                    }
+                }
+                "--batch" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        opts.batch = v;
                         i += 1;
                     }
                 }
@@ -124,10 +134,14 @@ mod tests {
 
     #[test]
     fn flags_override_defaults() {
-        let opts = parse(&["--trials", "500", "--inputs", "3", "--seed", "9"]);
+        let opts = parse(&[
+            "--trials", "500", "--inputs", "3", "--seed", "9", "--batch", "16",
+        ]);
         assert_eq!(opts.trials, 500);
         assert_eq!(opts.inputs, 3);
         assert_eq!(opts.seed, 9);
+        assert_eq!(opts.batch, 16);
+        assert_eq!(parse(&[]).batch, 1, "per-sample path is the default");
     }
 
     #[test]

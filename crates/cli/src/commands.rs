@@ -148,6 +148,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
     let kind = parse_model_name(options.require("model")?)?;
     let seed = options.get_parsed("seed", 42u64)?;
     let trials = options.get_parsed("trials", 100usize)?;
+    let batch = options.get_parsed("batch", 1usize)?;
     let inputs = options.get_parsed("inputs", 3usize)?;
     let percentile = options.get_parsed("percentile", 100.0f64)?;
     let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
@@ -165,6 +166,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
         .protect(RangerConfig::with_policy(parse_policy(options)?))
         .campaign(CampaignConfig {
             trials,
+            batch,
             fault: FaultModel { datatype, bits },
             seed,
         })
@@ -186,6 +188,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
 pub fn inject(options: &Options) -> Result<String, CliError> {
     let input = options.require("in")?.to_string();
     let trials = options.get_parsed("trials", 100usize)?;
+    let batch = options.get_parsed("batch", 1usize)?;
     let inputs = options.get_parsed("inputs", 3usize)?;
     let bits = options.get_parsed("bits", 1usize)?;
     let saved = SavedModel::load(Path::new(&input))?;
@@ -226,12 +229,13 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
     };
     let config = CampaignConfig {
         trials,
+        batch,
         fault,
         seed,
     };
     let result = run_campaign(&target, &batches, judge.as_ref(), &config)?;
     let mut lines = vec![format!(
-        "{} | {} trials x {} inputs | fault model: {fault}",
+        "{} | {} trials x {} inputs (batch {batch}) | fault model: {fault}",
         if saved.protected {
             "protected with Ranger"
         } else {
@@ -390,6 +394,36 @@ mod tests {
         ]))
         .unwrap();
         assert!(report.contains("SDC rate"));
+
+        // The batched campaign path reports the same SDC rates for the same seed.
+        let batched = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--trials",
+            "20",
+            "--inputs",
+            "1",
+            "--batch",
+            "8",
+        ]))
+        .unwrap();
+        let rates = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("SDC rate"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rates(&report), rates(&batched));
+
+        // A zero batch is rejected with a descriptive campaign error.
+        let err = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--batch",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("batch must be positive"));
 
         let _ = std::fs::remove_file(model_path);
         let _ = std::fs::remove_file(protected_path);

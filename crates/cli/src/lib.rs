@@ -23,6 +23,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// A model file could not be decoded.
     Decode(serde_json::Error),
+    /// A fault-injection campaign was misconfigured or failed.
+    Campaign(ranger_inject::CampaignError),
 }
 
 impl fmt::Display for CliError {
@@ -33,6 +35,7 @@ impl fmt::Display for CliError {
             CliError::Zoo(e) => write!(f, "training error: {e}"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Decode(e) => write!(f, "could not decode model file: {e}"),
+            CliError::Campaign(e) => write!(f, "campaign error: {e}"),
         }
     }
 }
@@ -63,12 +66,20 @@ impl From<serde_json::Error> for CliError {
     }
 }
 
+impl From<ranger_inject::CampaignError> for CliError {
+    fn from(e: ranger_inject::CampaignError) -> Self {
+        CliError::Campaign(e)
+    }
+}
+
 impl From<ranger_engine::PipelineError> for CliError {
     fn from(e: ranger_engine::PipelineError) -> Self {
         // Preserve the error category instead of collapsing everything into Usage.
         match e {
+            ranger_engine::PipelineError::InvalidConfig(msg) => CliError::Usage(msg),
             ranger_engine::PipelineError::Zoo(e) => CliError::Zoo(e),
             ranger_engine::PipelineError::Graph(e) => CliError::Graph(e),
+            ranger_engine::PipelineError::Campaign(e) => CliError::Campaign(e),
         }
     }
 }
@@ -86,11 +97,13 @@ COMMANDS:
     protect  --in <model.json> --out <protected.json> [--percentile P] [--fraction F]
              [--policy saturate|zero|random] [--seed N]
              Derive restriction bounds from the training data and insert Ranger.
-    inject   --in <model.json> [--trials N] [--inputs N] [--bits N] [--fixed16] [--seed N]
-             Run a fault-injection campaign and report SDC rates.
-    pipeline --model <name> [--trials N] [--inputs N] [--seed N] [--percentile P]
-             [--fraction F] [--policy saturate|zero|random] [--bits N] [--fixed16]
-             [--quick] [--out report.json]
+    inject   --in <model.json> [--trials N] [--batch N] [--inputs N] [--bits N]
+             [--fixed16] [--seed N]
+             Run a fault-injection campaign and report SDC rates. --batch N executes N
+             trials per forward pass (identical results, less per-trial overhead).
+    pipeline --model <name> [--trials N] [--batch N] [--inputs N] [--seed N]
+             [--percentile P] [--fraction F] [--policy saturate|zero|random] [--bits N]
+             [--fixed16] [--quick] [--out report.json]
              Run the full profile -> protect -> inject pipeline and print the JSON report.
     info     --in <model.json>
              Print a summary of a saved model (operators, parameters, restrictions).

@@ -18,7 +18,7 @@ use ranger_graph::{Graph, GraphError};
 /// `RestorePolicy::Saturate` is exactly [`apply_ranger`](crate::transform::apply_ranger)
 /// with the default configuration; `Zero` and `Random` are the Section VI-C design
 /// alternatives. This is a thin wrapper over the
-/// [`DesignAlternative`](crate::protect::DesignAlternative) protector.
+/// [`DesignAlternative`] protector.
 ///
 /// # Errors
 ///

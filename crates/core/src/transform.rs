@@ -65,7 +65,7 @@ pub struct RangerStats {
 /// Applies Ranger to a graph, returning the protected graph and transformation statistics.
 ///
 /// This is Algorithm 1 of the paper; the canonical implementation lives in
-/// [`RangerProtector`](crate::protect::RangerProtector) and this free function is a thin
+/// [`RangerProtector`] and this free function is a thin
 /// wrapper over it, kept for the many call sites (and readers of the paper) that want a
 /// direct function. The input graph is not modified — like the TensorFlow implementation,
 /// which duplicates the (append-only) graph and remaps operator inputs, the transformation

@@ -34,6 +34,8 @@
 //! # Ok::<(), ranger_engine::PipelineError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod data;
 pub mod pipeline;
 

@@ -51,27 +51,58 @@ impl Interceptor for RecordingInterceptor {
 
 /// The values produced by a full forward pass, indexed by node id.
 ///
-/// A `Values` doubles as the reusable store of a compiled
-/// [`ExecPlan`](crate::plan::ExecPlan): `ExecPlan::run_into` resets it in place, so
-/// repeated forward passes reuse the per-node slot spine instead of re-allocating it
-/// (the tensors themselves are still produced per pass by each operator).
+/// A `Values` doubles as the reusable buffer arena of a compiled
+/// [`ExecPlan`](crate::plan::ExecPlan): `ExecPlan::run_into` moves the previous pass's
+/// tensors into a per-node recycle pool and every operator writes its output into its
+/// node's recycled buffer. Since a node's output shape is constant across passes of the
+/// same graph on same-shaped feeds, the buffers reach steady-state capacity after one
+/// pass and repeated passes perform **zero output-tensor allocations**.
 #[derive(Debug, Clone, Default)]
 pub struct Values {
     values: Vec<Option<Tensor>>,
+    /// Last pass's tensors, keyed by node id; [`Values::take_recycled`] hands them out as
+    /// output buffers during the current pass.
+    recycled: Vec<Option<Tensor>>,
 }
 
 impl Values {
     pub(crate) fn new(len: usize) -> Self {
         Values {
             values: vec![None; len],
+            recycled: vec![None; len],
         }
     }
 
-    /// Clears all stored values while keeping the backing allocation, then re-sizes the
-    /// store for a graph of `len` nodes.
+    /// Starts a new pass over a graph of `len` nodes: the previous pass's tensors become
+    /// the recycle pool and the value slots are cleared (keeping their allocation).
+    ///
+    /// Slots that produced no value last pass keep whatever buffer the pool already held
+    /// — in particular the pre-sized buffers seeded by [`Values::preallocate`] survive
+    /// until their node first executes.
     pub(crate) fn reset(&mut self, len: usize) {
-        self.values.clear();
         self.values.resize(len, None);
+        self.recycled.resize(len, None);
+        for (value, pooled) in self.values.iter_mut().zip(&mut self.recycled) {
+            if let Some(tensor) = value.take() {
+                *pooled = Some(tensor);
+            }
+        }
+    }
+
+    /// Takes the recycled buffer for `id` (an empty tensor if none is pooled).
+    pub(crate) fn take_recycled(&mut self, id: NodeId) -> Tensor {
+        self.recycled
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .unwrap_or_else(Tensor::empty)
+    }
+
+    /// Seeds the recycle pool for `id` with a buffer pre-sized for an output of shape
+    /// `dims`, so even the first pass through this store allocates nothing for that node.
+    pub(crate) fn preallocate(&mut self, id: NodeId, dims: &[usize]) {
+        if let Some(slot) = self.recycled.get_mut(id.index()) {
+            *slot = Some(Tensor::with_capacity_for(dims));
+        }
     }
 
     /// Returns the value computed for `id`.
@@ -116,61 +147,104 @@ fn input<'v>(node: &Node, values: &'v Values, idx: usize) -> Result<&'v Tensor, 
     values.get(id)
 }
 
-/// Evaluates one node given the values of its inputs and the feed list.
+/// Evaluates one node given the values of its inputs and the feed list, writing the
+/// result into the recycled buffer `out`.
 ///
 /// Shared by [`Executor`] and [`ExecPlan`](crate::plan::ExecPlan) so the two paths cannot
-/// diverge semantically.
-pub(crate) fn eval_node(
+/// diverge semantically. `out` is an output buffer whose allocation is reused (see
+/// [`Values::take_recycled`]); on error its contents are unspecified but no value is
+/// stored for the node.
+pub(crate) fn eval_node_into(
     node: &Node,
     values: &Values,
     feeds: &[(&str, Tensor)],
-) -> Result<Tensor, GraphError> {
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     match &node.op {
-        Op::Input => feeds
-            .iter()
-            .find(|(name, _)| *name == node.name)
-            .map(|(_, t)| t.clone())
-            .or_else(|| node.value.clone())
-            .ok_or_else(|| GraphError::MissingFeed(node.name.clone())),
-        Op::Const => node
-            .value
-            .clone()
-            .ok_or(GraphError::MissingConstValue(node.id)),
+        Op::Input => {
+            let fed = feeds
+                .iter()
+                .find(|(name, _)| *name == node.name)
+                .map(|(_, t)| t)
+                .or(node.value.as_ref())
+                .ok_or_else(|| GraphError::MissingFeed(node.name.clone()))?;
+            out.reset_from_slice(fed.dims(), fed.data())
+                .expect("shape and data of an existing tensor agree");
+            Ok(())
+        }
+        Op::Const => {
+            let value = node
+                .value
+                .as_ref()
+                .ok_or(GraphError::MissingConstValue(node.id))?;
+            out.reset_from_slice(value.dims(), value.data())
+                .expect("shape and data of an existing tensor agree");
+            Ok(())
+        }
         Op::Conv2d { stride, padding } => {
             if node.inputs.len() != 2 {
                 return Err(arity_err(node, 2));
             }
             let x = input(node, values, 0)?;
             let w = input(node, values, 1)?;
-            ops::conv2d_forward(node.id, x, w, *stride, *padding)
+            ops::conv2d_forward_into(node.id, x, w, *stride, *padding, out)
         }
         Op::MatMul => {
             if node.inputs.len() != 2 {
                 return Err(arity_err(node, 2));
             }
-            ops::matmul_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+            ops::matmul_forward_into(
+                node.id,
+                input(node, values, 0)?,
+                input(node, values, 1)?,
+                out,
+            )
         }
         Op::BiasAdd => {
             if node.inputs.len() != 2 {
                 return Err(arity_err(node, 2));
             }
-            ops::bias_add_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+            ops::bias_add_forward_into(
+                node.id,
+                input(node, values, 0)?,
+                input(node, values, 1)?,
+                out,
+            )
         }
-        Op::Relu => Ok(ops::relu_forward(input(node, values, 0)?)),
-        Op::Tanh => Ok(ops::tanh_forward(input(node, values, 0)?)),
-        Op::Sigmoid => Ok(ops::sigmoid_forward(input(node, values, 0)?)),
-        Op::Atan => Ok(ops::atan_forward(input(node, values, 0)?)),
-        Op::Elu => Ok(ops::elu_forward(input(node, values, 0)?)),
-        Op::Softmax => ops::softmax_forward(node.id, input(node, values, 0)?),
+        Op::Relu => {
+            ops::relu_forward_into(input(node, values, 0)?, out);
+            Ok(())
+        }
+        Op::Tanh => {
+            ops::tanh_forward_into(input(node, values, 0)?, out);
+            Ok(())
+        }
+        Op::Sigmoid => {
+            ops::sigmoid_forward_into(input(node, values, 0)?, out);
+            Ok(())
+        }
+        Op::Atan => {
+            ops::atan_forward_into(input(node, values, 0)?, out);
+            Ok(())
+        }
+        Op::Elu => {
+            ops::elu_forward_into(input(node, values, 0)?, out);
+            Ok(())
+        }
+        Op::Softmax => ops::softmax_forward_into(node.id, input(node, values, 0)?, out),
         Op::MaxPool { kernel, stride } => {
-            ops::max_pool_forward(node.id, input(node, values, 0)?, *kernel, *stride)
+            ops::max_pool_forward_into(node.id, input(node, values, 0)?, *kernel, *stride, out)
         }
         Op::AvgPool { kernel, stride } => {
-            ops::avg_pool_forward(node.id, input(node, values, 0)?, *kernel, *stride)
+            ops::avg_pool_forward_into(node.id, input(node, values, 0)?, *kernel, *stride, out)
         }
-        Op::GlobalAvgPool => ops::global_avg_pool_forward(node.id, input(node, values, 0)?),
-        Op::Flatten => ops::flatten_forward(node.id, input(node, values, 0)?),
-        Op::Reshape { dims } => ops::reshape_forward(node.id, input(node, values, 0)?, dims),
+        Op::GlobalAvgPool => {
+            ops::global_avg_pool_forward_into(node.id, input(node, values, 0)?, out)
+        }
+        Op::Flatten => ops::flatten_forward_into(node.id, input(node, values, 0)?, out),
+        Op::Reshape { dims } => {
+            ops::reshape_forward_into(node.id, input(node, values, 0)?, dims, out)
+        }
         Op::Concat => {
             if node.inputs.is_empty() {
                 return Err(arity_err(node, 1));
@@ -179,29 +253,49 @@ pub(crate) fn eval_node(
             for i in 0..node.inputs.len() {
                 tensors.push(input(node, values, i)?);
             }
-            ops::concat_forward(node.id, &tensors)
+            ops::concat_forward_into(node.id, &tensors, out)
         }
         Op::Add => {
             if node.inputs.len() != 2 {
                 return Err(arity_err(node, 2));
             }
-            ops::add_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+            ops::add_forward_into(
+                node.id,
+                input(node, values, 0)?,
+                input(node, values, 1)?,
+                out,
+            )
         }
         Op::Mul => {
             if node.inputs.len() != 2 {
                 return Err(arity_err(node, 2));
             }
-            ops::mul_forward(node.id, input(node, values, 0)?, input(node, values, 1)?)
+            ops::mul_forward_into(
+                node.id,
+                input(node, values, 0)?,
+                input(node, values, 1)?,
+                out,
+            )
         }
-        Op::ScalarMul { factor } => Ok(input(node, values, 0)?.scale(*factor)),
-        Op::Identity => Ok(input(node, values, 0)?.clone()),
-        Op::Clamp { lo, hi } => Ok(ops::clamp_forward(input(node, values, 0)?, *lo, *hi)),
-        Op::RangeRestore { lo, hi, policy } => Ok(ops::range_restore_forward(
-            input(node, values, 0)?,
-            *lo,
-            *hi,
-            *policy,
-        )),
+        Op::ScalarMul { factor } => {
+            let factor = *factor;
+            input(node, values, 0)?.map_into(out, |v| v * factor);
+            Ok(())
+        }
+        Op::Identity => {
+            let x = input(node, values, 0)?;
+            out.reset_from_slice(x.dims(), x.data())
+                .expect("shape and data of an existing tensor agree");
+            Ok(())
+        }
+        Op::Clamp { lo, hi } => {
+            ops::clamp_forward_into(input(node, values, 0)?, *lo, *hi, out);
+            Ok(())
+        }
+        Op::RangeRestore { lo, hi, policy } => {
+            ops::range_restore_forward_into(input(node, values, 0)?, *lo, *hi, *policy, out);
+            Ok(())
+        }
     }
 }
 

@@ -11,9 +11,22 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
     }
 }
 
+/// Allocating wrapper over an elementwise `_into` kernel (the `_into` variant is the
+/// single implementation, so the two cannot diverge numerically).
+fn alloc(f: impl FnOnce(&mut Tensor)) -> Tensor {
+    let mut out = Tensor::empty();
+    f(&mut out);
+    out
+}
+
 /// Rectified linear unit: `max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    alloc(|out| relu_forward_into(x, out))
+}
+
+/// [`relu_forward`], writing into a recycled output buffer.
+pub fn relu_forward_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(out, |v| v.max(0.0));
 }
 
 /// ReLU backward: the gradient flows only where the input was positive.
@@ -23,7 +36,12 @@ pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor, GraphError
 
 /// Hyperbolic tangent activation.
 pub fn tanh_forward(x: &Tensor) -> Tensor {
-    x.map(f32::tanh)
+    alloc(|out| tanh_forward_into(x, out))
+}
+
+/// [`tanh_forward`], writing into a recycled output buffer.
+pub fn tanh_forward_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(out, f32::tanh);
 }
 
 /// Tanh backward: `dy/dx = 1 - tanh(x)^2`.
@@ -36,7 +54,12 @@ pub fn tanh_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor, GraphError
 
 /// Logistic sigmoid activation.
 pub fn sigmoid_forward(x: &Tensor) -> Tensor {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    alloc(|out| sigmoid_forward_into(x, out))
+}
+
+/// [`sigmoid_forward`], writing into a recycled output buffer.
+pub fn sigmoid_forward_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(out, |v| 1.0 / (1.0 + (-v).exp()));
 }
 
 /// Sigmoid backward: `dy/dx = s(x) (1 - s(x))`.
@@ -50,7 +73,12 @@ pub fn sigmoid_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor, GraphEr
 /// Elementwise arc-tangent (the Nvidia Dave model converts its regression head to radians
 /// with `2 * atan(x)`).
 pub fn atan_forward(x: &Tensor) -> Tensor {
-    x.map(f32::atan)
+    alloc(|out| atan_forward_into(x, out))
+}
+
+/// [`atan_forward`], writing into a recycled output buffer.
+pub fn atan_forward_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(out, f32::atan);
 }
 
 /// Atan backward: `dy/dx = 1 / (1 + x^2)`.
@@ -60,7 +88,12 @@ pub fn atan_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor, GraphError
 
 /// Exponential linear unit with `alpha = 1`.
 pub fn elu_forward(x: &Tensor) -> Tensor {
-    x.map(|v| if v > 0.0 { v } else { v.exp() - 1.0 })
+    alloc(|out| elu_forward_into(x, out))
+}
+
+/// [`elu_forward`], writing into a recycled output buffer.
+pub fn elu_forward_into(x: &Tensor, out: &mut Tensor) {
+    x.map_into(out, |v| if v > 0.0 { v } else { v.exp() - 1.0 });
 }
 
 /// ELU backward: `dy/dx = 1` for positive inputs, `exp(x)` otherwise.
@@ -75,6 +108,17 @@ pub fn elu_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor, GraphError>
 ///
 /// Returns a [`GraphError::ShapeError`] if the input has rank 0.
 pub fn softmax_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    softmax_forward_into(node, x, &mut out)?;
+    Ok(out)
+}
+
+/// [`softmax_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the input has rank 0; `out` is left unchanged.
+pub fn softmax_forward_into(node: NodeId, x: &Tensor, out: &mut Tensor) -> Result<(), GraphError> {
     let dims = x.dims();
     if dims.is_empty() {
         return Err(shape_err(node, "softmax requires at least rank-1 input"));
@@ -84,22 +128,23 @@ pub fn softmax_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
         return Err(shape_err(node, "softmax over an empty dimension"));
     }
     let rows = x.len() / last;
-    let mut out = vec![0.0f32; x.len()];
+    out.reset_fill(dims, 0.0);
     let data = x.data();
+    let odat = out.data_mut();
     for r in 0..rows {
         let row = &data[r * last..(r + 1) * last];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0f32;
-        for (o, &v) in out[r * last..(r + 1) * last].iter_mut().zip(row) {
+        for (o, &v) in odat[r * last..(r + 1) * last].iter_mut().zip(row) {
             let e = (v - max).exp();
             *o = e;
             denom += e;
         }
-        for o in &mut out[r * last..(r + 1) * last] {
+        for o in &mut odat[r * last..(r + 1) * last] {
             *o /= denom;
         }
     }
-    Ok(Tensor::from_vec(dims.to_vec(), out)?)
+    Ok(())
 }
 
 /// Softmax backward given the forward *output* `y` and the upstream gradient.
@@ -132,7 +177,12 @@ pub fn softmax_backward(node: NodeId, y: &Tensor, grad_out: &Tensor) -> Result<T
 
 /// Range restriction (the Ranger operator): clamps every element into `[lo, hi]`.
 pub fn clamp_forward(x: &Tensor, lo: f32, hi: f32) -> Tensor {
-    x.clamp(lo, hi)
+    alloc(|out| clamp_forward_into(x, lo, hi, out))
+}
+
+/// [`clamp_forward`], writing into a recycled output buffer.
+pub fn clamp_forward_into(x: &Tensor, lo: f32, hi: f32, out: &mut Tensor) {
+    x.map_into(out, |v| v.clamp(lo, hi));
 }
 
 /// Range restriction with an explicit out-of-bounds policy (the Section VI-C design
@@ -144,8 +194,19 @@ pub fn range_restore_forward(
     hi: f32,
     policy: crate::op::RestorePolicy,
 ) -> Tensor {
+    alloc(|out| range_restore_forward_into(x, lo, hi, policy, out))
+}
+
+/// [`range_restore_forward`], writing into a recycled output buffer.
+pub fn range_restore_forward_into(
+    x: &Tensor,
+    lo: f32,
+    hi: f32,
+    policy: crate::op::RestorePolicy,
+    out: &mut Tensor,
+) {
     use crate::op::RestorePolicy;
-    x.map(|v| {
+    x.map_into(out, |v| {
         if v >= lo && v <= hi {
             v
         } else {

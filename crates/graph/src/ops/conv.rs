@@ -48,6 +48,25 @@ pub fn conv2d_forward(
     stride: usize,
     padding: Padding,
 ) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    conv2d_forward_into(node, x, w, stride, padding, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the operands are not rank 4 or the channel
+/// counts disagree; `out` is left unchanged.
+pub fn conv2d_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    padding: Padding,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     let xd = x.dims();
     let wd = w.dims();
     if xd.len() != 4 || wd.len() != 4 {
@@ -75,7 +94,8 @@ pub fn conv2d_forward(
 
     let xdat = x.data();
     let wdat = w.data();
-    let mut out = vec![0.0f32; n * cout * ho * wo];
+    out.reset_fill(&[n, cout, ho, wo], 0.0);
+    let odat = out.data_mut();
 
     for b in 0..n {
         for oc in 0..cout {
@@ -100,12 +120,12 @@ pub fn conv2d_forward(
                             }
                         }
                     }
-                    out[((b * cout + oc) * ho + oy) * wo + ox] = acc;
+                    odat[((b * cout + oc) * ho + oy) * wo + ox] = acc;
                 }
             }
         }
     }
-    Ok(Tensor::from_vec(vec![n, cout, ho, wo], out)?)
+    Ok(())
 }
 
 /// 2-D convolution backward pass.

@@ -44,6 +44,21 @@ pub fn matmul_forward(node: NodeId, x: &Tensor, w: &Tensor) -> Result<Tensor, Gr
     x.matmul(w).map_err(|e| shape_err(node, e.to_string()))
 }
 
+/// [`matmul_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] on incompatible operands; `out` is left unchanged.
+pub fn matmul_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
+    x.matmul_into(w, out)
+        .map_err(|e| shape_err(node, e.to_string()))
+}
+
 /// Matrix multiplication backward pass: returns `(grad_x, grad_w)`.
 ///
 /// # Errors
@@ -75,6 +90,23 @@ pub fn matmul_backward(
 ///
 /// Returns a [`GraphError::ShapeError`] if the bias length does not match.
 pub fn bias_add_forward(node: NodeId, x: &Tensor, bias: &Tensor) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    bias_add_forward_into(node, x, bias, &mut out)?;
+    Ok(out)
+}
+
+/// [`bias_add_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the bias length does not match; `out` is left
+/// unchanged.
+pub fn bias_add_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     let xd = x.dims();
     let b = bias.data();
     match xd.len() {
@@ -86,16 +118,18 @@ pub fn bias_add_forward(node: NodeId, x: &Tensor, bias: &Tensor) -> Result<Tenso
                     format!("bias length {} does not match {} channels", b.len(), c),
                 ));
             }
-            let mut out = x.data().to_vec();
+            out.reset_from_slice(xd, x.data())
+                .map_err(|e| shape_err(node, e.to_string()))?;
+            let odat = out.data_mut();
             for bi in 0..n {
                 for (ch, &bias_v) in b.iter().enumerate().take(c) {
                     let base = (bi * c + ch) * h * w;
-                    for v in &mut out[base..base + h * w] {
+                    for v in &mut odat[base..base + h * w] {
                         *v += bias_v;
                     }
                 }
             }
-            Ok(Tensor::from_vec(xd.to_vec(), out)?)
+            Ok(())
         }
         2 => {
             let (n, f) = (xd[0], xd[1]);
@@ -105,13 +139,15 @@ pub fn bias_add_forward(node: NodeId, x: &Tensor, bias: &Tensor) -> Result<Tenso
                     format!("bias length {} does not match {} features", b.len(), f),
                 ));
             }
-            let mut out = x.data().to_vec();
+            out.reset_from_slice(xd, x.data())
+                .map_err(|e| shape_err(node, e.to_string()))?;
+            let odat = out.data_mut();
             for bi in 0..n {
-                for (v, &bj) in out[bi * f..(bi + 1) * f].iter_mut().zip(b) {
+                for (v, &bj) in odat[bi * f..(bi + 1) * f].iter_mut().zip(b) {
                     *v += bj;
                 }
             }
-            Ok(Tensor::from_vec(xd.to_vec(), out)?)
+            Ok(())
         }
         _ => Err(shape_err(
             node,

@@ -31,7 +31,25 @@ pub fn max_pool_forward(
     kernel: usize,
     stride: usize,
 ) -> Result<Tensor, GraphError> {
-    pool_forward(node, x, kernel, stride, PoolKind::Max)
+    let mut out = Tensor::empty();
+    pool_forward_into(node, x, kernel, stride, PoolKind::Max, &mut out)?;
+    Ok(out)
+}
+
+/// [`max_pool_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if `x` is not rank 4 or the window parameters are
+/// degenerate; `out` is left unchanged.
+pub fn max_pool_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
+    pool_forward_into(node, x, kernel, stride, PoolKind::Max, out)
 }
 
 /// Average-pooling forward pass with a square window.
@@ -46,7 +64,25 @@ pub fn avg_pool_forward(
     kernel: usize,
     stride: usize,
 ) -> Result<Tensor, GraphError> {
-    pool_forward(node, x, kernel, stride, PoolKind::Avg)
+    let mut out = Tensor::empty();
+    pool_forward_into(node, x, kernel, stride, PoolKind::Avg, &mut out)?;
+    Ok(out)
+}
+
+/// [`avg_pool_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if `x` is not rank 4 or the window parameters are
+/// degenerate; `out` is left unchanged.
+pub fn avg_pool_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
+    pool_forward_into(node, x, kernel, stride, PoolKind::Avg, out)
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -55,13 +91,14 @@ enum PoolKind {
     Avg,
 }
 
-fn pool_forward(
+fn pool_forward_into(
     node: NodeId,
     x: &Tensor,
     kernel: usize,
     stride: usize,
     kind: PoolKind,
-) -> Result<Tensor, GraphError> {
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     let xd = x.dims();
     if xd.len() != 4 {
         return Err(shape_err(
@@ -85,7 +122,8 @@ fn pool_forward(
         ));
     }
     let xdat = x.data();
-    let mut out = vec![0.0f32; n * c * ho * wo];
+    out.reset_fill(&[n, c, ho, wo], 0.0);
+    let odat = out.data_mut();
     for b in 0..n {
         for ch in 0..c {
             for oy in 0..ho {
@@ -108,12 +146,12 @@ fn pool_forward(
                     if kind == PoolKind::Avg {
                         acc /= (kernel * kernel) as f32;
                     }
-                    out[((b * c + ch) * ho + oy) * wo + ox] = acc;
+                    odat[((b * c + ch) * ho + oy) * wo + ox] = acc;
                 }
             }
         }
     }
-    Ok(Tensor::from_vec(vec![n, c, ho, wo], out)?)
+    Ok(())
 }
 
 /// Max-pooling backward pass: routes each output gradient to the input position that
@@ -214,6 +252,21 @@ pub fn avg_pool_backward(
 ///
 /// Returns a [`GraphError::ShapeError`] if `x` is not rank 4.
 pub fn global_avg_pool_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    global_avg_pool_forward_into(node, x, &mut out)?;
+    Ok(out)
+}
+
+/// [`global_avg_pool_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if `x` is not rank 4; `out` is left unchanged.
+pub fn global_avg_pool_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     let xd = x.dims();
     if xd.len() != 4 {
         return Err(shape_err(
@@ -223,15 +276,16 @@ pub fn global_avg_pool_forward(node: NodeId, x: &Tensor) -> Result<Tensor, Graph
     }
     let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
     let xdat = x.data();
-    let mut out = vec![0.0f32; n * c];
+    out.reset_fill(&[n, c], 0.0);
+    let odat = out.data_mut();
     let scale = 1.0 / (h * w) as f32;
     for b in 0..n {
         for ch in 0..c {
             let base = (b * c + ch) * h * w;
-            out[b * c + ch] = xdat[base..base + h * w].iter().sum::<f32>() * scale;
+            odat[b * c + ch] = xdat[base..base + h * w].iter().sum::<f32>() * scale;
         }
     }
-    Ok(Tensor::from_vec(vec![n, c], out)?)
+    Ok(())
 }
 
 /// Global average pooling backward pass.

@@ -17,13 +17,25 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
 ///
 /// Returns a [`GraphError::ShapeError`] if the input is a scalar.
 pub fn flatten_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    flatten_forward_into(node, x, &mut out)?;
+    Ok(out)
+}
+
+/// [`flatten_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the input is a scalar; `out` is left unchanged.
+pub fn flatten_forward_into(node: NodeId, x: &Tensor, out: &mut Tensor) -> Result<(), GraphError> {
     let d = x.dims();
     if d.is_empty() {
         return Err(shape_err(node, "flatten requires at least rank-1 input"));
     }
     let n = d[0];
     let features = d[1..].iter().product::<usize>().max(1);
-    Ok(x.reshape(vec![n, features])?)
+    out.reset_rows_from_slice(n, &[features], x.data())
+        .map_err(|e| shape_err(node, e.to_string()))
 }
 
 /// Reshapes to `[batch, dims...]`, preserving the batch dimension.
@@ -32,15 +44,37 @@ pub fn flatten_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
 ///
 /// Returns a [`GraphError::ShapeError`] if the element counts do not match.
 pub fn reshape_forward(node: NodeId, x: &Tensor, dims: &[usize]) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    reshape_forward_into(node, x, dims, &mut out)?;
+    Ok(out)
+}
+
+/// [`reshape_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the element counts do not match; `out` is left
+/// unchanged.
+pub fn reshape_forward_into(
+    node: NodeId,
+    x: &Tensor,
+    dims: &[usize],
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     let d = x.dims();
     if d.is_empty() {
         return Err(shape_err(node, "reshape requires at least rank-1 input"));
     }
-    let mut target = Vec::with_capacity(dims.len() + 1);
-    target.push(d[0]);
-    target.extend_from_slice(dims);
-    x.reshape(target.clone())
-        .map_err(|_| shape_err(node, format!("cannot reshape {:?} into {:?}", d, target)))
+    out.reset_rows_from_slice(d[0], dims, x.data())
+        .map_err(|_| {
+            shape_err(
+                node,
+                format!(
+                    "cannot reshape {:?} into a batch of {} x {:?}",
+                    d, d[0], dims
+                ),
+            )
+        })
 }
 
 /// Backward for flatten/reshape: restores the gradient to the input shape.
@@ -62,6 +96,21 @@ pub fn reshape_backward(node: NodeId, x: &Tensor, grad_out: &Tensor) -> Result<T
 ///
 /// Returns a [`GraphError::ShapeError`] on incompatible operands.
 pub fn concat_forward(node: NodeId, inputs: &[&Tensor]) -> Result<Tensor, GraphError> {
+    let mut out = Tensor::empty();
+    concat_forward_into(node, inputs, &mut out)?;
+    Ok(out)
+}
+
+/// [`concat_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] on incompatible operands; `out` is left unchanged.
+pub fn concat_forward_into(
+    node: NodeId,
+    inputs: &[&Tensor],
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
     if inputs.is_empty() {
         return Err(shape_err(node, "concat requires at least one input"));
     }
@@ -70,11 +119,11 @@ pub fn concat_forward(node: NodeId, inputs: &[&Tensor]) -> Result<Tensor, GraphE
         return Err(shape_err(node, "concat supports rank-2 or rank-4 inputs"));
     }
     let n = inputs[0].dims()[0];
-    let spatial: Vec<usize> = inputs[0].dims()[2..].to_vec();
+    let spatial = &inputs[0].dims()[2..];
     let mut total_c = 0usize;
     for t in inputs {
         let d = t.dims();
-        if d.len() != rank || d[0] != n || d[2..] != spatial[..] {
+        if d.len() != rank || d[0] != n || &d[2..] != spatial {
             return Err(shape_err(
                 node,
                 "concat inputs must agree in every dimension except channels",
@@ -83,20 +132,25 @@ pub fn concat_forward(node: NodeId, inputs: &[&Tensor]) -> Result<Tensor, GraphE
         total_c += d[1];
     }
     let inner: usize = spatial.iter().product::<usize>().max(1);
-    let mut out = vec![0.0f32; n * total_c * inner];
+    // The output dims are [n, total_c, spatial...]; spatial borrows inputs[0], so the
+    // shape is materialized before the data is filled in.
+    let mut dims = [0usize; 4];
+    dims[0] = n;
+    dims[1] = total_c;
+    dims[2..rank].copy_from_slice(spatial);
+    out.reset_fill(&dims[..rank], 0.0);
+    let odat = out.data_mut();
     for b in 0..n {
         let mut c_offset = 0usize;
         for t in inputs {
             let c = t.dims()[1];
             let src = &t.data()[b * c * inner..(b + 1) * c * inner];
             let dst_base = (b * total_c + c_offset) * inner;
-            out[dst_base..dst_base + c * inner].copy_from_slice(src);
+            odat[dst_base..dst_base + c * inner].copy_from_slice(src);
             c_offset += c;
         }
     }
-    let mut dims = vec![n, total_c];
-    dims.extend_from_slice(&spatial);
-    Ok(Tensor::from_vec(dims, out)?)
+    Ok(())
 }
 
 /// Backward for concat: splits the output gradient back into per-input gradients.
@@ -152,6 +206,21 @@ pub fn add_forward(node: NodeId, a: &Tensor, b: &Tensor) -> Result<Tensor, Graph
     a.add(b).map_err(|e| shape_err(node, e.to_string()))
 }
 
+/// [`add_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the shapes differ; `out` is left unchanged.
+pub fn add_forward_into(
+    node: NodeId,
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
+    a.zip_map_into(b, out, |x, y| x + y)
+        .map_err(|e| shape_err(node, e.to_string()))
+}
+
 /// Elementwise multiplication of two same-shaped tensors.
 ///
 /// # Errors
@@ -159,6 +228,21 @@ pub fn add_forward(node: NodeId, a: &Tensor, b: &Tensor) -> Result<Tensor, Graph
 /// Returns a [`GraphError::ShapeError`] if the shapes differ.
 pub fn mul_forward(node: NodeId, a: &Tensor, b: &Tensor) -> Result<Tensor, GraphError> {
     a.mul(b).map_err(|e| shape_err(node, e.to_string()))
+}
+
+/// [`mul_forward`], writing into a recycled output buffer.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the shapes differ; `out` is left unchanged.
+pub fn mul_forward_into(
+    node: NodeId,
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+) -> Result<(), GraphError> {
+    a.zip_map_into(b, out, |x, y| x * y)
+        .map_err(|e| shape_err(node, e.to_string()))
 }
 
 #[cfg(test)]

@@ -9,10 +9,12 @@
 //! * the topological order is computed once at [`Graph::compile`] time instead of being
 //!   re-derived (with its O(nodes) bookkeeping allocations) on every pass,
 //! * the output shape of every node can be recorded once ([`ExecPlan::warm`]) and reused
-//!   for introspection instead of being recomputed,
-//! * the node-value store ([`Values`]) is reset in place between runs, so the per-node
-//!   slot spine is not re-allocated per pass (each operator still allocates its output
-//!   tensor — an arena over the warmed shapes is a ROADMAP item).
+//!   for introspection — and to pre-size the buffer arena handed out by
+//!   [`ExecPlan::buffers`],
+//! * the node-value store ([`Values`]) doubles as a per-node buffer arena: every operator
+//!   writes its output into the buffer its node produced on the previous pass, so a
+//!   `run_into` loop performs zero output-tensor allocations after warm-up (verified by
+//!   the `alloc_free_plan` integration test with a counting global allocator).
 //!
 //! The [`Interceptor`] hook behaves exactly as it does under `Executor` — the fault
 //! injector and the bound profiler observe the same nodes in the same order — and the
@@ -44,13 +46,28 @@
 //! ```
 
 use crate::error::GraphError;
-use crate::exec::{eval_node, Interceptor, NoopInterceptor, Values};
+use crate::exec::{eval_node_into, Interceptor, NoopInterceptor, Values};
 use crate::graph::{Graph, NodeId};
 use ranger_tensor::Tensor;
 use std::sync::OnceLock;
 
 impl Graph {
     /// Compiles this graph into a reusable execution plan.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ranger_graph::{Graph, Op};
+    /// use ranger_tensor::Tensor;
+    ///
+    /// let mut g = Graph::new();
+    /// let x = g.add_input("x");
+    /// let y = g.add_node("double", Op::ScalarMul { factor: 2.0 }, vec![x]);
+    /// let plan = g.compile()?;
+    /// let out = plan.run_simple(&[("x", Tensor::ones(vec![1, 3]))], y)?;
+    /// assert_eq!(out.data(), &[2.0, 2.0, 2.0]);
+    /// # Ok::<(), ranger_graph::GraphError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -91,15 +108,29 @@ impl<'g> ExecPlan<'g> {
     }
 
     /// Returns a value store sized for this plan, for use with [`ExecPlan::run_into`].
+    ///
+    /// If the plan has been [warmed](ExecPlan::warm), every per-node output buffer is
+    /// pre-allocated to the recorded shape's element count, so even the store's first
+    /// `run_into` pass allocates no output tensors (for feeds of the warmed batch size).
     pub fn buffers(&self) -> Values {
-        Values::new(self.graph.len())
+        let mut values = Values::new(self.graph.len());
+        if let Some(shapes) = self.shapes.get() {
+            for (index, dims) in shapes.iter().enumerate() {
+                if let Some(dims) = dims {
+                    values.preallocate(NodeId::new(index), dims);
+                }
+            }
+        }
+        values
     }
 
-    /// Runs a forward pass into a caller-owned value store, reusing its allocation.
+    /// Runs a forward pass into a caller-owned value store, reusing its allocations.
     ///
-    /// This is the hot-path entry point: `values` is reset (not re-allocated) before the
-    /// pass, and afterwards holds the value of every node. The `interceptor` is called
-    /// after every operator, as under [`Executor`](crate::exec::Executor).
+    /// This is the hot-path entry point: the previous pass's tensors become the output
+    /// buffers of the current pass (see [`Values`]), so after the first pass a `run_into`
+    /// loop performs **zero output-tensor allocations** — each operator writes into its
+    /// node's recycled buffer. The `interceptor` is called after every operator, as under
+    /// [`Executor`](crate::exec::Executor).
     ///
     /// # Errors
     ///
@@ -114,7 +145,8 @@ impl<'g> ExecPlan<'g> {
         values.reset(self.graph.len());
         for &id in &self.order {
             let node = self.graph.node(id)?;
-            let mut output = eval_node(node, values, feeds)?;
+            let mut output = values.take_recycled(id);
+            eval_node_into(node, values, feeds, &mut output)?;
             if node.op.is_injectable() {
                 interceptor.after_op(node, &mut output);
             }

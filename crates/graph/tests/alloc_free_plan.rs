@@ -1,0 +1,92 @@
+//! The ExecPlan buffer-arena acceptance test: repeated `run_into` passes perform zero
+//! heap allocations after warm-up.
+//!
+//! A counting global allocator wraps the system allocator; the test runs a compiled plan
+//! over a mixed conv/pool/dense graph until the per-node buffers reach steady state and
+//! then asserts that further passes allocate nothing at all (output tensors included).
+//! The file contains exactly one test so no concurrent test can perturb the counter.
+
+use rand::{rngs::StdRng, SeedableRng};
+use ranger_graph::exec::NoopInterceptor;
+use ranger_graph::GraphBuilder;
+use ranger_tensor::Tensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn repeated_plan_passes_allocate_nothing_after_warm_up() {
+    // A small LeNet-shaped graph: conv -> bias -> relu -> pool -> flatten -> dense ->
+    // softmax, covering the convolutional, pooling, reshaping and dense kernels.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let c = b.conv2d(x, 1, 4, 3, 1, ranger_graph::op::Padding::Same, &mut rng);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    let f = b.flatten(p);
+    let h = b.dense(f, 4 * 4 * 4, 10, &mut rng);
+    let probs = b.softmax(h);
+    let graph = b.into_graph();
+
+    let plan = graph.compile().unwrap();
+    let input = Tensor::ones(vec![1, 1, 8, 8]);
+    let feeds = [("x", input)];
+    plan.warm(&feeds).unwrap();
+
+    // A warmed plan hands out buffers pre-sized from the recorded shapes, so even the
+    // store's FIRST pass — and every pass after it — allocates nothing.
+    let mut values = plan.buffers();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+            .unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warmed run_into must not allocate ({} allocations over 100 passes, first included)",
+        after - before
+    );
+    assert_eq!(values.get(probs).unwrap().dims(), &[1, 10]);
+
+    // An unwarmed store pays allocations only on its first pass; after that it is
+    // allocation-free too.
+    let mut cold = ranger_graph::exec::Values::default();
+    plan.run_into(&mut cold, &feeds, &mut NoopInterceptor)
+        .unwrap();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        plan.run_into(&mut cold, &feeds, &mut NoopInterceptor)
+            .unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "cold store must be allocation-free from the second pass on"
+    );
+}

@@ -3,13 +3,18 @@
 //! The campaign runner is the reproduction's hottest path — `inputs × trials` forward
 //! passes of the same graph — so it executes through a compiled
 //! [`ExecPlan`](ranger_graph::ExecPlan): the topological order is planned once per
-//! campaign instead of once per trial, and the node-value store's slot spine is reused
-//! across trials (per-operator output tensors are still allocated each pass). The
-//! per-trial results are bit-for-bit identical to running each pass through a fresh
-//! [`Executor`](ranger_graph::Executor).
+//! campaign instead of once per trial, and the plan's buffer arena makes repeated passes
+//! allocation-free. With [`CampaignConfig::batch`] above 1 the runner additionally
+//! amortizes fixed per-pass costs across trials: golden outputs for a whole chunk of
+//! inputs are computed in one `[N, ...]` forward pass, and each faulty pass executes
+//! `batch` trials at once with a per-row fault plan
+//! ([`BatchFaultInjector`]). Because every operator
+//! processes batch rows independently, the per-trial results — and therefore the SDC
+//! counts — are bit-for-bit identical to the `batch = 1` per-sample path, which in turn
+//! matches running each pass through a fresh [`Executor`](ranger_graph::Executor).
 
 use crate::fault::FaultModel;
-use crate::injector::FaultInjector;
+use crate::injector::{BatchFaultInjector, FaultInjector};
 use crate::judge::SdcJudge;
 use crate::space::InjectionSpace;
 use crate::InjectionTarget;
@@ -20,12 +25,17 @@ use ranger_graph::GraphError;
 use ranger_tensor::stats::Proportion;
 use ranger_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Configuration of a fault-injection campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Number of fault-injection trials per input.
     pub trials: usize,
+    /// How many trials (or golden inputs) to execute per batched forward pass. `1` runs
+    /// the reference per-sample path; larger values run the same trials in `[batch, ...]`
+    /// passes with bit-for-bit identical SDC counts.
+    pub batch: usize,
     /// The fault model applied in every trial.
     pub fault: FaultModel,
     /// RNG seed so campaigns are reproducible.
@@ -36,9 +46,72 @@ impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             trials: 100,
+            batch: 1,
             fault: FaultModel::default(),
             seed: 0,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Checks the configuration for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidConfig`] if `trials` or `batch` is zero — either
+    /// would silently produce a campaign that measures nothing.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.trials == 0 {
+            return Err(CampaignError::InvalidConfig(
+                "campaign trials must be positive: 0 trials would report an SDC rate over \
+                 an empty sample"
+                    .to_string(),
+            ));
+        }
+        if self.batch == 0 {
+            return Err(CampaignError::InvalidConfig(
+                "campaign batch must be positive: use batch = 1 for the per-sample path \
+                 or batch = k to run k trials per forward pass"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by [`run_campaign`].
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The campaign configuration or its inputs are degenerate (see
+    /// [`CampaignConfig::validate`]).
+    InvalidConfig(String),
+    /// A forward pass failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidConfig(message) => {
+                write!(f, "invalid campaign configuration: {message}")
+            }
+            CampaignError::Graph(e) => write!(f, "campaign forward pass failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::InvalidConfig(_) => None,
+            CampaignError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for CampaignError {
+    fn from(e: GraphError) -> Self {
+        CampaignError::Graph(e)
     }
 }
 
@@ -115,15 +188,21 @@ impl CampaignResult {
 /// by `config.trials` faulty runs, each injecting one random fault according to the fault
 /// model, judged against the golden output.
 ///
+/// With `config.batch > 1` the golden runs are computed one input-chunk per pass and the
+/// faulty runs one trial-chunk per pass; the SDC counts are bit-for-bit identical to the
+/// `batch = 1` path (same RNG stream, same fault plans, same per-trial outputs).
+///
 /// # Errors
 ///
-/// Returns a [`GraphError`] if any forward pass fails.
+/// Returns a [`CampaignError`] if the configuration is degenerate or any forward pass
+/// fails.
 pub fn run_campaign(
     target: &InjectionTarget<'_>,
     inputs: &[Tensor],
     judge: &dyn SdcJudge,
     config: &CampaignConfig,
-) -> Result<CampaignResult, GraphError> {
+) -> Result<CampaignResult, CampaignError> {
+    config.validate()?;
     let categories = judge.categories();
     let mut result = CampaignResult {
         categories: categories.clone(),
@@ -136,28 +215,112 @@ pub fn run_campaign(
     let plan = target.graph.compile()?;
     let mut values = plan.buffers();
 
-    for input in inputs {
-        let feeds = [(target.input_name, input.clone())];
-        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)?;
-        let golden = values.get(target.output)?.clone();
+    if config.batch <= 1 {
+        // The reference per-sample path: one forward pass per golden run and per trial.
+        for input in inputs {
+            let feeds = [(target.input_name, input.clone())];
+            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)?;
+            let golden = values.get(target.output)?.clone();
+            let space = InjectionSpace::build(target, input)?;
+            for _ in 0..config.trials {
+                let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
+                plan.run_into(&mut values, &feeds, &mut injector)?;
+                let faulty = values.get(target.output)?;
+                record_trial(
+                    &mut result,
+                    judge,
+                    &golden,
+                    faulty,
+                    injector.fully_injected(),
+                );
+            }
+        }
+        return Ok(result);
+    }
+
+    // Batched path. Golden outputs first: stack chunks of distinct inputs into one
+    // [N, ...] pass each and slice the per-input outputs back out.
+    let mut goldens: Vec<Tensor> = Vec::with_capacity(inputs.len());
+    for chunk in inputs.chunks(config.batch) {
+        let stacked = Tensor::stack_batch(chunk).map_err(|e| {
+            CampaignError::InvalidConfig(format!("campaign inputs cannot be batched: {e}"))
+        })?;
+        plan.run_into(
+            &mut values,
+            &[(target.input_name, stacked)],
+            &mut NoopInterceptor,
+        )?;
+        let output = values.get(target.output)?;
+        let mut row = 0usize;
+        for input in chunk {
+            let rows = input.batch_rows();
+            goldens.push(slice_row_group(output, row, rows)?);
+            row += rows;
+        }
+    }
+
+    // Faulty runs: all of an input's fault plans are drawn up front (in exactly the order
+    // the per-sample path draws them, so the RNG stream is identical), then executed
+    // `batch` trials per forward pass.
+    for (input, golden) in inputs.iter().zip(&goldens) {
         let space = InjectionSpace::build(target, input)?;
-        for _ in 0..config.trials {
-            let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
-            plan.run_into(&mut values, &feeds, &mut injector)?;
-            let faulty = values.get(target.output)?;
-            if !injector.fully_injected() {
-                result.unactivated += 1;
+        let plans: Vec<FaultInjector> = (0..config.trials)
+            .map(|_| FaultInjector::plan_random(config.fault, &space, &mut rng))
+            .collect();
+        let rows_per_trial = input.batch_rows();
+        for chunk in plans.chunks(config.batch) {
+            let feed = input.repeat_batch(chunk.len()).map_err(|e| {
+                CampaignError::InvalidConfig(format!("campaign input cannot be batched: {e}"))
+            })?;
+            let mut injector = BatchFaultInjector::new(chunk.to_vec(), &space);
+            plan.run_into(&mut values, &[(target.input_name, feed)], &mut injector)?;
+            if let Some(violation) = injector.violation() {
+                return Err(CampaignError::InvalidConfig(violation.to_string()));
             }
-            let verdicts = judge.judge(&golden, faulty);
-            for (count, sdc) in result.sdc_counts.iter_mut().zip(verdicts) {
-                if sdc {
-                    *count += 1;
-                }
+            let output = values.get(target.output)?;
+            for (t, trial) in injector.trials().iter().enumerate() {
+                let faulty = slice_row_group(output, t * rows_per_trial, rows_per_trial)?;
+                record_trial(&mut result, judge, golden, &faulty, trial.fully_injected());
             }
-            result.trials += 1;
         }
     }
     Ok(result)
+}
+
+/// Counts one faulty run into the campaign statistics.
+fn record_trial(
+    result: &mut CampaignResult,
+    judge: &dyn SdcJudge,
+    golden: &Tensor,
+    faulty: &Tensor,
+    fully_injected: bool,
+) {
+    if !fully_injected {
+        result.unactivated += 1;
+    }
+    for (count, sdc) in result
+        .sdc_counts
+        .iter_mut()
+        .zip(judge.judge(golden, faulty))
+    {
+        if sdc {
+            *count += 1;
+        }
+    }
+    result.trials += 1;
+}
+
+/// Extracts rows `[start, start + rows)` of a batched output as its own tensor — the
+/// value the same forward pass would have produced for that input (or trial) alone.
+fn slice_row_group(output: &Tensor, start: usize, rows: usize) -> Result<Tensor, CampaignError> {
+    output.slice_rows(start, rows).map_err(|_| {
+        CampaignError::InvalidConfig(format!(
+            "campaign output of shape {:?} does not carry the leading batch dimension \
+             (needed rows [{start}, {})) — run this campaign with batch = 1",
+            output.dims(),
+            start + rows
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -192,6 +355,7 @@ mod tests {
         let inputs = vec![Tensor::ones(vec![1, 6])];
         let config = CampaignConfig {
             trials: 50,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 7,
         };
@@ -216,6 +380,7 @@ mod tests {
         let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
         let config = CampaignConfig {
             trials: 40,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 21,
         };
@@ -244,12 +409,158 @@ mod tests {
         assert_eq!(fast.sdc_counts, counts);
     }
 
+    /// The batched campaign acceptance: identical SDC counts, trials and unactivated
+    /// tallies for every batch size, including sizes that do not divide the trial count.
+    #[test]
+    fn batched_campaign_matches_per_sample_campaign_bit_for_bit() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![
+            Tensor::ones(vec![1, 6]),
+            Tensor::filled(vec![1, 6], 0.3),
+            Tensor::filled(vec![1, 6], -0.7),
+        ];
+        let judge = ClassifierJudge::top1();
+        let reference = run_campaign(
+            &target,
+            &inputs,
+            &judge,
+            &CampaignConfig {
+                trials: 30,
+                batch: 1,
+                fault: FaultModel::single_bit_fixed32(),
+                seed: 13,
+            },
+        )
+        .unwrap();
+        for batch in [2usize, 7, 16, 30, 64] {
+            let batched = run_campaign(
+                &target,
+                &inputs,
+                &judge,
+                &CampaignConfig {
+                    trials: 30,
+                    batch,
+                    fault: FaultModel::single_bit_fixed32(),
+                    seed: 13,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                batched.sdc_counts, reference.sdc_counts,
+                "batch = {batch} diverged from the per-sample SDC counts"
+            );
+            assert_eq!(batched.trials, reference.trials, "batch = {batch}");
+            assert_eq!(
+                batched.unactivated, reference.unactivated,
+                "batch = {batch}"
+            );
+        }
+    }
+
+    /// A graph with an injectable operator computed purely from constants cannot batch
+    /// that operator's faults; the batched campaign must reject it loudly instead of
+    /// silently reporting different counts than `batch = 1`.
+    #[test]
+    fn batched_campaign_rejects_non_batch_scaling_operators() {
+        use ranger_graph::{Graph, Op};
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        // A large constant-fed Identity dominates the injection space, so the seeded
+        // plans are certain to target it within a handful of trials.
+        let c = g.add_const("c", Tensor::ones(vec![50]), false);
+        let _frozen = g.add_node("frozen", Op::Identity, vec![c]);
+        let y = g.add_node("double", Op::ScalarMul { factor: 2.0 }, vec![x]);
+        let target = InjectionTarget {
+            graph: &g,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 3])];
+        let judge = ClassifierJudge::top1();
+        let config = |batch| CampaignConfig {
+            trials: 20,
+            batch,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 4,
+        };
+        // The per-sample path handles such graphs fine.
+        run_campaign(&target, &inputs, &judge, &config(1)).unwrap();
+        // The batched path refuses with a descriptive error.
+        let err = run_campaign(&target, &inputs, &judge, &config(4)).unwrap_err();
+        assert!(
+            err.to_string().contains("batch dimension"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_descriptive_errors() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6])];
+        let judge = ClassifierJudge::top1();
+        for (config, needle) in [
+            (
+                CampaignConfig {
+                    trials: 0,
+                    ..CampaignConfig::default()
+                },
+                "trials must be positive",
+            ),
+            (
+                CampaignConfig {
+                    batch: 0,
+                    ..CampaignConfig::default()
+                },
+                "batch must be positive",
+            ),
+        ] {
+            let err = run_campaign(&target, &inputs, &judge, &config).unwrap_err();
+            assert!(
+                matches!(err, CampaignError::InvalidConfig(_)),
+                "expected InvalidConfig, got {err:?}"
+            );
+            assert!(
+                err.to_string().contains(needle),
+                "error '{err}' should mention '{needle}'"
+            );
+        }
+        assert!(CampaignConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn campaign_config_round_trips_through_json_with_its_batch() {
+        let config = CampaignConfig {
+            trials: 10,
+            batch: 9,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 3,
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(json.contains("\"batch\""));
+        let revived: CampaignConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(revived, config);
+    }
+
     #[test]
     fn protection_with_clamps_never_increases_sdc_rate() {
         let (graph, probs) = toy_classifier();
         let inputs = vec![Tensor::ones(vec![1, 6])];
         let config = CampaignConfig {
             trials: 150,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 11,
         };

@@ -88,6 +88,101 @@ impl Interceptor for FaultInjector {
     }
 }
 
+/// An [`Interceptor`] that applies one [`FaultInjector`] plan per row group of a batched
+/// forward pass.
+///
+/// A batched campaign replicates one input `k` times along the leading batch dimension
+/// and runs all `k` trials in a single forward pass; trial `t` owns rows
+/// `[t * rows_per_trial, (t + 1) * rows_per_trial)` of every operator output. Because the
+/// operators process batch rows independently, flipping a bit inside trial `t`'s rows
+/// corrupts exactly the values the same plan would corrupt in a single-sample pass — the
+/// per-trial outputs (and therefore the SDC counts) are bit-for-bit identical.
+///
+/// The equivalence requires the targeted operator's output to carry the batch dimension.
+/// The injector checks each targeted output against the single-sample size recorded in
+/// the [`InjectionSpace`] the plans were drawn from; an operator whose output does not
+/// scale (e.g. one computed purely from constants) is never silently mis-injected —
+/// instead [`BatchFaultInjector::violation`] reports it after the pass, and the campaign
+/// runner turns that into an error.
+#[derive(Debug, Clone)]
+pub struct BatchFaultInjector {
+    trials: Vec<FaultInjector>,
+    space: InjectionSpace,
+    violation: Option<String>,
+}
+
+impl BatchFaultInjector {
+    /// Creates a batched injector applying `trials[t]` to row group `t`. `space` is the
+    /// injection space the trial plans were drawn from; it provides each operator's
+    /// single-sample output size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is empty.
+    pub fn new(trials: Vec<FaultInjector>, space: &InjectionSpace) -> Self {
+        assert!(
+            !trials.is_empty(),
+            "a batched injector needs at least one trial"
+        );
+        BatchFaultInjector {
+            trials,
+            space: space.clone(),
+            violation: None,
+        }
+    }
+
+    /// The per-trial injectors, in row-group order (borrow after the pass to read each
+    /// trial's [`FaultInjector::injected`] record).
+    pub fn trials(&self) -> &[FaultInjector] {
+        &self.trials
+    }
+
+    /// If a planned flip targeted an operator whose output did not carry the batch
+    /// dimension, describes the first such operator; `None` after a clean pass.
+    pub fn violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+}
+
+impl Interceptor for BatchFaultInjector {
+    fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+        let k = self.trials.len();
+        // The per-trial slice length is the operator's single-sample output size, as
+        // recorded in the injection space the plans were sampled from (for hand-built
+        // plans targeting nodes outside the space, the even split is the only guess).
+        let single = self.space.values_of(node.id);
+        for (t, injector) in self.trials.iter_mut().enumerate() {
+            for flip in &injector.plan {
+                if flip.site.node != node.id {
+                    continue;
+                }
+                let per_trial = single.unwrap_or(output.len() / k);
+                if output.len() != per_trial * k {
+                    if self.violation.is_none() {
+                        self.violation = Some(format!(
+                            "operator '{}' produced {} values under a batch of {k} trials \
+                             (expected {}): its output does not carry the batch dimension, \
+                             so its faults cannot be batched — run this campaign with \
+                             batch = 1",
+                            node.name,
+                            output.len(),
+                            per_trial * k
+                        ));
+                    }
+                    continue;
+                }
+                if flip.site.element < per_trial {
+                    let index = t * per_trial + flip.site.element;
+                    let value = output.data()[index];
+                    let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
+                    output.data_mut()[index] = corrupted;
+                    injector.injected.push(*flip);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +255,91 @@ mod tests {
             assert!(flip.bit < 16);
         }
         assert_eq!(injector.targeted_nodes().len(), 3);
+    }
+
+    #[test]
+    fn batched_trials_match_single_sample_passes_bit_for_bit() {
+        let (graph, y) = toy();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let input = Tensor::ones(vec![1, 3]);
+        let space = InjectionSpace::build(&target, &input).unwrap();
+        let fault = FaultModel::single_bit_fixed32();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials: Vec<FaultInjector> = (0..3)
+            .map(|_| FaultInjector::plan_random(fault, &space, &mut rng))
+            .collect();
+
+        let exec = Executor::new(&graph);
+        // Reference: each trial as its own single-sample pass.
+        let singles: Vec<Tensor> = trials
+            .iter()
+            .map(|injector| {
+                let mut injector = injector.clone();
+                exec.run_with(&[("x", input.clone())], y, &mut injector)
+                    .unwrap()
+            })
+            .collect();
+
+        // Batched: all three trials in one [3, ...] pass.
+        let feed = input.repeat_batch(3).unwrap();
+        let mut batched = BatchFaultInjector::new(trials, &space);
+        let out = exec.run_with(&[("x", feed)], y, &mut batched).unwrap();
+        for (t, single) in singles.iter().enumerate() {
+            assert_eq!(
+                out.batch_row(t).unwrap(),
+                *single,
+                "trial {t} diverged between the batched and single-sample pass"
+            );
+        }
+        assert!(batched.trials().iter().all(FaultInjector::fully_injected));
+        assert!(batched.violation().is_none());
+    }
+
+    /// An injectable operator computed purely from constants produces the same output
+    /// length whatever the batch size; targeting it in a batched pass must be flagged,
+    /// never silently mis-injected.
+    #[test]
+    fn non_batch_scaling_targets_are_flagged_not_silently_diverged() {
+        use ranger_graph::{Graph, Op};
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c = g.add_const("c", Tensor::ones(vec![6]), false);
+        let frozen = g.add_node("frozen", Op::Identity, vec![c]);
+        let y = g.add_node("double", Op::ScalarMul { factor: 2.0 }, vec![x]);
+
+        let target = InjectionTarget {
+            graph: &g,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let input = Tensor::ones(vec![1, 3]);
+        let space = InjectionSpace::build(&target, &input).unwrap();
+        assert_eq!(space.values_of(frozen), Some(6));
+
+        let fault = FaultModel::single_bit_fixed32();
+        let flip = PlannedFlip {
+            site: InjectionSite {
+                node: frozen,
+                element: 0,
+            },
+            bit: 1,
+        };
+        let trials = vec![FaultInjector::with_plan(fault, vec![flip]); 2];
+        let mut batched = BatchFaultInjector::new(trials, &space);
+        let feed = input.repeat_batch(2).unwrap();
+        Executor::new(&g)
+            .run_with(&[("x", feed)], y, &mut batched)
+            .unwrap();
+        let violation = batched.violation().expect("violation must be flagged");
+        assert!(violation.contains("frozen") && violation.contains("batch dimension"));
+        // The frozen constant was never corrupted.
+        assert!(batched.trials().iter().all(|t| t.injected().is_empty()));
     }
 
     #[test]

@@ -42,12 +42,12 @@
 //!     output: probs,
 //!     excluded: &[],
 //! };
-//! let config = CampaignConfig { trials: 20, fault: FaultModel::single_bit_fixed32(), seed: 1 };
+//! let config = CampaignConfig { trials: 20, batch: 4, fault: FaultModel::single_bit_fixed32(), seed: 1 };
 //! let inputs = vec![Tensor::ones(vec![1, 4])];
 //! let judge = ClassifierJudge::top1();
 //! let result = run_campaign(&target, &inputs, &judge, &config)?;
 //! assert_eq!(result.trials, 20);
-//! # Ok::<(), ranger_graph::GraphError>(())
+//! # Ok::<(), ranger_inject::CampaignError>(())
 //! ```
 
 pub mod campaign;
@@ -57,18 +57,18 @@ pub mod judge;
 pub mod sensitivity;
 pub mod space;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult};
 pub use fault::FaultModel;
-pub use injector::FaultInjector;
+pub use injector::{BatchFaultInjector, FaultInjector};
 pub use judge::{ClassifierJudge, SdcJudge, SteeringJudge};
 pub use sensitivity::{bit_sensitivity, BitSensitivity};
 pub use space::{InjectionSite, InjectionSpace};
 
 /// Convenience re-exports for experiment code.
 pub mod prelude {
-    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignResult};
+    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult};
     pub use crate::fault::FaultModel;
-    pub use crate::injector::FaultInjector;
+    pub use crate::injector::{BatchFaultInjector, FaultInjector};
     pub use crate::judge::{ClassifierJudge, SdcJudge, SteeringJudge};
     pub use crate::sensitivity::{bit_sensitivity, BitSensitivity};
     pub use crate::space::{InjectionSite, InjectionSpace};

@@ -8,7 +8,7 @@
 //! resolution so they can be trained from scratch and fault-injected on a single CPU core
 //! (see `DESIGN.md` §4 for the substitution argument).
 //!
-//! * [`model`] — the [`Model`](model::Model) wrapper tying a graph to its task metadata.
+//! * [`model`] — the [`Model`] wrapper tying a graph to its task metadata.
 //! * [`archs`] — one constructor per benchmark architecture.
 //! * [`train`] — SGD training loops and accuracy/RMSE evaluation.
 //! * [`zoo`] — a disk-backed cache of trained models so experiments do not retrain.

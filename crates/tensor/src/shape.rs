@@ -95,6 +95,25 @@ impl Shape {
     pub fn is_reshape_compatible(&self, other: &Shape) -> bool {
         self.num_elements() == other.num_elements()
     }
+
+    /// Replaces the dimension extents in place, reusing the backing allocation.
+    ///
+    /// This is the allocation-free counterpart of `*shape = Shape::from(dims)`, used by
+    /// the tensor buffer-reuse APIs on the execution hot path.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
+    /// Replaces the dimension extents with `[lead, rest[0], rest[1], ...]` in place.
+    ///
+    /// Used by batch-preserving reshapes, where the leading (batch) dimension is carried
+    /// over from the input and only the trailing dimensions are prescribed.
+    pub fn set_dims_with_lead(&mut self, lead: usize, rest: &[usize]) {
+        self.dims.clear();
+        self.dims.push(lead);
+        self.dims.extend_from_slice(rest);
+    }
 }
 
 impl From<Vec<usize>> for Shape {

@@ -243,6 +243,265 @@ impl Tensor {
         }
     }
 
+    // ---- Buffer reuse -------------------------------------------------------------
+    //
+    // The methods below let a caller recycle one tensor as the output buffer of many
+    // successive computations: they clear the backing `Vec<f32>` and refill it, so after
+    // the buffer has grown to its steady-state capacity no further heap allocation
+    // happens. `ExecPlan::run_into` uses them to make repeated forward passes
+    // allocation-free after warm-up.
+
+    /// Creates an empty tensor (shape `[0]`, no elements), the canonical starting state
+    /// of a recycled output buffer.
+    pub fn empty() -> Self {
+        Tensor {
+            shape: Shape::new(vec![0]),
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty tensor whose backing buffer can hold `capacity` elements without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tensor {
+            shape: Shape::new(vec![0]),
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates an empty tensor pre-sized to later hold a value of shape `dims` without
+    /// any reallocation: both the element buffer and the dimension list have the needed
+    /// capacity. Used to seed a plan's buffer arena from warmed shapes.
+    pub fn with_capacity_for(dims: &[usize]) -> Self {
+        let mut shape_dims = Vec::with_capacity(dims.len().max(1));
+        shape_dims.push(0);
+        Tensor {
+            shape: Shape::new(shape_dims),
+            data: Vec::with_capacity(dims.iter().product()),
+        }
+    }
+
+    /// Resets this tensor to shape `dims` with every element set to `value`, reusing the
+    /// backing allocation.
+    pub fn reset_fill(&mut self, dims: &[usize], value: f32) {
+        let n: usize = dims.iter().product();
+        self.data.clear();
+        self.data.resize(n, value);
+        self.shape.set_dims(dims);
+    }
+
+    /// Resets this tensor to shape `dims` with contents copied from `data`, reusing the
+    /// backing allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not equal the
+    /// number of elements implied by `dims`; the tensor is left unchanged.
+    pub fn reset_from_slice(&mut self, dims: &[usize], data: &[f32]) -> Result<(), TensorError> {
+        let expected: usize = dims.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        self.data.clear();
+        self.data.extend_from_slice(data);
+        self.shape.set_dims(dims);
+        Ok(())
+    }
+
+    /// Resets this tensor to shape `[lead, rest...]` with contents copied from `data`,
+    /// reusing the backing allocation (the batch-preserving reshape used by `Flatten` and
+    /// `Reshape` operators).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts disagree.
+    pub fn reset_rows_from_slice(
+        &mut self,
+        lead: usize,
+        rest: &[usize],
+        data: &[f32],
+    ) -> Result<(), TensorError> {
+        let expected = lead * rest.iter().product::<usize>();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        self.data.clear();
+        self.data.extend_from_slice(data);
+        self.shape.set_dims_with_lead(lead, rest);
+        Ok(())
+    }
+
+    /// Applies `f` to every element of `self`, writing the result into `out` (shape and
+    /// contents of `out` are replaced; its allocation is reused).
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&x| f(x)));
+        out.shape.set_dims(self.dims());
+    }
+
+    /// Combines `self` and `other` element-wise with `f`, writing the result into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the operand shapes differ; `out` is left
+    /// unchanged.
+    pub fn zip_map_into(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+        out.shape.set_dims(self.dims());
+        Ok(())
+    }
+
+    // ---- Batch stacking and slicing -----------------------------------------------
+    //
+    // Tensors use the leading dimension as the batch dimension throughout the workspace.
+    // These helpers assemble `[N, ...]` batches from single-sample tensors and slice
+    // per-sample rows back out — the plumbing of batched fault-injection campaigns.
+
+    /// Concatenates tensors along the leading (batch) dimension: `k` tensors of shape
+    /// `[n_i, d...]` become one `[sum(n_i), d...]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any two tensors disagree in a trailing
+    /// dimension or a tensor is rank 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty.
+    pub fn stack_batch(tensors: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = tensors.first().expect("cannot stack an empty batch");
+        let trailing = &first.dims()[first.dims().len().min(1)..];
+        let mut rows = 0usize;
+        for t in tensors {
+            let d = t.dims();
+            if d.is_empty() || &d[1..] != trailing {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.clone(),
+                    right: t.shape.clone(),
+                });
+            }
+            rows += d[0];
+        }
+        let mut data = Vec::with_capacity(rows * trailing.iter().product::<usize>());
+        for t in tensors {
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = Vec::with_capacity(trailing.len() + 1);
+        dims.push(rows);
+        dims.extend_from_slice(trailing);
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Tiles this tensor `n` times along the leading (batch) dimension: shape `[b, d...]`
+    /// becomes `[n * b, d...]` with the data repeated `n` times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the tensor is rank 0.
+    pub fn repeat_batch(&self, n: usize) -> Result<Tensor, TensorError> {
+        let d = self.dims();
+        if d.is_empty() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() * n);
+        for _ in 0..n {
+            data.extend_from_slice(&self.data);
+        }
+        let mut dims = d.to_vec();
+        dims[0] *= n;
+        Tensor::from_vec(dims, data)
+    }
+
+    /// The extent of the leading (batch) dimension, or 1 for a rank-0 tensor.
+    pub fn batch_rows(&self) -> usize {
+        self.dims().first().copied().unwrap_or(1)
+    }
+
+    /// Extracts row `row` of the leading (batch) dimension as a `[1, d...]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the tensor is rank 0 or `row` is out
+    /// of range.
+    pub fn batch_row(&self, row: usize) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::empty();
+        self.batch_row_into(row, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::batch_row`], writing into a recycled output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the tensor is rank 0 or `row` is out
+    /// of range; `out` is left unchanged.
+    pub fn batch_row_into(&self, row: usize, out: &mut Tensor) -> Result<(), TensorError> {
+        self.slice_rows_into(row, 1, out)
+    }
+
+    /// Extracts rows `[start, start + rows)` of the leading (batch) dimension as a
+    /// `[rows, d...]` tensor — the value the same computation would have produced for
+    /// that row group alone, given row-independent operators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the tensor is rank 0 or the range
+    /// exceeds the leading dimension.
+    pub fn slice_rows(&self, start: usize, rows: usize) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::empty();
+        self.slice_rows_into(start, rows, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::slice_rows`], writing into a recycled output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the tensor is rank 0 or the range
+    /// exceeds the leading dimension; `out` is left unchanged.
+    pub fn slice_rows_into(
+        &self,
+        start: usize,
+        rows: usize,
+        out: &mut Tensor,
+    ) -> Result<(), TensorError> {
+        let d = self.dims();
+        if d.is_empty() || start + rows > d[0] {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![start, start + rows],
+                shape: self.shape.clone(),
+            });
+        }
+        let per_row: usize = d[1..].iter().product();
+        out.data.clear();
+        out.data
+            .extend_from_slice(&self.data[start * per_row..(start + rows) * per_row]);
+        out.shape.set_dims_with_lead(rows, &d[1..]);
+        Ok(())
+    }
+
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
         for v in &mut self.data {
@@ -323,6 +582,20 @@ impl Tensor {
     /// Returns [`TensorError::MatMulMismatch`] if either operand is not rank 2 or the inner
     /// dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::empty();
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matmul`], writing into a recycled output buffer (shape and contents of
+    /// `out` are replaced; its allocation is reused). This is the single matmul kernel —
+    /// the allocating variant delegates here, so the two cannot diverge numerically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatMulMismatch`] if either operand is not rank 2 or the
+    /// inner dimensions differ; `out` is left unchanged.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
         let (ls, rs) = (self.dims(), other.dims());
         if ls.len() != 2 || rs.len() != 2 || ls[1] != rs[0] {
             return Err(TensorError::MatMulMismatch {
@@ -331,7 +604,8 @@ impl Tensor {
             });
         }
         let (m, k, n) = (ls[0], ls[1], rs[1]);
-        let mut out = vec![0.0f32; m * n];
+        out.data.clear();
+        out.data.resize(m * n, 0.0);
         for i in 0..m {
             for p in 0..k {
                 let a = self.data[i * k + p];
@@ -339,13 +613,14 @@ impl Tensor {
                     continue;
                 }
                 let row = &other.data[p * n..(p + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(row) {
                     *o += a * b;
                 }
             }
         }
-        Tensor::from_vec(vec![m, n], out)
+        out.shape.set_dims(&[m, n]);
+        Ok(())
     }
 
     /// Returns the sum of all elements.
@@ -528,6 +803,79 @@ mod tests {
         assert!(!t.has_non_finite());
         t.data_mut()[1] = f32::NAN;
         assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn reset_methods_reuse_the_allocation_and_set_the_shape() {
+        let mut buf = Tensor::with_capacity(16);
+        let ptr = buf.data().as_ptr();
+        buf.reset_fill(&[2, 3], 1.5);
+        assert_eq!(buf.dims(), &[2, 3]);
+        assert_eq!(buf.data(), &[1.5; 6]);
+        buf.reset_from_slice(&[4], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(buf.dims(), &[4]);
+        assert_eq!(buf.data(), &[1.0, 2.0, 3.0, 4.0]);
+        buf.reset_rows_from_slice(2, &[2], &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        assert_eq!(buf.dims(), &[2, 2]);
+        // All resets fit within the reserved capacity: the buffer never moved.
+        assert_eq!(buf.data().as_ptr(), ptr);
+        // Mismatched element counts leave the tensor unchanged.
+        assert!(buf.reset_from_slice(&[3], &[0.0; 4]).is_err());
+        assert!(buf.reset_rows_from_slice(3, &[2], &[0.0; 4]).is_err());
+        assert_eq!(buf.dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.0, 4.0, -5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let mut out = Tensor::empty();
+        a.map_into(&mut out, |x| x.max(0.0));
+        assert_eq!(out, a.map(|x| x.max(0.0)));
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        let c = Tensor::filled(vec![2, 3], 0.5);
+        a.zip_map_into(&c, &mut out, |x, y| x * y).unwrap();
+        assert_eq!(out, a.mul(&c).unwrap());
+        // Errors leave `out` untouched.
+        let keep = out.clone();
+        assert!(a.matmul_into(&c, &mut out).is_err());
+        assert!(a.zip_map_into(&b, &mut out, |x, _| x).is_err());
+        assert_eq!(out, keep);
+    }
+
+    #[test]
+    fn batch_stack_repeat_and_slice_round_trip() {
+        let a = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![1, 3], vec![4.0, 5.0, 6.0]).unwrap();
+        let stacked = Tensor::stack_batch(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(stacked.dims(), &[2, 3]);
+        assert_eq!(stacked.batch_rows(), 2);
+        assert_eq!(stacked.batch_row(0).unwrap(), a);
+        assert_eq!(stacked.batch_row(1).unwrap(), b);
+        assert!(stacked.batch_row(2).is_err());
+
+        let tiled = a.repeat_batch(3).unwrap();
+        assert_eq!(tiled.dims(), &[3, 3]);
+        for row in 0..3 {
+            assert_eq!(tiled.batch_row(row).unwrap(), a);
+        }
+        assert!(Tensor::scalar(1.0).repeat_batch(2).is_err());
+
+        let mismatched = Tensor::zeros(vec![1, 4]);
+        assert!(Tensor::stack_batch(&[a, mismatched]).is_err());
+    }
+
+    #[test]
+    fn batch_row_into_reuses_the_buffer() {
+        let stacked = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut row = Tensor::with_capacity(2);
+        let ptr = row.data().as_ptr();
+        stacked.batch_row_into(1, &mut row).unwrap();
+        assert_eq!(row.dims(), &[1, 2]);
+        assert_eq!(row.data(), &[3.0, 4.0]);
+        assert_eq!(row.data().as_ptr(), ptr);
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .protect(RangerConfig::default())
         .campaign(CampaignConfig {
             trials,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 99,
         })

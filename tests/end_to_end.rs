@@ -71,6 +71,7 @@ fn campaign(
     };
     let config = CampaignConfig {
         trials,
+        batch: 1,
         fault: FaultModel::single_bit_fixed32(),
         seed,
     };
@@ -168,6 +169,7 @@ fn ranger_protects_the_steering_model_and_preserves_regression_accuracy() {
     let judge = SteeringJudge::paper_thresholds(false);
     let config = CampaignConfig {
         trials: 120,
+        batch: 1,
         fault: FaultModel::single_bit_fixed32(),
         seed: 5,
     };
@@ -204,6 +206,7 @@ fn fixed16_campaign_also_benefits_from_ranger() {
     let inputs = vec![data.validation_batch(&[0]).0, data.validation_batch(&[1]).0];
     let config = CampaignConfig {
         trials: 120,
+        batch: 1,
         fault: FaultModel::single_bit_fixed16(),
         seed: 9,
     };
@@ -232,6 +235,7 @@ fn multi_bit_faults_are_still_mitigated() {
     for bits in [2usize, 4] {
         let config = CampaignConfig {
             trials: 100,
+            batch: 1,
             fault: FaultModel::multi_bit_fixed32(bits),
             seed: 13 + bits as u64,
         };
@@ -328,6 +332,7 @@ fn pipeline_end_to_end_reduces_sdc_and_keeps_overhead_low() {
         .protect(RangerConfig::default())
         .campaign(CampaignConfig {
             trials: 150,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         })

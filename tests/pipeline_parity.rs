@@ -121,6 +121,54 @@ proptest! {
         prop_assert_eq!(trait_stats.clamps_inserted, legacy_stats.clamps_inserted);
     }
 
+    /// The batched-campaign acceptance property: ANY campaign configuration produces
+    /// identical SDC counts (and trial/unactivated tallies) under `batch = 1` and
+    /// `batch = k`, on random MLPs and random fault models.
+    #[test]
+    fn batched_campaign_parity_on_random_campaigns(
+        hidden in 2usize..10,
+        seed in 0u64..100,
+        trials in 1usize..40,
+        batch in 2usize..50,
+        bits in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let h = b.dense(x, 4, hidden, &mut rng);
+        let h = b.relu(h);
+        let y = b.dense(h, hidden, 3, &mut rng);
+        let probs = b.softmax(y);
+        let graph = b.into_graph();
+        let target = ranger_inject::InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![
+            Tensor::filled(vec![1, 4], 0.8),
+            Tensor::filled(vec![1, 4], -0.4),
+        ];
+        let judge = ranger_inject::ClassifierJudge::top1();
+        let config = |batch| CampaignConfig {
+            trials,
+            batch,
+            fault: ranger_inject::FaultModel {
+                datatype: ranger_tensor::DataType::fixed32(),
+                bits,
+            },
+            seed,
+        };
+        let reference =
+            ranger_inject::run_campaign(&target, &inputs, &judge, &config(1)).unwrap();
+        let batched =
+            ranger_inject::run_campaign(&target, &inputs, &judge, &config(batch)).unwrap();
+        prop_assert_eq!(&batched.sdc_counts, &reference.sdc_counts);
+        prop_assert_eq!(batched.trials, reference.trials);
+        prop_assert_eq!(batched.unactivated, reference.unactivated);
+    }
+
     /// ExecPlan/Executor parity holds on random MLPs and random inputs.
     #[test]
     fn exec_plan_parity_on_random_mlps(hidden in 2usize..10, seed in 0u64..100, v in -2.0f32..2.0) {
@@ -169,6 +217,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
         .protect(RangerConfig::default())
         .campaign(CampaignConfig {
             trials,
+            batch: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed,
         })
@@ -194,6 +243,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
     let inputs = correct_classifier_inputs_for(model, seed, n_inputs, &quick).unwrap();
     let config = CampaignConfig {
         trials,
+        batch: 1,
         fault: FaultModel::single_bit_fixed32(),
         seed,
     };
@@ -215,6 +265,37 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
     assert_eq!(pipeline_baseline.unactivated, legacy_baseline.unactivated);
     // The protected graphs are structurally identical too.
     assert_eq!(outcome.protected.model.graph, protected.graph);
+
+    // The batched-campaign acceptance criterion: the same fig6-style pipeline with a
+    // batched campaign (16 trials per forward pass) reproduces the per-sample SDC
+    // counts bit-for-bit, in both arms.
+    let batched = Pipeline::for_model(kind)
+        .seed(seed)
+        .train(quick)
+        .zoo(ModelZoo::new(&zoo_dir))
+        .profile(BoundsConfig::default())
+        .protect(RangerConfig::default())
+        .campaign(CampaignConfig {
+            trials,
+            batch: 1, // overridden by the knob below
+            fault: FaultModel::single_bit_fixed32(),
+            seed,
+        })
+        .batch(16)
+        .inputs(n_inputs)
+        .judge(JudgeSpec::TopK(vec![1]))
+        .run_full()
+        .unwrap();
+    assert_eq!(
+        batched.baseline_result.unwrap().sdc_counts,
+        pipeline_baseline.sdc_counts,
+        "batched unprotected arm must reproduce the per-sample fig6 SDC counts exactly"
+    );
+    assert_eq!(
+        batched.protected_result.unwrap().sdc_counts,
+        pipeline_protected.sdc_counts,
+        "batched protected arm must reproduce the per-sample fig6 SDC counts exactly"
+    );
 
     let _ = std::fs::remove_dir_all(&zoo_dir);
 }

@@ -1,6 +1,6 @@
 //! Offline drop-in replacement for the subset of `serde_json` this workspace uses:
 //! [`to_string`], [`to_string_pretty`] and [`from_str`], routed through the vendored
-//! serde facade's [`Value`](serde::Value) tree.
+//! serde facade's `serde::Value` tree.
 //!
 //! The emitted JSON is standard; numbers print through Rust's shortest-round-trip
 //! formatting so `f64` payloads survive a serialize/parse cycle exactly. Non-finite
