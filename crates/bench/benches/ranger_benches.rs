@@ -209,6 +209,7 @@ fn bench_injection() {
         let config = CampaignConfig {
             trials: 1,
             batch: 1,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         };
@@ -249,6 +250,7 @@ fn bench_campaign_batched() {
             let config = CampaignConfig {
                 trials,
                 batch,
+                workers: 1,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: 5,
             };
@@ -310,6 +312,99 @@ fn bench_campaign_batched() {
     campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
 }
 
+/// The acceptance benchmark for parallel campaigns: the same campaign (same seed, same
+/// trials, bit-for-bit identical SDC counts — asserted) run at 1, 2, 4 and 8 workers,
+/// reporting per-trial wall-clock. Trials are independent forward passes, so on a
+/// multi-core host per-trial time should shrink roughly with the worker count (≥ 2× at
+/// 4 workers on the dispatch-bound deep MLP); on a single-core host the pool degrades
+/// to roughly serial throughput.
+fn bench_campaign_parallel() {
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::GraphBuilder;
+
+    let trials = 64usize;
+    let judge = ClassifierJudge::top1();
+
+    let campaign = |label: &str,
+                    graph: &ranger_graph::Graph,
+                    input_name: &str,
+                    output: ranger_graph::NodeId,
+                    input: &Tensor| {
+        let target = InjectionTarget {
+            graph,
+            input_name,
+            output,
+            excluded: &[],
+        };
+        let mut reference = None;
+        let mut serial_ns = 0.0;
+        for workers in [1usize, 2, 4, 8] {
+            let config = CampaignConfig {
+                trials,
+                batch: 1,
+                workers,
+                fault: FaultModel::single_bit_fixed32(),
+                seed: 5,
+            };
+            let mut counts = Vec::new();
+            let total_ns = bench(
+                &format!("campaign_parallel/{label}/workers_{workers}"),
+                1,
+                10,
+                || {
+                    let result = ranger_inject::run_campaign(
+                        &target,
+                        std::slice::from_ref(input),
+                        &judge,
+                        &config,
+                    )
+                    .unwrap();
+                    counts = result.sdc_counts.clone();
+                },
+            );
+            match &reference {
+                None => {
+                    reference = Some(counts.clone());
+                    serial_ns = total_ns;
+                }
+                Some(expected) => assert_eq!(
+                    &counts, expected,
+                    "parallel campaign must reproduce the serial SDC counts"
+                ),
+            }
+            println!(
+                "campaign_parallel/{label}/workers_{workers}: {:>8.0} ns/trial ({:.2}x serial)",
+                total_ns / trials as f64,
+                serial_ns / total_ns
+            );
+        }
+    };
+
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let input = model_input(&model);
+    campaign(
+        "lenet",
+        &model.graph,
+        &model.input_name,
+        model.output,
+        &input,
+    );
+
+    // Deep, narrow MLP: 64 dense+relu blocks of width 8 — many cheap passes, the shape
+    // where per-pass dispatch dominates and parallel trials pay off most.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let mut h = b.dense(x, 8, 8, &mut rng);
+    for _ in 0..63 {
+        h = b.relu(h);
+        h = b.dense(h, 8, 8, &mut rng);
+    }
+    let probs = b.softmax(h);
+    let deep = b.into_graph();
+    campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
+}
+
 fn main() {
     bench_insertion();
     bench_inference();
@@ -317,4 +412,5 @@ fn main() {
     bench_profiling();
     bench_injection();
     bench_campaign_batched();
+    bench_campaign_parallel();
 }

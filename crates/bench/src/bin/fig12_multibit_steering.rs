@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let config = CampaignConfig {
                 trials: opts.trials,
                 batch: opts.batch,
+                workers: opts.workers,
                 fault: FaultModel::multi_bit_fixed32(bits),
                 seed: opts.seed + bits as u64,
             };

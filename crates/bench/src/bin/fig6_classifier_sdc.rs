@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .campaign(CampaignConfig {
                 trials: opts.trials,
                 batch: opts.batch,
+                workers: opts.workers,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: opts.seed,
             })

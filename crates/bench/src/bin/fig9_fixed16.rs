@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = CampaignConfig {
         trials: opts.trials,
         batch: opts.batch,
+        workers: opts.workers,
         fault: FaultModel::single_bit_fixed16(),
         seed: opts.seed,
     };

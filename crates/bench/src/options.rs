@@ -10,6 +10,9 @@ pub struct ExpOptions {
     /// Trials executed per batched forward pass (1 = the per-sample reference path;
     /// any value reproduces identical SDC counts).
     pub batch: usize,
+    /// Worker threads executing campaign trials (1 = the serial path; any value
+    /// reproduces identical SDC counts). Defaults to `RANGER_WORKERS` when set.
+    pub workers: usize,
     /// Number of (correctly predicted) inputs per model.
     pub inputs: usize,
     /// Seed for model training, datasets and fault sampling.
@@ -25,6 +28,7 @@ impl Default for ExpOptions {
         ExpOptions {
             trials: 200,
             batch: 1,
+            workers: ranger_runtime::default_workers(),
             inputs: 5,
             seed: 42,
             full: false,
@@ -34,9 +38,9 @@ impl Default for ExpOptions {
 }
 
 impl ExpOptions {
-    /// Parses options from command-line arguments (`--trials N --batch N --inputs N
-    /// --seed N --full --models lenet,dave`). Unknown arguments are ignored so binaries
-    /// can add their own flags.
+    /// Parses options from command-line arguments (`--trials N --batch N --workers N
+    /// --inputs N --seed N --full --models lenet,dave`). Unknown arguments are ignored so
+    /// binaries can add their own flags.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -57,6 +61,12 @@ impl ExpOptions {
                 "--batch" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         opts.batch = v;
+                        i += 1;
+                    }
+                }
+                "--workers" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        opts.workers = v;
                         i += 1;
                     }
                 }
@@ -135,13 +145,24 @@ mod tests {
     #[test]
     fn flags_override_defaults() {
         let opts = parse(&[
-            "--trials", "500", "--inputs", "3", "--seed", "9", "--batch", "16",
+            "--trials",
+            "500",
+            "--inputs",
+            "3",
+            "--seed",
+            "9",
+            "--batch",
+            "16",
+            "--workers",
+            "4",
         ]);
         assert_eq!(opts.trials, 500);
         assert_eq!(opts.inputs, 3);
         assert_eq!(opts.seed, 9);
         assert_eq!(opts.batch, 16);
+        assert_eq!(opts.workers, 4);
         assert_eq!(parse(&[]).batch, 1, "per-sample path is the default");
+        assert!(parse(&[]).workers >= 1, "worker default is always usable");
     }
 
     #[test]

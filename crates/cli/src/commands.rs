@@ -149,6 +149,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
     let seed = options.get_parsed("seed", 42u64)?;
     let trials = options.get_parsed("trials", 100usize)?;
     let batch = options.get_parsed("batch", 1usize)?;
+    let workers = options.get_parsed("workers", ranger_runtime::default_workers())?;
     let inputs = options.get_parsed("inputs", 3usize)?;
     let percentile = options.get_parsed("percentile", 100.0f64)?;
     let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
@@ -167,6 +168,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
         .campaign(CampaignConfig {
             trials,
             batch,
+            workers,
             fault: FaultModel { datatype, bits },
             seed,
         })
@@ -189,6 +191,7 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
     let input = options.require("in")?.to_string();
     let trials = options.get_parsed("trials", 100usize)?;
     let batch = options.get_parsed("batch", 1usize)?;
+    let workers = options.get_parsed("workers", ranger_runtime::default_workers())?;
     let inputs = options.get_parsed("inputs", 3usize)?;
     let bits = options.get_parsed("bits", 1usize)?;
     let saved = SavedModel::load(Path::new(&input))?;
@@ -230,12 +233,13 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
     let config = CampaignConfig {
         trials,
         batch,
+        workers,
         fault,
         seed,
     };
     let result = run_campaign(&target, &batches, judge.as_ref(), &config)?;
     let mut lines = vec![format!(
-        "{} | {} trials x {} inputs (batch {batch}) | fault model: {fault}",
+        "{} | {} trials x {} inputs (batch {batch}, workers {workers}) | fault model: {fault}",
         if saved.protected {
             "protected with Ranger"
         } else {
@@ -415,7 +419,22 @@ mod tests {
         };
         assert_eq!(rates(&report), rates(&batched));
 
-        // A zero batch is rejected with a descriptive campaign error.
+        // So does the parallel campaign path (4 workers, same seed).
+        let parallel = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--trials",
+            "20",
+            "--inputs",
+            "1",
+            "--workers",
+            "4",
+        ]))
+        .unwrap();
+        assert!(parallel.contains("workers 4"));
+        assert_eq!(rates(&report), rates(&parallel));
+
+        // A zero batch or worker count is rejected with a descriptive campaign error.
         let err = inject(&opts(&[
             "--in",
             protected_path.to_str().unwrap(),
@@ -424,6 +443,14 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("batch must be positive"));
+        let err = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--workers",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("workers must be positive"));
 
         let _ = std::fs::remove_file(model_path);
         let _ = std::fs::remove_file(protected_path);

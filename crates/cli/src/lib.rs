@@ -97,13 +97,14 @@ COMMANDS:
     protect  --in <model.json> --out <protected.json> [--percentile P] [--fraction F]
              [--policy saturate|zero|random] [--seed N]
              Derive restriction bounds from the training data and insert Ranger.
-    inject   --in <model.json> [--trials N] [--batch N] [--inputs N] [--bits N]
-             [--fixed16] [--seed N]
+    inject   --in <model.json> [--trials N] [--batch N] [--workers N] [--inputs N]
+             [--bits N] [--fixed16] [--seed N]
              Run a fault-injection campaign and report SDC rates. --batch N executes N
-             trials per forward pass (identical results, less per-trial overhead).
-    pipeline --model <name> [--trials N] [--batch N] [--inputs N] [--seed N]
-             [--percentile P] [--fraction F] [--policy saturate|zero|random] [--bits N]
-             [--fixed16] [--quick] [--out report.json]
+             trials per forward pass and --workers N runs trial chunks on an N-worker
+             pool (identical results either way, less wall-clock per trial).
+    pipeline --model <name> [--trials N] [--batch N] [--workers N] [--inputs N]
+             [--seed N] [--percentile P] [--fraction F] [--policy saturate|zero|random]
+             [--bits N] [--fixed16] [--quick] [--out report.json]
              Run the full profile -> protect -> inject pipeline and print the JSON report.
     info     --in <model.json>
              Print a summary of a saved model (operators, parameters, restrictions).

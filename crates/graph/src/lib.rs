@@ -37,6 +37,8 @@
 //! # Ok::<(), ranger_graph::GraphError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod autodiff;
 pub mod builder;
 pub mod error;

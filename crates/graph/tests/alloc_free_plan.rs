@@ -57,36 +57,54 @@ fn repeated_plan_passes_allocate_nothing_after_warm_up() {
     plan.warm(&feeds).unwrap();
 
     // A warmed plan hands out buffers pre-sized from the recorded shapes, so even the
-    // store's FIRST pass — and every pass after it — allocates nothing.
-    let mut values = plan.buffers();
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..100 {
-        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
-            .unwrap();
+    // store's FIRST pass — and every pass after it — allocates nothing. The global
+    // counter also sees the test harness's own threads, which may allocate at any
+    // moment; a genuine per-pass allocation shows up in EVERY attempt, so asserting on
+    // the minimum over a few attempts rejects that background noise without weakening
+    // the property.
+    let mut fewest = usize::MAX;
+    for attempt in 0..3 {
+        let mut values = plan.buffers();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..100 {
+            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+                .unwrap();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        fewest = fewest.min(after - before);
+        if attempt == 0 {
+            assert_eq!(values.get(probs).unwrap().dims(), &[1, 10]);
+        }
+        if fewest == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
-        "warmed run_into must not allocate ({} allocations over 100 passes, first included)",
-        after - before
+        fewest, 0,
+        "warmed run_into must not allocate ({fewest} allocations over 100 passes, first \
+         included, in the quietest of 3 attempts)"
     );
-    assert_eq!(values.get(probs).unwrap().dims(), &[1, 10]);
 
     // An unwarmed store pays allocations only on its first pass; after that it is
-    // allocation-free too.
-    let mut cold = ranger_graph::exec::Values::default();
-    plan.run_into(&mut cold, &feeds, &mut NoopInterceptor)
-        .unwrap();
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..10 {
+    // allocation-free too (same minimum-of-attempts guard against harness noise).
+    let mut fewest = usize::MAX;
+    for _ in 0..3 {
+        let mut cold = ranger_graph::exec::Values::default();
         plan.run_into(&mut cold, &feeds, &mut NoopInterceptor)
             .unwrap();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            plan.run_into(&mut cold, &feeds, &mut NoopInterceptor)
+                .unwrap();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        fewest = fewest.min(after - before);
+        if fewest == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
+        fewest, 0,
         "cold store must be allocation-free from the second pass on"
     );
 }

@@ -2,16 +2,26 @@
 //!
 //! The campaign runner is the reproduction's hottest path — `inputs × trials` forward
 //! passes of the same graph — so it executes through a compiled
-//! [`ExecPlan`](ranger_graph::ExecPlan): the topological order is planned once per
+//! [`ExecPlan`]: the topological order is planned once per
 //! campaign instead of once per trial, and the plan's buffer arena makes repeated passes
 //! allocation-free. With [`CampaignConfig::batch`] above 1 the runner additionally
 //! amortizes fixed per-pass costs across trials: golden outputs for a whole chunk of
 //! inputs are computed in one `[N, ...]` forward pass, and each faulty pass executes
 //! `batch` trials at once with a per-row fault plan
-//! ([`BatchFaultInjector`]). Because every operator
-//! processes batch rows independently, the per-trial results — and therefore the SDC
-//! counts — are bit-for-bit identical to the `batch = 1` per-sample path, which in turn
-//! matches running each pass through a fresh [`Executor`](ranger_graph::Executor).
+//! ([`BatchFaultInjector`]). With [`CampaignConfig::workers`] above 1 the faulty passes
+//! additionally run on a work-stealing [`ThreadPool`], one buffer arena per worker.
+//!
+//! # Determinism
+//!
+//! Every trial draws its fault plan from an **independent, index-keyed RNG stream**:
+//! trial `t` of input `i` seeds its generator from
+//! [`trial_stream_seed`]`(config.seed, i, t)` (see [`trial_rng`]) and draws the whole
+//! plan from that generator. Plans therefore depend only on logical indices, never on
+//! execution order — the serial path, the batched path and the parallel path draw
+//! identical plans, and the SDC/benign counts are **bit-for-bit identical for any worker
+//! count and any batch size** (pinned by unit tests here and proptests in
+//! `tests/pipeline_parity.rs`). Per-trial outputs also match running each pass through a
+//! fresh [`Executor`](ranger_graph::Executor).
 
 use crate::fault::FaultModel;
 use crate::injector::{BatchFaultInjector, FaultInjector};
@@ -20,8 +30,9 @@ use crate::space::InjectionSpace;
 use crate::InjectionTarget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ranger_graph::exec::NoopInterceptor;
-use ranger_graph::GraphError;
+use ranger_graph::exec::{NoopInterceptor, Values};
+use ranger_graph::{ExecPlan, GraphError};
+use ranger_runtime::{trial_stream_seed, ThreadPool};
 use ranger_tensor::stats::Proportion;
 use ranger_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -36,6 +47,11 @@ pub struct CampaignConfig {
     /// the reference per-sample path; larger values run the same trials in `[batch, ...]`
     /// passes with bit-for-bit identical SDC counts.
     pub batch: usize,
+    /// How many worker threads execute the faulty passes. `1` runs everything inline on
+    /// the calling thread; larger values run trial chunks on a work-stealing pool with
+    /// one buffer arena per worker. Any worker count produces bit-for-bit identical
+    /// SDC counts (fault plans are keyed by `(input, trial)` index, not by schedule).
+    pub workers: usize,
     /// The fault model applied in every trial.
     pub fault: FaultModel,
     /// RNG seed so campaigns are reproducible.
@@ -47,6 +63,7 @@ impl Default for CampaignConfig {
         CampaignConfig {
             trials: 100,
             batch: 1,
+            workers: ranger_runtime::default_workers(),
             fault: FaultModel::default(),
             seed: 0,
         }
@@ -58,8 +75,9 @@ impl CampaignConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::InvalidConfig`] if `trials` or `batch` is zero — either
-    /// would silently produce a campaign that measures nothing.
+    /// Returns [`CampaignError::InvalidConfig`] if `trials`, `batch` or `workers` is
+    /// zero — the first would silently produce a campaign that measures nothing, the
+    /// other two describe an executor that can never run a pass.
     pub fn validate(&self) -> Result<(), CampaignError> {
         if self.trials == 0 {
             return Err(CampaignError::InvalidConfig(
@@ -72,6 +90,13 @@ impl CampaignConfig {
             return Err(CampaignError::InvalidConfig(
                 "campaign batch must be positive: use batch = 1 for the per-sample path \
                  or batch = k to run k trials per forward pass"
+                    .to_string(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(CampaignError::InvalidConfig(
+                "campaign workers must be positive: use workers = 1 for the serial path \
+                 or workers = k to run trial chunks on a k-worker pool"
                     .to_string(),
             ));
         }
@@ -184,13 +209,84 @@ impl CampaignResult {
     }
 }
 
+/// Returns the RNG that draws the fault plan of trial `trial` on input `input` for a
+/// campaign seeded with `seed`.
+///
+/// This is the reproduction's **canonical draw order**: one independent generator per
+/// `(input, trial)` pair, seeded from
+/// [`trial_stream_seed`]`(seed, input, trial)`. Every campaign path — serial, batched,
+/// parallel — draws each trial's plan from exactly this generator, which is what makes
+/// the reported counts independent of batch size and worker count. Reference
+/// implementations (e.g. the executor-per-pass parity tests) must derive their plans the
+/// same way to match a campaign trial-for-trial.
+pub fn trial_rng(seed: u64, input: usize, trial: usize) -> StdRng {
+    StdRng::seed_from_u64(trial_stream_seed(seed, input as u64, trial as u64))
+}
+
+/// One schedulable work unit: `len` consecutive trials of one input.
+#[derive(Debug, Clone, Copy)]
+struct TrialChunk {
+    input: usize,
+    start: usize,
+    len: usize,
+}
+
+/// Partial campaign statistics tallied by one work unit.
+struct ChunkTally {
+    sdc_counts: Vec<u64>,
+    trials: u64,
+    unactivated: u64,
+}
+
+impl ChunkTally {
+    fn new(categories: usize) -> Self {
+        ChunkTally {
+            sdc_counts: vec![0; categories],
+            trials: 0,
+            unactivated: 0,
+        }
+    }
+
+    /// Counts one faulty run into the tally.
+    fn record(&mut self, judge: &dyn SdcJudge, golden: &Tensor, faulty: &Tensor, injected: bool) {
+        if !injected {
+            self.unactivated += 1;
+        }
+        for (count, sdc) in self.sdc_counts.iter_mut().zip(judge.judge(golden, faulty)) {
+            if sdc {
+                *count += 1;
+            }
+        }
+        self.trials += 1;
+    }
+}
+
+/// How many trials one work unit executes.
+///
+/// With batching enabled every unit is exactly one batched forward pass. On the
+/// per-sample path the unit size only affects scheduling granularity (never the results,
+/// which are keyed by trial index): chunks are sized so each worker sees a handful of
+/// units — enough for stealing to rebalance stragglers without paying per-trial
+/// task overhead — and capped so campaigns with many trials still interleave inputs.
+fn chunk_len(config: &CampaignConfig) -> usize {
+    if config.batch > 1 {
+        config.batch
+    } else {
+        config.trials.div_ceil(config.workers * 4).clamp(1, 32)
+    }
+}
+
 /// Runs a fault-injection campaign: for every input, one golden (fault-free) run followed
 /// by `config.trials` faulty runs, each injecting one random fault according to the fault
 /// model, judged against the golden output.
 ///
-/// With `config.batch > 1` the golden runs are computed one input-chunk per pass and the
-/// faulty runs one trial-chunk per pass; the SDC counts are bit-for-bit identical to the
-/// `batch = 1` path (same RNG stream, same fault plans, same per-trial outputs).
+/// Trial `t` of input `i` draws its fault plan from the index-keyed generator
+/// [`trial_rng`]`(config.seed, i, t)`, so the reported counts are a pure function of the
+/// configuration: with `config.batch > 1` the faulty runs execute one trial-chunk per
+/// `[batch, ...]` pass, with `config.workers > 1` the chunks run on a work-stealing
+/// [`ThreadPool`] (one plan buffer arena per worker, partial tallies reduced in chunk
+/// order) — and every combination produces SDC/benign counts **bit-for-bit identical**
+/// to the serial per-sample path.
 ///
 /// # Errors
 ///
@@ -210,43 +306,143 @@ pub fn run_campaign(
         trials: 0,
         unactivated: 0,
     };
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    // Plan once, then reuse the value buffers across every golden and faulty pass.
+    // Plan once (an uncompilable graph errors even for an empty input list, as it
+    // always has); the golden passes run in the caller's buffer arena. Warming with the
+    // dominant faulty-pass shape pre-sizes every arena handed out afterwards, so worker
+    // first passes of that shape are allocation-free (other shapes — a heterogeneous
+    // input, the golden chunks, a short trial tail — re-size their buffers lazily). A
+    // non-batchable input skips warming; the faulty passes report the real error.
     let plan = target.graph.compile()?;
-    let mut values = plan.buffers();
-
-    if config.batch <= 1 {
-        // The reference per-sample path: one forward pass per golden run and per trial.
-        for input in inputs {
-            let feeds = [(target.input_name, input.clone())];
-            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)?;
-            let golden = values.get(target.output)?.clone();
-            let space = InjectionSpace::build(target, input)?;
-            for _ in 0..config.trials {
-                let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
-                plan.run_into(&mut values, &feeds, &mut injector)?;
-                let faulty = values.get(target.output)?;
-                record_trial(
-                    &mut result,
-                    judge,
-                    &golden,
-                    faulty,
-                    injector.fully_injected(),
-                );
-            }
-        }
+    if inputs.is_empty() {
         return Ok(result);
     }
+    let warm_feed = if config.batch > 1 {
+        inputs[0].repeat_batch(config.batch.min(config.trials)).ok()
+    } else {
+        Some(inputs[0].clone())
+    };
+    if let Some(feed) = warm_feed {
+        plan.warm(&[(target.input_name, feed)])?;
+    }
+    let mut values = plan.buffers();
+    let goldens = golden_outputs(&plan, &mut values, target, inputs, config)?;
+    let spaces: Vec<InjectionSpace> = inputs
+        .iter()
+        .map(|input| InjectionSpace::build(target, input))
+        .collect::<Result<_, _>>()?;
 
-    // Batched path. Golden outputs first: stack chunks of distinct inputs into one
-    // [N, ...] pass each and slice the per-input outputs back out.
+    // The faulty runs, as index-keyed work units (chunk order = (input, trial) order).
+    let chunk = chunk_len(config);
+    let units: Vec<TrialChunk> = (0..inputs.len())
+        .flat_map(|input| {
+            (0..config.trials)
+                .step_by(chunk)
+                .map(move |start| TrialChunk {
+                    input,
+                    start,
+                    len: chunk.min(config.trials - start),
+                })
+        })
+        .collect();
+    let run_chunk = |values: &mut Values, unit: TrialChunk| -> Result<ChunkTally, CampaignError> {
+        let input = &inputs[unit.input];
+        let golden = &goldens[unit.input];
+        let space = &spaces[unit.input];
+        let mut tally = ChunkTally::new(categories.len());
+        if config.batch <= 1 {
+            // Per-sample path: one forward pass per trial.
+            let feeds = [(target.input_name, input.clone())];
+            for trial in unit.start..unit.start + unit.len {
+                let mut rng = trial_rng(config.seed, unit.input, trial);
+                let mut injector = FaultInjector::plan_random(config.fault, space, &mut rng);
+                plan.run_into(values, &feeds, &mut injector)?;
+                let faulty = values.get(target.output)?;
+                tally.record(judge, golden, faulty, injector.fully_injected());
+            }
+        } else {
+            // Batched path: the whole chunk in one [len, ...] pass, one plan per row group.
+            let plans: Vec<FaultInjector> = (unit.start..unit.start + unit.len)
+                .map(|trial| {
+                    let mut rng = trial_rng(config.seed, unit.input, trial);
+                    FaultInjector::plan_random(config.fault, space, &mut rng)
+                })
+                .collect();
+            let feed = input.repeat_batch(plans.len()).map_err(|e| {
+                CampaignError::InvalidConfig(format!("campaign input cannot be batched: {e}"))
+            })?;
+            let rows_per_trial = input.batch_rows();
+            let mut injector = BatchFaultInjector::new(plans, space);
+            plan.run_into(values, &[(target.input_name, feed)], &mut injector)?;
+            if let Some(violation) = injector.violation() {
+                return Err(CampaignError::InvalidConfig(violation.to_string()));
+            }
+            let output = values.get(target.output)?;
+            for (t, trial) in injector.trials().iter().enumerate() {
+                let faulty = slice_row_group(output, t * rows_per_trial, rows_per_trial)?;
+                tally.record(judge, golden, &faulty, trial.fully_injected());
+            }
+        }
+        Ok(tally)
+    };
+
+    let tallies: Vec<ChunkTally> = if config.workers <= 1 {
+        // Serial: every unit runs inline, reusing the caller's arena; the collect
+        // short-circuits, so a failing unit stops the campaign immediately.
+        units
+            .iter()
+            .map(|&unit| run_chunk(&mut values, unit))
+            .collect::<Result<_, _>>()?
+    } else {
+        // Parallel: units run on the pool, each worker owning its own arena; the pool
+        // returns tallies in unit order whatever the scheduling was. In-flight units
+        // still complete after a failure, but the error reported is deterministically
+        // the first in (input, trial) order.
+        let run_chunk = &run_chunk;
+        ThreadPool::new(config.workers)
+            .run_with(
+                |_worker| plan.buffers(),
+                units
+                    .iter()
+                    .map(|&unit| move |values: &mut Values| run_chunk(values, unit)),
+            )
+            .into_iter()
+            .collect::<Result<_, _>>()?
+    };
+    // Reduce in (input, trial) order (the counts are order-independent sums).
+    for tally in tallies {
+        for (count, partial) in result.sdc_counts.iter_mut().zip(&tally.sdc_counts) {
+            *count += partial;
+        }
+        result.trials += tally.trials;
+        result.unactivated += tally.unactivated;
+    }
+    Ok(result)
+}
+
+/// Computes the fault-free output of every input: one pass per input on the per-sample
+/// path, or one `[N, ...]` pass per input-chunk when batching is enabled.
+fn golden_outputs(
+    plan: &ExecPlan<'_>,
+    values: &mut Values,
+    target: &InjectionTarget<'_>,
+    inputs: &[Tensor],
+    config: &CampaignConfig,
+) -> Result<Vec<Tensor>, CampaignError> {
     let mut goldens: Vec<Tensor> = Vec::with_capacity(inputs.len());
+    if config.batch <= 1 {
+        for input in inputs {
+            let feeds = [(target.input_name, input.clone())];
+            plan.run_into(values, &feeds, &mut NoopInterceptor)?;
+            goldens.push(values.get(target.output)?.clone());
+        }
+        return Ok(goldens);
+    }
     for chunk in inputs.chunks(config.batch) {
         let stacked = Tensor::stack_batch(chunk).map_err(|e| {
             CampaignError::InvalidConfig(format!("campaign inputs cannot be batched: {e}"))
         })?;
         plan.run_into(
-            &mut values,
+            values,
             &[(target.input_name, stacked)],
             &mut NoopInterceptor,
         )?;
@@ -258,56 +454,7 @@ pub fn run_campaign(
             row += rows;
         }
     }
-
-    // Faulty runs: all of an input's fault plans are drawn up front (in exactly the order
-    // the per-sample path draws them, so the RNG stream is identical), then executed
-    // `batch` trials per forward pass.
-    for (input, golden) in inputs.iter().zip(&goldens) {
-        let space = InjectionSpace::build(target, input)?;
-        let plans: Vec<FaultInjector> = (0..config.trials)
-            .map(|_| FaultInjector::plan_random(config.fault, &space, &mut rng))
-            .collect();
-        let rows_per_trial = input.batch_rows();
-        for chunk in plans.chunks(config.batch) {
-            let feed = input.repeat_batch(chunk.len()).map_err(|e| {
-                CampaignError::InvalidConfig(format!("campaign input cannot be batched: {e}"))
-            })?;
-            let mut injector = BatchFaultInjector::new(chunk.to_vec(), &space);
-            plan.run_into(&mut values, &[(target.input_name, feed)], &mut injector)?;
-            if let Some(violation) = injector.violation() {
-                return Err(CampaignError::InvalidConfig(violation.to_string()));
-            }
-            let output = values.get(target.output)?;
-            for (t, trial) in injector.trials().iter().enumerate() {
-                let faulty = slice_row_group(output, t * rows_per_trial, rows_per_trial)?;
-                record_trial(&mut result, judge, golden, &faulty, trial.fully_injected());
-            }
-        }
-    }
-    Ok(result)
-}
-
-/// Counts one faulty run into the campaign statistics.
-fn record_trial(
-    result: &mut CampaignResult,
-    judge: &dyn SdcJudge,
-    golden: &Tensor,
-    faulty: &Tensor,
-    fully_injected: bool,
-) {
-    if !fully_injected {
-        result.unactivated += 1;
-    }
-    for (count, sdc) in result
-        .sdc_counts
-        .iter_mut()
-        .zip(judge.judge(golden, faulty))
-    {
-        if sdc {
-            *count += 1;
-        }
-    }
-    result.trials += 1;
+    Ok(goldens)
 }
 
 /// Extracts rows `[start, start + rows)` of a batched output as its own tensor — the
@@ -356,6 +503,7 @@ mod tests {
         let config = CampaignConfig {
             trials: 50,
             batch: 1,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 7,
         };
@@ -367,7 +515,8 @@ mod tests {
     }
 
     /// The ExecPlan-backed campaign must match a hand-rolled Executor-per-pass campaign
-    /// trial-for-trial: same RNG stream, same interception points, same SDC counts.
+    /// trial-for-trial: same per-(input, trial) RNG streams, same interception points,
+    /// same SDC counts.
     #[test]
     fn plan_backed_campaign_matches_executor_per_pass() {
         let (graph, probs) = toy_classifier();
@@ -381,20 +530,22 @@ mod tests {
         let config = CampaignConfig {
             trials: 40,
             batch: 1,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 21,
         };
         let judge = ClassifierJudge::top1();
         let fast = run_campaign(&target, &inputs, &judge, &config).unwrap();
 
-        // Legacy-style reference: a fresh Executor run per pass.
+        // Reference: a fresh Executor run per pass, plans drawn from the canonical
+        // per-(input, trial) streams.
         let mut counts = vec![0u64; 1];
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let exec = Executor::new(&graph);
-        for input in &inputs {
+        for (i, input) in inputs.iter().enumerate() {
             let golden = exec.run_simple(&[("x", input.clone())], probs).unwrap();
             let space = InjectionSpace::build(&target, input).unwrap();
-            for _ in 0..config.trials {
+            for t in 0..config.trials {
+                let mut rng = trial_rng(config.seed, i, t);
                 let mut injector = FaultInjector::plan_random(config.fault, &space, &mut rng);
                 let faulty = exec
                     .run_with(&[("x", input.clone())], probs, &mut injector)
@@ -407,6 +558,51 @@ mod tests {
             }
         }
         assert_eq!(fast.sdc_counts, counts);
+    }
+
+    /// The parallel-campaign acceptance: identical SDC counts, trials and unactivated
+    /// tallies for every worker count × batch size combination.
+    #[test]
+    fn parallel_campaign_matches_serial_campaign_bit_for_bit() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![
+            Tensor::ones(vec![1, 6]),
+            Tensor::filled(vec![1, 6], 0.3),
+            Tensor::filled(vec![1, 6], -0.7),
+        ];
+        let judge = ClassifierJudge::top1();
+        let config = |workers, batch| CampaignConfig {
+            trials: 30,
+            batch,
+            workers,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 19,
+        };
+        let reference = run_campaign(&target, &inputs, &judge, &config(1, 1)).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            for batch in [1usize, 16] {
+                let parallel =
+                    run_campaign(&target, &inputs, &judge, &config(workers, batch)).unwrap();
+                assert_eq!(
+                    parallel.sdc_counts, reference.sdc_counts,
+                    "workers = {workers}, batch = {batch} diverged from the serial SDC counts"
+                );
+                assert_eq!(
+                    parallel.trials, reference.trials,
+                    "workers = {workers}, batch = {batch}"
+                );
+                assert_eq!(
+                    parallel.unactivated, reference.unactivated,
+                    "workers = {workers}, batch = {batch}"
+                );
+            }
+        }
     }
 
     /// The batched campaign acceptance: identical SDC counts, trials and unactivated
@@ -433,6 +629,7 @@ mod tests {
             &CampaignConfig {
                 trials: 30,
                 batch: 1,
+                workers: 1,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: 13,
             },
@@ -446,6 +643,7 @@ mod tests {
                 &CampaignConfig {
                     trials: 30,
                     batch,
+                    workers: 1,
                     fault: FaultModel::single_bit_fixed32(),
                     seed: 13,
                 },
@@ -487,6 +685,7 @@ mod tests {
         let config = |batch| CampaignConfig {
             trials: 20,
             batch,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 4,
         };
@@ -526,6 +725,13 @@ mod tests {
                 },
                 "batch must be positive",
             ),
+            (
+                CampaignConfig {
+                    workers: 0,
+                    ..CampaignConfig::default()
+                },
+                "workers must be positive",
+            ),
         ] {
             let err = run_campaign(&target, &inputs, &judge, &config).unwrap_err();
             assert!(
@@ -545,11 +751,13 @@ mod tests {
         let config = CampaignConfig {
             trials: 10,
             batch: 9,
+            workers: 3,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         };
         let json = serde_json::to_string(&config).unwrap();
         assert!(json.contains("\"batch\""));
+        assert!(json.contains("\"workers\""));
         let revived: CampaignConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(revived, config);
     }
@@ -561,6 +769,7 @@ mod tests {
         let config = CampaignConfig {
             trials: 150,
             batch: 1,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 11,
         };

@@ -11,7 +11,11 @@ use ranger_tensor::Tensor;
 /// A judge may evaluate several categories at once (e.g. top-1 and top-5
 /// misclassification, or the four steering thresholds); each campaign trial is then
 /// counted against every category.
-pub trait SdcJudge {
+///
+/// Judges are `Send + Sync`: a parallel campaign shares one judge across all its
+/// workers, so judging must be a pure function of the two outputs (both provided
+/// implementations are stateless value comparisons).
+pub trait SdcJudge: Send + Sync {
     /// Names of the categories this judge evaluates, in the order `judge` reports them.
     fn categories(&self) -> Vec<String>;
 

@@ -42,13 +42,22 @@
 //!     output: probs,
 //!     excluded: &[],
 //! };
-//! let config = CampaignConfig { trials: 20, batch: 4, fault: FaultModel::single_bit_fixed32(), seed: 1 };
+//! let config = CampaignConfig {
+//!     trials: 20,
+//!     batch: 4,   // 4 trials per forward pass …
+//!     workers: 2, // … scheduled across 2 worker threads —
+//!     // any (batch, workers) combination reports identical SDC counts.
+//!     fault: FaultModel::single_bit_fixed32(),
+//!     seed: 1,
+//! };
 //! let inputs = vec![Tensor::ones(vec![1, 4])];
 //! let judge = ClassifierJudge::top1();
 //! let result = run_campaign(&target, &inputs, &judge, &config)?;
 //! assert_eq!(result.trials, 20);
 //! # Ok::<(), ranger_inject::CampaignError>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod campaign;
 pub mod fault;
@@ -57,7 +66,7 @@ pub mod judge;
 pub mod sensitivity;
 pub mod space;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult};
+pub use campaign::{run_campaign, trial_rng, CampaignConfig, CampaignError, CampaignResult};
 pub use fault::FaultModel;
 pub use injector::{BatchFaultInjector, FaultInjector};
 pub use judge::{ClassifierJudge, SdcJudge, SteeringJudge};
@@ -66,7 +75,9 @@ pub use space::{InjectionSite, InjectionSpace};
 
 /// Convenience re-exports for experiment code.
 pub mod prelude {
-    pub use crate::campaign::{run_campaign, CampaignConfig, CampaignError, CampaignResult};
+    pub use crate::campaign::{
+        run_campaign, trial_rng, CampaignConfig, CampaignError, CampaignResult,
+    };
     pub use crate::fault::FaultModel;
     pub use crate::injector::{BatchFaultInjector, FaultInjector};
     pub use crate::judge::{ClassifierJudge, SdcJudge, SteeringJudge};

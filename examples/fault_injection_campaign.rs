@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .campaign(CampaignConfig {
             trials,
             batch: 1,
+            workers: ranger_runtime::default_workers(),
             fault: FaultModel::single_bit_fixed32(),
             seed: 99,
         })

@@ -5,4 +5,5 @@ pub use ranger_engine as engine;
 pub use ranger_graph as graph;
 pub use ranger_inject as inject;
 pub use ranger_models as models;
+pub use ranger_runtime as runtime;
 pub use ranger_tensor as tensor;

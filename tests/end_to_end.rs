@@ -72,6 +72,7 @@ fn campaign(
     let config = CampaignConfig {
         trials,
         batch: 1,
+        workers: 1,
         fault: FaultModel::single_bit_fixed32(),
         seed,
     };
@@ -170,6 +171,7 @@ fn ranger_protects_the_steering_model_and_preserves_regression_accuracy() {
     let config = CampaignConfig {
         trials: 120,
         batch: 1,
+        workers: 1,
         fault: FaultModel::single_bit_fixed32(),
         seed: 5,
     };
@@ -207,6 +209,7 @@ fn fixed16_campaign_also_benefits_from_ranger() {
     let config = CampaignConfig {
         trials: 120,
         batch: 1,
+        workers: 1,
         fault: FaultModel::single_bit_fixed16(),
         seed: 9,
     };
@@ -236,6 +239,7 @@ fn multi_bit_faults_are_still_mitigated() {
         let config = CampaignConfig {
             trials: 100,
             batch: 1,
+            workers: 1,
             fault: FaultModel::multi_bit_fixed32(bits),
             seed: 13 + bits as u64,
         };
@@ -333,6 +337,7 @@ fn pipeline_end_to_end_reduces_sdc_and_keeps_overhead_low() {
         .campaign(CampaignConfig {
             trials: 150,
             batch: 1,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         })

@@ -121,15 +121,18 @@ proptest! {
         prop_assert_eq!(trait_stats.clamps_inserted, legacy_stats.clamps_inserted);
     }
 
-    /// The batched-campaign acceptance property: ANY campaign configuration produces
-    /// identical SDC counts (and trial/unactivated tallies) under `batch = 1` and
-    /// `batch = k`, on random MLPs and random fault models.
+    /// The batched/parallel-campaign acceptance property: ANY campaign configuration
+    /// produces identical SDC counts (and trial/unactivated tallies) for every
+    /// `(batch, workers)` combination, on random MLPs and random fault models — fault
+    /// plans are keyed by `(input, trial)` index, so neither the pass shape nor the
+    /// schedule can reach the counts.
     #[test]
-    fn batched_campaign_parity_on_random_campaigns(
+    fn batched_and_parallel_campaign_parity_on_random_campaigns(
         hidden in 2usize..10,
         seed in 0u64..100,
         trials in 1usize..40,
         batch in 2usize..50,
+        workers_log2 in 0u32..4,
         bits in 1usize..3,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -151,9 +154,11 @@ proptest! {
             Tensor::filled(vec![1, 4], -0.4),
         ];
         let judge = ranger_inject::ClassifierJudge::top1();
-        let config = |batch| CampaignConfig {
+        let workers = 1usize << workers_log2; // 1, 2, 4 or 8
+        let config = |batch, workers| CampaignConfig {
             trials,
             batch,
+            workers,
             fault: ranger_inject::FaultModel {
                 datatype: ranger_tensor::DataType::fixed32(),
                 bits,
@@ -161,12 +166,17 @@ proptest! {
             seed,
         };
         let reference =
-            ranger_inject::run_campaign(&target, &inputs, &judge, &config(1)).unwrap();
-        let batched =
-            ranger_inject::run_campaign(&target, &inputs, &judge, &config(batch)).unwrap();
-        prop_assert_eq!(&batched.sdc_counts, &reference.sdc_counts);
-        prop_assert_eq!(batched.trials, reference.trials);
-        prop_assert_eq!(batched.unactivated, reference.unactivated);
+            ranger_inject::run_campaign(&target, &inputs, &judge, &config(1, 1)).unwrap();
+        for candidate in [
+            config(batch, 1),       // batched, serial
+            config(1, workers),     // per-sample, parallel
+            config(batch, workers), // batched and parallel
+        ] {
+            let run = ranger_inject::run_campaign(&target, &inputs, &judge, &candidate).unwrap();
+            prop_assert_eq!(&run.sdc_counts, &reference.sdc_counts);
+            prop_assert_eq!(run.trials, reference.trials);
+            prop_assert_eq!(run.unactivated, reference.unactivated);
+        }
     }
 
     /// ExecPlan/Executor parity holds on random MLPs and random inputs.
@@ -184,6 +194,55 @@ proptest! {
         let plan = graph.compile().unwrap();
         let via_plan = plan.run_simple(&[("x", input)], y).unwrap();
         prop_assert_eq!(via_exec, via_plan);
+    }
+}
+
+/// The parallel-campaign acceptance grid on real zoo architectures: worker counts
+/// {1, 2, 4, 8} × batch sizes {1, 16} all report the serial per-sample counts
+/// bit-for-bit, on a convolutional classifier (LeNet) and a steering regressor (Comma).
+#[test]
+fn parallel_campaign_grid_matches_serial_on_zoo_models() {
+    for kind in [ModelKind::LeNet, ModelKind::Comma] {
+        let model = archs::build(&ModelConfig::new(kind), 3);
+        let input = canonical_input(&model);
+        let inputs = vec![input];
+        let judge: Box<dyn ranger_inject::SdcJudge> = if kind.is_steering() {
+            Box::new(ranger_inject::SteeringJudge::paper_thresholds(false))
+        } else {
+            Box::new(ranger_inject::ClassifierJudge::top1())
+        };
+        let target = ranger_inject::InjectionTarget {
+            graph: &model.graph,
+            input_name: &model.input_name,
+            output: model.output,
+            excluded: &model.excluded_from_injection,
+        };
+        let config = |workers, batch| CampaignConfig {
+            trials: 20,
+            batch,
+            workers,
+            fault: FaultModel::single_bit_fixed32(),
+            seed: 31,
+        };
+        let reference =
+            ranger_inject::run_campaign(&target, &inputs, judge.as_ref(), &config(1, 1)).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            for batch in [1usize, 16] {
+                let run = ranger_inject::run_campaign(
+                    &target,
+                    &inputs,
+                    judge.as_ref(),
+                    &config(workers, batch),
+                )
+                .unwrap();
+                assert_eq!(
+                    run.sdc_counts, reference.sdc_counts,
+                    "{kind}: workers {workers} × batch {batch} diverged from serial SDC counts"
+                );
+                assert_eq!(run.trials, reference.trials, "{kind}");
+                assert_eq!(run.unactivated, reference.unactivated, "{kind}");
+            }
+        }
     }
 }
 
@@ -218,6 +277,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
         .campaign(CampaignConfig {
             trials,
             batch: 1,
+            workers: 1,
             fault: FaultModel::single_bit_fixed32(),
             seed,
         })
@@ -244,6 +304,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
     let config = CampaignConfig {
         trials,
         batch: 1,
+        workers: 1,
         fault: FaultModel::single_bit_fixed32(),
         seed,
     };
@@ -266,36 +327,42 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
     // The protected graphs are structurally identical too.
     assert_eq!(outcome.protected.model.graph, protected.graph);
 
-    // The batched-campaign acceptance criterion: the same fig6-style pipeline with a
-    // batched campaign (16 trials per forward pass) reproduces the per-sample SDC
-    // counts bit-for-bit, in both arms.
-    let batched = Pipeline::for_model(kind)
-        .seed(seed)
-        .train(quick)
-        .zoo(ModelZoo::new(&zoo_dir))
-        .profile(BoundsConfig::default())
-        .protect(RangerConfig::default())
-        .campaign(CampaignConfig {
-            trials,
-            batch: 1, // overridden by the knob below
-            fault: FaultModel::single_bit_fixed32(),
-            seed,
-        })
-        .batch(16)
-        .inputs(n_inputs)
-        .judge(JudgeSpec::TopK(vec![1]))
-        .run_full()
-        .unwrap();
-    assert_eq!(
-        batched.baseline_result.unwrap().sdc_counts,
-        pipeline_baseline.sdc_counts,
-        "batched unprotected arm must reproduce the per-sample fig6 SDC counts exactly"
-    );
-    assert_eq!(
-        batched.protected_result.unwrap().sdc_counts,
-        pipeline_protected.sdc_counts,
-        "batched protected arm must reproduce the per-sample fig6 SDC counts exactly"
-    );
+    // The batched/parallel acceptance criterion: the same fig6-style pipeline with a
+    // batched campaign (16 trials per forward pass), a parallel campaign (4 workers),
+    // and both at once reproduces the per-sample SDC counts bit-for-bit, in both arms.
+    for (batch, workers) in [(16usize, 1usize), (1, 4), (16, 4)] {
+        let variant = Pipeline::for_model(kind)
+            .seed(seed)
+            .train(quick)
+            .zoo(ModelZoo::new(&zoo_dir))
+            .profile(BoundsConfig::default())
+            .protect(RangerConfig::default())
+            .campaign(CampaignConfig {
+                trials,
+                batch: 1,   // overridden by the knob below
+                workers: 1, // overridden by the knob below
+                fault: FaultModel::single_bit_fixed32(),
+                seed,
+            })
+            .batch(batch)
+            .workers(workers)
+            .inputs(n_inputs)
+            .judge(JudgeSpec::TopK(vec![1]))
+            .run_full()
+            .unwrap();
+        assert_eq!(
+            variant.baseline_result.unwrap().sdc_counts,
+            pipeline_baseline.sdc_counts,
+            "unprotected arm (batch {batch}, workers {workers}) must reproduce the \
+             per-sample fig6 SDC counts exactly"
+        );
+        assert_eq!(
+            variant.protected_result.unwrap().sdc_counts,
+            pipeline_protected.sdc_counts,
+            "protected arm (batch {batch}, workers {workers}) must reproduce the \
+             per-sample fig6 SDC counts exactly"
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&zoo_dir);
 }
