@@ -17,7 +17,7 @@ use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
 use ranger::transform::{apply_ranger, RangerConfig};
 use ranger_graph::exec::NoopInterceptor;
 use ranger_graph::Executor;
-use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget};
+use ranger_inject::{BackendKind, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget};
 use ranger_models::archs;
 use ranger_models::{Model, ModelConfig, ModelKind};
 use ranger_tensor::Tensor;
@@ -210,6 +210,7 @@ fn bench_injection() {
             trials: 1,
             batch: 1,
             workers: 1,
+            backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         };
@@ -251,6 +252,7 @@ fn bench_campaign_batched() {
                 trials,
                 batch,
                 workers: 1,
+                backend: BackendKind::F32,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: 5,
             };
@@ -343,6 +345,7 @@ fn bench_campaign_parallel() {
                 trials,
                 batch: 1,
                 workers,
+                backend: BackendKind::F32,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: 5,
             };
@@ -405,6 +408,100 @@ fn bench_campaign_parallel() {
     campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
 }
 
+/// The fixed-point backend benchmark: the same campaign (same seed, same index-keyed
+/// fault plans) run on the f32 reference backend and on the genuine fixed16/fixed32
+/// backends, per-sample and batched. Within each backend the batched counts must equal
+/// the per-sample counts bit-for-bit (asserted); across backends the counts may differ —
+/// that difference IS the measurement (fixed-point inference vs float inference with
+/// fixed-point corruption).
+fn bench_campaign_fixed() {
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::GraphBuilder;
+
+    let trials = 32usize;
+    let judge = ClassifierJudge::top1();
+
+    let campaign = |label: &str,
+                    graph: &ranger_graph::Graph,
+                    input_name: &str,
+                    output: ranger_graph::NodeId,
+                    input: &Tensor| {
+        let target = InjectionTarget {
+            graph,
+            input_name,
+            output,
+            excluded: &[],
+        };
+        for (backend, fault) in [
+            (BackendKind::F32, FaultModel::single_bit_fixed16()),
+            (BackendKind::Fixed16, FaultModel::single_bit_fixed16()),
+            (BackendKind::Fixed32, FaultModel::single_bit_fixed32()),
+        ] {
+            let mut reference = None;
+            for batch in [1usize, 16] {
+                let config = CampaignConfig {
+                    trials,
+                    batch,
+                    workers: 1,
+                    backend,
+                    fault,
+                    seed: 5,
+                };
+                let mut counts = Vec::new();
+                let total_ns = bench(
+                    &format!("campaign_fixed/{label}/{backend}/batch_{batch}"),
+                    1,
+                    10,
+                    || {
+                        let result = ranger_inject::run_campaign(
+                            &target,
+                            std::slice::from_ref(input),
+                            &judge,
+                            &config,
+                        )
+                        .unwrap();
+                        counts = result.sdc_counts.clone();
+                    },
+                );
+                match &reference {
+                    None => reference = Some(counts.clone()),
+                    Some(expected) => assert_eq!(
+                        &counts, expected,
+                        "batched fixed campaign must reproduce the per-sample counts"
+                    ),
+                }
+                println!(
+                    "campaign_fixed/{label}/{backend}/batch_{batch}: {:>8.0} ns/trial",
+                    total_ns / trials as f64,
+                );
+            }
+        }
+    };
+
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let input = model_input(&model);
+    campaign(
+        "lenet",
+        &model.graph,
+        &model.input_name,
+        model.output,
+        &input,
+    );
+
+    // Deep, narrow MLP — the dispatch-bound shape, for the integer kernels' overhead.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let mut h = b.dense(x, 8, 8, &mut rng);
+    for _ in 0..63 {
+        h = b.relu(h);
+        h = b.dense(h, 8, 8, &mut rng);
+    }
+    let probs = b.softmax(h);
+    let deep = b.into_graph();
+    campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
+}
+
 fn main() {
     bench_insertion();
     bench_inference();
@@ -413,4 +510,5 @@ fn main() {
     bench_injection();
     bench_campaign_batched();
     bench_campaign_parallel();
+    bench_campaign_fixed();
 }

@@ -11,7 +11,7 @@ use ranger_bench::{
     correct_classifier_inputs, print_table, protect_model, run_model_campaign, write_json,
     ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
-use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
+use ranger_inject::{ClassifierJudge, FaultModel};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 use serde::Serialize;
 
@@ -28,13 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let zoo = ModelZoo::with_default_dir();
     let default_models = [ModelKind::LeNet, ModelKind::AlexNet];
     let judge = ClassifierJudge::top1();
-    let campaign = CampaignConfig {
-        trials: opts.trials,
-        batch: opts.batch,
-        workers: opts.workers,
-        fault: FaultModel::single_bit_fixed32(),
-        seed: opts.seed,
-    };
+    let campaign = opts.campaign(FaultModel::single_bit_fixed32());
     let mut rows = Vec::new();
 
     for kind in opts.models_or(&default_models) {

@@ -8,7 +8,7 @@ use ranger_bench::{
     correct_classifier_inputs, print_table, profiling_samples, run_model_campaign, write_json,
     ExpOptions,
 };
-use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
+use ranger_inject::{ClassifierJudge, FaultModel};
 use ranger_models::train::classification_accuracy;
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 use serde::Serialize;
@@ -38,13 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let inputs = correct_classifier_inputs(&trained.model, opts.seed, opts.inputs)?;
     let judge = ClassifierJudge::top1();
-    let campaign = CampaignConfig {
-        trials: opts.trials,
-        batch: opts.batch,
-        workers: opts.workers,
-        fault: FaultModel::single_bit_fixed32(),
-        seed: opts.seed,
-    };
+    let campaign = opts.campaign(FaultModel::single_bit_fixed32());
 
     let mut rows = Vec::new();
     let (top1, _) = classification_accuracy(&trained.model, &data, true)?;

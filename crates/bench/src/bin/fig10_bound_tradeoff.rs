@@ -9,7 +9,7 @@ use ranger_bench::{
     ExpOptions, DEFAULT_PROFILE_FRACTION,
 };
 use ranger_datasets::driving::AngleUnit;
-use ranger_inject::{CampaignConfig, FaultModel, SteeringJudge};
+use ranger_inject::{FaultModel, SteeringJudge};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 use serde::Serialize;
 
@@ -29,13 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trained = zoo.load_or_train(&config_deg, opts.seed)?;
     let inputs = correct_steering_inputs(&trained.model, opts.seed, opts.inputs, 60.0)?;
     let judge = SteeringJudge::paper_thresholds(false);
-    let campaign = CampaignConfig {
-        trials: opts.trials,
-        batch: opts.batch,
-        workers: opts.workers,
-        fault: FaultModel::single_bit_fixed32(),
-        seed: opts.seed,
-    };
+    let campaign = opts.campaign(FaultModel::single_bit_fixed32());
 
     let mut rows = Vec::new();
     // The unprotected baseline plus the four percentile bounds of the paper.

@@ -39,11 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let judge = ClassifierJudge::top1();
         for bits in 2..=5 {
             let config = CampaignConfig {
-                trials: opts.trials,
-                batch: opts.batch,
-                workers: opts.workers,
-                fault: FaultModel::multi_bit_fixed32(bits),
                 seed: opts.seed + bits as u64,
+                ..opts.campaign(FaultModel::multi_bit_fixed32(bits))
             };
             let original = run_model_campaign(&trained.model, &inputs, &judge, &config)?;
             let with_ranger = run_model_campaign(&protected.model, &inputs, &judge, &config)?;

@@ -7,7 +7,7 @@
 use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{print_table, write_json, ExpOptions, Pipeline};
-use ranger_inject::{CampaignConfig, FaultModel};
+use ranger_inject::FaultModel;
 use ranger_models::ModelKind;
 use serde::Serialize;
 
@@ -36,13 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(opts.seed)
             .profile(BoundsConfig::default())
             .protect(RangerConfig::default())
-            .campaign(CampaignConfig {
-                trials: opts.trials,
-                batch: opts.batch,
-                workers: opts.workers,
-                fault: FaultModel::single_bit_fixed32(),
-                seed: opts.seed,
-            })
+            .campaign(opts.campaign(FaultModel::single_bit_fixed32()))
             .inputs(opts.inputs)
             .run()?;
         let campaign = report.campaign.expect("campaign configured");

@@ -56,13 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ModelKind::Dave,
         ModelKind::Comma,
     ];
-    let config = CampaignConfig {
-        trials: opts.trials,
-        batch: opts.batch,
-        workers: opts.workers,
-        fault: FaultModel::single_bit_fixed32(),
-        seed: opts.seed,
-    };
+    let config = opts.campaign(FaultModel::single_bit_fixed32());
     let mut rows = Vec::new();
 
     for kind in opts.models_or(&default_models) {

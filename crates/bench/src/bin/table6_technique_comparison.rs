@@ -11,7 +11,7 @@ use ranger::bounds::BoundsConfig;
 use ranger::transform::RangerConfig;
 use ranger_bench::{print_table, write_json, ExpOptions, Pipeline};
 use ranger_engine::{run_model_campaign, JudgeSpec};
-use ranger_inject::{CampaignConfig, ClassifierJudge, FaultModel};
+use ranger_inject::{ClassifierJudge, FaultModel};
 use ranger_models::{ModelConfig, ModelKind, ModelZoo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,13 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hong_prot = Vec::new();
     let mut overheads = Vec::new();
 
-    let config = CampaignConfig {
-        trials: opts.trials,
-        batch: opts.batch,
-        workers: opts.workers,
-        fault: FaultModel::single_bit_fixed32(),
-        seed: opts.seed,
-    };
+    let config = opts.campaign(FaultModel::single_bit_fixed32());
     for kind in &kinds {
         eprintln!("[table6] preparing {kind} ...");
         let outcome = Pipeline::for_model(*kind)

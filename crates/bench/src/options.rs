@@ -1,6 +1,8 @@
 //! Command-line options shared by every experiment binary.
 
+use ranger_inject::{BackendKind, CampaignConfig, FaultModel};
 use ranger_models::ModelKind;
+use ranger_tensor::DataType;
 
 /// Options controlling an experiment run.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +15,12 @@ pub struct ExpOptions {
     /// Worker threads executing campaign trials (1 = the serial path; any value
     /// reproduces identical SDC counts). Defaults to `RANGER_WORKERS` when set.
     pub workers: usize,
+    /// Execution backend campaigns run on (f32 reference, or genuine fixed16/fixed32
+    /// inference). Defaults to `RANGER_BACKEND` when set. Build campaign configurations
+    /// through [`ExpOptions::campaign`] so a fixed backend realigns the experiment's
+    /// fault datatype to its word format; fixed-point-specific binaries (fig9) manage
+    /// the backend themselves.
+    pub backend: BackendKind,
     /// Number of (correctly predicted) inputs per model.
     pub inputs: usize,
     /// Seed for model training, datasets and fault sampling.
@@ -29,6 +37,7 @@ impl Default for ExpOptions {
             trials: 200,
             batch: 1,
             workers: ranger_runtime::default_workers(),
+            backend: ranger_inject::default_backend(),
             inputs: 5,
             seed: 42,
             full: false,
@@ -39,8 +48,8 @@ impl Default for ExpOptions {
 
 impl ExpOptions {
     /// Parses options from command-line arguments (`--trials N --batch N --workers N
-    /// --inputs N --seed N --full --models lenet,dave`). Unknown arguments are ignored so
-    /// binaries can add their own flags.
+    /// --backend f32|fixed16|fixed32 --inputs N --seed N --full --models lenet,dave`).
+    /// Unknown arguments are ignored so binaries can add their own flags.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -67,6 +76,12 @@ impl ExpOptions {
                 "--workers" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         opts.workers = v;
+                        i += 1;
+                    }
+                }
+                "--backend" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        opts.backend = v;
                         i += 1;
                     }
                 }
@@ -101,6 +116,30 @@ impl ExpOptions {
             i += 1;
         }
         opts
+    }
+
+    /// Builds the campaign configuration for this run: trials, batch, workers, backend
+    /// and seed from the options, applying `fault` — with its datatype realigned to the
+    /// backend's word format when a fixed-point backend is selected (the only pairing
+    /// [`CampaignConfig::validate`] accepts; the flip count is preserved). This is what
+    /// lets `--backend fixed16` (or `RANGER_BACKEND=fixed16`) rerun any experiment
+    /// binary on genuine fixed-point inference, mirroring `Pipeline::backend`.
+    pub fn campaign(&self, fault: FaultModel) -> CampaignConfig {
+        let fault = match self.backend.spec() {
+            Some(spec) => FaultModel {
+                datatype: DataType::Fixed(spec),
+                bits: fault.bits,
+            },
+            None => fault,
+        };
+        CampaignConfig {
+            trials: self.trials,
+            batch: self.batch,
+            workers: self.workers,
+            backend: self.backend,
+            fault,
+            seed: self.seed,
+        }
     }
 
     /// The models to evaluate: the explicit `--models` list if given, otherwise `default`.
@@ -161,6 +200,31 @@ mod tests {
         assert_eq!(opts.seed, 9);
         assert_eq!(opts.batch, 16);
         assert_eq!(opts.workers, 4);
+        assert_eq!(
+            parse(&["--backend", "fixed16"]).backend,
+            BackendKind::Fixed16
+        );
+        assert_eq!(parse(&["--backend", "warp"]).backend, parse(&[]).backend);
+    }
+
+    /// `ExpOptions::campaign` must always hand the runner a valid configuration: on a
+    /// fixed backend the experiment's fault datatype realigns to the backend's word
+    /// format (keeping the flip count), on f32 it passes through untouched.
+    #[test]
+    fn campaign_builder_aligns_fault_with_backend() {
+        use ranger_inject::FaultModel;
+        let mut opts = parse(&["--trials", "9", "--seed", "4", "--backend", "fixed16"]);
+        let config = opts.campaign(FaultModel::multi_bit_fixed32(3));
+        assert_eq!(config.trials, 9);
+        assert_eq!(config.seed, 4);
+        assert_eq!(config.backend, BackendKind::Fixed16);
+        assert_eq!(config.fault.bits, 3);
+        assert!(config.validate().is_ok(), "realigned config must validate");
+
+        opts.backend = BackendKind::F32;
+        let passthrough = opts.campaign(FaultModel::single_bit_fixed16());
+        assert_eq!(passthrough.fault, FaultModel::single_bit_fixed16());
+        assert!(passthrough.validate().is_ok());
         assert_eq!(parse(&[]).batch, 1, "per-sample path is the default");
         assert!(parse(&[]).workers >= 1, "worker default is always usable");
     }

@@ -8,8 +8,8 @@ use ranger_datasets::driving::AngleUnit;
 use ranger_engine::Pipeline;
 use ranger_graph::op::RestorePolicy;
 use ranger_inject::{
-    run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, SdcJudge,
-    SteeringJudge,
+    run_campaign, BackendKind, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget,
+    SdcJudge, SteeringJudge,
 };
 use ranger_models::zoo::ModelZoo;
 use ranger_models::{Model, ModelConfig, ModelKind, Task, TrainConfig};
@@ -99,6 +99,27 @@ pub fn train(options: &Options) -> Result<String, CliError> {
     ))
 }
 
+/// Parses `--backend f32|fixed16|fixed32` (default: `RANGER_BACKEND`, then f32) and the
+/// fault datatype that goes with it: an explicit `--fixed16` flag wins, otherwise a
+/// fixed-point backend implies faults in its own word format (the only valid pairing —
+/// the campaign rejects mismatches), and the f32 backend keeps the paper's default
+/// fixed32 emulation.
+fn parse_backend_and_datatype(options: &Options) -> Result<(BackendKind, DataType), CliError> {
+    let backend = match options.get("backend") {
+        None => ranger_inject::default_backend(),
+        Some(raw) => raw.parse().map_err(CliError::Usage)?,
+    };
+    let datatype = if options.has_flag("fixed16") {
+        DataType::fixed16()
+    } else {
+        match backend.spec() {
+            Some(spec) => DataType::Fixed(spec),
+            None => DataType::fixed32(),
+        }
+    };
+    Ok((backend, datatype))
+}
+
 /// Parses `--policy saturate|zero|random` into the protector for that policy.
 fn parse_policy(options: &Options) -> Result<RestorePolicy, CliError> {
     match options.get("policy").unwrap_or("saturate") {
@@ -154,11 +175,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
     let percentile = options.get_parsed("percentile", 100.0f64)?;
     let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
     let bits = options.get_parsed("bits", 1usize)?;
-    let datatype = if options.has_flag("fixed16") {
-        DataType::fixed16()
-    } else {
-        DataType::fixed32()
-    };
+    let (backend, datatype) = parse_backend_and_datatype(options)?;
 
     let mut builder = Pipeline::for_model(kind)
         .seed(seed)
@@ -169,6 +186,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
             trials,
             batch,
             workers,
+            backend,
             fault: FaultModel { datatype, bits },
             seed,
         })
@@ -196,11 +214,7 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
     let bits = options.get_parsed("bits", 1usize)?;
     let saved = SavedModel::load(Path::new(&input))?;
     let seed = options.get_parsed("seed", saved.seed)?;
-    let datatype = if options.has_flag("fixed16") {
-        DataType::fixed16()
-    } else {
-        DataType::fixed32()
-    };
+    let (backend, datatype) = parse_backend_and_datatype(options)?;
     let fault = FaultModel { datatype, bits };
 
     let model = &saved.model;
@@ -234,12 +248,13 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
         trials,
         batch,
         workers,
+        backend,
         fault,
         seed,
     };
     let result = run_campaign(&target, &batches, judge.as_ref(), &config)?;
     let mut lines = vec![format!(
-        "{} | {} trials x {} inputs (batch {batch}, workers {workers}) | fault model: {fault}",
+        "{} | {} trials x {} inputs (batch {batch}, workers {workers}, backend {backend}) | fault model: {fault}",
         if saved.protected {
             "protected with Ranger"
         } else {
@@ -433,6 +448,57 @@ mod tests {
         .unwrap();
         assert!(parallel.contains("workers 4"));
         assert_eq!(rates(&report), rates(&parallel));
+
+        // The genuine fixed-point backend runs the same campaign end to end, reporting
+        // which backend executed it, and is reproducible run-to-run.
+        let fixed = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--trials",
+            "20",
+            "--inputs",
+            "1",
+            "--backend",
+            "fixed16",
+        ]))
+        .unwrap();
+        assert!(fixed.contains("backend fixed16"));
+        assert!(fixed.contains("fault model: 1 bit flip(s) in fixed-Q14.2"));
+        let fixed_again = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--trials",
+            "20",
+            "--inputs",
+            "1",
+            "--backend",
+            "fixed16",
+        ]))
+        .unwrap();
+        assert_eq!(rates(&fixed), rates(&fixed_again));
+
+        // An unknown backend is a usage error; a contradictory backend/fault pairing is
+        // rejected by the campaign with a descriptive message.
+        let err = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--backend",
+            "tpu",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown backend"));
+        let err = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--backend",
+            "fixed32",
+            "--fixed16",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("does not match"),
+            "unexpected error: {err}"
+        );
 
         // A zero batch or worker count is rejected with a descriptive campaign error.
         let err = inject(&opts(&[

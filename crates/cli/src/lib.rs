@@ -98,13 +98,18 @@ COMMANDS:
              [--policy saturate|zero|random] [--seed N]
              Derive restriction bounds from the training data and insert Ranger.
     inject   --in <model.json> [--trials N] [--batch N] [--workers N] [--inputs N]
-             [--bits N] [--fixed16] [--seed N]
+             [--backend f32|fixed16|fixed32] [--bits N] [--fixed16] [--seed N]
              Run a fault-injection campaign and report SDC rates. --batch N executes N
              trials per forward pass and --workers N runs trial chunks on an N-worker
              pool (identical results either way, less wall-clock per trial).
+             --backend fixed16|fixed32 runs genuine fixed-point inference and flips
+             bits directly in the stored integer words (faults default to the
+             backend's own word format); the default f32 backend emulates fixed-point
+             corruption on float compute (--fixed16 selects the 16-bit fault model).
     pipeline --model <name> [--trials N] [--batch N] [--workers N] [--inputs N]
-             [--seed N] [--percentile P] [--fraction F] [--policy saturate|zero|random]
-             [--bits N] [--fixed16] [--quick] [--out report.json]
+             [--backend f32|fixed16|fixed32] [--seed N] [--percentile P] [--fraction F]
+             [--policy saturate|zero|random] [--bits N] [--fixed16] [--quick]
+             [--out report.json]
              Run the full profile -> protect -> inject pipeline and print the JSON report.
     info     --in <model.json>
              Print a summary of a saved model (operators, parameters, restrictions).

@@ -15,16 +15,42 @@ use crate::error::GraphError;
 use crate::graph::{Graph, Node, NodeId};
 use crate::op::Op;
 use crate::ops;
-use ranger_tensor::Tensor;
+use ranger_tensor::{QTensor, Tensor};
 
 /// Observes (and may mutate) operator outputs during a forward pass.
 ///
 /// Implementors receive every operator node in execution order together with its freshly
 /// computed output. Constants and graph inputs are not intercepted, mirroring the paper's
 /// fault model in which memory is ECC-protected and faults arise in datapath computations.
+///
+/// On the f32 reference backend the hook is [`Interceptor::after_op`]; on a fixed-point
+/// backend it is [`Interceptor::after_op_words`], which receives the operator's stored
+/// integer words. The default `after_op_words` bridges to `after_op` through a
+/// dequantize → mutate → requantize round trip (re-encoding only the elements the
+/// interceptor actually changed), so existing interceptors keep working on every backend;
+/// performance-critical implementors (the fault injector, the no-op golden-run hook)
+/// override it to act on the words directly.
 pub trait Interceptor {
     /// Called after `node`'s output has been computed; the output may be mutated in place.
     fn after_op(&mut self, node: &Node, output: &mut Tensor);
+
+    /// Word-level twin of [`Interceptor::after_op`], called by fixed-point backends with
+    /// the operator's raw integer output.
+    ///
+    /// The default implementation exposes the dequantized values to `after_op` and
+    /// re-encodes exactly the elements whose bits changed — untouched words survive
+    /// verbatim, so a read-only interceptor never perturbs values whose magnitude
+    /// exceeds `f32` precision.
+    fn after_op_words(&mut self, node: &Node, output: &mut QTensor) {
+        let mirror = output.dequantize();
+        let mut mutated = mirror.clone();
+        self.after_op(node, &mut mutated);
+        for (i, (&before, &after)) in mirror.data().iter().zip(mutated.data()).enumerate() {
+            if before.to_bits() != after.to_bits() {
+                output.set_from_f32(i, after);
+            }
+        }
+    }
 }
 
 /// An interceptor that does nothing (fault-free golden runs).
@@ -33,6 +59,8 @@ pub struct NoopInterceptor;
 
 impl Interceptor for NoopInterceptor {
     fn after_op(&mut self, _node: &Node, _output: &mut Tensor) {}
+
+    fn after_op_words(&mut self, _node: &Node, _output: &mut QTensor) {}
 }
 
 /// An interceptor that records every operator output, used for activation-range profiling
@@ -63,6 +91,17 @@ pub struct Values {
     /// Last pass's tensors, keyed by node id; [`Values::take_recycled`] hands them out as
     /// output buffers during the current pass.
     recycled: Vec<Option<Tensor>>,
+    /// Raw fixed-point words, keyed by node id — the working set of a fixed-point
+    /// backend, recycled exactly like the f32 tensors. Empty under the reference backend.
+    qvalues: Vec<Option<QTensor>>,
+    qrecycled: Vec<Option<QTensor>>,
+    /// Constant-quantization cache tags: `(const data pointer, element count, format)`
+    /// recorded when a constant node's words were stored, so later passes can reuse the
+    /// quantization instead of re-encoding the whole weight tensor
+    /// ([`Values::take_recycled_q_const`]). A tag is cleared whenever its slot is
+    /// recycled through the generic path, so a store reused across plans can never leak
+    /// stale words.
+    qconst_tags: Vec<Option<(usize, usize, ranger_tensor::FixedSpec)>>,
 }
 
 impl Values {
@@ -70,6 +109,9 @@ impl Values {
         Values {
             values: vec![None; len],
             recycled: vec![None; len],
+            qvalues: vec![None; len],
+            qrecycled: vec![None; len],
+            qconst_tags: vec![None; len],
         }
     }
 
@@ -82,19 +124,78 @@ impl Values {
     pub(crate) fn reset(&mut self, len: usize) {
         self.values.resize(len, None);
         self.recycled.resize(len, None);
+        self.qvalues.resize(len, None);
+        self.qrecycled.resize(len, None);
+        self.qconst_tags.resize(len, None);
         for (value, pooled) in self.values.iter_mut().zip(&mut self.recycled) {
+            if let Some(tensor) = value.take() {
+                *pooled = Some(tensor);
+            }
+        }
+        for (value, pooled) in self.qvalues.iter_mut().zip(&mut self.qrecycled) {
             if let Some(tensor) = value.take() {
                 *pooled = Some(tensor);
             }
         }
     }
 
-    /// Takes the recycled buffer for `id` (an empty tensor if none is pooled).
-    pub(crate) fn take_recycled(&mut self, id: NodeId) -> Tensor {
+    /// Takes the recycled output buffer for `id` (an empty tensor if none is pooled).
+    ///
+    /// Execution backends call this at the start of a node evaluation and hand the buffer
+    /// back through [`Values::set`]; the pairing is what makes repeated passes
+    /// allocation-free.
+    pub fn take_recycled(&mut self, id: NodeId) -> Tensor {
         self.recycled
             .get_mut(id.index())
             .and_then(Option::take)
             .unwrap_or_else(Tensor::empty)
+    }
+
+    /// Takes the recycled word buffer for `id`, reformatted to `spec` (an empty word
+    /// tensor if none is pooled) — the fixed-point twin of [`Values::take_recycled`].
+    pub fn take_recycled_q(&mut self, id: NodeId, spec: ranger_tensor::FixedSpec) -> QTensor {
+        if let Some(tag) = self.qconst_tags.get_mut(id.index()) {
+            *tag = None;
+        }
+        self.qrecycled
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .map(|mut q| {
+                q.reset_fill(spec, &[0], 0);
+                q
+            })
+            .unwrap_or_else(|| QTensor::new(spec))
+    }
+
+    /// Takes the recycled word buffer for the constant node `id`, **keeping its
+    /// contents** when they are the already-quantized words of `value` under `spec`
+    /// (validated against the tag recorded by [`Values::mark_q_const`]). Returns the
+    /// buffer and whether it still holds that cached quantization — constants never
+    /// change between passes of a plan, so a hit skips re-encoding the whole tensor.
+    pub fn take_recycled_q_const(
+        &mut self,
+        id: NodeId,
+        spec: ranger_tensor::FixedSpec,
+        value: &Tensor,
+    ) -> (QTensor, bool) {
+        let tag = (value.data().as_ptr() as usize, value.len(), spec);
+        let cached = self.qconst_tags.get(id.index()).copied().flatten() == Some(tag);
+        match self.qrecycled.get_mut(id.index()).and_then(Option::take) {
+            Some(q) if cached && q.spec() == spec && q.len() == value.len() => (q, true),
+            Some(mut q) => {
+                q.reset_fill(spec, &[0], 0);
+                (q, false)
+            }
+            None => (QTensor::new(spec), false),
+        }
+    }
+
+    /// Records that `id`'s stored words are the quantization of `value` under `spec`,
+    /// enabling the [`Values::take_recycled_q_const`] cache on the next pass.
+    pub fn mark_q_const(&mut self, id: NodeId, spec: ranger_tensor::FixedSpec, value: &Tensor) {
+        if let Some(slot) = self.qconst_tags.get_mut(id.index()) {
+            *slot = Some((value.data().as_ptr() as usize, value.len(), spec));
+        }
     }
 
     /// Seeds the recycle pool for `id` with a buffer pre-sized for an output of shape
@@ -105,7 +206,28 @@ impl Values {
         }
     }
 
+    /// Seeds the word recycle pool for `id` with a buffer pre-sized for an output of
+    /// shape `dims` — the fixed-point twin of [`Values::preallocate`], applied when the
+    /// plan's backend computes on words.
+    pub(crate) fn preallocate_q(
+        &mut self,
+        id: NodeId,
+        spec: ranger_tensor::FixedSpec,
+        dims: &[usize],
+    ) {
+        if let Some(slot) = self.qrecycled.get_mut(id.index()) {
+            *slot = Some(QTensor::with_capacity_for(spec, dims));
+        }
+        if let Some(tag) = self.qconst_tags.get_mut(id.index()) {
+            *tag = None;
+        }
+    }
+
     /// Returns the value computed for `id`.
+    ///
+    /// On a fixed-point backend this is the dequantized mirror of the stored words (see
+    /// [`Values::get_q`]), so campaign judges, parity tests and report code read every
+    /// backend's outputs through the same accessor.
     ///
     /// # Errors
     ///
@@ -117,8 +239,29 @@ impl Values {
             .ok_or(GraphError::UnknownNode(id))
     }
 
-    pub(crate) fn set(&mut self, id: NodeId, value: Tensor) {
+    /// Returns the raw fixed-point words computed for `id` (fixed-point backends only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if the node was not evaluated on a fixed-point
+    /// backend.
+    pub fn get_q(&self, id: NodeId) -> Result<&QTensor, GraphError> {
+        self.qvalues
+            .get(id.index())
+            .and_then(|v| v.as_ref())
+            .ok_or(GraphError::UnknownNode(id))
+    }
+
+    /// Stores the computed value for `id` (backends pair this with
+    /// [`Values::take_recycled`]).
+    pub fn set(&mut self, id: NodeId, value: Tensor) {
         self.values[id.index()] = Some(value);
+    }
+
+    /// Stores the computed words for `id` (fixed-point backends pair this with
+    /// [`Values::take_recycled_q`]).
+    pub fn set_q(&mut self, id: NodeId, value: QTensor) {
+        self.qvalues[id.index()] = Some(value);
     }
 
     /// Iterates over all evaluated `(node id, tensor)` pairs.
@@ -130,7 +273,9 @@ impl Values {
     }
 }
 
-pub(crate) fn arity_err(node: &Node, expected: usize) -> GraphError {
+/// Builds the [`GraphError::ArityMismatch`] for a node that received the wrong number of
+/// inputs — shared by every backend's operand checks.
+pub fn arity_err(node: &Node, expected: usize) -> GraphError {
     GraphError::ArityMismatch {
         node: node.id,
         op: node.op.kind_name().to_string(),
@@ -150,11 +295,18 @@ fn input<'v>(node: &Node, values: &'v Values, idx: usize) -> Result<&'v Tensor, 
 /// Evaluates one node given the values of its inputs and the feed list, writing the
 /// result into the recycled buffer `out`.
 ///
-/// Shared by [`Executor`] and [`ExecPlan`](crate::plan::ExecPlan) so the two paths cannot
-/// diverge semantically. `out` is an output buffer whose allocation is reused (see
-/// [`Values::take_recycled`]); on error its contents are unspecified but no value is
-/// stored for the node.
-pub(crate) fn eval_node_into(
+/// This is the workspace's **single semantic reference**: the f32
+/// [`ReferenceBackend`](crate::backend::ReferenceBackend) (and through it `Executor` and
+/// every `ExecPlan`) dispatches here, and every alternative backend is pinned against it
+/// by parity tests, so execution paths cannot diverge semantically. `out` is an output
+/// buffer whose allocation is reused (see [`Values::take_recycled`]); on error its
+/// contents are unspecified but no value is stored for the node.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if a feed is missing or any operator receives invalid
+/// operands.
+pub fn eval_node_into(
     node: &Node,
     values: &Values,
     feeds: &[(&str, Tensor)],

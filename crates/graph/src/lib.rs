@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod autodiff;
+pub mod backend;
 pub mod builder;
 pub mod error;
 pub mod exec;
@@ -49,6 +50,7 @@ pub mod op;
 pub mod ops;
 pub mod plan;
 
+pub use backend::{default_backend, BackendKind, ExecBackend, FixedBackend, ReferenceBackend};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use exec::{Executor, Interceptor};

@@ -11,6 +11,24 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
     }
 }
 
+/// Validated softmax layout — `(rows, row_length)` over the last dimension — shared by
+/// the f32 and fixed-point kernels so every backend accepts exactly the same operands
+/// with exactly the same errors.
+pub(crate) fn softmax_layout(
+    node: NodeId,
+    dims: &[usize],
+    len: usize,
+) -> Result<(usize, usize), GraphError> {
+    if dims.is_empty() {
+        return Err(shape_err(node, "softmax requires at least rank-1 input"));
+    }
+    let last = *dims.last().expect("non-empty dims");
+    if last == 0 {
+        return Err(shape_err(node, "softmax over an empty dimension"));
+    }
+    Ok((len / last, last))
+}
+
 /// Allocating wrapper over an elementwise `_into` kernel (the `_into` variant is the
 /// single implementation, so the two cannot diverge numerically).
 fn alloc(f: impl FnOnce(&mut Tensor)) -> Tensor {
@@ -120,14 +138,7 @@ pub fn softmax_forward(node: NodeId, x: &Tensor) -> Result<Tensor, GraphError> {
 /// Returns a [`GraphError::ShapeError`] if the input has rank 0; `out` is left unchanged.
 pub fn softmax_forward_into(node: NodeId, x: &Tensor, out: &mut Tensor) -> Result<(), GraphError> {
     let dims = x.dims();
-    if dims.is_empty() {
-        return Err(shape_err(node, "softmax requires at least rank-1 input"));
-    }
-    let last = *dims.last().expect("non-empty dims");
-    if last == 0 {
-        return Err(shape_err(node, "softmax over an empty dimension"));
-    }
-    let rows = x.len() / last;
+    let (rows, last) = softmax_layout(node, dims, x.len())?;
     out.reset_fill(dims, 0.0);
     let data = x.data();
     let odat = out.data_mut();

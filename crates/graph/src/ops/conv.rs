@@ -5,8 +5,14 @@ use crate::graph::NodeId;
 use crate::op::Padding;
 use ranger_tensor::Tensor;
 
-/// Computes the output spatial size and the leading padding for one spatial dimension.
-fn padded_geometry(input: usize, kernel: usize, stride: usize, padding: Padding) -> (usize, usize) {
+/// Computes the output spatial size and the leading padding for one spatial dimension
+/// (shared with the fixed-point backend, which must agree on padding semantics exactly).
+pub(crate) fn padded_geometry(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+) -> (usize, usize) {
     match padding {
         Padding::Valid => {
             let out = if input >= kernel {
@@ -30,6 +36,67 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
         node,
         message: message.into(),
     }
+}
+
+/// Validated 2-D convolution geometry, shared by the f32 and fixed-point kernels so
+/// every backend accepts exactly the same operands with exactly the same errors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Conv2dGeometry {
+    pub batch: usize,
+    pub cin: usize,
+    pub height: usize,
+    pub width: usize,
+    pub cout: usize,
+    pub kh: usize,
+    pub kw: usize,
+    pub out_h: usize,
+    pub out_w: usize,
+    pub pad_h: usize,
+    pub pad_w: usize,
+}
+
+/// Checks conv operand ranks, channel agreement and stride, and computes the padded
+/// output geometry.
+pub(crate) fn conv2d_geometry(
+    node: NodeId,
+    xd: &[usize],
+    wd: &[usize],
+    stride: usize,
+    padding: Padding,
+) -> Result<Conv2dGeometry, GraphError> {
+    if xd.len() != 4 || wd.len() != 4 {
+        return Err(shape_err(
+            node,
+            format!("conv2d expects rank-4 operands, got {xd:?} and {wd:?}"),
+        ));
+    }
+    if xd[1] != wd[1] {
+        return Err(shape_err(
+            node,
+            format!(
+                "conv2d channel mismatch: input has {} channels, filter expects {}",
+                xd[1], wd[1]
+            ),
+        ));
+    }
+    if stride == 0 {
+        return Err(shape_err(node, "conv2d stride must be positive"));
+    }
+    let (out_h, pad_h) = padded_geometry(xd[2], wd[2], stride, padding);
+    let (out_w, pad_w) = padded_geometry(xd[3], wd[3], stride, padding);
+    Ok(Conv2dGeometry {
+        batch: xd[0],
+        cin: xd[1],
+        height: xd[2],
+        width: xd[3],
+        cout: wd[0],
+        kh: wd[2],
+        kw: wd[3],
+        out_h,
+        out_w,
+        pad_h,
+        pad_w,
+    })
 }
 
 /// 2-D convolution forward pass.
@@ -67,60 +134,63 @@ pub fn conv2d_forward_into(
     padding: Padding,
     out: &mut Tensor,
 ) -> Result<(), GraphError> {
-    let xd = x.dims();
-    let wd = w.dims();
-    if xd.len() != 4 || wd.len() != 4 {
-        return Err(shape_err(
-            node,
-            format!("conv2d expects rank-4 operands, got {xd:?} and {wd:?}"),
-        ));
-    }
-    if xd[1] != wd[1] {
-        return Err(shape_err(
-            node,
-            format!(
-                "conv2d channel mismatch: input has {} channels, filter expects {}",
-                xd[1], wd[1]
-            ),
-        ));
-    }
-    if stride == 0 {
-        return Err(shape_err(node, "conv2d stride must be positive"));
-    }
-    let (n, cin, h, win) = (xd[0], xd[1], xd[2], xd[3]);
-    let (cout, _, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
-    let (ho, pad_h) = padded_geometry(h, kh, stride, padding);
-    let (wo, pad_w) = padded_geometry(win, kw, stride, padding);
+    let g = conv2d_geometry(node, x.dims(), w.dims(), stride, padding)?;
+    let (n, cin, h, win) = (g.batch, g.cin, g.height, g.width);
+    let (cout, kh, kw) = (g.cout, g.kh, g.kw);
+    let (ho, pad_h) = (g.out_h, g.pad_h);
+    let (wo, pad_w) = (g.out_w, g.pad_w);
 
     let xdat = x.data();
     let wdat = w.data();
     out.reset_fill(&[n, cout, ho, wo], 0.0);
     let odat = out.data_mut();
 
+    // Row-group blocked loop nest: the innermost loop walks one *output row* while
+    // reading one contiguous input row and one contiguous filter row, so consecutive
+    // iterations hit consecutive cache lines instead of striding across the channel and
+    // kernel dimensions per output element (the conv-locality item batched campaigns
+    // exposed: per-output-element gathers made batching cache-neutral on LeNet).
+    //
+    // The interchange is bit-for-bit safe: for any fixed output element the partial
+    // products still arrive in (ic, ky, kx) order — only the position of the `ox` loop
+    // moved — so the f32 accumulation order, and therefore every campaign count pinned
+    // on this kernel, is unchanged (asserted against the naive nest in the tests below).
     for b in 0..n {
         for oc in 0..cout {
             for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut acc = 0.0f32;
-                    for ic in 0..cin {
-                        for ky in 0..kh {
-                            let iy = (oy * stride + ky) as isize - pad_h as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..kw {
-                                let ix = (ox * stride + kx) as isize - pad_w as isize;
-                                if ix < 0 || ix >= win as isize {
-                                    continue;
-                                }
-                                let xv =
-                                    xdat[((b * cin + ic) * h + iy as usize) * win + ix as usize];
-                                let wv = wdat[((oc * cin + ic) * kh + ky) * kw + kx];
-                                acc += xv * wv;
+                let out_row = &mut odat[((b * cout + oc) * ho + oy) * wo..][..wo];
+                for ic in 0..cin {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_row = &xdat[((b * cin + ic) * h + iy as usize) * win..][..win];
+                        let w_row = &wdat[((oc * cin + ic) * kh + ky) * kw..][..kw];
+                        for (kx, &wv) in w_row.iter().enumerate() {
+                            // Valid output columns: 0 <= ox * stride + kx - pad_w < win.
+                            let kx_off = kx as isize - pad_w as isize;
+                            // A kernel column entirely in the padding (possible when the
+                            // kernel is much wider than the input) contributes to no
+                            // output column: both bounds clamp to wo, an empty range.
+                            let ox_min = if kx_off >= 0 {
+                                0
+                            } else {
+                                wo.min(((-kx_off) as usize).div_ceil(stride))
+                            };
+                            let ox_end = if win as isize <= kx_off {
+                                0
+                            } else {
+                                wo.min((win as isize - 1 - kx_off) as usize / stride + 1)
+                            };
+                            for (o, ox) in
+                                out_row[ox_min..ox_end.max(ox_min)].iter_mut().zip(ox_min..)
+                            {
+                                let ix = (ox * stride) as isize + kx_off;
+                                *o += x_row[ix as usize] * wv;
                             }
                         }
                     }
-                    odat[((b * cout + oc) * ho + oy) * wo + ox] = acc;
                 }
             }
         }
@@ -334,6 +404,86 @@ mod tests {
                 (num - gx.data()[idx]).abs() < 1e-2,
                 "dX[{idx}]: numerical {num} vs analytic {}",
                 gx.data()[idx]
+            );
+        }
+    }
+
+    /// The straightforward per-output-element nest the blocked kernel replaced; kept here
+    /// as the semantic reference the blocked loops must match **bit-for-bit** (same
+    /// partial-product order per output element, so identical f32 rounding).
+    fn conv2d_naive(x: &Tensor, w: &Tensor, stride: usize, padding: Padding) -> Tensor {
+        let (xd, wd) = (x.dims(), w.dims());
+        let (n, cin, h, win) = (xd[0], xd[1], xd[2], xd[3]);
+        let (cout, _, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+        let (ho, pad_h) = padded_geometry(h, kh, stride, padding);
+        let (wo, pad_w) = padded_geometry(win, kw, stride, padding);
+        let (xdat, wdat) = (x.data(), w.data());
+        let mut odat = vec![0.0f32; n * cout * ho * wo];
+        for b in 0..n {
+            for oc in 0..cout {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0f32;
+                        for ic in 0..cin {
+                            for ky in 0..kh {
+                                let iy = (oy * stride + ky) as isize - pad_h as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * stride + kx) as isize - pad_w as isize;
+                                    if ix < 0 || ix >= win as isize {
+                                        continue;
+                                    }
+                                    acc += xdat
+                                        [((b * cin + ic) * h + iy as usize) * win + ix as usize]
+                                        * wdat[((oc * cin + ic) * kh + ky) * kw + kx];
+                                }
+                            }
+                        }
+                        odat[((b * cout + oc) * ho + oy) * wo + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, cout, ho, wo], odat).unwrap()
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_nest_bit_for_bit() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for (shape_x, shape_w, stride, padding) in [
+            (vec![2, 3, 7, 7], vec![4, 3, 3, 3], 1, Padding::Same),
+            (vec![1, 2, 9, 6], vec![3, 2, 3, 3], 2, Padding::Same),
+            (vec![1, 1, 8, 8], vec![2, 1, 5, 5], 1, Padding::Valid),
+            (vec![2, 4, 6, 6], vec![2, 4, 2, 2], 2, Padding::Valid),
+            (vec![1, 1, 4, 4], vec![1, 1, 1, 1], 1, Padding::Same),
+            (vec![1, 2, 5, 5], vec![2, 2, 4, 4], 3, Padding::Same),
+            // Kernel far wider than the input: outer kernel columns lie entirely in the
+            // padding and must contribute nothing (regression: the blocked nest once
+            // sliced out of range here).
+            (vec![1, 1, 1, 1], vec![1, 1, 5, 5], 1, Padding::Same),
+            (vec![1, 1, 2, 2], vec![1, 1, 7, 7], 2, Padding::Same),
+        ] {
+            let nx: usize = shape_x.iter().product();
+            let nw: usize = shape_w.iter().product();
+            let x = Tensor::from_vec(
+                shape_x.clone(),
+                (0..nx).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+            )
+            .unwrap();
+            let w = Tensor::from_vec(
+                shape_w.clone(),
+                (0..nw).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+            )
+            .unwrap();
+            let blocked = conv2d_forward(nid(), &x, &w, stride, padding).unwrap();
+            let naive = conv2d_naive(&x, &w, stride, padding);
+            assert_eq!(
+                blocked, naive,
+                "blocked conv diverged from the naive nest for x {shape_x:?} w {shape_w:?} \
+                 stride {stride} {padding:?}"
             );
         }
     }

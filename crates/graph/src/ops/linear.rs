@@ -11,6 +11,38 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
     }
 }
 
+/// Validated bias broadcast layout, shared by the f32 and fixed-point kernels: the
+/// number of contiguous output elements each bias entry covers as the bias cycles over
+/// the row-major data (`H * W` per channel for rank-4 inputs, 1 per feature for rank-2).
+///
+/// # Errors
+///
+/// Returns a [`GraphError::ShapeError`] if the input rank is unsupported or the bias
+/// length does not match.
+pub(crate) fn bias_layout(
+    node: NodeId,
+    xd: &[usize],
+    bias_len: usize,
+) -> Result<usize, GraphError> {
+    let (broadcast, count, label) = match xd.len() {
+        4 => (xd[2] * xd[3], xd[1], "channels"),
+        2 => (1, xd[1], "features"),
+        _ => {
+            return Err(shape_err(
+                node,
+                format!("bias_add expects rank-2 or rank-4 input, got {xd:?}"),
+            ))
+        }
+    };
+    if bias_len != count {
+        return Err(shape_err(
+            node,
+            format!("bias length {bias_len} does not match {count} {label}"),
+        ));
+    }
+    Ok(broadcast)
+}
+
 /// Transposes a rank-2 tensor.
 ///
 /// # Errors
@@ -109,51 +141,21 @@ pub fn bias_add_forward_into(
 ) -> Result<(), GraphError> {
     let xd = x.dims();
     let b = bias.data();
-    match xd.len() {
-        4 => {
-            let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
-            if b.len() != c {
-                return Err(shape_err(
-                    node,
-                    format!("bias length {} does not match {} channels", b.len(), c),
-                ));
+    let broadcast = bias_layout(node, xd, b.len())?;
+    out.reset_from_slice(xd, x.data())
+        .map_err(|e| shape_err(node, e.to_string()))?;
+    // The bias cycles over contiguous `broadcast`-sized chunks of the row-major data:
+    // per channel plane (rank 4) or per feature (rank 2). One add per element, so this
+    // formulation is bit-for-bit the nested-loop one it replaced.
+    if broadcast > 0 {
+        let odat = out.data_mut();
+        for (chunk, &bias_v) in odat.chunks_mut(broadcast).zip(b.iter().cycle()) {
+            for v in chunk {
+                *v += bias_v;
             }
-            out.reset_from_slice(xd, x.data())
-                .map_err(|e| shape_err(node, e.to_string()))?;
-            let odat = out.data_mut();
-            for bi in 0..n {
-                for (ch, &bias_v) in b.iter().enumerate().take(c) {
-                    let base = (bi * c + ch) * h * w;
-                    for v in &mut odat[base..base + h * w] {
-                        *v += bias_v;
-                    }
-                }
-            }
-            Ok(())
         }
-        2 => {
-            let (n, f) = (xd[0], xd[1]);
-            if b.len() != f {
-                return Err(shape_err(
-                    node,
-                    format!("bias length {} does not match {} features", b.len(), f),
-                ));
-            }
-            out.reset_from_slice(xd, x.data())
-                .map_err(|e| shape_err(node, e.to_string()))?;
-            let odat = out.data_mut();
-            for bi in 0..n {
-                for (v, &bj) in odat[bi * f..(bi + 1) * f].iter_mut().zip(b) {
-                    *v += bj;
-                }
-            }
-            Ok(())
-        }
-        _ => Err(shape_err(
-            node,
-            format!("bias_add expects rank-2 or rank-4 input, got {xd:?}"),
-        )),
     }
+    Ok(())
 }
 
 /// Bias addition backward pass: returns `(grad_x, grad_bias)`.

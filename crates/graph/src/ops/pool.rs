@@ -11,12 +11,79 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
     }
 }
 
-fn pool_geometry(input: usize, kernel: usize, stride: usize) -> usize {
+/// Output spatial extent of one pooled dimension (shared with the fixed-point backend).
+pub(crate) fn pool_geometry(input: usize, kernel: usize, stride: usize) -> usize {
     if input >= kernel {
         (input - kernel) / stride + 1
     } else {
         0
     }
+}
+
+/// Validated pooling layout, shared by the f32 and fixed-point kernels so every backend
+/// accepts exactly the same operands with exactly the same errors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PoolLayout {
+    pub batch: usize,
+    pub channels: usize,
+    pub height: usize,
+    pub width: usize,
+    pub out_h: usize,
+    pub out_w: usize,
+}
+
+/// Checks the pooled operand's rank and the window parameters, and computes the output
+/// spatial extents.
+pub(crate) fn pool_layout(
+    node: NodeId,
+    xd: &[usize],
+    kernel: usize,
+    stride: usize,
+) -> Result<PoolLayout, GraphError> {
+    if xd.len() != 4 {
+        return Err(shape_err(
+            node,
+            format!("pooling expects a rank-4 input, got {xd:?}"),
+        ));
+    }
+    if kernel == 0 || stride == 0 {
+        return Err(shape_err(
+            node,
+            "pooling kernel and stride must be positive",
+        ));
+    }
+    let (batch, channels, height, width) = (xd[0], xd[1], xd[2], xd[3]);
+    let out_h = pool_geometry(height, kernel, stride);
+    let out_w = pool_geometry(width, kernel, stride);
+    if out_h == 0 || out_w == 0 {
+        return Err(shape_err(
+            node,
+            format!("pooling window {kernel} larger than input {height}x{width}"),
+        ));
+    }
+    Ok(PoolLayout {
+        batch,
+        channels,
+        height,
+        width,
+        out_h,
+        out_w,
+    })
+}
+
+/// Validated global-pooling layout — `(batch, channels, height, width)` — shared by the
+/// f32 and fixed-point kernels.
+pub(crate) fn global_pool_layout(
+    node: NodeId,
+    xd: &[usize],
+) -> Result<(usize, usize, usize, usize), GraphError> {
+    if xd.len() != 4 {
+        return Err(shape_err(
+            node,
+            format!("global average pooling expects rank-4 input, got {xd:?}"),
+        ));
+    }
+    Ok((xd[0], xd[1], xd[2], xd[3]))
 }
 
 /// Max-pooling forward pass with a square window.
@@ -99,28 +166,9 @@ fn pool_forward_into(
     kind: PoolKind,
     out: &mut Tensor,
 ) -> Result<(), GraphError> {
-    let xd = x.dims();
-    if xd.len() != 4 {
-        return Err(shape_err(
-            node,
-            format!("pooling expects a rank-4 input, got {xd:?}"),
-        ));
-    }
-    if kernel == 0 || stride == 0 {
-        return Err(shape_err(
-            node,
-            "pooling kernel and stride must be positive",
-        ));
-    }
-    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
-    let ho = pool_geometry(h, kernel, stride);
-    let wo = pool_geometry(w, kernel, stride);
-    if ho == 0 || wo == 0 {
-        return Err(shape_err(
-            node,
-            format!("pooling window {kernel} larger than input {h}x{w}"),
-        ));
-    }
+    let layout = pool_layout(node, x.dims(), kernel, stride)?;
+    let (n, c, h, w) = (layout.batch, layout.channels, layout.height, layout.width);
+    let (ho, wo) = (layout.out_h, layout.out_w);
     let xdat = x.data();
     out.reset_fill(&[n, c, ho, wo], 0.0);
     let odat = out.data_mut();
@@ -267,14 +315,7 @@ pub fn global_avg_pool_forward_into(
     x: &Tensor,
     out: &mut Tensor,
 ) -> Result<(), GraphError> {
-    let xd = x.dims();
-    if xd.len() != 4 {
-        return Err(shape_err(
-            node,
-            format!("global average pooling expects rank-4 input, got {xd:?}"),
-        ));
-    }
-    let (n, c, h, w) = (xd[0], xd[1], xd[2], xd[3]);
+    let (n, c, h, w) = global_pool_layout(node, x.dims())?;
     let xdat = x.data();
     out.reset_fill(&[n, c], 0.0);
     let odat = out.data_mut();

@@ -11,6 +11,66 @@ fn shape_err(node: NodeId, message: impl Into<String>) -> GraphError {
     }
 }
 
+/// Validated concat layout, shared by the f32 and fixed-point kernels so every backend
+/// accepts exactly the same operands with exactly the same errors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConcatLayout {
+    /// Output dims as a stack buffer (no allocation on the execution hot path); the
+    /// meaningful prefix is `dims[..rank]` = `[n, total_c, spatial...]`.
+    dims: [usize; 4],
+    /// Operand rank (2 or 4).
+    rank: usize,
+    /// Leading (batch) extent.
+    pub batch: usize,
+    /// Total channels across all inputs.
+    pub total_c: usize,
+    /// Elements per channel (product of the spatial dims).
+    pub inner: usize,
+}
+
+impl ConcatLayout {
+    /// The output dimensions (`[n, total_c, spatial...]`).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+}
+
+/// Checks that every input shares rank (2 or 4), batch and spatial dims, and sums the
+/// channel extents.
+pub(crate) fn concat_layout(node: NodeId, shapes: &[&[usize]]) -> Result<ConcatLayout, GraphError> {
+    let first = shapes
+        .first()
+        .ok_or_else(|| shape_err(node, "concat requires at least one input"))?;
+    let rank = first.len();
+    if rank != 2 && rank != 4 {
+        return Err(shape_err(node, "concat supports rank-2 or rank-4 inputs"));
+    }
+    let batch = first[0];
+    let spatial = &first[2..];
+    let mut total_c = 0usize;
+    for d in shapes {
+        if d.len() != rank || d[0] != batch || &d[2..] != spatial {
+            return Err(shape_err(
+                node,
+                "concat inputs must agree in every dimension except channels",
+            ));
+        }
+        total_c += d[1];
+    }
+    let inner: usize = spatial.iter().product::<usize>().max(1);
+    let mut dims = [0usize; 4];
+    dims[0] = batch;
+    dims[1] = total_c;
+    dims[2..rank].copy_from_slice(spatial);
+    Ok(ConcatLayout {
+        dims,
+        rank,
+        batch,
+        total_c,
+        inner,
+    })
+}
+
 /// Flattens `(N, ...)` into `(N, features)`.
 ///
 /// # Errors
@@ -111,34 +171,10 @@ pub fn concat_forward_into(
     inputs: &[&Tensor],
     out: &mut Tensor,
 ) -> Result<(), GraphError> {
-    if inputs.is_empty() {
-        return Err(shape_err(node, "concat requires at least one input"));
-    }
-    let rank = inputs[0].dims().len();
-    if rank != 2 && rank != 4 {
-        return Err(shape_err(node, "concat supports rank-2 or rank-4 inputs"));
-    }
-    let n = inputs[0].dims()[0];
-    let spatial = &inputs[0].dims()[2..];
-    let mut total_c = 0usize;
-    for t in inputs {
-        let d = t.dims();
-        if d.len() != rank || d[0] != n || &d[2..] != spatial {
-            return Err(shape_err(
-                node,
-                "concat inputs must agree in every dimension except channels",
-            ));
-        }
-        total_c += d[1];
-    }
-    let inner: usize = spatial.iter().product::<usize>().max(1);
-    // The output dims are [n, total_c, spatial...]; spatial borrows inputs[0], so the
-    // shape is materialized before the data is filled in.
-    let mut dims = [0usize; 4];
-    dims[0] = n;
-    dims[1] = total_c;
-    dims[2..rank].copy_from_slice(spatial);
-    out.reset_fill(&dims[..rank], 0.0);
+    let shapes: Vec<&[usize]> = inputs.iter().map(|t| t.dims()).collect();
+    let layout = concat_layout(node, &shapes)?;
+    let (n, total_c, inner) = (layout.batch, layout.total_c, layout.inner);
+    out.reset_fill(layout.dims(), 0.0);
     let odat = out.data_mut();
     for b in 0..n {
         let mut c_offset = 0usize;

@@ -45,14 +45,18 @@
 //! # Ok::<(), ranger_graph::GraphError>(())
 //! ```
 
+use crate::backend::{ExecBackend, ReferenceBackend};
 use crate::error::GraphError;
-use crate::exec::{eval_node_into, Interceptor, NoopInterceptor, Values};
+use crate::exec::{Interceptor, NoopInterceptor, Values};
 use crate::graph::{Graph, NodeId};
 use ranger_tensor::Tensor;
 use std::sync::OnceLock;
 
+static REFERENCE: ReferenceBackend = ReferenceBackend;
+
 impl Graph {
-    /// Compiles this graph into a reusable execution plan.
+    /// Compiles this graph into a reusable execution plan on the `f32`
+    /// [`ReferenceBackend`].
     ///
     /// # Example
     ///
@@ -74,9 +78,43 @@ impl Graph {
     /// Returns [`GraphError::CyclicGraph`] if the graph contains a cycle (the same check
     /// every `Executor` run would perform).
     pub fn compile(&self) -> Result<ExecPlan<'_>, GraphError> {
+        self.compile_with(&REFERENCE)
+    }
+
+    /// Compiles this graph into an execution plan on an explicit backend — the seam for
+    /// alternative compute paths (fixed-point today; SIMD/GPU backends tomorrow).
+    ///
+    /// The planning work (topological order, shape recording, buffer arena) is
+    /// backend-independent; only per-node kernel dispatch changes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ranger_graph::backend::BackendKind;
+    /// use ranger_graph::{Graph, Op};
+    /// use ranger_tensor::Tensor;
+    ///
+    /// let mut g = Graph::new();
+    /// let x = g.add_input("x");
+    /// let y = g.add_node("double", Op::ScalarMul { factor: 2.0 }, vec![x]);
+    /// let plan = g.compile_with(BackendKind::Fixed16.backend())?;
+    /// // 0.3 quantizes to 0.25 on the Q14.2 grid before the multiply.
+    /// let out = plan.run_simple(&[("x", Tensor::filled(vec![1, 2], 0.3))], y)?;
+    /// assert_eq!(out.data(), &[0.5, 0.5]);
+    /// # Ok::<(), ranger_graph::GraphError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CyclicGraph`] if the graph contains a cycle.
+    pub fn compile_with<'g>(
+        &'g self,
+        backend: &'g dyn ExecBackend,
+    ) -> Result<ExecPlan<'g>, GraphError> {
         let order = self.topological_order()?;
         Ok(ExecPlan {
             graph: self,
+            backend,
             order,
             shapes: OnceLock::new(),
         })
@@ -85,12 +123,14 @@ impl Graph {
 
 /// A compiled execution plan over a borrowed [`Graph`].
 ///
-/// Create with [`Graph::compile`]. The plan borrows the graph immutably, so any number of
-/// plans can coexist, and the graph cannot be rewritten while a plan over it is alive —
-/// exactly the staleness bug the borrow checker should reject.
+/// Create with [`Graph::compile`] (the `f32` reference backend) or
+/// [`Graph::compile_with`] (any [`ExecBackend`]). The plan borrows the graph immutably,
+/// so any number of plans can coexist, and the graph cannot be rewritten while a plan
+/// over it is alive — exactly the staleness bug the borrow checker should reject.
 #[derive(Debug)]
 pub struct ExecPlan<'g> {
     graph: &'g Graph,
+    backend: &'g dyn ExecBackend,
     order: Vec<NodeId>,
     /// Per-node output dimensions, recorded on the first completed run.
     shapes: OnceLock<Vec<Option<Vec<usize>>>>,
@@ -100,6 +140,11 @@ impl<'g> ExecPlan<'g> {
     /// The graph this plan executes.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// The backend this plan dispatches kernels through.
+    pub fn backend(&self) -> &'g dyn ExecBackend {
+        self.backend
     }
 
     /// The topological execution order computed at compile time.
@@ -115,9 +160,13 @@ impl<'g> ExecPlan<'g> {
     pub fn buffers(&self) -> Values {
         let mut values = Values::new(self.graph.len());
         if let Some(shapes) = self.shapes.get() {
+            let spec = self.backend.spec();
             for (index, dims) in shapes.iter().enumerate() {
                 if let Some(dims) = dims {
                     values.preallocate(NodeId::new(index), dims);
+                    if let Some(spec) = spec {
+                        values.preallocate_q(NodeId::new(index), spec, dims);
+                    }
                 }
             }
         }
@@ -145,12 +194,7 @@ impl<'g> ExecPlan<'g> {
         values.reset(self.graph.len());
         for &id in &self.order {
             let node = self.graph.node(id)?;
-            let mut output = values.take_recycled(id);
-            eval_node_into(node, values, feeds, &mut output)?;
-            if node.op.is_injectable() {
-                interceptor.after_op(node, &mut output);
-            }
-            values.set(id, output);
+            self.backend.eval_node(node, values, feeds, interceptor)?;
         }
         Ok(())
     }

@@ -9,7 +9,11 @@
 //! inputs are computed in one `[N, ...]` forward pass, and each faulty pass executes
 //! `batch` trials at once with a per-row fault plan
 //! ([`BatchFaultInjector`]). With [`CampaignConfig::workers`] above 1 the faulty passes
-//! additionally run on a work-stealing [`ThreadPool`], one buffer arena per worker.
+//! additionally run on a work-stealing [`ThreadPool`], one buffer arena per worker. With
+//! [`CampaignConfig::backend`] the whole campaign — golden passes included — executes on
+//! an alternative [`ExecBackend`](ranger_graph::ExecBackend): on the fixed16/fixed32
+//! backends the model genuinely computes in the Q format and faults flip bits directly
+//! in the stored integer words.
 //!
 //! # Determinism
 //!
@@ -31,10 +35,10 @@ use crate::InjectionTarget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ranger_graph::exec::{NoopInterceptor, Values};
-use ranger_graph::{ExecPlan, GraphError};
+use ranger_graph::{default_backend, BackendKind, ExecPlan, GraphError};
 use ranger_runtime::{trial_stream_seed, ThreadPool};
 use ranger_tensor::stats::Proportion;
-use ranger_tensor::Tensor;
+use ranger_tensor::{DataType, Tensor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -52,6 +56,13 @@ pub struct CampaignConfig {
     /// one buffer arena per worker. Any worker count produces bit-for-bit identical
     /// SDC counts (fault plans are keyed by `(input, trial)` index, not by schedule).
     pub workers: usize,
+    /// The execution backend every forward pass (golden and faulty) runs on. On a
+    /// fixed-point backend the model genuinely computes in that Q format and faults flip
+    /// bits directly in the stored integer words; the fault datatype must then match the
+    /// backend's format ([`CampaignConfig::validate`] rejects mismatches). `F32` is the
+    /// reference path, where fixed-point fault models emulate the corruption by
+    /// encode → flip → decode on float values.
+    pub backend: BackendKind,
     /// The fault model applied in every trial.
     pub fault: FaultModel,
     /// RNG seed so campaigns are reproducible.
@@ -60,24 +71,37 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
+        let backend = default_backend();
         CampaignConfig {
             trials: 100,
             batch: 1,
             workers: ranger_runtime::default_workers(),
-            fault: FaultModel::default(),
+            backend,
+            // Keep the default fault consistent with the default backend, so a
+            // `RANGER_BACKEND` sweep never manufactures an invalid pairing.
+            fault: match backend.spec() {
+                Some(spec) => FaultModel {
+                    datatype: DataType::Fixed(spec),
+                    bits: 1,
+                },
+                None => FaultModel::default(),
+            },
             seed: 0,
         }
     }
 }
 
 impl CampaignConfig {
-    /// Checks the configuration for degenerate values.
+    /// Checks the configuration for degenerate values and invalid pairings.
     ///
     /// # Errors
     ///
     /// Returns [`CampaignError::InvalidConfig`] if `trials`, `batch` or `workers` is
     /// zero — the first would silently produce a campaign that measures nothing, the
-    /// other two describe an executor that can never run a pass.
+    /// other two describe an executor that can never run a pass — or if a fixed-point
+    /// backend is paired with a fault model of a different datatype (e.g. fixed16 faults
+    /// on the fixed32 backend): word-level flips only make sense in the backend's own
+    /// format, and silently reinterpreting the fault would diverge from both paths.
     pub fn validate(&self) -> Result<(), CampaignError> {
         if self.trials == 0 {
             return Err(CampaignError::InvalidConfig(
@@ -99,6 +123,18 @@ impl CampaignConfig {
                  or workers = k to run trial chunks on a k-worker pool"
                     .to_string(),
             ));
+        }
+        if let Some(spec) = self.backend.spec() {
+            if self.fault.datatype != DataType::Fixed(spec) {
+                return Err(CampaignError::InvalidConfig(format!(
+                    "fault model datatype {} does not match the {} backend's word format \
+                     ({spec}): on a fixed-point backend faults flip bits directly in the \
+                     stored integer words, so the fault datatype must be the backend's own \
+                     format — use a fixed-{spec} fault model, or run on the f32 backend to \
+                     emulate {} corruption on float compute",
+                    self.fault.datatype, self.backend, self.fault.datatype
+                )));
+            }
         }
         Ok(())
     }
@@ -306,13 +342,18 @@ pub fn run_campaign(
         trials: 0,
         unactivated: 0,
     };
-    // Plan once (an uncompilable graph errors even for an empty input list, as it
-    // always has); the golden passes run in the caller's buffer arena. Warming with the
-    // dominant faulty-pass shape pre-sizes every arena handed out afterwards, so worker
-    // first passes of that shape are allocation-free (other shapes — a heterogeneous
-    // input, the golden chunks, a short trial tail — re-size their buffers lazily). A
+    // Plan once onto the configured backend (an uncompilable graph errors even for an
+    // empty input list, as it always has); golden and faulty passes execute on the same
+    // backend, so on a fixed-point backend the whole campaign — reference outputs
+    // included — is genuine fixed-point inference. The golden passes run in the caller's
+    // buffer arena. Warming with the dominant faulty-pass shape pre-sizes every arena
+    // handed out afterwards — word buffers and f32 mirrors alike on a fixed backend —
+    // so worker first passes of that shape perform no output-buffer allocations (other
+    // shapes — a heterogeneous input, the golden chunks, a short trial tail — re-size
+    // their buffers lazily; the fixed backend's softmax/concat kernels also keep small
+    // per-pass scratch, so only the f32 reference path is strictly allocation-free). A
     // non-batchable input skips warming; the faulty passes report the real error.
-    let plan = target.graph.compile()?;
+    let plan = target.graph.compile_with(config.backend.backend())?;
     if inputs.is_empty() {
         return Ok(result);
     }
@@ -328,7 +369,7 @@ pub fn run_campaign(
     let goldens = golden_outputs(&plan, &mut values, target, inputs, config)?;
     let spaces: Vec<InjectionSpace> = inputs
         .iter()
-        .map(|input| InjectionSpace::build(target, input))
+        .map(|input| InjectionSpace::build_on(&plan, target, input))
         .collect::<Result<_, _>>()?;
 
     // The faulty runs, as index-keyed work units (chunk order = (input, trial) order).
@@ -500,12 +541,12 @@ mod tests {
             excluded: &[],
         };
         let inputs = vec![Tensor::ones(vec![1, 6])];
+        // Default-based, so the CI `RANGER_BACKEND` sweep exercises every backend here.
         let config = CampaignConfig {
             trials: 50,
-            batch: 1,
             workers: 1,
-            fault: FaultModel::single_bit_fixed32(),
             seed: 7,
+            ..CampaignConfig::default()
         };
         let judge = ClassifierJudge::top1();
         let a = run_campaign(&target, &inputs, &judge, &config).unwrap();
@@ -527,10 +568,12 @@ mod tests {
             excluded: &[],
         };
         let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
+        // The reference is a hand-rolled f32 Executor loop, so the backend is pinned.
         let config = CampaignConfig {
             trials: 40,
             batch: 1,
             workers: 1,
+            backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 21,
         };
@@ -577,12 +620,13 @@ mod tests {
             Tensor::filled(vec![1, 6], -0.7),
         ];
         let judge = ClassifierJudge::top1();
+        // Default-based fault/backend: the CI sweep runs this grid on every backend.
         let config = |workers, batch| CampaignConfig {
             trials: 30,
             batch,
             workers,
-            fault: FaultModel::single_bit_fixed32(),
             seed: 19,
+            ..CampaignConfig::default()
         };
         let reference = run_campaign(&target, &inputs, &judge, &config(1, 1)).unwrap();
         for workers in [1usize, 2, 4, 8] {
@@ -630,8 +674,8 @@ mod tests {
                 trials: 30,
                 batch: 1,
                 workers: 1,
-                fault: FaultModel::single_bit_fixed32(),
                 seed: 13,
+                ..CampaignConfig::default()
             },
         )
         .unwrap();
@@ -644,8 +688,8 @@ mod tests {
                     trials: 30,
                     batch,
                     workers: 1,
-                    fault: FaultModel::single_bit_fixed32(),
                     seed: 13,
+                    ..CampaignConfig::default()
                 },
             )
             .unwrap();
@@ -686,8 +730,8 @@ mod tests {
             trials: 20,
             batch,
             workers: 1,
-            fault: FaultModel::single_bit_fixed32(),
             seed: 4,
+            ..CampaignConfig::default()
         };
         // The per-sample path handles such graphs fine.
         run_campaign(&target, &inputs, &judge, &config(1)).unwrap();
@@ -752,12 +796,14 @@ mod tests {
             trials: 10,
             batch: 9,
             workers: 3,
-            fault: FaultModel::single_bit_fixed32(),
+            backend: BackendKind::Fixed16,
+            fault: FaultModel::single_bit_fixed16(),
             seed: 3,
         };
         let json = serde_json::to_string(&config).unwrap();
         assert!(json.contains("\"batch\""));
         assert!(json.contains("\"workers\""));
+        assert!(json.contains("\"backend\""));
         let revived: CampaignConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(revived, config);
     }
@@ -770,8 +816,8 @@ mod tests {
             trials: 150,
             batch: 1,
             workers: 1,
-            fault: FaultModel::single_bit_fixed32(),
             seed: 11,
+            ..CampaignConfig::default()
         };
         let judge = ClassifierJudge::top1();
 
@@ -849,6 +895,133 @@ mod tests {
         assert!(result.sdc_rate(0).is_some());
         assert!(result.sdc_rate(1).is_none());
         assert!(result.sdc_rate(usize::MAX).is_none());
+    }
+
+    /// The fixed-point backend acceptance grid: on both fixed backends, every
+    /// (workers × batch) combination reports the serial per-sample SDC counts
+    /// bit-for-bit — integer kernels are row-independent and fault plans are keyed by
+    /// (input, trial) index, so neither pass shape nor schedule can reach the counts.
+    #[test]
+    fn fixed_backend_campaigns_are_bit_for_bit_deterministic_across_workers_and_batch() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
+        let judge = ClassifierJudge::top1();
+        for (backend, fault) in [
+            (BackendKind::Fixed16, FaultModel::single_bit_fixed16()),
+            (BackendKind::Fixed32, FaultModel::single_bit_fixed32()),
+        ] {
+            let config = |workers, batch| CampaignConfig {
+                trials: 30,
+                batch,
+                workers,
+                backend,
+                fault,
+                seed: 23,
+            };
+            let reference = run_campaign(&target, &inputs, &judge, &config(1, 1)).unwrap();
+            assert_eq!(reference.trials, 60, "{backend}");
+            for workers in [1usize, 2, 4] {
+                for batch in [1usize, 8] {
+                    let run =
+                        run_campaign(&target, &inputs, &judge, &config(workers, batch)).unwrap();
+                    assert_eq!(
+                        run.sdc_counts, reference.sdc_counts,
+                        "{backend}: workers {workers} × batch {batch} diverged"
+                    );
+                    assert_eq!(run.unactivated, reference.unactivated, "{backend}");
+                }
+            }
+        }
+    }
+
+    /// On the fixed-point backend golden outputs are quantized inference, and a
+    /// high-order word flip shows up as a corrupted (still in-format) value — the
+    /// campaign runs end-to-end on the genuine integer path.
+    #[test]
+    fn fixed_backend_campaign_runs_on_the_integer_path() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6])];
+        let judge = ClassifierJudge::top1();
+        let config = CampaignConfig {
+            trials: 40,
+            batch: 1,
+            workers: 1,
+            backend: BackendKind::Fixed16,
+            fault: FaultModel::single_bit_fixed16(),
+            seed: 2,
+        };
+        let result = run_campaign(&target, &inputs, &judge, &config).unwrap();
+        assert_eq!(result.trials, 40);
+        // Fault plans are drawn from the same index-keyed streams on every backend, so
+        // the same seed on the f32 backend injects the same (site, bit) plans — only the
+        // compute (and possibly the verdicts) differ.
+        let emulated = run_campaign(
+            &target,
+            &inputs,
+            &judge,
+            &CampaignConfig {
+                backend: BackendKind::F32,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_eq!(emulated.trials, result.trials);
+    }
+
+    /// Invalid backend/fault-model pairings (e.g. fixed16 faults on the fixed32 backend)
+    /// are rejected with a descriptive error instead of silently diverging.
+    #[test]
+    fn mismatched_backend_fault_pairings_are_rejected() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6])];
+        let judge = ClassifierJudge::top1();
+        for (backend, fault) in [
+            (BackendKind::Fixed32, FaultModel::single_bit_fixed16()),
+            (BackendKind::Fixed16, FaultModel::single_bit_fixed32()),
+            (BackendKind::Fixed16, FaultModel::single_bit_float32()),
+        ] {
+            let config = CampaignConfig {
+                backend,
+                fault,
+                ..CampaignConfig::default()
+            };
+            let err = run_campaign(&target, &inputs, &judge, &config).unwrap_err();
+            assert!(
+                matches!(err, CampaignError::InvalidConfig(_)),
+                "{backend} + {fault} should be rejected, got {err:?}"
+            );
+            let message = err.to_string();
+            assert!(
+                message.contains("does not match") && message.contains("backend"),
+                "unhelpful error for {backend} + {fault}: {message}"
+            );
+        }
+        // Fixed fault models on the f32 backend remain valid: that is the original
+        // TensorFI-style emulation path.
+        let emulation = CampaignConfig {
+            backend: BackendKind::F32,
+            fault: FaultModel::single_bit_fixed16(),
+            ..CampaignConfig::default()
+        };
+        assert!(emulation.validate().is_ok());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::fault::FaultModel;
 use crate::space::{InjectionSite, InjectionSpace};
 use rand::Rng;
 use ranger_graph::{Interceptor, Node, NodeId};
-use ranger_tensor::Tensor;
+use ranger_tensor::{DataType, QTensor, Tensor};
 
 /// One planned corruption: a site plus the bit to flip there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +86,27 @@ impl Interceptor for FaultInjector {
             }
         }
     }
+
+    /// On a fixed-point backend whose word format matches the fault model's datatype, the
+    /// planned bits flip **directly in the stored integer words** — no
+    /// encode → flip → decode round trip, so the corruption is exact even for magnitudes
+    /// `f32` cannot represent. A mismatched datatype (only reachable through hand-built
+    /// configurations; campaigns reject the pairing up front) falls back to flipping the
+    /// dequantized value under the fault's own datatype and requantizing.
+    fn after_op_words(&mut self, node: &Node, output: &mut QTensor) {
+        for flip in &self.plan {
+            if flip.site.node == node.id && flip.site.element < output.len() {
+                if self.fault.datatype == DataType::Fixed(output.spec()) {
+                    output.flip_word(flip.site.element, flip.bit);
+                } else {
+                    let value = output.get_f32(flip.site.element);
+                    let corrupted = self.fault.datatype.flip_bit(value, flip.bit);
+                    output.set_from_f32(flip.site.element, corrupted);
+                }
+                self.injected.push(*flip);
+            }
+        }
+    }
 }
 
 /// An [`Interceptor`] that applies one [`FaultInjector`] plan per row group of a batched
@@ -144,39 +165,81 @@ impl BatchFaultInjector {
     }
 }
 
+impl BatchFaultInjector {
+    /// Validates that `node`'s batched output scales with the trial count and returns the
+    /// per-trial slice length; records the violation (once) and returns `None` otherwise.
+    fn checked_per_trial(&mut self, node: &Node, output_len: usize) -> Option<usize> {
+        let k = self.trials.len();
+        let per_trial = self.space.values_of(node.id).unwrap_or(output_len / k);
+        if output_len != per_trial * k {
+            if self.violation.is_none() {
+                self.violation = Some(format!(
+                    "operator '{}' produced {} values under a batch of {k} trials \
+                     (expected {}): its output does not carry the batch dimension, \
+                     so its faults cannot be batched — run this campaign with \
+                     batch = 1",
+                    node.name,
+                    output_len,
+                    per_trial * k
+                ));
+            }
+            return None;
+        }
+        Some(per_trial)
+    }
+}
+
 impl Interceptor for BatchFaultInjector {
     fn after_op(&mut self, node: &Node, output: &mut Tensor) {
-        let k = self.trials.len();
         // The per-trial slice length is the operator's single-sample output size, as
         // recorded in the injection space the plans were sampled from (for hand-built
         // plans targeting nodes outside the space, the even split is the only guess).
-        let single = self.space.values_of(node.id);
-        for (t, injector) in self.trials.iter_mut().enumerate() {
-            for flip in &injector.plan {
+        for t in 0..self.trials.len() {
+            for f in 0..self.trials[t].plan.len() {
+                let flip = self.trials[t].plan[f];
                 if flip.site.node != node.id {
                     continue;
                 }
-                let per_trial = single.unwrap_or(output.len() / k);
-                if output.len() != per_trial * k {
-                    if self.violation.is_none() {
-                        self.violation = Some(format!(
-                            "operator '{}' produced {} values under a batch of {k} trials \
-                             (expected {}): its output does not carry the batch dimension, \
-                             so its faults cannot be batched — run this campaign with \
-                             batch = 1",
-                            node.name,
-                            output.len(),
-                            per_trial * k
-                        ));
-                    }
+                let Some(per_trial) = self.checked_per_trial(node, output.len()) else {
                     continue;
-                }
+                };
                 if flip.site.element < per_trial {
                     let index = t * per_trial + flip.site.element;
+                    let injector = &mut self.trials[t];
                     let value = output.data()[index];
                     let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
                     output.data_mut()[index] = corrupted;
-                    injector.injected.push(*flip);
+                    injector.injected.push(flip);
+                }
+            }
+        }
+    }
+
+    /// The word-level twin of the batched `after_op`: each trial's planned bits flip
+    /// directly in its own row group of the stored integer words (see
+    /// [`FaultInjector::after_op_words`] for the datatype rule), with the same
+    /// batch-scaling violation check.
+    fn after_op_words(&mut self, node: &Node, output: &mut QTensor) {
+        for t in 0..self.trials.len() {
+            for f in 0..self.trials[t].plan.len() {
+                let flip = self.trials[t].plan[f];
+                if flip.site.node != node.id {
+                    continue;
+                }
+                let Some(per_trial) = self.checked_per_trial(node, output.len()) else {
+                    continue;
+                };
+                if flip.site.element < per_trial {
+                    let index = t * per_trial + flip.site.element;
+                    let injector = &mut self.trials[t];
+                    if injector.fault.datatype == DataType::Fixed(output.spec()) {
+                        output.flip_word(index, flip.bit);
+                    } else {
+                        let value = output.get_f32(index);
+                        let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
+                        output.set_from_f32(index, corrupted);
+                    }
+                    injector.injected.push(flip);
                 }
             }
         }

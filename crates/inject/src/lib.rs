@@ -47,6 +47,7 @@
 //!     batch: 4,   // 4 trials per forward pass …
 //!     workers: 2, // … scheduled across 2 worker threads —
 //!     // any (batch, workers) combination reports identical SDC counts.
+//!     backend: BackendKind::F32, // or Fixed16/Fixed32 for genuine fixed-point inference
 //!     fault: FaultModel::single_bit_fixed32(),
 //!     seed: 1,
 //! };
@@ -70,6 +71,9 @@ pub use campaign::{run_campaign, trial_rng, CampaignConfig, CampaignError, Campa
 pub use fault::FaultModel;
 pub use injector::{BatchFaultInjector, FaultInjector};
 pub use judge::{ClassifierJudge, SdcJudge, SteeringJudge};
+// Backend selection is part of the campaign configuration surface; re-exported so
+// campaign callers need not depend on ranger-graph directly.
+pub use ranger_graph::{default_backend, BackendKind};
 pub use sensitivity::{bit_sensitivity, BitSensitivity};
 pub use space::{InjectionSite, InjectionSpace};
 
@@ -84,6 +88,7 @@ pub mod prelude {
     pub use crate::sensitivity::{bit_sensitivity, BitSensitivity};
     pub use crate::space::{InjectionSite, InjectionSpace};
     pub use crate::InjectionTarget;
+    pub use ranger_graph::{default_backend, BackendKind};
 }
 
 use ranger_graph::{Graph, NodeId};

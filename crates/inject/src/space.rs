@@ -3,8 +3,8 @@
 use crate::InjectionTarget;
 use rand::Rng;
 use ranger_graph::exec::{Executor, Interceptor};
-use ranger_graph::{GraphError, Node, NodeId};
-use ranger_tensor::Tensor;
+use ranger_graph::{ExecPlan, GraphError, Node, NodeId};
+use ranger_tensor::{FixedSpec, QTensor, Tensor};
 
 /// One concrete place a fault can strike: an element of an operator's output tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,9 @@ pub struct InjectionSite {
 pub struct InjectionSpace {
     sites: Vec<(NodeId, usize)>,
     total: usize,
+    /// The integer word layout of the profiled values when the space was built on a
+    /// fixed-point backend: faults drawn from this space strike raw words of this format.
+    spec: Option<FixedSpec>,
 }
 
 struct SizeRecorder<'a> {
@@ -39,10 +42,19 @@ impl Interceptor for SizeRecorder<'_> {
             self.sites.push((node.id, output.len()));
         }
     }
+
+    // On a fixed-point backend, record the word count directly — no dequantized mirror
+    // round trip is needed to size the state space.
+    fn after_op_words(&mut self, node: &Node, output: &mut QTensor) {
+        if !self.excluded.contains(&node.id) {
+            self.sites.push((node.id, output.len()));
+        }
+    }
 }
 
 impl InjectionSpace {
-    /// Profiles `target` on `input` and builds the injection space.
+    /// Profiles `target` on `input` with the `f32` reference executor and builds the
+    /// injection space.
     ///
     /// # Errors
     ///
@@ -54,16 +66,53 @@ impl InjectionSpace {
         };
         let exec = Executor::new(target.graph);
         exec.run(&[(target.input_name, input.clone())], &mut recorder)?;
+        Ok(Self::from_recorder(recorder, None))
+    }
+
+    /// Profiles `target` on `input` through an already-compiled plan, so the space
+    /// reflects the tensors the plan's backend actually materializes — on a fixed-point
+    /// backend that means the raw integer words faults will strike, and the space records
+    /// their [word layout](InjectionSpace::word_layout).
+    ///
+    /// (Operator output *element counts* are backend-independent, so spaces built on any
+    /// backend weight operators identically and seeded fault plans stay comparable across
+    /// backends.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the profiling forward pass fails.
+    pub fn build_on(
+        plan: &ExecPlan<'_>,
+        target: &InjectionTarget<'_>,
+        input: &Tensor,
+    ) -> Result<Self, GraphError> {
+        let mut recorder = SizeRecorder {
+            excluded: target.excluded,
+            sites: Vec::new(),
+        };
+        plan.run(&[(target.input_name, input.clone())], &mut recorder)?;
+        Ok(Self::from_recorder(recorder, plan.backend().spec()))
+    }
+
+    fn from_recorder(recorder: SizeRecorder<'_>, spec: Option<FixedSpec>) -> Self {
         let total = recorder.sites.iter().map(|(_, n)| n).sum();
-        Ok(InjectionSpace {
+        InjectionSpace {
             sites: recorder.sites,
             total,
-        })
+            spec,
+        }
     }
 
     /// Total number of injectable values (the state space size).
     pub fn total_values(&self) -> usize {
         self.total
+    }
+
+    /// The fixed-point word layout of the injectable values, when the space was profiled
+    /// on a fixed-point backend ([`InjectionSpace::build_on`]); `None` when the values
+    /// are `f32` tensors.
+    pub fn word_layout(&self) -> Option<FixedSpec> {
+        self.spec
     }
 
     /// Number of injectable operators.
@@ -185,8 +234,34 @@ mod tests {
         let space = InjectionSpace {
             sites: Vec::new(),
             total: 0,
+            spec: None,
         };
         let mut rng = StdRng::seed_from_u64(0);
         space.sample(&mut rng);
+    }
+
+    /// Spaces built on a fixed-point plan weight operators identically to the reference
+    /// space (element counts are backend-independent) and record the word layout faults
+    /// will strike.
+    #[test]
+    fn plan_built_space_matches_reference_and_records_layout() {
+        use ranger_graph::BackendKind;
+        let (graph, y, _) = toy_target();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let input = Tensor::ones(vec![1, 4]);
+        let reference = InjectionSpace::build(&target, &input).unwrap();
+        assert_eq!(reference.word_layout(), None);
+        for kind in [BackendKind::F32, BackendKind::Fixed16, BackendKind::Fixed32] {
+            let plan = graph.compile_with(kind.backend()).unwrap();
+            let space = InjectionSpace::build_on(&plan, &target, &input).unwrap();
+            assert_eq!(space.total_values(), reference.total_values(), "{kind}");
+            assert_eq!(space.operator_count(), reference.operator_count(), "{kind}");
+            assert_eq!(space.word_layout(), kind.spec(), "{kind}");
+        }
     }
 }

@@ -50,13 +50,23 @@ impl FixedSpec {
 
     /// The 32-bit fixed-point format used for RQ1–RQ3 (23 integer bits, 8 fractional bits,
     /// sign carried by two's complement).
-    pub fn q32() -> Self {
-        FixedSpec::new(32, 8)
+    ///
+    /// `const` so execution backends can be instantiated in statics.
+    pub const fn q32() -> Self {
+        FixedSpec {
+            total_bits: 32,
+            frac_bits: 8,
+        }
     }
 
     /// The 16-bit fixed-point format used for RQ4: 14 integer bits and 2 fractional bits.
-    pub fn q16() -> Self {
-        FixedSpec::new(16, 2)
+    ///
+    /// `const` so execution backends can be instantiated in statics.
+    pub const fn q16() -> Self {
+        FixedSpec {
+            total_bits: 16,
+            frac_bits: 2,
+        }
     }
 
     /// Total number of bits in the representation.
@@ -138,6 +148,112 @@ impl FixedSpec {
         );
         let encoded = self.encode(value);
         self.decode(encoded ^ (1u64 << bit))
+    }
+
+    // ---- Raw (signed word) arithmetic -----------------------------------------------
+    //
+    // The fixed-point execution backend stores every value as its signed integer word
+    // (`value = word * resolution`) and computes on the words directly. The helpers below
+    // pin the backend's numeric contract:
+    //
+    // * **Rounding** is round-to-nearest, ties away from zero — the same rule
+    //   [`FixedSpec::encode`] applies (it rounds via `f64::round`), so quantizing a value
+    //   and computing on words agree about which grid point a result lands on.
+    // * **Saturation** clamps to `[min_raw, max_raw]`; overflow never wraps. This is the
+    //   behaviour of a saturating hardware MAC, and it is what keeps a single flipped
+    //   high-order bit from aliasing back into range through wrap-around.
+    //
+    // These semantics are frozen by unit tests below and proptests in
+    // `tests/proptests.rs`; backend kernels must not reimplement them ad hoc.
+
+    /// Largest representable signed word.
+    pub fn max_raw(&self) -> i64 {
+        ((1i128 << (self.total_bits - 1)) - 1) as i64
+    }
+
+    /// Most negative representable signed word.
+    pub fn min_raw(&self) -> i64 {
+        (-(1i128 << (self.total_bits - 1))) as i64
+    }
+
+    /// Saturates a wide intermediate onto the representable word range.
+    pub fn saturate_raw(&self, wide: i128) -> i64 {
+        wide.clamp(self.min_raw() as i128, self.max_raw() as i128) as i64
+    }
+
+    /// Encodes an `f32` value as a signed word: round to nearest (ties away from zero),
+    /// then saturate. This is [`FixedSpec::encode`] without the two's-complement bit
+    /// packing — `raw_encode(v) as u64 & mask == encode(v)` for every value.
+    ///
+    /// Non-finite inputs follow the same saturating cast as `encode`: infinities saturate
+    /// at the range ends, NaN maps to 0.
+    pub fn raw_encode(&self, value: f32) -> i64 {
+        let scaled = (value as f64 / self.resolution()).round();
+        let clamped = scaled.clamp(self.min_raw() as f64, self.max_raw() as f64);
+        clamped as i64
+    }
+
+    /// Decodes a signed word back into an `f32` value (`word * resolution`).
+    pub fn raw_decode(&self, raw: i64) -> f32 {
+        (raw as f64 * self.resolution()) as f32
+    }
+
+    /// Rescales a wide product carrying `2 * frac_bits` fractional bits back to
+    /// `frac_bits`: shift right by `frac_bits` with round-to-nearest (ties away from
+    /// zero), then saturate. This is the "rescale between layers" step of every
+    /// fixed-point multiply: `rescale(a * b)` is the Q-format product of words `a`, `b`.
+    pub fn rescale(&self, wide: i128) -> i64 {
+        let shift = self.frac_bits;
+        if shift == 0 {
+            return self.saturate_raw(wide);
+        }
+        let half = 1i128 << (shift - 1);
+        let rounded = if wide >= 0 {
+            (wide + half) >> shift
+        } else {
+            -((-wide + half) >> shift)
+        };
+        self.saturate_raw(rounded)
+    }
+
+    /// Divides a wide accumulator by a positive divisor with round-to-nearest (ties away
+    /// from zero), then saturates — the averaging primitive of the fixed-point pooling
+    /// kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is not positive.
+    pub fn div_round(&self, wide: i128, divisor: i128) -> i64 {
+        assert!(divisor > 0, "div_round requires a positive divisor");
+        let half = divisor / 2;
+        let rounded = if wide >= 0 {
+            (wide + half) / divisor
+        } else {
+            -((-wide + half) / divisor)
+        };
+        self.saturate_raw(rounded)
+    }
+
+    /// Flips bit `bit` of a signed word's two's-complement representation and returns the
+    /// sign-extended result. Any bit pattern of the format is a valid word, so no
+    /// saturation applies — this is the fault injector's direct-word corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= total_bits`.
+    pub fn flip_raw(&self, raw: i64, bit: u32) -> i64 {
+        assert!(
+            bit < self.total_bits,
+            "bit {bit} out of range for {} bit format",
+            self.total_bits
+        );
+        let bits = (raw as u64 ^ (1u64 << bit)) & self.mask();
+        let sign_bit = 1u64 << (self.total_bits - 1);
+        if bits & sign_bit != 0 {
+            (bits | !self.mask()) as i64
+        } else {
+            bits as i64
+        }
     }
 }
 
@@ -243,5 +359,129 @@ mod tests {
         assert_eq!(q.resolution(), 0.25);
         assert_eq!(q.max_value(), 8191.75);
         assert_eq!(q.min_value(), -8192.0);
+    }
+
+    // ---- Frozen raw-word semantics (the fixed-point backend's numeric contract) -----
+
+    #[test]
+    fn raw_encode_matches_encode_bit_patterns() {
+        for q in [FixedSpec::q16(), FixedSpec::q32(), FixedSpec::new(8, 3)] {
+            for v in [
+                -8192.0f32,
+                -3.17,
+                -0.13,
+                0.0,
+                0.125,
+                0.374,
+                1.0,
+                8191.75,
+                1.0e9,
+                -1.0e9,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+            ] {
+                assert_eq!(
+                    (q.raw_encode(v) as u64) & q.mask(),
+                    q.encode(v),
+                    "raw_encode and encode must agree on {v} under {q}"
+                );
+                assert_eq!(
+                    q.raw_decode(q.raw_encode(v)),
+                    q.quantize(v),
+                    "{v} under {q}"
+                );
+            }
+            assert_eq!(q.raw_encode(f32::NAN), 0);
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_ties_away_from_zero() {
+        let q = FixedSpec::q16(); // resolution 0.25
+                                  // 0.124 rounds down, 0.126 rounds up, the 0.125 tie rounds away from zero.
+        assert_eq!(q.raw_encode(0.124), 0);
+        assert_eq!(q.raw_encode(0.126), 1);
+        assert_eq!(q.raw_encode(0.125), 1);
+        assert_eq!(q.raw_encode(-0.125), -1);
+        assert_eq!(q.raw_encode(-0.374), -1);
+        assert_eq!(q.raw_encode(-0.376), -2);
+    }
+
+    #[test]
+    fn rescale_rounds_products_like_encode_rounds_values() {
+        let q = FixedSpec::q16(); // frac_bits 2: products carry 4 fractional bits
+                                  // 0.25 * 0.25 = 0.0625 = wide word 1; rescaling to 2 fractional bits rounds the
+                                  // 0.25-tie away from zero exactly as raw_encode(0.0625 * 4 grid) would.
+        assert_eq!(q.rescale(1), 0); // 0.0625 -> 0.0
+        assert_eq!(q.rescale(2), 1); // 0.125 tie -> 0.25
+        assert_eq!(q.rescale(-2), -1); // -0.125 tie -> -0.25
+        assert_eq!(q.rescale(3), 1); // 0.1875 -> 0.25
+        assert_eq!(q.rescale(6), 2); // 0.375 tie -> 0.5
+                                     // A product of exact words is exact: 1.5 * 2.0 (words 6 and 8) = 3.0 (word 12).
+        assert_eq!(q.rescale(6 * 8), 12);
+    }
+
+    #[test]
+    fn saturation_never_wraps() {
+        let q16 = FixedSpec::q16();
+        assert_eq!(q16.max_raw(), 32767);
+        assert_eq!(q16.min_raw(), -32768);
+        assert_eq!(q16.saturate_raw(40000), 32767);
+        assert_eq!(q16.saturate_raw(-40000), -32768);
+        // A rescaled product beyond the range saturates instead of wrapping: the Q14.2
+        // square of 8191.75 (word 32767) rescales to word 2^28-ish, far past max_raw.
+        assert_eq!(q16.rescale(32767i128 * 32767), 32767);
+        assert_eq!(q16.rescale(-32767i128 * 32767), -32768);
+        let q32 = FixedSpec::q32();
+        assert_eq!(q32.max_raw(), i32::MAX as i64);
+        assert_eq!(q32.min_raw(), i32::MIN as i64);
+        assert_eq!(q32.saturate_raw(1i128 << 40), i32::MAX as i64);
+    }
+
+    #[test]
+    fn div_round_averages_with_ties_away_from_zero() {
+        let q = FixedSpec::q16();
+        assert_eq!(q.div_round(10, 4), 3); // 2.5 tie -> 3
+        assert_eq!(q.div_round(-10, 4), -3);
+        assert_eq!(q.div_round(9, 4), 2); // 2.25 -> 2
+        assert_eq!(q.div_round(11, 4), 3); // 2.75 -> 3
+    }
+
+    #[test]
+    #[should_panic(expected = "positive divisor")]
+    fn div_round_rejects_zero_divisor() {
+        FixedSpec::q16().div_round(1, 0);
+    }
+
+    #[test]
+    fn flip_raw_matches_float_flip_on_representable_values() {
+        for q in [FixedSpec::q16(), FixedSpec::q32()] {
+            let v = 12.25f32;
+            let raw = q.raw_encode(v);
+            for bit in 0..q.total_bits() {
+                assert_eq!(
+                    q.raw_decode(q.flip_raw(raw, bit)),
+                    q.flip_bit(v, bit),
+                    "bit {bit} under {q}"
+                );
+                // Double flip restores the word exactly.
+                assert_eq!(q.flip_raw(q.flip_raw(raw, bit), bit), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_raw_sign_extends() {
+        let q = FixedSpec::new(8, 0);
+        // Flipping the sign bit of +1 gives the word 0x81 = -127.
+        assert_eq!(q.flip_raw(1, 7), -127);
+        // Flipping it back restores +1.
+        assert_eq!(q.flip_raw(-127, 7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_raw_rejects_out_of_range_bit() {
+        FixedSpec::q16().flip_raw(0, 16);
     }
 }

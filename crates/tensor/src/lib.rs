@@ -7,6 +7,8 @@
 //! * [`Shape`] — a validated tensor shape with stride computation.
 //! * [`fixed`] — two's-complement fixed-point codecs (the paper evaluates DNNs using 32-bit
 //!   and 16-bit fixed-point datatypes).
+//! * [`qtensor`] — integer word tensors plus saturating Q-format kernels: the storage and
+//!   arithmetic of the genuine fixed-point execution backend.
 //! * [`bits`] — datatype-aware single/multi bit-flip primitives used by the fault injector.
 //! * [`init`] — deterministic weight initializers (He / Xavier / uniform).
 //! * [`stats`] — small statistics helpers (mean, standard error, confidence intervals,
@@ -27,14 +29,18 @@
 //! # Ok::<(), ranger_tensor::TensorError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bits;
 pub mod fixed;
 pub mod init;
+pub mod qtensor;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
 pub use bits::DataType;
 pub use fixed::FixedSpec;
+pub use qtensor::QTensor;
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorError};

@@ -1,0 +1,619 @@
+//! Integer tensor storage and Q-format kernels for fixed-point inference.
+//!
+//! The reproduction's fixed-point execution backend stores every activation as its raw
+//! fixed-point word (`value = word * resolution`) and computes on the words directly —
+//! saturating integer multiply-accumulate with a single rescale per dot product, exactly
+//! the arithmetic a Q16/Q32 datapath would perform. [`QTensor`] is that storage: a dense,
+//! row-major tensor of signed words tagged with the [`FixedSpec`] they are expressed in.
+//!
+//! The numeric contract (rounding to nearest with ties away from zero, saturation instead
+//! of wrap-around, wide accumulation with one rescale per dot product) lives in the raw
+//! helpers on [`FixedSpec`] — see `fixed.rs` — and is pinned there by unit tests; the
+//! kernels here only compose those primitives.
+
+use crate::fixed::FixedSpec;
+use crate::shape::Shape;
+use crate::tensor::{Tensor, TensorError};
+
+/// A dense, row-major tensor of raw fixed-point words.
+///
+/// Words are stored as `i64` so every [`FixedSpec`] up to 64 bits uses the same storage;
+/// each word always lies within the spec's `[min_raw, max_raw]` range (kernels saturate,
+/// and bit flips stay within the format by construction).
+///
+/// # Example
+///
+/// ```
+/// use ranger_tensor::{FixedSpec, QTensor, Tensor};
+///
+/// let t = Tensor::from_vec(vec![2], vec![1.5, -0.25])?;
+/// let q = QTensor::from_tensor(FixedSpec::q16(), &t);
+/// assert_eq!(q.words(), &[6, -1]); // resolution 0.25
+/// assert_eq!(q.dequantize(), t);   // both values sit on the Q14.2 grid
+/// # Ok::<(), ranger_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    shape: Shape,
+    spec: FixedSpec,
+    data: Vec<i64>,
+}
+
+impl QTensor {
+    /// Creates an empty word tensor (shape `[0]`) in the given format — the canonical
+    /// starting state of a recycled buffer.
+    pub fn new(spec: FixedSpec) -> Self {
+        QTensor {
+            shape: Shape::new(vec![0]),
+            spec,
+            data: Vec::new(),
+        }
+    }
+
+    /// Quantizes an `f32` tensor into a fresh word tensor.
+    pub fn from_tensor(spec: FixedSpec, tensor: &Tensor) -> Self {
+        let mut q = QTensor::new(spec);
+        q.quantize_from(tensor);
+        q
+    }
+
+    /// Creates an empty word tensor whose backing buffer can later hold a value of shape
+    /// `dims` without reallocating — used to seed a plan's buffer arena from warmed
+    /// shapes, mirroring [`Tensor::with_capacity_for`].
+    pub fn with_capacity_for(spec: FixedSpec, dims: &[usize]) -> Self {
+        QTensor {
+            shape: Shape::new(vec![0]),
+            spec,
+            data: Vec::with_capacity(dims.iter().product()),
+        }
+    }
+
+    /// The fixed-point format the words are expressed in.
+    pub fn spec(&self) -> FixedSpec {
+        self.spec
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The number of words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw words in row-major order.
+    pub fn words(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw words.
+    pub fn words_mut(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+
+    /// Re-quantizes this tensor from an `f32` tensor, reusing the backing allocation and
+    /// switching the format to `self.spec` (encode: round to nearest, saturate).
+    pub fn quantize_from(&mut self, tensor: &Tensor) {
+        self.data.clear();
+        self.data
+            .extend(tensor.data().iter().map(|&v| self.spec.raw_encode(v)));
+        self.shape.set_dims(tensor.dims());
+    }
+
+    /// Decodes every word into `out` (shape and contents of `out` are replaced; its
+    /// allocation is reused).
+    pub fn dequantize_into(&self, out: &mut Tensor) {
+        out.reset_fill(self.dims(), 0.0);
+        for (o, &w) in out.data_mut().iter_mut().zip(&self.data) {
+            *o = self.spec.raw_decode(w);
+        }
+    }
+
+    /// Decodes every word into a fresh `f32` tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Tensor::empty();
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Decodes the word at flat index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get_f32(&self, index: usize) -> f32 {
+        self.spec.raw_decode(self.data[index])
+    }
+
+    /// Quantizes `value` into the word at flat index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_from_f32(&mut self, index: usize, value: f32) {
+        self.data[index] = self.spec.raw_encode(value);
+    }
+
+    /// Flips bit `bit` of the word at flat index `index` — the fault injector's direct
+    /// corruption of the stored integer representation (no encode→flip→decode round
+    /// trip, so even values whose magnitude exceeds `f32` precision corrupt faithfully).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or `bit >= spec.total_bits()`.
+    pub fn flip_word(&mut self, index: usize, bit: u32) {
+        self.data[index] = self.spec.flip_raw(self.data[index], bit);
+    }
+
+    // ---- Buffer reuse ----------------------------------------------------------------
+
+    /// Resets this tensor to shape `dims` in format `spec` with every word set to `raw`,
+    /// reusing the backing allocation.
+    pub fn reset_fill(&mut self, spec: FixedSpec, dims: &[usize], raw: i64) {
+        let n: usize = dims.iter().product();
+        self.spec = spec;
+        self.data.clear();
+        self.data.resize(n, raw);
+        self.shape.set_dims(dims);
+    }
+
+    /// Resets this tensor to shape `dims` in format `spec` with words copied from
+    /// `words`, reusing the backing allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts disagree; the
+    /// tensor is left unchanged.
+    pub fn reset_from_words(
+        &mut self,
+        spec: FixedSpec,
+        dims: &[usize],
+        words: &[i64],
+    ) -> Result<(), TensorError> {
+        let expected: usize = dims.iter().product();
+        if expected != words.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: words.len(),
+            });
+        }
+        self.spec = spec;
+        self.data.clear();
+        self.data.extend_from_slice(words);
+        self.shape.set_dims(dims);
+        Ok(())
+    }
+
+    /// Resets this tensor to shape `[lead, rest...]` with words copied from `words` — the
+    /// batch-preserving reshape used by `Flatten` and `Reshape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts disagree; the
+    /// tensor is left unchanged.
+    pub fn reset_rows_from_words(
+        &mut self,
+        spec: FixedSpec,
+        lead: usize,
+        rest: &[usize],
+        words: &[i64],
+    ) -> Result<(), TensorError> {
+        let expected = lead * rest.iter().product::<usize>();
+        if expected != words.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: words.len(),
+            });
+        }
+        self.spec = spec;
+        self.data.clear();
+        self.data.extend_from_slice(words);
+        self.shape.set_dims_with_lead(lead, rest);
+        Ok(())
+    }
+
+    // ---- Q-format kernels --------------------------------------------------------------
+
+    /// Fixed-point matrix multiplication: `self (m, k) · other (k, n)`, accumulating each
+    /// dot product in a wide integer (the products carry `2 * frac_bits` fractional bits)
+    /// and applying a **single** rescale + saturation per output word — the behaviour of
+    /// a saturating hardware MAC with a wide accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatMulMismatch`] if either operand is not rank 2 or the
+    /// inner dimensions differ; `out` is left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn matmul_into(&self, other: &QTensor, out: &mut QTensor) -> Result<(), TensorError> {
+        assert_eq!(self.spec, other.spec, "matmul operands must share a format");
+        let (ls, rs) = (self.dims(), other.dims());
+        if ls.len() != 2 || rs.len() != 2 || ls[1] != rs[0] {
+            return Err(TensorError::MatMulMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        let (m, k, n) = (ls[0], ls[1], rs[1]);
+        out.reset_fill(self.spec, &[m, n], 0);
+        let odat = out.words_mut();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i128;
+                for p in 0..k {
+                    acc += self.data[i * k + p] as i128 * other.data[p * n + j] as i128;
+                }
+                odat[i * n + j] = self.spec.rescale(acc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Elementwise saturating addition (words share a scale, so no rescale is needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ; `out` is left
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn saturating_add_into(
+        &self,
+        other: &QTensor,
+        out: &mut QTensor,
+    ) -> Result<(), TensorError> {
+        assert_eq!(self.spec, other.spec, "add operands must share a format");
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        out.reset_fill(self.spec, self.dims(), 0);
+        for (o, (&a, &b)) in out
+            .words_mut()
+            .iter_mut()
+            .zip(self.data.iter().zip(&other.data))
+        {
+            *o = self.spec.saturate_raw(a as i128 + b as i128);
+        }
+        Ok(())
+    }
+
+    /// Elementwise saturating multiplication with one rescale per product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ; `out` is left
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand formats differ.
+    pub fn saturating_mul_into(
+        &self,
+        other: &QTensor,
+        out: &mut QTensor,
+    ) -> Result<(), TensorError> {
+        assert_eq!(self.spec, other.spec, "mul operands must share a format");
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        out.reset_fill(self.spec, self.dims(), 0);
+        for (o, (&a, &b)) in out
+            .words_mut()
+            .iter_mut()
+            .zip(self.data.iter().zip(&other.data))
+        {
+            *o = self.spec.rescale(a as i128 * b as i128);
+        }
+        Ok(())
+    }
+
+    /// Multiplies every word by the quantized scalar `factor` (one rescale per product).
+    pub fn scalar_mul_into(&self, factor: f32, out: &mut QTensor) {
+        let raw_factor = self.spec.raw_encode(factor) as i128;
+        out.reset_fill(self.spec, self.dims(), 0);
+        for (o, &a) in out.words_mut().iter_mut().zip(&self.data) {
+            *o = self.spec.rescale(a as i128 * raw_factor);
+        }
+    }
+
+    /// Clamps every word into the quantized `[lo, hi]` range (the Ranger
+    /// range-restriction operator on the integer path: the bounds quantize to the grid
+    /// first, then the comparison happens word-for-word).
+    pub fn clamp_into(&self, lo: f32, hi: f32, out: &mut QTensor) {
+        let lo = self.spec.raw_encode(lo);
+        let hi = self.spec.raw_encode(hi);
+        out.reset_fill(self.spec, self.dims(), 0);
+        for (o, &a) in out.words_mut().iter_mut().zip(&self.data) {
+            *o = a.clamp(lo, hi);
+        }
+    }
+
+    /// Rectified linear unit on words: `max(word, 0)` (exact — zero is on every grid).
+    pub fn relu_into(&self, out: &mut QTensor) {
+        out.reset_fill(self.spec, self.dims(), 0);
+        for (o, &a) in out.words_mut().iter_mut().zip(&self.data) {
+            *o = a.max(0);
+        }
+    }
+
+    /// Applies an `f32` function through the dequantize → apply → requantize bridge (the
+    /// backend's stand-in for the lookup tables fixed-point hardware uses for
+    /// transcendental activations).
+    pub fn map_f32_into(&self, out: &mut QTensor, f: impl Fn(f32) -> f32) {
+        out.reset_fill(self.spec, self.dims(), 0);
+        for (o, &a) in out.words_mut().iter_mut().zip(&self.data) {
+            *o = self.spec.raw_encode(f(self.spec.raw_decode(a)));
+        }
+    }
+}
+
+/// The geometry of one 2-D convolution, precomputed by the caller (the graph layer owns
+/// padding semantics; the kernel here only runs the saturating arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Batch size `N`.
+    pub batch: usize,
+    /// Input channels `Cin`.
+    pub cin: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Output channels `Cout`.
+    pub cout: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Leading padding in the height dimension.
+    pub pad_h: usize,
+    /// Leading padding in the width dimension.
+    pub pad_w: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+/// Fixed-point 2-D convolution in NCHW layout: wide accumulation over the whole receptive
+/// field, one rescale + saturation per output word (same MAC contract as
+/// [`QTensor::matmul_into`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeDataMismatch`] if either operand's length disagrees with
+/// the geometry; `out` is left unchanged.
+///
+/// # Panics
+///
+/// Panics if the operand formats differ.
+pub fn q_conv2d_into(
+    x: &QTensor,
+    w: &QTensor,
+    g: &ConvGeometry,
+    out: &mut QTensor,
+) -> Result<(), TensorError> {
+    assert_eq!(x.spec, w.spec, "conv2d operands must share a format");
+    let expected_x = g.batch * g.cin * g.height * g.width;
+    if x.len() != expected_x {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: expected_x,
+            actual: x.len(),
+        });
+    }
+    let expected_w = g.cout * g.cin * g.kh * g.kw;
+    if w.len() != expected_w {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: expected_w,
+            actual: w.len(),
+        });
+    }
+    let spec = x.spec;
+    let xdat = x.words();
+    let wdat = w.words();
+    out.reset_fill(spec, &[g.batch, g.cout, g.out_h, g.out_w], 0);
+    let odat = out.words_mut();
+    for b in 0..g.batch {
+        for oc in 0..g.cout {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let mut acc = 0i128;
+                    for ic in 0..g.cin {
+                        for ky in 0..g.kh {
+                            let iy = (oy * g.stride + ky) as isize - g.pad_h as isize;
+                            if iy < 0 || iy >= g.height as isize {
+                                continue;
+                            }
+                            for kx in 0..g.kw {
+                                let ix = (ox * g.stride + kx) as isize - g.pad_w as isize;
+                                if ix < 0 || ix >= g.width as isize {
+                                    continue;
+                                }
+                                let xv = xdat[((b * g.cin + ic) * g.height + iy as usize)
+                                    * g.width
+                                    + ix as usize];
+                                let wv = wdat[((oc * g.cin + ic) * g.kh + ky) * g.kw + kx];
+                                acc += xv as i128 * wv as i128;
+                            }
+                        }
+                    }
+                    odat[((b * g.cout + oc) * g.out_h + oy) * g.out_w + ox] = spec.rescale(acc);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_round_trips_grid_values() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.5, -0.25, 0.0, 100.75]).unwrap();
+        let q = QTensor::from_tensor(FixedSpec::q16(), &t);
+        assert_eq!(q.dims(), &[2, 2]);
+        assert_eq!(q.dequantize(), t);
+        let mut out = Tensor::empty();
+        q.dequantize_into(&mut out);
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn quantization_saturates_out_of_range_values() {
+        let t = Tensor::from_vec(vec![2], vec![1.0e9, -1.0e9]).unwrap();
+        let q = QTensor::from_tensor(FixedSpec::q16(), &t);
+        assert_eq!(q.words(), &[32767, -32768]);
+    }
+
+    #[test]
+    fn matmul_on_exact_words_matches_float() {
+        // Integer-valued operands are exact in both domains.
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let qa = QTensor::from_tensor(FixedSpec::q16(), &a);
+        let qb = QTensor::from_tensor(FixedSpec::q16(), &b);
+        let mut qc = QTensor::new(FixedSpec::q16());
+        qa.matmul_into(&qb, &mut qc).unwrap();
+        assert_eq!(qc.dequantize(), a.matmul(&b).unwrap());
+        // Shape errors leave out unchanged.
+        let keep = qc.clone();
+        assert!(qa.matmul_into(&qa, &mut qc).is_err());
+        assert_eq!(qc, keep);
+    }
+
+    #[test]
+    fn matmul_saturates_instead_of_wrapping() {
+        let big = Tensor::filled(vec![1, 4], 8000.0);
+        let q = FixedSpec::q16();
+        let qa = QTensor::from_tensor(q, &big);
+        let qb = QTensor::from_tensor(q, &Tensor::filled(vec![4, 1], 8000.0));
+        let mut qc = QTensor::new(q);
+        qa.matmul_into(&qb, &mut qc).unwrap();
+        assert_eq!(qc.words(), &[q.max_raw()]);
+    }
+
+    #[test]
+    fn elementwise_kernels_match_float_on_exact_words() {
+        let a = Tensor::from_vec(vec![3], vec![1.5, -2.0, 3.25]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![0.5, 4.0, -1.0]).unwrap();
+        let spec = FixedSpec::q16();
+        let (qa, qb) = (
+            QTensor::from_tensor(spec, &a),
+            QTensor::from_tensor(spec, &b),
+        );
+        let mut out = QTensor::new(spec);
+        qa.saturating_add_into(&qb, &mut out).unwrap();
+        assert_eq!(out.dequantize(), a.add(&b).unwrap());
+        qa.saturating_mul_into(&qb, &mut out).unwrap();
+        assert_eq!(out.dequantize(), a.mul(&b).unwrap());
+        qa.scalar_mul_into(2.0, &mut out);
+        assert_eq!(out.dequantize(), a.scale(2.0));
+        qa.relu_into(&mut out);
+        assert_eq!(out.dequantize(), a.map(|v| v.max(0.0)));
+        qa.clamp_into(0.0, 2.0, &mut out);
+        assert_eq!(out.dequantize(), a.clamp(0.0, 2.0));
+        // Mismatched shapes are rejected.
+        let c = QTensor::from_tensor(spec, &Tensor::zeros(vec![2]));
+        assert!(qa.saturating_add_into(&c, &mut out).is_err());
+        assert!(qa.saturating_mul_into(&c, &mut out).is_err());
+    }
+
+    #[test]
+    fn flip_word_corrupts_exactly_one_word() {
+        let t = Tensor::from_vec(vec![2], vec![2.0, 3.0]).unwrap();
+        let mut q = QTensor::from_tensor(FixedSpec::q16(), &t);
+        q.flip_word(1, 14);
+        assert_eq!(q.get_f32(0), 2.0);
+        assert_eq!(q.get_f32(1), 3.0 + 4096.0); // bit 14 = 2^12 integer weight
+        q.flip_word(1, 14);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn conv_geometry_kernel_matches_float_on_exact_words() {
+        // 3x3 input, 2x2 kernel of ones, valid padding: each output sums a 2x2 patch.
+        let x = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap();
+        let w = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
+        let spec = FixedSpec::q16();
+        let (qx, qw) = (
+            QTensor::from_tensor(spec, &x),
+            QTensor::from_tensor(spec, &w),
+        );
+        let g = ConvGeometry {
+            batch: 1,
+            cin: 1,
+            height: 3,
+            width: 3,
+            cout: 1,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            out_h: 2,
+            out_w: 2,
+        };
+        let mut out = QTensor::new(spec);
+        q_conv2d_into(&qx, &qw, &g, &mut out).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.dequantize().data(), &[12.0, 16.0, 24.0, 28.0]);
+        // Mismatched operand lengths are rejected.
+        let bad = QTensor::from_tensor(spec, &Tensor::zeros(vec![1, 1, 2, 2]));
+        assert!(q_conv2d_into(&bad, &qw, &g, &mut out).is_err());
+    }
+
+    #[test]
+    fn reset_helpers_reuse_allocation_and_validate_counts() {
+        let spec = FixedSpec::q32();
+        let mut q = QTensor::new(spec);
+        q.reset_fill(spec, &[2, 2], 7);
+        assert_eq!(q.words(), &[7, 7, 7, 7]);
+        q.reset_from_words(spec, &[3], &[1, 2, 3]).unwrap();
+        assert_eq!(q.dims(), &[3]);
+        q.reset_rows_from_words(spec, 1, &[3], &[4, 5, 6]).unwrap();
+        assert_eq!(q.dims(), &[1, 3]);
+        assert!(q.reset_from_words(spec, &[2], &[1, 2, 3]).is_err());
+        assert!(q.reset_rows_from_words(spec, 2, &[3], &[1]).is_err());
+        assert_eq!(
+            q.dims(),
+            &[1, 3],
+            "failed resets leave the tensor unchanged"
+        );
+    }
+
+    #[test]
+    fn map_f32_bridge_requantizes() {
+        let t = Tensor::from_vec(vec![2], vec![0.0, 100.0]).unwrap();
+        let q = QTensor::from_tensor(FixedSpec::q16(), &t);
+        let mut out = QTensor::new(FixedSpec::q16());
+        q.map_f32_into(&mut out, f32::tanh);
+        // tanh(0) = 0 exactly; tanh(100) ~ 1.0 quantizes onto the grid.
+        assert_eq!(out.get_f32(0), 0.0);
+        assert_eq!(out.get_f32(1), 1.0);
+    }
+}

@@ -1,9 +1,43 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
-use ranger_tensor::{bits::DataType, FixedSpec, Shape, Tensor};
+use ranger_tensor::{bits::DataType, FixedSpec, QTensor, Shape, Tensor};
 
 proptest! {
+    /// Quantizing a whole tensor and dequantizing it again never moves any element by
+    /// more than half the format resolution (round-to-nearest), for in-range values —
+    /// the backend kernels' frozen error bound.
+    #[test]
+    fn qtensor_round_trip_error_is_half_resolution(
+        values in prop::collection::vec(-8000.0f32..8000.0f32, 1..64),
+    ) {
+        let n = values.len();
+        let t = Tensor::from_vec(vec![n], values).unwrap();
+        for spec in [FixedSpec::q16(), FixedSpec::q32()] {
+            let q = QTensor::from_tensor(spec, &t);
+            let back = q.dequantize();
+            let err = t.max_abs_diff(&back).unwrap() as f64;
+            prop_assert!(
+                err <= spec.resolution() / 2.0 + 1e-9,
+                "round trip error {err} exceeds half the {spec} resolution"
+            );
+            // Quantization is idempotent: a value already on the grid stays put.
+            prop_assert_eq!(QTensor::from_tensor(spec, &back).dequantize(), back);
+        }
+    }
+
+    /// Raw encode/decode agree with the bit-packing codec for every in-range value, and
+    /// word-level bit flips decode to exactly what the float-path flip computes.
+    #[test]
+    fn raw_words_agree_with_packed_codec(v in -8000.0f32..8000.0f32, bit in 0u32..16u32) {
+        for spec in [FixedSpec::q16(), FixedSpec::q32()] {
+            let raw = spec.raw_encode(v);
+            prop_assert_eq!((raw as u64) & spec.mask(), spec.encode(v));
+            prop_assert_eq!(spec.raw_decode(raw), spec.quantize(v));
+            prop_assert_eq!(spec.raw_decode(spec.flip_raw(raw, bit)), spec.flip_bit(v, bit));
+        }
+    }
+
     /// Encoding then decoding a value that is within range never deviates by more than the
     /// format resolution.
     #[test]

@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             trials,
             batch: 1,
             workers: ranger_runtime::default_workers(),
+            backend: ranger_inject::default_backend(),
             fault: FaultModel::single_bit_fixed32(),
             seed: 99,
         })

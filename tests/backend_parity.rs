@@ -1,0 +1,232 @@
+//! Backend parity: the fixed-point execution backends against the f32 reference.
+//!
+//! The discipline mirrors `pipeline_parity.rs`: `eval_node_into` (through
+//! `ReferenceBackend`) is the single semantic oracle, and every alternative backend is
+//! pinned against it — exactly where exact, within a *documented* quantization tolerance
+//! where quantization is the measurement.
+//!
+//! Two kinds of pins:
+//!
+//! * **Exactness** — on operands that lie on the Q grid with in-range intermediates,
+//!   fixed-point inference must reproduce the reference **bit-for-bit** (quantization is
+//!   the identity there, and the integer kernels' rounding never fires).
+//! * **Tolerance** — on the zoo models, outputs must stay within per-model bounds derived
+//!   from the formats' resolution (measured once and frozen with margin; see the table),
+//!   sit exactly on the representable grid, and be deterministic across repeated runs
+//!   and across every (workers × batch) campaign combination.
+
+use ranger_engine::canonical_input;
+use ranger_graph::exec::NoopInterceptor;
+use ranger_graph::{BackendKind, Graph, Op};
+use ranger_inject::{
+    run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, SdcJudge,
+    SteeringJudge,
+};
+use ranger_models::{archs, ModelConfig, ModelKind};
+use ranger_tensor::{FixedSpec, Tensor};
+
+/// Documented parity tolerances: `(model, fixed32, fixed16)` as absolute bounds on the
+/// output max-abs-diff against the f32 reference on the canonical input.
+///
+/// Where they come from (measured on the seed-0 untrained zoo graphs, frozen with
+/// 2–4× margin):
+///
+/// * **fixed32** (Q24.8, resolution 1/256): classifier softmax outputs stay within
+///   0.002–0.012 of the reference; Comma's steering head multiplies large intermediate
+///   activations (output ≈ −94°), so its propagated error reaches ≈ 7.
+/// * **fixed16** (Q14.2, resolution 0.25): softmax probabilities carry at most **two
+///   fractional bits**, so classifier outputs are inherently coarse — the bound is the
+///   probability range itself, and the sharp assertions are grid membership and
+///   determinism, not closeness. Comma's intermediates exceed the ±8192 Q14.2 range and
+///   saturate (observed diff ≈ 174); RQ4's SDC measurement remains meaningful because
+///   golden and faulty runs saturate identically.
+const TOLERANCES: [(ModelKind, f32, f32); 8] = [
+    (ModelKind::LeNet, 0.02, 1.0),
+    (ModelKind::AlexNet, 0.02, 1.0),
+    (ModelKind::Vgg11, 0.02, 1.0),
+    (ModelKind::Vgg16, 0.02, 1.0),
+    (ModelKind::ResNet18, 0.05, 1.0),
+    (ModelKind::SqueezeNet, 0.02, 1.0),
+    (ModelKind::Dave, 0.02, 2.0),
+    (ModelKind::Comma, 25.0, 500.0),
+];
+
+/// Every zoo model: fixed16/fixed32 outputs stay within the documented tolerance of the
+/// reference backend, land exactly on the representable grid, stay within the format's
+/// range, and are bit-for-bit reproducible across runs.
+#[test]
+fn fixed_backends_match_reference_within_documented_tolerance_on_every_zoo_model() {
+    for (kind, tol32, tol16) in TOLERANCES {
+        let model = archs::build(&ModelConfig::new(kind), 0);
+        let input = canonical_input(&model);
+        let feeds = [(model.input_name.as_str(), input)];
+        let reference = model
+            .graph
+            .compile()
+            .unwrap()
+            .run_simple(&feeds, model.output)
+            .unwrap();
+        for (backend, tolerance) in [(BackendKind::Fixed32, tol32), (BackendKind::Fixed16, tol16)] {
+            let plan = model.graph.compile_with(backend.backend()).unwrap();
+            let out = plan.run_simple(&feeds, model.output).unwrap();
+            assert_eq!(out.dims(), reference.dims(), "{kind} on {backend}");
+            let diff = reference.max_abs_diff(&out).unwrap();
+            assert!(
+                diff <= tolerance,
+                "{kind} on {backend}: output diverged from the reference by {diff} \
+                 (documented tolerance {tolerance})"
+            );
+            let spec = backend.spec().unwrap();
+            for &v in out.data() {
+                assert!(
+                    (v as f64) <= spec.max_value() && (v as f64) >= spec.min_value(),
+                    "{kind} on {backend}: {v} escapes the representable range"
+                );
+            }
+            if spec == FixedSpec::q16() {
+                // Every Q14.2 word decodes exactly in f32, so grid membership is a sharp
+                // structural check: each output is an integer multiple of 0.25.
+                for &v in out.data() {
+                    assert_eq!(
+                        v * 4.0,
+                        (v * 4.0).round(),
+                        "{kind} on {backend}: {v} is not on the Q14.2 grid"
+                    );
+                }
+            }
+            // Bit-for-bit reproducible: a second pass through fresh buffers is identical.
+            let again = plan.run_simple(&feeds, model.output).unwrap();
+            assert_eq!(out, again, "{kind} on {backend}: repeated runs diverged");
+            // And so is a pass reusing a warmed arena (the campaign hot path).
+            let mut values = plan.buffers();
+            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+                .unwrap();
+            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+                .unwrap();
+            assert_eq!(
+                values.get(model.output).unwrap(),
+                &out,
+                "{kind} on {backend}: arena-reusing pass diverged"
+            );
+        }
+    }
+}
+
+/// Builds an MLP whose weights, biases and intermediates all lie exactly on the Q14.2
+/// grid and well inside every format's range: integer weights, quarter-step inputs.
+fn exact_grid_mlp() -> (Graph, ranger_graph::NodeId) {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let w1 = g.add_const(
+        "w1",
+        Tensor::from_vec(
+            vec![3, 4],
+            vec![
+                1.0, -2.0, 3.0, 0.0, 2.0, 1.0, -1.0, 2.0, 0.0, 3.0, 1.0, -2.0,
+            ],
+        )
+        .unwrap(),
+        true,
+    );
+    let b1 = g.add_const(
+        "b1",
+        Tensor::from_vec(vec![4], vec![0.25, -0.5, 1.0, 0.0]).unwrap(),
+        true,
+    );
+    let mm1 = g.add_node("fc1", Op::MatMul, vec![x, w1]);
+    let add1 = g.add_node("fc1_bias", Op::BiasAdd, vec![mm1, b1]);
+    let relu = g.add_node("relu", Op::Relu, vec![add1]);
+    let w2 = g.add_const(
+        "w2",
+        Tensor::from_vec(vec![4, 2], vec![1.0, 2.0, -1.0, 1.0, 2.0, -2.0, 1.0, 1.0]).unwrap(),
+        true,
+    );
+    let mm2 = g.add_node("fc2", Op::MatMul, vec![relu, w2]);
+    let clamp = g.add_node(
+        "guard",
+        Op::Clamp {
+            lo: -64.0,
+            hi: 64.0,
+        },
+        vec![mm2],
+    );
+    (g, clamp)
+}
+
+/// On exactly-representable operands with in-range intermediates, both fixed backends
+/// reproduce the f32 reference **bit-for-bit**: quantization is the identity and integer
+/// products of grid values rescale exactly.
+#[test]
+fn fixed_backends_are_exact_on_grid_aligned_operands() {
+    let (graph, output) = exact_grid_mlp();
+    // Inputs on the quarter grid: products are multiples of 0.25 (integer weights), sums
+    // stay far inside ±8192.
+    for v in [-2.0f32, -0.75, 0.0, 0.25, 1.5, 3.0] {
+        let feeds = [("x", Tensor::filled(vec![2, 3], v))];
+        let reference = graph.compile().unwrap().run_simple(&feeds, output).unwrap();
+        for backend in [BackendKind::Fixed16, BackendKind::Fixed32] {
+            let out = graph
+                .compile_with(backend.backend())
+                .unwrap()
+                .run_simple(&feeds, output)
+                .unwrap();
+            assert_eq!(
+                out, reference,
+                "{backend} must be bit-for-bit exact on grid-aligned operands (input {v})"
+            );
+        }
+    }
+}
+
+/// The campaign acceptance grid on real zoo architectures, per backend: worker counts
+/// {1, 2, 4} × batch sizes {1, 16} report the serial per-sample SDC counts bit-for-bit
+/// on every backend — on the fixed backends with faults flipped directly in the words.
+#[test]
+fn campaign_counts_are_bit_for_bit_across_workers_and_batch_on_every_backend() {
+    for kind in [ModelKind::LeNet, ModelKind::Comma] {
+        let model = archs::build(&ModelConfig::new(kind), 3);
+        let inputs = vec![canonical_input(&model)];
+        let judge: Box<dyn SdcJudge> = if kind.is_steering() {
+            Box::new(SteeringJudge::paper_thresholds(false))
+        } else {
+            Box::new(ClassifierJudge::top1())
+        };
+        let target = InjectionTarget {
+            graph: &model.graph,
+            input_name: &model.input_name,
+            output: model.output,
+            excluded: &model.excluded_from_injection,
+        };
+        for (backend, fault) in [
+            (BackendKind::F32, FaultModel::single_bit_fixed32()),
+            (BackendKind::Fixed16, FaultModel::single_bit_fixed16()),
+            (BackendKind::Fixed32, FaultModel::single_bit_fixed32()),
+        ] {
+            let config = |workers, batch| CampaignConfig {
+                trials: 16,
+                batch,
+                workers,
+                backend,
+                fault,
+                seed: 31,
+            };
+            let reference = run_campaign(&target, &inputs, judge.as_ref(), &config(1, 1)).unwrap();
+            assert_eq!(reference.trials, 16, "{kind} on {backend}");
+            for workers in [2usize, 4] {
+                for batch in [1usize, 16] {
+                    let run =
+                        run_campaign(&target, &inputs, judge.as_ref(), &config(workers, batch))
+                            .unwrap();
+                    assert_eq!(
+                        run.sdc_counts, reference.sdc_counts,
+                        "{kind} on {backend}: workers {workers} × batch {batch} diverged"
+                    );
+                    assert_eq!(
+                        run.unactivated, reference.unactivated,
+                        "{kind} on {backend}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -10,7 +10,8 @@ use ranger_datasets::classification::{ClassificationDataset, ImageDomain};
 use ranger_datasets::driving::{AngleUnit, DrivingDataset};
 use ranger_engine::Pipeline;
 use ranger_inject::{
-    run_campaign, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, SteeringJudge,
+    run_campaign, BackendKind, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget,
+    SteeringJudge,
 };
 use ranger_models::train::{
     classification_accuracy, regression_metrics, train_classifier, train_regressor,
@@ -73,6 +74,7 @@ fn campaign(
         trials,
         batch: 1,
         workers: 1,
+        backend: BackendKind::F32,
         fault: FaultModel::single_bit_fixed32(),
         seed,
     };
@@ -172,6 +174,7 @@ fn ranger_protects_the_steering_model_and_preserves_regression_accuracy() {
         trials: 120,
         batch: 1,
         workers: 1,
+        backend: BackendKind::F32,
         fault: FaultModel::single_bit_fixed32(),
         seed: 5,
     };
@@ -206,28 +209,34 @@ fn fixed16_campaign_also_benefits_from_ranger() {
     let (model, data) = quick_train_lenet(4);
     let protected = protect(&model, &data);
     let inputs = vec![data.validation_batch(&[0]).0, data.validation_batch(&[1]).0];
-    let config = CampaignConfig {
-        trials: 120,
-        batch: 1,
-        workers: 1,
-        fault: FaultModel::single_bit_fixed16(),
-        seed: 9,
-    };
-    let run = |m: &Model| {
-        let target = InjectionTarget {
-            graph: &m.graph,
-            input_name: &m.input_name,
-            output: m.output,
-            excluded: &m.excluded_from_injection,
+    // Both RQ4 measurement styles: the historical emulation (f32 compute, Q14.2
+    // corruption) and the genuine fixed-point path (Q14.2 compute, word-level flips).
+    for backend in [BackendKind::F32, BackendKind::Fixed16] {
+        let config = CampaignConfig {
+            trials: 120,
+            batch: 1,
+            workers: 1,
+            backend,
+            fault: FaultModel::single_bit_fixed16(),
+            seed: 9,
         };
-        run_campaign(&target, &inputs, &ClassifierJudge::top1(), &config).unwrap()
-    };
-    let original = run(&model);
-    let with_ranger = run(&protected);
-    assert!(
-        with_ranger.sdc_rate(0).expect("category in range").rate()
-            <= original.sdc_rate(0).expect("category in range").rate() + 1e-9
-    );
+        let run = |m: &Model| {
+            let target = InjectionTarget {
+                graph: &m.graph,
+                input_name: &m.input_name,
+                output: m.output,
+                excluded: &m.excluded_from_injection,
+            };
+            run_campaign(&target, &inputs, &ClassifierJudge::top1(), &config).unwrap()
+        };
+        let original = run(&model);
+        let with_ranger = run(&protected);
+        assert!(
+            with_ranger.sdc_rate(0).expect("category in range").rate()
+                <= original.sdc_rate(0).expect("category in range").rate() + 1e-9,
+            "Ranger must not increase the SDC rate on the {backend} backend"
+        );
+    }
 }
 
 #[test]
@@ -240,6 +249,7 @@ fn multi_bit_faults_are_still_mitigated() {
             trials: 100,
             batch: 1,
             workers: 1,
+            backend: BackendKind::F32,
             fault: FaultModel::multi_bit_fixed32(bits),
             seed: 13 + bits as u64,
         };
@@ -338,6 +348,7 @@ fn pipeline_end_to_end_reduces_sdc_and_keeps_overhead_low() {
             trials: 150,
             batch: 1,
             workers: 1,
+            backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
         })

@@ -13,7 +13,7 @@ use ranger_engine::{
 };
 use ranger_graph::exec::NoopInterceptor;
 use ranger_graph::{Executor, GraphBuilder};
-use ranger_inject::{CampaignConfig, FaultModel};
+use ranger_inject::{BackendKind, CampaignConfig, FaultModel};
 use ranger_models::zoo::ModelZoo;
 use ranger_models::{archs, ModelConfig, ModelKind, TrainConfig};
 use ranger_tensor::Tensor;
@@ -159,6 +159,7 @@ proptest! {
             trials,
             batch,
             workers,
+            backend: ranger_inject::BackendKind::F32,
             fault: ranger_inject::FaultModel {
                 datatype: ranger_tensor::DataType::fixed32(),
                 bits,
@@ -221,6 +222,7 @@ fn parallel_campaign_grid_matches_serial_on_zoo_models() {
             trials: 20,
             batch,
             workers,
+            backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 31,
         };
@@ -278,6 +280,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
             trials,
             batch: 1,
             workers: 1,
+            backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed,
         })
@@ -305,6 +308,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
         trials,
         batch: 1,
         workers: 1,
+        backend: BackendKind::F32,
         fault: FaultModel::single_bit_fixed32(),
         seed,
     };
@@ -341,6 +345,7 @@ fn pipeline_reproduces_legacy_fig6_campaign_counts_exactly() {
                 trials,
                 batch: 1,   // overridden by the knob below
                 workers: 1, // overridden by the knob below
+                backend: BackendKind::F32,
                 fault: FaultModel::single_bit_fixed32(),
                 seed,
             })
