@@ -11,7 +11,9 @@
 //! * `profiling/bounds` — cost of deriving restriction bounds from profiling samples.
 //! * `injection/trial` — throughput of a single fault-injection trial.
 //!
-//! Run with `cargo bench -p ranger-bench`.
+//! Run with `cargo bench -p ranger-bench`. Set `RANGER_BENCH_FILTER` to a
+//! comma-separated list of group names (e.g. `campaign_fixed,campaign_batched`) to run
+//! only those groups.
 
 use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
 use ranger::transform::{apply_ranger, RangerConfig};
@@ -503,12 +505,30 @@ fn bench_campaign_fixed() {
 }
 
 fn main() {
-    bench_insertion();
-    bench_inference();
-    bench_exec_plan();
-    bench_profiling();
-    bench_injection();
-    bench_campaign_batched();
-    bench_campaign_parallel();
-    bench_campaign_fixed();
+    let filter = std::env::var("RANGER_BENCH_FILTER").unwrap_or_default();
+    let groups: [(&str, fn()); 8] = [
+        ("insertion", bench_insertion),
+        ("inference", bench_inference),
+        ("exec_plan", bench_exec_plan),
+        ("profiling", bench_profiling),
+        ("injection", bench_injection),
+        ("campaign_batched", bench_campaign_batched),
+        ("campaign_parallel", bench_campaign_parallel),
+        ("campaign_fixed", bench_campaign_fixed),
+    ];
+    let mut ran = 0usize;
+    for (name, run) in groups {
+        if filter.is_empty() || filter.split(',').any(|f| f.trim() == name) {
+            run();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        let known: Vec<&str> = groups.iter().map(|(name, _)| *name).collect();
+        eprintln!(
+            "RANGER_BENCH_FILTER='{filter}' matched no benchmark group; known groups: {}",
+            known.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

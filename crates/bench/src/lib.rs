@@ -13,6 +13,8 @@
 //! are scaled down so the whole suite completes on a single CPU core in minutes, while
 //! `--full` approaches the paper's campaign sizes (10 inputs, thousands of trials).
 
+#![warn(missing_docs)]
+
 pub mod harness;
 pub mod options;
 

@@ -6,6 +6,8 @@
 //! with fault-injection campaigns — all against models serialized as JSON files so the
 //! steps can be run and inspected independently.
 
+#![warn(missing_docs)]
+
 pub mod commands;
 
 use std::fmt;

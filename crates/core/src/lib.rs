@@ -45,6 +45,8 @@
 //! # Ok::<(), ranger_graph::GraphError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alternatives;
 pub mod baselines;
 pub mod bounds;

@@ -28,6 +28,8 @@
 //! assert_eq!(labels.len(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod classification;
 pub mod driving;
 pub mod image;

@@ -18,9 +18,10 @@
 //! single rescale per dot product, and transcendental activations (tanh, sigmoid, atan,
 //! ELU, softmax) evaluate through the dequantize → `f32` → requantize bridge — the
 //! software stand-in for the lookup tables a fixed-point datapath would use. Alongside
-//! the words the backend maintains a dequantized `f32` mirror in the
-//! [`Values`] store, so judges, recorders and report code read every backend through the
-//! same accessors.
+//! the words the [`Values`] store serves a **lazily** dequantized `f32` mirror: a node's
+//! words decode on the first [`Values::get`] of that pass (and never, for nodes nobody
+//! reads), so judges, recorders and report code read every backend through the same
+//! accessors without every pass paying a full decode of every activation.
 //!
 //! Backend selection travels through configurations as a [`BackendKind`]; the
 //! `RANGER_BACKEND` environment variable sets the workspace-wide default (mirroring
@@ -199,10 +200,9 @@ impl FixedBackend {
                 }
                 let x = qinput(node, values, 0)?;
                 let bias = qinput(node, values, 1)?;
-                let xd = x.dims().to_vec();
                 let b = bias.words();
-                let broadcast = bias_layout(node.id, &xd, b.len())?;
-                qout.reset_from_words(spec, &xd, x.words())
+                let broadcast = bias_layout(node.id, x.dims(), b.len())?;
+                qout.reset_from_words(spec, x.dims(), x.words())
                     .map_err(|e| shape_err(node.id, e.to_string()))?;
                 let odat = qout.words_mut();
                 if broadcast > 0 {
@@ -485,10 +485,12 @@ impl ExecBackend for FixedBackend {
         if node.op.is_injectable() {
             interceptor.after_op_words(node, &mut qout);
         }
-        // Maintain the dequantized f32 mirror so `Values::get` works on every backend.
-        let mut mirror = values.take_recycled(node.id);
-        qout.dequantize_into(&mut mirror);
-        values.set(node.id, mirror);
+        // Storing the words arms the *lazy* dequantized f32 mirror: `Values::get` decodes
+        // a node's words at most once per pass, on first read. Campaigns only read the
+        // judged output node, so elementwise-heavy passes stop paying a full decode
+        // (an extra write+read of every activation) per node. The store happens after
+        // interception, so word flips and bridged generic mutations alike are always
+        // visible to the next read.
         values.set_q(node.id, qout);
         Ok(())
     }
@@ -697,6 +699,144 @@ mod tests {
             plan.run_simple(&[], y),
             Err(GraphError::MissingFeed(_))
         ));
+    }
+
+    /// The laziness contract: on a fixed-point backend no mirror is decoded until a node
+    /// is read, and reading one node decodes only that node.
+    #[test]
+    fn mirror_decodes_lazily_and_only_for_read_nodes() {
+        let (graph, y) = toy();
+        let relu = graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::Relu))
+            .unwrap()
+            .id;
+        let plan = graph.compile_with(BackendKind::Fixed16.backend()).unwrap();
+        let values = plan
+            .run(&[("x", Tensor::ones(vec![1, 4]))], &mut NoopInterceptor)
+            .unwrap();
+        assert!(
+            !values.mirror_decoded(y) && !values.mirror_decoded(relu),
+            "no node may decode before it is read"
+        );
+        values.get(y).unwrap();
+        assert!(values.mirror_decoded(y), "the read node decodes");
+        assert!(
+            !values.mirror_decoded(relu),
+            "reading one node must not decode the others"
+        );
+        // A second read serves the already-decoded mirror (same pass, same words).
+        let first = values.get(y).unwrap().clone();
+        assert_eq!(values.get(y).unwrap(), &first);
+    }
+
+    /// The invalidation contract: a mirror decoded in one pass is never served for a
+    /// later pass's words — whether the node was read in the earlier pass or not.
+    #[test]
+    fn stale_mirrors_are_never_served_across_passes() {
+        let (graph, y) = toy();
+        let relu = graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::Relu))
+            .unwrap()
+            .id;
+        let plan = graph.compile_with(BackendKind::Fixed16.backend()).unwrap();
+        let mut values = plan.buffers();
+        let feed = |v: f32| [("x", Tensor::filled(vec![1, 4], v))];
+        plan.run_into(&mut values, &feed(1.0), &mut NoopInterceptor)
+            .unwrap();
+        // Decode y in pass 1; leave relu undecoded.
+        let pass1_y = values.get(y).unwrap().clone();
+        plan.run_into(&mut values, &feed(-2.0), &mut NoopInterceptor)
+            .unwrap();
+        // Fresh single-shot references for the second input.
+        let fresh = plan.run(&feed(-2.0), &mut NoopInterceptor).unwrap();
+        assert_ne!(
+            values.get(y).unwrap(),
+            &pass1_y,
+            "pass 2 must not serve pass 1's mirror"
+        );
+        assert_eq!(values.get(y).unwrap(), fresh.get(y).unwrap());
+        assert_eq!(
+            values.get(relu).unwrap(),
+            fresh.get(relu).unwrap(),
+            "a node first read in pass 2 decodes pass 2's words"
+        );
+    }
+
+    /// The mixed-interceptor regression (lazy-mirror audit): in one pass, one node is
+    /// corrupted through the word-level hook and another through the generic
+    /// (`after_op`) bridge. Both mutations must be visible through `Values::get`, and
+    /// the mirror must agree with the stored words — the bridge's mutation cannot leave
+    /// a pre-mutation decode behind.
+    #[test]
+    fn mixed_word_and_generic_interceptor_mutations_refresh_the_mirror() {
+        struct Mixed {
+            relu: NodeId,
+            out: NodeId,
+        }
+        impl Interceptor for Mixed {
+            fn after_op(&mut self, node: &Node, output: &mut Tensor) {
+                // Reached through the default word bridge for the ReLU node only.
+                if node.id == self.relu {
+                    output.data_mut()[0] = 19.3; // off-grid: lands on 19.25 in Q14.2
+                }
+            }
+            fn after_op_words(&mut self, node: &Node, output: &mut QTensor) {
+                if node.id == self.out {
+                    // Word-level corruption, no f32 round trip.
+                    output.flip_word(0, 3);
+                } else {
+                    // Every other node takes the generic bridge (the default impl).
+                    let mirror = output.dequantize();
+                    let mut mutated = mirror.clone();
+                    self.after_op(node, &mut mutated);
+                    for (i, (&before, &after)) in
+                        mirror.data().iter().zip(mutated.data()).enumerate()
+                    {
+                        if before.to_bits() != after.to_bits() {
+                            output.set_from_f32(i, after);
+                        }
+                    }
+                }
+            }
+        }
+        let (graph, y) = toy();
+        let relu = graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::Relu))
+            .unwrap()
+            .id;
+        let plan = graph.compile_with(BackendKind::Fixed16.backend()).unwrap();
+        let mut values = plan.buffers();
+        for _ in 0..2 {
+            // Two passes through one arena: the second pass re-applies both mutations
+            // over recycled buffers and previously decoded mirrors.
+            plan.run_into(
+                &mut values,
+                &[("x", Tensor::ones(vec![1, 4]))],
+                &mut Mixed { relu, out: y },
+            )
+            .unwrap();
+            // The generic-bridge mutation is served by the lazy mirror...
+            assert_eq!(values.get(relu).unwrap().data()[0], 19.25);
+            // ... and both mirrors agree exactly with the stored words.
+            for node in [relu, y] {
+                assert_eq!(
+                    &values.get_q(node).unwrap().dequantize(),
+                    values.get(node).unwrap(),
+                    "mirror and words diverged"
+                );
+            }
+            // The word-level flip on the output node is visible through get().
+            let clean = plan
+                .run(&[("x", Tensor::ones(vec![1, 4]))], &mut NoopInterceptor)
+                .unwrap();
+            assert_ne!(values.get(y).unwrap(), clean.get(y).unwrap());
+        }
     }
 
     #[test]

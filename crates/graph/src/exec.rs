@@ -16,6 +16,8 @@ use crate::graph::{Graph, Node, NodeId};
 use crate::op::Op;
 use crate::ops;
 use ranger_tensor::{QTensor, Tensor};
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Observes (and may mutate) operator outputs during a forward pass.
 ///
@@ -77,6 +79,25 @@ impl Interceptor for RecordingInterceptor {
     }
 }
 
+/// One node's **lazily decoded** f32 mirror of the words a fixed-point backend stored.
+///
+/// [`Values::set_q`] arms the slot: it clears any previously decoded tensor and parks the
+/// node's recycled f32 buffer in `seed`. The first [`Values::get`] for the node that pass
+/// moves the seed out, decodes the words into it, and publishes it through `decoded` —
+/// at most once per pass, under `&self`. Campaigns only read the judged output node, so
+/// for every other node the decode (a full extra write+read of the activation) never
+/// happens at all.
+///
+/// Concurrency shape: `OnceLock` provides the lazy-init-under-`&self`; the `RefCell`
+/// around the seed is borrowed only inside the init closure and never escapes, so no
+/// borrow is ever held across a call boundary. (`Values` is a per-worker store — the
+/// `RefCell` makes it `!Sync`, which it never needed to be.)
+#[derive(Debug, Clone, Default)]
+struct LazyMirror {
+    decoded: OnceLock<Tensor>,
+    seed: RefCell<Option<Tensor>>,
+}
+
 /// The values produced by a full forward pass, indexed by node id.
 ///
 /// A `Values` doubles as the reusable buffer arena of a compiled
@@ -95,6 +116,9 @@ pub struct Values {
     /// backend, recycled exactly like the f32 tensors. Empty under the reference backend.
     qvalues: Vec<Option<QTensor>>,
     qrecycled: Vec<Option<QTensor>>,
+    /// Per-node lazy f32 mirrors of the stored words (see [`LazyMirror`]); armed by
+    /// [`Values::set_q`], decoded on first [`Values::get`], recycled by [`Values::reset`].
+    qmirrors: Vec<LazyMirror>,
     /// Constant-quantization cache tags: `(const data pointer, element count, format)`
     /// recorded when a constant node's words were stored, so later passes can reuse the
     /// quantization instead of re-encoding the whole weight tensor
@@ -106,11 +130,14 @@ pub struct Values {
 
 impl Values {
     pub(crate) fn new(len: usize) -> Self {
+        let mut qmirrors = Vec::new();
+        qmirrors.resize_with(len, LazyMirror::default);
         Values {
             values: vec![None; len],
             recycled: vec![None; len],
             qvalues: vec![None; len],
             qrecycled: vec![None; len],
+            qmirrors,
             qconst_tags: vec![None; len],
         }
     }
@@ -126,10 +153,21 @@ impl Values {
         self.recycled.resize(len, None);
         self.qvalues.resize(len, None);
         self.qrecycled.resize(len, None);
+        self.qmirrors.resize_with(len, LazyMirror::default);
         self.qconst_tags.resize(len, None);
         for (value, pooled) in self.values.iter_mut().zip(&mut self.recycled) {
             if let Some(tensor) = value.take() {
                 *pooled = Some(tensor);
+            }
+        }
+        // Mirror buffers — decoded last pass, or still-armed seeds that were never read —
+        // return to the f32 recycle pool, and the slot is cleared so a stale decode can
+        // never be served for a later pass.
+        for (slot, pooled) in self.qmirrors.iter_mut().zip(&mut self.recycled) {
+            if let Some(tensor) = slot.decoded.take().or_else(|| slot.seed.get_mut().take()) {
+                if pooled.is_none() {
+                    *pooled = Some(tensor);
+                }
             }
         }
         for (value, pooled) in self.qvalues.iter_mut().zip(&mut self.qrecycled) {
@@ -227,16 +265,51 @@ impl Values {
     ///
     /// On a fixed-point backend this is the dequantized mirror of the stored words (see
     /// [`Values::get_q`]), so campaign judges, parity tests and report code read every
-    /// backend's outputs through the same accessor.
+    /// backend's outputs through the same accessor. The mirror is **lazy**: a node's
+    /// words are decoded at most once per pass, on the first `get` for that node —
+    /// nodes nobody reads (every intermediate of a campaign pass) never decode at all.
+    /// [`Values::set_q`] invalidates the slot whenever new words are stored, so a stale
+    /// mirror is never served.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::UnknownNode`] if the node was not evaluated.
     pub fn get(&self, id: NodeId) -> Result<&Tensor, GraphError> {
-        self.values
+        if let Some(value) = self.values.get(id.index()).and_then(|v| v.as_ref()) {
+            return Ok(value);
+        }
+        let q = self
+            .qvalues
             .get(id.index())
             .and_then(|v| v.as_ref())
-            .ok_or(GraphError::UnknownNode(id))
+            .ok_or(GraphError::UnknownNode(id))?;
+        let slot = &self.qmirrors[id.index()];
+        Ok(slot.decoded.get_or_init(|| {
+            let mut mirror = slot.seed.borrow_mut().take().unwrap_or_else(Tensor::empty);
+            q.dequantize_into(&mut mirror);
+            mirror
+        }))
+    }
+
+    /// The dimensions of `id`'s computed value — read from the stored words on a
+    /// fixed-point backend, so checking a shape never forces a mirror decode.
+    pub fn dims_of(&self, id: NodeId) -> Option<&[usize]> {
+        if let Some(tensor) = self.values.get(id.index()).and_then(|v| v.as_ref()) {
+            return Some(tensor.dims());
+        }
+        self.qvalues
+            .get(id.index())
+            .and_then(|v| v.as_ref())
+            .map(|q| q.dims())
+    }
+
+    /// Whether `id`'s f32 mirror has been decoded this pass — test instrumentation for
+    /// the laziness contract.
+    #[doc(hidden)]
+    pub fn mirror_decoded(&self, id: NodeId) -> bool {
+        self.qmirrors
+            .get(id.index())
+            .is_some_and(|slot| slot.decoded.get().is_some())
     }
 
     /// Returns the raw fixed-point words computed for `id` (fixed-point backends only).
@@ -259,17 +332,29 @@ impl Values {
     }
 
     /// Stores the computed words for `id` (fixed-point backends pair this with
-    /// [`Values::take_recycled_q`]).
+    /// [`Values::take_recycled_q`]) and **arms the lazy f32 mirror**: any previously
+    /// decoded mirror for the node is invalidated, and the node's recycled f32 buffer is
+    /// parked as the seed the first [`Values::get`] will decode into. Storing words after
+    /// *any* mutation — kernel output, word-level fault injection, or the generic
+    /// interceptor bridge — therefore forces the next read to decode fresh words.
     pub fn set_q(&mut self, id: NodeId, value: QTensor) {
         self.qvalues[id.index()] = Some(value);
+        let seed = self.take_recycled(id);
+        let slot = &mut self.qmirrors[id.index()];
+        slot.decoded.take();
+        *slot.seed.get_mut() = Some(seed);
     }
 
     /// Iterates over all evaluated `(node id, tensor)` pairs.
+    ///
+    /// On a fixed-point backend this decodes the mirror of **every** stored node — it is
+    /// the whole-graph introspection path (FLOPs profiling, debugging); hot paths read
+    /// single nodes through [`Values::get`] instead.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Tensor)> {
-        self.values
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.as_ref().map(|t| (NodeId::new(i), t)))
+        (0..self.values.len().max(self.qvalues.len())).filter_map(move |i| {
+            let id = NodeId::new(i);
+            self.get(id).ok().map(|t| (id, t))
+        })
     }
 }
 

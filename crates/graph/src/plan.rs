@@ -215,8 +215,10 @@ impl<'g> ExecPlan<'g> {
             return Ok(());
         }
         let values = self.run(feeds, &mut NoopInterceptor)?;
+        // dims_of reads shapes from whichever representation the backend stored, so
+        // warming a fixed-point plan records every node without decoding any mirror.
         let recorded: Vec<Option<Vec<usize>>> = (0..self.graph.len())
-            .map(|i| values.get(NodeId::new(i)).ok().map(|t| t.dims().to_vec()))
+            .map(|i| values.dims_of(NodeId::new(i)).map(|d| d.to_vec()))
             .collect();
         let _ = self.shapes.set(recorded);
         Ok(())

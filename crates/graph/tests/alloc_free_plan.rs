@@ -107,4 +107,49 @@ fn repeated_plan_passes_allocate_nothing_after_warm_up() {
         fewest, 0,
         "cold store must be allocation-free from the second pass on"
     );
+
+    // The fixed-point backend on the same graph shape, minus softmax (the f32-bridge
+    // transcendental keeps a per-pass scratch row; conv/matmul/pool/reshape must not):
+    // warmed passes — lazy-mirror read of the output included — allocate nothing. The
+    // integer conv/matmul take the Q14.2 i64 fast path, which accumulates in place in
+    // the output words; constants hit the per-arena quantization cache after the first
+    // pass.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let c = b.conv2d(x, 1, 4, 3, 1, ranger_graph::op::Padding::Same, &mut rng);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    let f = b.flatten(p);
+    let out = b.dense(f, 4 * 4 * 4, 10, &mut rng);
+    let graph = b.into_graph();
+    let plan = graph
+        .compile_with(ranger_graph::BackendKind::Fixed16.backend())
+        .unwrap();
+    let feeds = [("x", Tensor::ones(vec![1, 1, 8, 8]))];
+    plan.warm(&feeds).unwrap();
+    let mut fewest = usize::MAX;
+    for _ in 0..3 {
+        let mut values = plan.buffers();
+        // First pass decodes the output mirror once into its pre-sized seed buffer.
+        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+            .unwrap();
+        values.get(out).unwrap();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..100 {
+            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+                .unwrap();
+            values.get(out).unwrap();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        fewest = fewest.min(after - before);
+        if fewest == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        fewest, 0,
+        "warmed fixed16 run_into + lazy-mirror read must not allocate ({fewest} \
+         allocations over 100 passes in the quietest of 3 attempts)"
+    );
 }

@@ -405,6 +405,55 @@ mod tests {
         assert!(batched.trials().iter().all(|t| t.injected().is_empty()));
     }
 
+    /// On a fixed-point backend the injector flips stored words; the lazily decoded f32
+    /// mirror served by `Values::get` must always reflect the flip — over repeated
+    /// passes through one arena, with mirrors decoded between passes (the campaign
+    /// runner's exact read pattern).
+    #[test]
+    fn word_flips_dirty_the_lazy_mirror() {
+        use ranger_graph::BackendKind;
+        let (graph, y) = toy();
+        let fault = FaultModel {
+            datatype: ranger_tensor::DataType::fixed16(),
+            bits: 1,
+        };
+        let site = InjectionSite {
+            node: y,
+            element: 0,
+        };
+        let plan = graph.compile_with(BackendKind::Fixed16.backend()).unwrap();
+        let mut values = plan.buffers();
+        let feeds = [("x", Tensor::ones(vec![1, 3]))];
+        // Golden pass, mirror decoded.
+        plan.run_into(
+            &mut values,
+            &feeds,
+            &mut ranger_graph::exec::NoopInterceptor,
+        )
+        .unwrap();
+        let golden = values.get(y).unwrap().clone();
+        for bit in [1u32, 13] {
+            let mut injector = FaultInjector::with_plan(fault, vec![PlannedFlip { site, bit }]);
+            plan.run_into(&mut values, &feeds, &mut injector).unwrap();
+            assert!(injector.fully_injected());
+            let faulty = values.get(y).unwrap();
+            assert_ne!(faulty, &golden, "bit {bit}: flip must reach the mirror");
+            assert_eq!(
+                &values.get_q(y).unwrap().dequantize(),
+                faulty,
+                "bit {bit}: mirror and stored words diverged"
+            );
+            // A clean pass through the same arena restores the golden mirror.
+            plan.run_into(
+                &mut values,
+                &feeds,
+                &mut ranger_graph::exec::NoopInterceptor,
+            )
+            .unwrap();
+            assert_eq!(values.get(y).unwrap(), &golden, "bit {bit}");
+        }
+    }
+
     #[test]
     fn flips_outside_output_bounds_are_skipped() {
         let (graph, y) = toy();

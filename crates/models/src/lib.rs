@@ -25,6 +25,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod archs;
 pub mod model;
 pub mod train;

@@ -187,6 +187,20 @@ impl FixedSpec {
     ///
     /// Non-finite inputs follow the same saturating cast as `encode`: infinities saturate
     /// at the range ends, NaN maps to 0.
+    ///
+    /// # Example
+    ///
+    /// Q14.2 has resolution 0.25 (`value = word * 0.25`); rounding is to nearest with
+    /// ties away from zero, and out-of-range values saturate:
+    ///
+    /// ```
+    /// let q = ranger_tensor::FixedSpec::q16();
+    /// assert_eq!(q.raw_encode(1.5), 6);       // exactly on the grid
+    /// assert_eq!(q.raw_encode(0.1), 0);       // nearest grid point is 0.0
+    /// assert_eq!(q.raw_encode(0.125), 1);     // tie rounds away from zero
+    /// assert_eq!(q.raw_encode(-0.125), -1);   //   ... in both directions
+    /// assert_eq!(q.raw_encode(1.0e9), q.max_raw()); // saturates, never wraps
+    /// ```
     pub fn raw_encode(&self, value: f32) -> i64 {
         let scaled = (value as f64 / self.resolution()).round();
         let clamped = scaled.clamp(self.min_raw() as f64, self.max_raw() as f64);
@@ -194,6 +208,18 @@ impl FixedSpec {
     }
 
     /// Decodes a signed word back into an `f32` value (`word * resolution`).
+    ///
+    /// # Example
+    ///
+    /// Decoding is exact for every word a format can hold, so encode → decode lands on
+    /// the nearest grid point:
+    ///
+    /// ```
+    /// let q = ranger_tensor::FixedSpec::q16();
+    /// assert_eq!(q.raw_decode(6), 1.5);
+    /// assert_eq!(q.raw_decode(-1), -0.25);
+    /// assert_eq!(q.raw_decode(q.raw_encode(3.1)), 3.0); // snapped onto the 0.25 grid
+    /// ```
     pub fn raw_decode(&self, raw: i64) -> f32 {
         (raw as f64 * self.resolution()) as f32
     }
@@ -202,6 +228,20 @@ impl FixedSpec {
     /// `frac_bits`: shift right by `frac_bits` with round-to-nearest (ties away from
     /// zero), then saturate. This is the "rescale between layers" step of every
     /// fixed-point multiply: `rescale(a * b)` is the Q-format product of words `a`, `b`.
+    ///
+    /// # Example
+    ///
+    /// In Q14.2 the words 6 and 8 are 1.5 and 2.0; their integer product 48 carries four
+    /// fractional bits, and one rescale brings it back to the word 12 = 3.0. A dot
+    /// product applies exactly one rescale to the whole wide accumulation:
+    ///
+    /// ```
+    /// let q = ranger_tensor::FixedSpec::q16();
+    /// assert_eq!(q.rescale(6 * 8), 12);          // 1.5 * 2.0 = 3.0, exact
+    /// assert_eq!(q.rescale(2), 1);               // 0.125 tie rounds away from zero
+    /// assert_eq!(q.rescale(6 * 8 + 6 * 8), 24);  // accumulate wide, rescale once
+    /// assert_eq!(q.rescale(i128::from(q.max_raw()).pow(2)), q.max_raw()); // saturates
+    /// ```
     pub fn rescale(&self, wide: i128) -> i64 {
         let shift = self.frac_bits;
         if shift == 0 {
@@ -232,6 +272,36 @@ impl FixedSpec {
             -((-wide + half) / divisor)
         };
         self.saturate_raw(rounded)
+    }
+
+    /// The largest number of word-by-word products that can provably be accumulated in a
+    /// plain `i64` without overflow — the **static overflow guard** of the integer
+    /// kernels' i64 fast path.
+    ///
+    /// Derivation: every in-format word `w` satisfies `|w| <= 2^(total_bits - 1)`
+    /// (the magnitude of `min_raw`), so every product of two words satisfies
+    /// `|a * b| <= 2^(2 * (total_bits - 1))`. Summing `n` such products stays within
+    /// `n * 2^(2 * (total_bits - 1))`, which fits an `i64` whenever
+    /// `n <= (2^63 - 1) >> (2 * (total_bits - 1))` — the value returned here. A kernel
+    /// whose dot-product length (matmul inner dimension, conv receptive-field size) is
+    /// within this bound may accumulate in `i64`; longer dot products must fall back to
+    /// the wide `i128` accumulator. Both paths compute the **same exact integer sum**,
+    /// so the choice is invisible in the results (pinned by proptest).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ranger_tensor::FixedSpec;
+    ///
+    /// // Q14.2: products fit 30 bits, so billions of terms are safe — every real
+    /// // network layer takes the i64 path.
+    /// assert_eq!(FixedSpec::q16().max_i64_mac_terms(), (1 << 33) - 1);
+    /// // Q24.8: one product already spans 62 bits, so only trivial dot products can
+    /// // prove the bound — Q24.8 kernels accumulate in i128.
+    /// assert_eq!(FixedSpec::q32().max_i64_mac_terms(), 1);
+    /// ```
+    pub fn max_i64_mac_terms(&self) -> u64 {
+        (i64::MAX as u64) >> (2 * (self.total_bits - 1)).min(63)
     }
 
     /// Flips bit `bit` of a signed word's two's-complement representation and returns the
@@ -451,6 +521,26 @@ mod tests {
     #[should_panic(expected = "positive divisor")]
     fn div_round_rejects_zero_divisor() {
         FixedSpec::q16().div_round(1, 0);
+    }
+
+    /// The i64 fast-path guard is conservative: at the bound, the worst-case
+    /// accumulation (all products at maximum magnitude) still fits an i64.
+    #[test]
+    fn i64_mac_guard_is_safe_at_the_bound() {
+        for q in [FixedSpec::q16(), FixedSpec::q32(), FixedSpec::new(8, 3)] {
+            let n = q.max_i64_mac_terms();
+            let max_product = 1i128 << (2 * (q.total_bits() - 1));
+            assert!(
+                n as i128 * max_product <= i64::MAX as i128,
+                "{q}: {n} worst-case products must fit an i64"
+            );
+            assert!(
+                (n as i128 + 1) * max_product > i64::MAX as i128,
+                "{q}: the guard should be tight, not merely safe"
+            );
+        }
+        // 64-bit formats can never prove the bound.
+        assert_eq!(FixedSpec::new(64, 8).max_i64_mac_terms(), 0);
     }
 
     #[test]

@@ -23,6 +23,9 @@ use crate::tensor::{Tensor, TensorError};
 ///
 /// # Example
 ///
+/// Quantize → dequantize round-trips values already on the grid exactly and snaps
+/// everything else to the nearest grid point (ties away from zero):
+///
 /// ```
 /// use ranger_tensor::{FixedSpec, QTensor, Tensor};
 ///
@@ -30,6 +33,10 @@ use crate::tensor::{Tensor, TensorError};
 /// let q = QTensor::from_tensor(FixedSpec::q16(), &t);
 /// assert_eq!(q.words(), &[6, -1]); // resolution 0.25
 /// assert_eq!(q.dequantize(), t);   // both values sit on the Q14.2 grid
+///
+/// let off_grid = Tensor::from_vec(vec![3], vec![0.3, 0.125, -1.9])?;
+/// let q = QTensor::from_tensor(FixedSpec::q16(), &off_grid);
+/// assert_eq!(q.dequantize().data(), &[0.25, 0.25, -2.0]); // snapped to the grid
 /// # Ok::<(), ranger_tensor::TensorError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +233,12 @@ impl QTensor {
     /// and applying a **single** rescale + saturation per output word — the behaviour of
     /// a saturating hardware MAC with a wide accumulator.
     ///
+    /// The loops are row-blocked (`i, p, j` order, walking contiguous rows of both
+    /// operands and the accumulator), and when the inner dimension `k` is within
+    /// [`FixedSpec::max_i64_mac_terms`] the accumulation runs in plain `i64` instead of
+    /// `i128`. Integer addition is exact and associative, so neither choice can change a
+    /// single output word (pinned by proptest against the forced-wide path).
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::MatMulMismatch`] if either operand is not rank 2 or the
@@ -235,6 +248,31 @@ impl QTensor {
     ///
     /// Panics if the operand formats differ.
     pub fn matmul_into(&self, other: &QTensor, out: &mut QTensor) -> Result<(), TensorError> {
+        let (m, k, n) = self.matmul_dims(other)?;
+        if k as u64 <= self.spec.max_i64_mac_terms() {
+            self.matmul_acc::<i64>(other, out, m, k, n);
+        } else {
+            self.matmul_acc::<i128>(other, out, m, k, n);
+        }
+        Ok(())
+    }
+
+    /// [`QTensor::matmul_into`] forced onto the wide `i128` accumulator, bypassing the
+    /// i64 fast-path guard. Test-only seam: the proptests pin that the guard's fast path
+    /// is bit-for-bit equal to this reference.
+    #[doc(hidden)]
+    pub fn matmul_into_forced_wide(
+        &self,
+        other: &QTensor,
+        out: &mut QTensor,
+    ) -> Result<(), TensorError> {
+        let (m, k, n) = self.matmul_dims(other)?;
+        self.matmul_acc::<i128>(other, out, m, k, n);
+        Ok(())
+    }
+
+    /// Validates matmul operands and returns `(m, k, n)`.
+    fn matmul_dims(&self, other: &QTensor) -> Result<(usize, usize, usize), TensorError> {
         assert_eq!(self.spec, other.spec, "matmul operands must share a format");
         let (ls, rs) = (self.dims(), other.dims());
         if ls.len() != 2 || rs.len() != 2 || ls[1] != rs[0] {
@@ -243,19 +281,41 @@ impl QTensor {
                 right: other.shape.clone(),
             });
         }
-        let (m, k, n) = (ls[0], ls[1], rs[1]);
+        Ok((ls[0], ls[1], rs[1]))
+    }
+
+    /// The blocked matmul loop nest over an explicit accumulator type: one accumulator
+    /// row per output row (see [`MacAcc::acc_row`] — the output words themselves on the
+    /// i64 fast path, so the hot path allocates nothing), filled in `(p, j)` order so
+    /// the inner loop streams one contiguous row of `other`, then one rescale per output
+    /// word. Skipping zero left-hand words costs one branch per `(i, p)` and wins big on
+    /// post-ReLU activations (the sum is exact integers, so skipping zero terms changes
+    /// nothing).
+    fn matmul_acc<A: MacAcc>(
+        &self,
+        other: &QTensor,
+        out: &mut QTensor,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
         out.reset_fill(self.spec, &[m, n], 0);
         let odat = out.words_mut();
+        let mut scratch: Vec<A> = Vec::new();
         for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0i128;
-                for p in 0..k {
-                    acc += self.data[i * k + p] as i128 * other.data[p * n + j] as i128;
+            let acc = A::acc_row(&mut odat[i * n..(i + 1) * n], &mut scratch);
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0 {
+                    continue;
                 }
-                odat[i * n + j] = self.spec.rescale(acc);
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (s, &b) in acc.iter_mut().zip(b_row) {
+                    *s = s.mac(a, b);
+                }
             }
+            A::write_back(self.spec, &scratch, &mut odat[i * n..(i + 1) * n]);
         }
-        Ok(())
     }
 
     /// Elementwise saturating addition (words share a scale, so no rescale is needed).
@@ -364,6 +424,60 @@ impl QTensor {
     }
 }
 
+/// The accumulator of the integer MAC kernels: `i64` on the guarded fast path,
+/// `i128` as the always-correct wide fallback. Both compute the **exact** integer sum of
+/// word products — `i64` is only selected when [`FixedSpec::max_i64_mac_terms`] proves
+/// the worst-case sum fits, so `mac` can never overflow on either implementation.
+///
+/// The `acc_row`/`write_back` pair lets the kernels stay allocation-free on the fast
+/// path: i64 sums accumulate **in place in the output words** (an `i64` accumulator row
+/// *is* an output row before its rescale), while i128 sums — which cannot fit an output
+/// slot — go through a scratch row that is reused across the whole kernel call.
+trait MacAcc: Copy {
+    /// Adds the product `a * b` of two in-format words to the accumulator.
+    fn mac(self, a: i64, b: i64) -> Self;
+    /// Returns the zeroed accumulator row for one output row: the output words
+    /// themselves for `i64`, the (resized, reused) `scratch` row for `i128`.
+    fn acc_row<'a>(out_row: &'a mut [i64], scratch: &'a mut Vec<Self>) -> &'a mut [Self];
+    /// Applies the single [`FixedSpec::rescale`] per dot product, writing the
+    /// accumulated row into the output words (in place for `i64`, from `scratch` for
+    /// `i128`).
+    fn write_back(spec: FixedSpec, scratch: &[Self], out_row: &mut [i64]);
+}
+
+impl MacAcc for i64 {
+    #[inline(always)]
+    fn mac(self, a: i64, b: i64) -> Self {
+        self + a * b
+    }
+    fn acc_row<'a>(out_row: &'a mut [i64], _scratch: &'a mut Vec<i64>) -> &'a mut [i64] {
+        out_row.fill(0);
+        out_row
+    }
+    fn write_back(spec: FixedSpec, _scratch: &[i64], out_row: &mut [i64]) {
+        for o in out_row {
+            *o = spec.rescale(*o as i128);
+        }
+    }
+}
+
+impl MacAcc for i128 {
+    #[inline(always)]
+    fn mac(self, a: i64, b: i64) -> Self {
+        self + a as i128 * b as i128
+    }
+    fn acc_row<'a>(out_row: &'a mut [i64], scratch: &'a mut Vec<i128>) -> &'a mut [i128] {
+        scratch.clear();
+        scratch.resize(out_row.len(), 0);
+        scratch
+    }
+    fn write_back(spec: FixedSpec, scratch: &[i128], out_row: &mut [i64]) {
+        for (o, &s) in out_row.iter_mut().zip(scratch) {
+            *o = spec.rescale(s);
+        }
+    }
+}
+
 /// The geometry of one 2-D convolution, precomputed by the caller (the graph layer owns
 /// padding semantics; the kernel here only runs the saturating arithmetic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -398,6 +512,15 @@ pub struct ConvGeometry {
 /// field, one rescale + saturation per output word (same MAC contract as
 /// [`QTensor::matmul_into`]).
 ///
+/// The loop nest is row-group blocked exactly like the f32 kernel (the innermost loop
+/// walks one output row while reading one contiguous input row and one contiguous filter
+/// row), with a per-row wide accumulator and the rescale deferred to the end of the
+/// receptive field. When the receptive-field size `cin * kh * kw` is within
+/// [`FixedSpec::max_i64_mac_terms`] the accumulators are plain `i64`; otherwise `i128`.
+/// Integer sums are exact whatever the order or width, so both the interchange and the
+/// accumulator choice are invisible in the output words (pinned by the naive-nest unit
+/// test and the forced-wide proptest).
+///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeDataMismatch`] if either operand's length disagrees with
@@ -412,6 +535,32 @@ pub fn q_conv2d_into(
     g: &ConvGeometry,
     out: &mut QTensor,
 ) -> Result<(), TensorError> {
+    conv2d_check(x, w, g)?;
+    if (g.cin * g.kh * g.kw) as u64 <= x.spec.max_i64_mac_terms() {
+        conv2d_acc::<i64>(x, w, g, out);
+    } else {
+        conv2d_acc::<i128>(x, w, g, out);
+    }
+    Ok(())
+}
+
+/// [`q_conv2d_into`] forced onto the wide `i128` accumulator, bypassing the i64
+/// fast-path guard. Test-only seam: the proptests pin that the guard's fast path is
+/// bit-for-bit equal to this reference.
+#[doc(hidden)]
+pub fn q_conv2d_into_forced_wide(
+    x: &QTensor,
+    w: &QTensor,
+    g: &ConvGeometry,
+    out: &mut QTensor,
+) -> Result<(), TensorError> {
+    conv2d_check(x, w, g)?;
+    conv2d_acc::<i128>(x, w, g, out);
+    Ok(())
+}
+
+/// Validates conv operand lengths against the geometry.
+fn conv2d_check(x: &QTensor, w: &QTensor, g: &ConvGeometry) -> Result<(), TensorError> {
     assert_eq!(x.spec, w.spec, "conv2d operands must share a format");
     let expected_x = g.batch * g.cin * g.height * g.width;
     if x.len() != expected_x {
@@ -427,41 +576,61 @@ pub fn q_conv2d_into(
             actual: w.len(),
         });
     }
+    Ok(())
+}
+
+/// The blocked conv loop nest over an explicit accumulator type (one accumulator row
+/// per output row — see [`MacAcc::acc_row`]; the i64 fast path accumulates in place in
+/// the output words and allocates nothing). The `(ox_min, ox_end)` bounds select the
+/// output columns whose receptive field contains input column `ox * stride + kx - pad_w`
+/// — columns entirely in the padding clamp to an empty range, mirroring the f32 kernel's
+/// handling of kernels wider than the input.
+fn conv2d_acc<A: MacAcc>(x: &QTensor, w: &QTensor, g: &ConvGeometry, out: &mut QTensor) {
     let spec = x.spec;
     let xdat = x.words();
     let wdat = w.words();
     out.reset_fill(spec, &[g.batch, g.cout, g.out_h, g.out_w], 0);
     let odat = out.words_mut();
+    let mut scratch: Vec<A> = Vec::new();
     for b in 0..g.batch {
         for oc in 0..g.cout {
             for oy in 0..g.out_h {
-                for ox in 0..g.out_w {
-                    let mut acc = 0i128;
-                    for ic in 0..g.cin {
-                        for ky in 0..g.kh {
-                            let iy = (oy * g.stride + ky) as isize - g.pad_h as isize;
-                            if iy < 0 || iy >= g.height as isize {
-                                continue;
-                            }
-                            for kx in 0..g.kw {
-                                let ix = (ox * g.stride + kx) as isize - g.pad_w as isize;
-                                if ix < 0 || ix >= g.width as isize {
-                                    continue;
-                                }
-                                let xv = xdat[((b * g.cin + ic) * g.height + iy as usize)
-                                    * g.width
-                                    + ix as usize];
-                                let wv = wdat[((oc * g.cin + ic) * g.kh + ky) * g.kw + kx];
-                                acc += xv as i128 * wv as i128;
+                let row_start = ((b * g.cout + oc) * g.out_h + oy) * g.out_w;
+                let acc = A::acc_row(&mut odat[row_start..row_start + g.out_w], &mut scratch);
+                for ic in 0..g.cin {
+                    for ky in 0..g.kh {
+                        let iy = (oy * g.stride + ky) as isize - g.pad_h as isize;
+                        if iy < 0 || iy >= g.height as isize {
+                            continue;
+                        }
+                        let x_row = &xdat[((b * g.cin + ic) * g.height + iy as usize) * g.width..]
+                            [..g.width];
+                        let w_row = &wdat[((oc * g.cin + ic) * g.kh + ky) * g.kw..][..g.kw];
+                        for (kx, &wv) in w_row.iter().enumerate() {
+                            let kx_off = kx as isize - g.pad_w as isize;
+                            let ox_min = if kx_off >= 0 {
+                                0
+                            } else {
+                                g.out_w.min(((-kx_off) as usize).div_ceil(g.stride))
+                            };
+                            let ox_end = if g.width as isize <= kx_off {
+                                0
+                            } else {
+                                g.out_w
+                                    .min((g.width as isize - 1 - kx_off) as usize / g.stride + 1)
+                            };
+                            for (s, ox) in acc[ox_min..ox_end.max(ox_min)].iter_mut().zip(ox_min..)
+                            {
+                                let ix = (ox * g.stride) as isize + kx_off;
+                                *s = s.mac(x_row[ix as usize], wv);
                             }
                         }
                     }
-                    odat[((b * g.cout + oc) * g.out_h + oy) * g.out_w + ox] = spec.rescale(acc);
                 }
+                A::write_back(spec, &scratch, &mut odat[row_start..row_start + g.out_w]);
             }
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -585,6 +754,148 @@ mod tests {
         // Mismatched operand lengths are rejected.
         let bad = QTensor::from_tensor(spec, &Tensor::zeros(vec![1, 1, 2, 2]));
         assert!(q_conv2d_into(&bad, &qw, &g, &mut out).is_err());
+    }
+
+    /// The straightforward per-output-element nests the blocked kernels replaced, kept as
+    /// the semantic reference: integer sums are exact, so the blocked loops (and the i64
+    /// fast path) must reproduce them **word-for-word** on both formats.
+    fn matmul_naive(a: &QTensor, b: &QTensor) -> Vec<i64> {
+        let (m, k, n) = (a.dims()[0], a.dims()[1], b.dims()[1]);
+        let mut out = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i128;
+                for p in 0..k {
+                    acc += a.words()[i * k + p] as i128 * b.words()[p * n + j] as i128;
+                }
+                out[i * n + j] = a.spec().rescale(acc);
+            }
+        }
+        out
+    }
+
+    fn conv_naive(x: &QTensor, w: &QTensor, g: &ConvGeometry) -> Vec<i64> {
+        let (xdat, wdat) = (x.words(), w.words());
+        let mut out = vec![0i64; g.batch * g.cout * g.out_h * g.out_w];
+        for b in 0..g.batch {
+            for oc in 0..g.cout {
+                for oy in 0..g.out_h {
+                    for ox in 0..g.out_w {
+                        let mut acc = 0i128;
+                        for ic in 0..g.cin {
+                            for ky in 0..g.kh {
+                                let iy = (oy * g.stride + ky) as isize - g.pad_h as isize;
+                                if iy < 0 || iy >= g.height as isize {
+                                    continue;
+                                }
+                                for kx in 0..g.kw {
+                                    let ix = (ox * g.stride + kx) as isize - g.pad_w as isize;
+                                    if ix < 0 || ix >= g.width as isize {
+                                        continue;
+                                    }
+                                    acc += xdat[((b * g.cin + ic) * g.height + iy as usize)
+                                        * g.width
+                                        + ix as usize]
+                                        as i128
+                                        * wdat[((oc * g.cin + ic) * g.kh + ky) * g.kw + kx] as i128;
+                                }
+                            }
+                        }
+                        out[((b * g.cout + oc) * g.out_h + oy) * g.out_w + ox] =
+                            x.spec().rescale(acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random words spanning the format's full range (including the
+    /// saturation region once rescaled).
+    fn scrambled_words(spec: FixedSpec, n: usize, salt: u64) -> QTensor {
+        let mut q = QTensor::new(spec);
+        q.reset_fill(spec, &[n], 0);
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for w in q.words_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = (state >> 16) as i64 & spec.max_raw();
+            if state & 1 == 0 {
+                *w = -*w - 1; // reach min_raw, not just -max_raw
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_nest_on_both_accumulator_paths() {
+        for (spec, salt) in [(FixedSpec::q16(), 3u64), (FixedSpec::q32(), 7)] {
+            for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 8, 3), (4, 17, 4)] {
+                let mut a = scrambled_words(spec, m * k, salt);
+                a.shape.set_dims(&[m, k]);
+                let mut b = scrambled_words(spec, k * n, salt + 1);
+                b.shape.set_dims(&[k, n]);
+                let mut out = QTensor::new(spec);
+                a.matmul_into(&b, &mut out).unwrap();
+                assert_eq!(
+                    out.words(),
+                    matmul_naive(&a, &b).as_slice(),
+                    "{spec} matmul ({m},{k})x({k},{n})"
+                );
+                a.matmul_into_forced_wide(&b, &mut out).unwrap();
+                assert_eq!(out.words(), matmul_naive(&a, &b).as_slice(), "{spec} wide");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_conv_matches_naive_nest_on_both_accumulator_paths() {
+        // Geometries mirroring the f32 kernel's regression set, including kernels far
+        // wider than the input (outer columns entirely in the padding).
+        let cases = [
+            (1, 2, 5, 5, 3, 3, 3, 1, 1, 1, 5, 5),
+            (2, 1, 4, 6, 2, 2, 2, 2, 0, 0, 2, 3),
+            (1, 3, 7, 7, 4, 3, 3, 1, 0, 0, 5, 5),
+            (1, 1, 1, 1, 1, 5, 5, 1, 2, 2, 1, 1),
+            (1, 1, 2, 2, 1, 7, 7, 2, 3, 3, 1, 1),
+            (1, 2, 5, 5, 2, 4, 4, 3, 1, 1, 2, 2),
+        ];
+        for (spec, salt) in [(FixedSpec::q16(), 11u64), (FixedSpec::q32(), 13)] {
+            for &(batch, cin, height, width, cout, kh, kw, stride, pad_h, pad_w, out_h, out_w) in
+                &cases
+            {
+                let g = ConvGeometry {
+                    batch,
+                    cin,
+                    height,
+                    width,
+                    cout,
+                    kh,
+                    kw,
+                    stride,
+                    pad_h,
+                    pad_w,
+                    out_h,
+                    out_w,
+                };
+                let x = scrambled_words(spec, batch * cin * height * width, salt);
+                let w = scrambled_words(spec, cout * cin * kh * kw, salt + 1);
+                let mut out = QTensor::new(spec);
+                q_conv2d_into(&x, &w, &g, &mut out).unwrap();
+                assert_eq!(
+                    out.words(),
+                    conv_naive(&x, &w, &g).as_slice(),
+                    "{spec} {g:?}"
+                );
+                q_conv2d_into_forced_wide(&x, &w, &g, &mut out).unwrap();
+                assert_eq!(
+                    out.words(),
+                    conv_naive(&x, &w, &g).as_slice(),
+                    "{spec} wide {g:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,73 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
+use ranger_tensor::qtensor::{q_conv2d_into, q_conv2d_into_forced_wide, ConvGeometry};
 use ranger_tensor::{bits::DataType, FixedSpec, QTensor, Shape, Tensor};
 
+/// Builds a Q14.2 word tensor of shape `[rows, cols]` from a pool of full-range words.
+fn q16_words(pool: &[i64], rows: usize, cols: usize) -> QTensor {
+    let mut q = QTensor::new(FixedSpec::q16());
+    q.reset_rows_from_words(FixedSpec::q16(), rows, &[cols], &pool[..rows * cols])
+        .unwrap();
+    q
+}
+
 proptest! {
+    /// The i64 fast-path guard's semantics, pinned bit-for-bit against the i128 path:
+    /// on Q14.2 (whose guard admits every realistic dot product) the public matmul —
+    /// which takes the i64 path — must reproduce the forced-i128 reference word-for-word,
+    /// for words spanning the format's full range including saturating sums.
+    #[test]
+    fn i64_matmul_fast_path_is_bit_for_bit_the_i128_path(
+        m in 1usize..5,
+        k in 1usize..9,
+        n in 1usize..5,
+        a_pool in prop::collection::vec(-32768i64..=32767, 40..41),
+        b_pool in prop::collection::vec(-32768i64..=32767, 40..41),
+    ) {
+        let spec = FixedSpec::q16();
+        prop_assert!((k as u64) <= spec.max_i64_mac_terms());
+        let a = q16_words(&a_pool, m, k);
+        let b = q16_words(&b_pool, k, n);
+        let (mut fast, mut wide) = (QTensor::new(spec), QTensor::new(spec));
+        a.matmul_into(&b, &mut fast).unwrap();
+        a.matmul_into_forced_wide(&b, &mut wide).unwrap();
+        prop_assert_eq!(fast.words(), wide.words());
+    }
+
+    /// The same guard pin for the blocked convolution: the i64 fast path the Q14.2 guard
+    /// selects agrees word-for-word with the forced-i128 accumulator on random
+    /// geometries (padding included) over full-range words.
+    #[test]
+    fn i64_conv_fast_path_is_bit_for_bit_the_i128_path(
+        cin in 1usize..4,
+        height in 3usize..6,
+        width in 3usize..6,
+        cout in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        x_pool in prop::collection::vec(-32768i64..=32767, 75..76),
+        w_pool in prop::collection::vec(-32768i64..=32767, 81..82),
+    ) {
+        let spec = FixedSpec::q16();
+        prop_assert!(((cin * kh * kw) as u64) <= spec.max_i64_mac_terms());
+        // height/width >= 3 >= kh/kw keeps both output extents positive for any pad.
+        let out_h = (height + 2 * pad - kh) / stride + 1;
+        let out_w = (width + 2 * pad - kw) / stride + 1;
+        let g = ConvGeometry {
+            batch: 1, cin, height, width, cout, kh, kw, stride,
+            pad_h: pad, pad_w: pad, out_h, out_w,
+        };
+        let x = q16_words(&x_pool, cin, height * width);
+        let w = q16_words(&w_pool, cout, cin * kh * kw);
+        let (mut fast, mut wide) = (QTensor::new(spec), QTensor::new(spec));
+        q_conv2d_into(&x, &w, &g, &mut fast).unwrap();
+        q_conv2d_into_forced_wide(&x, &w, &g, &mut wide).unwrap();
+        prop_assert_eq!(fast.words(), wide.words());
+    }
+
     /// Quantizing a whole tensor and dequantizing it again never moves any element by
     /// more than half the format resolution (round-to-nearest), for in-range values —
     /// the backend kernels' frozen error bound.

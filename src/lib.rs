@@ -1,4 +1,5 @@
 //! Umbrella crate for the Ranger reproduction: re-exports the workspace crates used by the examples and integration tests.
+#![warn(missing_docs)]
 pub use ranger;
 pub use ranger_datasets as datasets;
 pub use ranger_engine as engine;

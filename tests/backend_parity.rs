@@ -97,16 +97,25 @@ fn fixed_backends_match_reference_within_documented_tolerance_on_every_zoo_model
             // Bit-for-bit reproducible: a second pass through fresh buffers is identical.
             let again = plan.run_simple(&feeds, model.output).unwrap();
             assert_eq!(out, again, "{kind} on {backend}: repeated runs diverged");
-            // And so is a pass reusing a warmed arena (the campaign hot path).
+            // And so is a pass reusing a warmed arena (the campaign hot path). Reading
+            // the output between the passes decodes its lazy mirror, so the second
+            // pass also proves a decoded mirror is invalidated, not served stale.
             let mut values = plan.buffers();
             plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
                 .unwrap();
+            assert_eq!(values.get(model.output).unwrap(), &out, "{kind} {backend}");
             plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
                 .unwrap();
             assert_eq!(
                 values.get(model.output).unwrap(),
                 &out,
                 "{kind} on {backend}: arena-reusing pass diverged"
+            );
+            // The lazily decoded mirror is exactly the decode of the stored words.
+            assert_eq!(
+                &values.get_q(model.output).unwrap().dequantize(),
+                values.get(model.output).unwrap(),
+                "{kind} on {backend}: mirror and stored words diverged"
             );
         }
     }
