@@ -13,7 +13,10 @@
 //!
 //! Run with `cargo bench -p ranger-bench`. Set `RANGER_BENCH_FILTER` to a
 //! comma-separated list of group names (e.g. `campaign_fixed,campaign_batched`) to run
-//! only those groups.
+//! only those groups. Pass `--json <path>` (after `--`, with an explicit
+//! `--bench ranger_benches` so the flag does not reach the libtest harness) or set
+//! `RANGER_BENCH_JSON` to additionally write every measurement as a per-group JSON
+//! document — the machine-readable record CI and regression dashboards consume.
 
 use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
 use ranger::transform::{apply_ranger, RangerConfig};
@@ -23,7 +26,23 @@ use ranger_inject::{BackendKind, CampaignConfig, ClassifierJudge, FaultModel, In
 use ranger_models::archs;
 use ranger_models::{Model, ModelConfig, ModelKind};
 use ranger_tensor::Tensor;
+use serde::Serialize;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One measurement, as recorded for the JSON report.
+#[derive(Serialize)]
+struct BenchRecord {
+    name: String,
+    ns_per_iter: f64,
+    iters: usize,
+    /// Amortized per-trial cost (`null` outside the campaign benches, whose iteration
+    /// is a whole campaign rather than a single trial).
+    ns_per_trial: Option<f64>,
+}
+
+/// Every measurement taken this run, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Times `f` over `iters` iterations after `warmup` warm-up calls; returns ns/iter.
 fn bench<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) -> f64 {
@@ -36,7 +55,75 @@ fn bench<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) -> f64 {
     }
     let ns = start.elapsed().as_nanos() as f64 / iters as f64;
     println!("{name:<40} {:>12.0} ns/iter   ({iters} iters)", ns);
+    RECORDS.lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        ns_per_iter: ns,
+        iters,
+        ns_per_trial: None,
+    });
     ns
+}
+
+/// Attaches an amortized per-trial rate to the named measurement.
+fn note_ns_per_trial(name: &str, ns_per_trial: f64) {
+    let mut records = RECORDS.lock().unwrap();
+    if let Some(record) = records.iter_mut().rev().find(|r| r.name == name) {
+        record.ns_per_trial = Some(ns_per_trial);
+    }
+}
+
+/// The JSON report path: `--json <path>` / `--json=<path>` on the command line wins,
+/// then the `RANGER_BENCH_JSON` environment variable; `None` disables the report.
+fn json_output_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(path) => return Some(path.into()),
+                None => {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = arg.strip_prefix("--json=") {
+            return Some(path.into());
+        }
+    }
+    std::env::var_os("RANGER_BENCH_JSON").map(Into::into)
+}
+
+/// Writes all recorded measurements to `path` as a JSON object keyed by benchmark
+/// group (the name segment before the first `/`), each holding its measurements in
+/// execution order.
+fn write_json_report(path: &std::path::Path) {
+    use std::collections::BTreeMap;
+    let records = RECORDS.lock().unwrap();
+    let mut groups: BTreeMap<&str, Vec<&BenchRecord>> = BTreeMap::new();
+    for record in records.iter() {
+        let group = record.name.split('/').next().unwrap_or(&record.name);
+        groups.entry(group).or_default().push(record);
+    }
+    // Assembled by hand: the vendored serde has no BTreeMap impl, and the group order
+    // should be deterministic either way.
+    let mut body = String::from("{\n");
+    for (gi, (group, members)) in groups.iter().enumerate() {
+        let key = serde_json::to_string(group).expect("group name serializes");
+        body.push_str(&format!("  {key}: [\n"));
+        for (ri, record) in members.iter().enumerate() {
+            let line = serde_json::to_string(*record).expect("bench record serializes");
+            let comma = if ri + 1 < members.len() { "," } else { "" };
+            body.push_str(&format!("    {line}{comma}\n"));
+        }
+        let comma = if gi + 1 < groups.len() { "," } else { "" };
+        body.push_str(&format!("  ]{comma}\n"));
+    }
+    body.push_str("}\n");
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("could not write bench JSON to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote bench JSON to {}", path.display());
 }
 
 fn model_input(model: &Model) -> Tensor {
@@ -284,6 +371,10 @@ fn bench_campaign_batched() {
                     "batched campaign must reproduce the per-sample SDC counts"
                 ),
             }
+            note_ns_per_trial(
+                &format!("campaign_batched/{label}/batch_{batch}"),
+                total_ns / trials as f64,
+            );
             println!(
                 "campaign_batched/{label}/batch_{batch}: {:>8.0} ns/trial ({:.2}x per-sample)",
                 total_ns / trials as f64,
@@ -377,6 +468,10 @@ fn bench_campaign_parallel() {
                     "parallel campaign must reproduce the serial SDC counts"
                 ),
             }
+            note_ns_per_trial(
+                &format!("campaign_parallel/{label}/workers_{workers}"),
+                total_ns / trials as f64,
+            );
             println!(
                 "campaign_parallel/{label}/workers_{workers}: {:>8.0} ns/trial ({:.2}x serial)",
                 total_ns / trials as f64,
@@ -472,6 +567,10 @@ fn bench_campaign_fixed() {
                         "batched fixed campaign must reproduce the per-sample counts"
                     ),
                 }
+                note_ns_per_trial(
+                    &format!("campaign_fixed/{label}/{backend}/batch_{batch}"),
+                    total_ns / trials as f64,
+                );
                 println!(
                     "campaign_fixed/{label}/{backend}/batch_{batch}: {:>8.0} ns/trial",
                     total_ns / trials as f64,
@@ -505,6 +604,7 @@ fn bench_campaign_fixed() {
 }
 
 fn main() {
+    let json_path = json_output_path();
     let filter = std::env::var("RANGER_BENCH_FILTER").unwrap_or_default();
     let groups: [(&str, fn()); 8] = [
         ("insertion", bench_insertion),
@@ -530,5 +630,8 @@ fn main() {
             known.join(", ")
         );
         std::process::exit(1);
+    }
+    if let Some(path) = json_path {
+        write_json_report(&path);
     }
 }

@@ -14,63 +14,15 @@ use ranger_inject::{
 use ranger_models::zoo::ModelZoo;
 use ranger_models::{Model, ModelConfig, ModelKind, Task, TrainConfig};
 use ranger_tensor::{DataType, Tensor};
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// The on-disk representation written by `train` and `protect` and read by the other
-/// commands: the model plus a record of how it was produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SavedModel {
-    /// The model itself (weights live in the graph's constant nodes).
-    pub model: Model,
-    /// Seed the model (and its dataset) was derived from.
-    pub seed: u64,
-    /// Whether the graph already contains Ranger's range-restriction operators.
-    pub protected: bool,
-    /// The bound percentile used when protecting, if any.
-    pub percentile: Option<f64>,
-}
+// The saved-model file format lives with the campaign service (which must materialize
+// submitted model files without the CLI); re-exported here so `train`/`protect` callers
+// keep their original path to it.
+pub use ranger_serve::SavedModel;
 
-impl SavedModel {
-    /// Writes the model as JSON to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CliError`] if serialization or the write fails.
-    pub fn save(&self, path: &Path) -> Result<(), CliError> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, serde_json::to_string(self)?)?;
-        Ok(())
-    }
-
-    /// Reads a model from a JSON file written by [`SavedModel::save`].
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CliError`] if the file cannot be read or decoded.
-    pub fn load(path: &Path) -> Result<Self, CliError> {
-        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
-    }
-}
-
-fn parse_model_name(name: &str) -> Result<ModelKind, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "lenet" => Ok(ModelKind::LeNet),
-        "alexnet" => Ok(ModelKind::AlexNet),
-        "vgg11" => Ok(ModelKind::Vgg11),
-        "vgg16" => Ok(ModelKind::Vgg16),
-        "resnet18" | "resnet-18" | "resnet" => Ok(ModelKind::ResNet18),
-        "squeezenet" => Ok(ModelKind::SqueezeNet),
-        "dave" => Ok(ModelKind::Dave),
-        "comma" | "comma.ai" => Ok(ModelKind::Comma),
-        other => Err(CliError::Usage(format!(
-            "unknown model '{other}' (expected lenet, alexnet, vgg11, vgg16, resnet18, squeezenet, dave or comma)"
-        ))),
-    }
+pub(crate) fn parse_model_name(name: &str) -> Result<ModelKind, CliError> {
+    name.parse().map_err(CliError::Usage)
 }
 
 /// `ranger-cli train`: trains a benchmark model and saves it.
@@ -104,7 +56,9 @@ pub fn train(options: &Options) -> Result<String, CliError> {
 /// fixed-point backend implies faults in its own word format (the only valid pairing —
 /// the campaign rejects mismatches), and the f32 backend keeps the paper's default
 /// fixed32 emulation.
-fn parse_backend_and_datatype(options: &Options) -> Result<(BackendKind, DataType), CliError> {
+pub(crate) fn parse_backend_and_datatype(
+    options: &Options,
+) -> Result<(BackendKind, DataType), CliError> {
     let backend = match options.get("backend") {
         None => ranger_inject::default_backend(),
         Some(raw) => raw.parse().map_err(CliError::Usage)?,
@@ -339,6 +293,12 @@ pub fn dispatch(command: &str, options: &Options) -> Result<String, CliError> {
         "inject" => inject(options),
         "pipeline" => pipeline(options),
         "info" => info(options),
+        "serve" => crate::serve_commands::serve(options),
+        "submit" => crate::serve_commands::submit(options),
+        "status" => crate::serve_commands::status(options),
+        "stream" => crate::serve_commands::stream(options),
+        "cancel" => crate::serve_commands::cancel(options),
+        "shutdown" => crate::serve_commands::shutdown(options),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{}",

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod serve_commands;
 
 use std::fmt;
 
@@ -27,6 +28,8 @@ pub enum CliError {
     Decode(serde_json::Error),
     /// A fault-injection campaign was misconfigured or failed.
     Campaign(ranger_inject::CampaignError),
+    /// The campaign service (server, client or checkpoint store) failed.
+    Serve(ranger_serve::ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -38,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Decode(e) => write!(f, "could not decode model file: {e}"),
             CliError::Campaign(e) => write!(f, "campaign error: {e}"),
+            CliError::Serve(e) => write!(f, "campaign service error: {e}"),
         }
     }
 }
@@ -74,6 +78,19 @@ impl From<ranger_inject::CampaignError> for CliError {
     }
 }
 
+impl From<ranger_serve::ServeError> for CliError {
+    fn from(e: ranger_serve::ServeError) -> Self {
+        // Unwrap the categories the CLI already reports natively; keep the
+        // service-specific ones (protocol, fingerprint, corruption) intact.
+        match e {
+            ranger_serve::ServeError::Campaign(e) => CliError::Campaign(e),
+            ranger_serve::ServeError::Io(e) => CliError::Io(e),
+            ranger_serve::ServeError::Json(e) => CliError::Decode(e),
+            other => CliError::Serve(other),
+        }
+    }
+}
+
 impl From<ranger_engine::PipelineError> for CliError {
     fn from(e: ranger_engine::PipelineError) -> Self {
         // Preserve the error category instead of collapsing everything into Usage.
@@ -82,6 +99,10 @@ impl From<ranger_engine::PipelineError> for CliError {
             ranger_engine::PipelineError::Zoo(e) => CliError::Zoo(e),
             ranger_engine::PipelineError::Graph(e) => CliError::Graph(e),
             ranger_engine::PipelineError::Campaign(e) => CliError::Campaign(e),
+            ranger_engine::PipelineError::Serve(e) => CliError::from(e),
+            e @ ranger_engine::PipelineError::Interrupted => {
+                CliError::Serve(ranger_serve::ServeError::Protocol(e.to_string()))
+            }
         }
     }
 }
@@ -115,6 +136,24 @@ COMMANDS:
              Run the full profile -> protect -> inject pipeline and print the JSON report.
     info     --in <model.json>
              Print a summary of a saved model (operators, parameters, restrictions).
+    serve    [--addr HOST:PORT] [--checkpoints <dir>]
+             Run the campaign service: a TCP server that executes submitted campaigns
+             chunk by chunk, checkpointing every completed chunk so a killed server
+             resumes exactly where it stopped (default addr 127.0.0.1:7171).
+    submit   --addr HOST:PORT (--model <name> | --in <model.json>) [--inputs N]
+             [--trials N] [--batch N] [--workers N] [--backend f32|fixed16|fixed32]
+             [--bits N] [--fixed16] [--seed N]
+             Submit a campaign to a running server and print its id. Submitting an
+             identical spec again resumes it from its checkpoint.
+    status   --addr HOST:PORT --id <campaign-id>
+             Print a submitted campaign's progress and running SDC tallies.
+    stream   --addr HOST:PORT --id <campaign-id>
+             Follow a campaign's event stream live: one line per completed chunk with
+             cumulative tallies, ending with the final SDC rates.
+    cancel   --addr HOST:PORT --id <campaign-id>
+             Cooperatively stop a running campaign (completed chunks stay durable).
+    shutdown --addr HOST:PORT
+             Ask the server to exit.
     help     Print this message.
 
 MODELS:

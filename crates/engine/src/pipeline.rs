@@ -38,11 +38,20 @@ use ranger::protect::{Protector, RangerProtector};
 use ranger::transform::{RangerConfig, RangerStats};
 use ranger::ActivationBounds;
 use ranger_graph::GraphError;
-use ranger_inject::{run_campaign, CampaignConfig, CampaignError, CampaignResult, InjectionTarget};
+use ranger_inject::{
+    run_campaign, CampaignConfig, CampaignError, CampaignResult, InjectionTarget, PreparedCampaign,
+    SdcJudge,
+};
 use ranger_models::zoo::{ModelZoo, ZooError};
 use ranger_models::{Model, ModelConfig, ModelKind, Task, TrainConfig};
+use ranger_runtime::ThreadPool;
+use ranger_serve::{
+    campaign_fingerprint, drive, CampaignSink, CheckpointStore, DriveOutcome, ServeError,
+};
 use serde::Serialize;
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
 
 /// The fraction of the training set the paper profiles restriction bounds from.
 pub const DEFAULT_PROFILE_FRACTION: f64 = 0.2;
@@ -58,6 +67,11 @@ pub enum PipelineError {
     Graph(GraphError),
     /// The fault-injection campaign was misconfigured or failed.
     Campaign(CampaignError),
+    /// The streamed campaign path (checkpoint store, fingerprinting) failed.
+    Serve(ServeError),
+    /// A streamed campaign was stopped by its sink before completion; completed chunks
+    /// stay durable in the checkpoint directory, so re-running the pipeline resumes.
+    Interrupted,
 }
 
 impl fmt::Display for PipelineError {
@@ -69,6 +83,12 @@ impl fmt::Display for PipelineError {
             PipelineError::Zoo(e) => write!(f, "pipeline training step failed: {e}"),
             PipelineError::Graph(e) => write!(f, "pipeline graph step failed: {e}"),
             PipelineError::Campaign(e) => write!(f, "pipeline campaign step failed: {e}"),
+            PipelineError::Serve(e) => write!(f, "pipeline streamed-campaign step failed: {e}"),
+            PipelineError::Interrupted => write!(
+                f,
+                "the streamed campaign was stopped by its sink before completion \
+                 (completed chunks remain checkpointed; re-run to resume)"
+            ),
         }
     }
 }
@@ -76,10 +96,11 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            PipelineError::InvalidConfig(_) => None,
+            PipelineError::InvalidConfig(_) | PipelineError::Interrupted => None,
             PipelineError::Zoo(e) => Some(e),
             PipelineError::Graph(e) => Some(e),
             PipelineError::Campaign(e) => Some(e),
+            PipelineError::Serve(e) => Some(e),
         }
     }
 }
@@ -99,6 +120,16 @@ impl From<GraphError> for PipelineError {
 impl From<CampaignError> for PipelineError {
     fn from(e: CampaignError) -> Self {
         PipelineError::Campaign(e)
+    }
+}
+
+impl From<ServeError> for PipelineError {
+    fn from(e: ServeError) -> Self {
+        // A campaign failure is a campaign failure whichever executor surfaced it.
+        match e {
+            ServeError::Campaign(e) => PipelineError::Campaign(e),
+            other => PipelineError::Serve(other),
+        }
     }
 }
 
@@ -184,6 +215,76 @@ pub fn run_model_campaign(
         excluded: &model.excluded_from_injection,
     };
     run_campaign(&target, inputs, judge, config)
+}
+
+/// Runs a fault-injection campaign through the checkpointed streaming executor shared
+/// with the campaign service: the trial space is decomposed into the canonical chunk
+/// partition, every completed chunk is appended (and fsynced) to a fingerprint-keyed
+/// checkpoint file under `checkpoint_dir` before its event reaches `sink`, and a rerun
+/// over the same directory resumes from the durable prefix — reproducing bit-for-bit
+/// the counts of [`run_model_campaign`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Interrupted`] if `sink` stops the campaign early (completed
+/// chunks stay durable), and a campaign or serve error if the configuration is
+/// degenerate or the checkpoint store cannot be used.
+pub fn drive_model_campaign(
+    model: &Model,
+    inputs: &[ranger_tensor::Tensor],
+    judge: &dyn SdcJudge,
+    config: &CampaignConfig,
+    checkpoint_dir: &Path,
+    sink: &mut dyn CampaignSink,
+) -> Result<CampaignResult, PipelineError> {
+    config.validate()?;
+    let target = InjectionTarget {
+        graph: &model.graph,
+        input_name: &model.input_name,
+        output: model.output,
+        excluded: &model.excluded_from_injection,
+    };
+    let chunk_len = ranger_inject::default_chunk_len(config);
+    let fingerprint =
+        campaign_fingerprint(&target, inputs, config, &judge.categories(), chunk_len)?;
+    let mut store = CheckpointStore::open(
+        &checkpoint_dir.join(format!("{fingerprint}.jsonl")),
+        &fingerprint,
+    )?;
+    let prepared = PreparedCampaign::new(&target, inputs, judge, config)?;
+    let pool = ThreadPool::new(config.workers);
+    let cancel = AtomicBool::new(false);
+    match drive(&prepared, &mut store, &pool, &cancel, sink)? {
+        DriveOutcome::Completed(result) => Ok(result),
+        DriveOutcome::Stopped(_) => Err(PipelineError::Interrupted),
+    }
+}
+
+/// How the pipeline executes its campaign arms: directly in-process, or through the
+/// checkpointed streaming driver shared with the campaign service.
+enum CampaignExec<'s> {
+    InProcess,
+    Streamed {
+        dir: PathBuf,
+        sink: &'s mut dyn CampaignSink,
+    },
+}
+
+impl CampaignExec<'_> {
+    fn run(
+        &mut self,
+        model: &Model,
+        inputs: &[ranger_tensor::Tensor],
+        judge: &dyn SdcJudge,
+        config: &CampaignConfig,
+    ) -> Result<CampaignResult, PipelineError> {
+        match self {
+            CampaignExec::InProcess => Ok(run_model_campaign(model, inputs, judge, config)?),
+            CampaignExec::Streamed { dir, sink } => {
+                drive_model_campaign(model, inputs, judge, config, dir, &mut **sink)
+            }
+        }
+    }
 }
 
 /// The SDC rate of one judge category, with counts and the 95% confidence half-width.
@@ -335,6 +436,7 @@ pub struct Pipeline {
     inputs: usize,
     judge: JudgeSpec,
     steering_tolerance_degrees: f32,
+    serve_checkpoints: Option<PathBuf>,
 }
 
 impl Pipeline {
@@ -363,6 +465,7 @@ impl Pipeline {
             inputs: 5,
             judge: JudgeSpec::Auto,
             steering_tolerance_degrees: 60.0,
+            serve_checkpoints: None,
         }
     }
 
@@ -461,6 +564,13 @@ impl Pipeline {
         self
     }
 
+    /// Sets the checkpoint directory [`Pipeline::serve_run`] keeps its per-arm campaign
+    /// checkpoint files under. Ignored by [`Pipeline::run`] / [`Pipeline::run_full`].
+    pub fn serve_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.serve_checkpoints = Some(dir.into());
+        self
+    }
+
     /// Runs the pipeline and returns the serializable report.
     ///
     /// # Errors
@@ -476,6 +586,36 @@ impl Pipeline {
     ///
     /// See [`Pipeline::run`].
     pub fn run_full(self) -> Result<PipelineOutcome, PipelineError> {
+        self.run_with_exec(&mut CampaignExec::InProcess)
+    }
+
+    /// Runs the pipeline like [`Pipeline::run_full`], but executes both campaign arms
+    /// through the checkpointed streaming driver shared with the campaign service:
+    /// `sink` observes both arms' full event streams (the baseline arm first, then the
+    /// protected arm), and every completed chunk is durable under the configured
+    /// checkpoint directory before its event is emitted — so a killed pipeline re-run
+    /// resumes its campaign arms instead of recomputing them, with bit-for-bit
+    /// identical counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] if [`Pipeline::serve_checkpoint_dir`]
+    /// was not set, [`PipelineError::Interrupted`] if `sink` stops a campaign arm
+    /// early, and the [`Pipeline::run`] errors otherwise.
+    pub fn serve_run(
+        mut self,
+        sink: &mut dyn CampaignSink,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let dir = self.serve_checkpoints.take().ok_or_else(|| {
+            PipelineError::InvalidConfig(
+                "serve_run needs a checkpoint directory; call serve_checkpoint_dir(..) first"
+                    .to_string(),
+            )
+        })?;
+        self.run_with_exec(&mut CampaignExec::Streamed { dir, sink })
+    }
+
+    fn run_with_exec(self, exec: &mut CampaignExec<'_>) -> Result<PipelineOutcome, PipelineError> {
         if !(0.0..=1.0).contains(&self.profile_fraction) || self.profile_fraction.is_nan() {
             return Err(PipelineError::InvalidConfig(format!(
                 "profile fraction must lie in [0, 1], got {} (the paper profiles 20% of \
@@ -549,9 +689,8 @@ impl Pipeline {
                     )?,
                 };
                 let judge = self.judge.build(&model);
-                let baseline = run_model_campaign(&model, &inputs, judge.as_ref(), config)?;
-                let shielded =
-                    run_model_campaign(&protected.model, &inputs, judge.as_ref(), config)?;
+                let baseline = exec.run(&model, &inputs, judge.as_ref(), config)?;
+                let shielded = exec.run(&protected.model, &inputs, judge.as_ref(), config)?;
                 let coverage_percent = baseline
                     .rates()
                     .iter()
@@ -844,6 +983,85 @@ mod tests {
             err.to_string().contains("does not match"),
             "unexpected error: {err}"
         );
+    }
+
+    /// `serve_run` drives both campaign arms through the checkpointed streaming
+    /// executor: results match `run_full` bit-for-bit, the sink observes both arms'
+    /// full event streams, and a second run over the same checkpoint directory replays
+    /// every chunk from the durable store instead of recomputing it.
+    #[test]
+    fn serve_run_matches_run_full_and_resumes_from_its_checkpoints() {
+        use ranger_serve::{CampaignEvent, CollectSink};
+        let build = || {
+            Pipeline::for_model(ModelKind::LeNet)
+                .seed(31)
+                .train(quick_recipe())
+                .zoo(temp_zoo("serve"))
+                .campaign(CampaignConfig {
+                    trials: 12,
+                    batch: 1,
+                    workers: 2,
+                    seed: 31,
+                    ..CampaignConfig::default()
+                })
+                .inputs(2)
+        };
+        let reference = build().run_full().unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("ranger-engine-serve-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sink = CollectSink::new();
+        let outcome = build()
+            .serve_checkpoint_dir(&dir)
+            .serve_run(&mut sink)
+            .unwrap();
+        assert_eq!(outcome.baseline_result, reference.baseline_result);
+        assert_eq!(outcome.protected_result, reference.protected_result);
+        // Two arms ⇒ two complete event streams, nothing resumed on the first pass.
+        let dones = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::CampaignDone { .. }))
+            .count();
+        assert_eq!(dones, 2);
+        assert!(!sink
+            .events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::ChunkDone { resumed: true, .. })));
+
+        // A second run over the same directory finds every chunk durable: both arms
+        // replay entirely as resumed, with identical results.
+        let mut replay = CollectSink::new();
+        let again = build()
+            .serve_checkpoint_dir(&dir)
+            .serve_run(&mut replay)
+            .unwrap();
+        assert_eq!(again.baseline_result, reference.baseline_result);
+        assert_eq!(again.protected_result, reference.protected_result);
+        assert!(replay.chunks_seen() > 0);
+        assert!(!replay
+            .events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::ChunkDone { resumed: false, .. })));
+
+        // A sink that stops immediately interrupts the arm; durable chunks survive.
+        let err = build()
+            .serve_checkpoint_dir(&dir)
+            .serve_run(&mut CollectSink::stopping_after(0))
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Interrupted), "got {err:?}");
+
+        // Without a checkpoint directory, serve_run refuses up front.
+        let err = build().serve_run(&mut CollectSink::new()).unwrap_err();
+        assert!(
+            matches!(err, PipelineError::InvalidConfig(_)),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("checkpoint"));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -148,6 +148,17 @@ pub enum CampaignError {
     InvalidConfig(String),
     /// A forward pass failed.
     Graph(GraphError),
+    /// Several independent work units failed. `first` is the error of the earliest unit
+    /// in `(input, trial)` order — the same error a serial campaign would have stopped
+    /// on — and `suppressed` counts the additional unit failures that were observed but
+    /// not reported individually (a parallel campaign lets in-flight units complete
+    /// after a failure, so a multi-chunk service failure can produce many).
+    Failures {
+        /// The earliest failure in `(input, trial)` order.
+        first: Box<CampaignError>,
+        /// How many further unit failures were suppressed behind `first`.
+        suppressed: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -157,6 +168,12 @@ impl fmt::Display for CampaignError {
                 write!(f, "invalid campaign configuration: {message}")
             }
             CampaignError::Graph(e) => write!(f, "campaign forward pass failed: {e}"),
+            CampaignError::Failures { first, suppressed } => {
+                write!(
+                    f,
+                    "{first} (plus {suppressed} additional work-unit failure(s) suppressed)"
+                )
+            }
         }
     }
 }
@@ -166,6 +183,7 @@ impl std::error::Error for CampaignError {
         match self {
             CampaignError::InvalidConfig(_) => None,
             CampaignError::Graph(e) => Some(e),
+            CampaignError::Failures { first, .. } => Some(first.as_ref()),
         }
     }
 }
@@ -177,7 +195,7 @@ impl From<GraphError> for CampaignError {
 }
 
 /// The outcome of a fault-injection campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// The SDC categories evaluated (one entry per judge category).
     pub categories: Vec<String>,
@@ -221,6 +239,28 @@ impl CampaignResult {
             .collect()
     }
 
+    /// Accumulates one work unit's partial tally into this result.
+    ///
+    /// Campaign counts are order-independent sums, so absorbing the same set of tallies
+    /// in any order — serial, work-stealing completion order, or a checkpoint-resumed
+    /// mixture — produces bit-for-bit identical totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tally's category count differs from this result's.
+    pub fn absorb(&mut self, tally: &ChunkTally) {
+        assert_eq!(
+            self.sdc_counts.len(),
+            tally.sdc_counts.len(),
+            "cannot absorb a tally with a different category count"
+        );
+        for (count, partial) in self.sdc_counts.iter_mut().zip(&tally.sdc_counts) {
+            *count += partial;
+        }
+        self.trials += tally.trials;
+        self.unactivated += tally.unactivated;
+    }
+
     /// Merges two campaign results over the same categories (e.g. different inputs).
     ///
     /// # Panics
@@ -259,19 +299,36 @@ pub fn trial_rng(seed: u64, input: usize, trial: usize) -> StdRng {
     StdRng::seed_from_u64(trial_stream_seed(seed, input as u64, trial as u64))
 }
 
-/// One schedulable work unit: `len` consecutive trials of one input.
-#[derive(Debug, Clone, Copy)]
-struct TrialChunk {
-    input: usize,
-    start: usize,
-    len: usize,
+/// One schedulable campaign work unit: `len` consecutive trials of one input.
+///
+/// `index` is the chunk's position in the campaign's **canonical chunk order** (inputs
+/// ascending, trial ranges ascending within an input) — the key a checkpoint store uses
+/// to mark a chunk as completed across process restarts. Because fault plans are keyed
+/// by `(input, trial)` index, the trials covered by a chunk are a pure function of the
+/// chunk geometry: any partition of the trial space into chunks reproduces the exact
+/// counts of any other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialChunk {
+    /// Position in the canonical chunk order.
+    pub index: usize,
+    /// Index of the input this chunk injects into.
+    pub input: usize,
+    /// First trial (inclusive) of the range.
+    pub start: usize,
+    /// Number of consecutive trials the chunk executes.
+    pub len: usize,
 }
 
-/// Partial campaign statistics tallied by one work unit.
-struct ChunkTally {
-    sdc_counts: Vec<u64>,
-    trials: u64,
-    unactivated: u64,
+/// Partial campaign statistics tallied by one work unit, in the same category order as
+/// the campaign's [`CampaignResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkTally {
+    /// SDC trials observed by this unit, per judge category.
+    pub sdc_counts: Vec<u64>,
+    /// Trials this unit executed.
+    pub trials: u64,
+    /// Trials whose fault never activated (still counted as benign trials).
+    pub unactivated: u64,
 }
 
 impl ChunkTally {
@@ -297,19 +354,50 @@ impl ChunkTally {
     }
 }
 
-/// How many trials one work unit executes.
+/// The canonical trials-per-work-unit for `config` (the partition [`run_campaign`] and
+/// [`PreparedCampaign::new`] use).
 ///
 /// With batching enabled every unit is exactly one batched forward pass. On the
 /// per-sample path the unit size only affects scheduling granularity (never the results,
 /// which are keyed by trial index): chunks are sized so each worker sees a handful of
 /// units — enough for stealing to rebalance stragglers without paying per-trial
 /// task overhead — and capped so campaigns with many trials still interleave inputs.
-fn chunk_len(config: &CampaignConfig) -> usize {
+pub fn default_chunk_len(config: &CampaignConfig) -> usize {
     if config.batch > 1 {
         config.batch
     } else {
         config.trials.div_ceil(config.workers * 4).clamp(1, 32)
     }
+}
+
+/// Decomposes a campaign over `num_inputs` inputs into its canonical chunk list:
+/// `chunk_len` consecutive trials per unit, inputs ascending, trial ranges ascending
+/// within an input, `TrialChunk::index` numbering the units `0..`.
+///
+/// Any `chunk_len` produces the same campaign counts (trials are index-keyed); it is a
+/// scheduling and checkpoint-granularity knob only. Batched campaigns execute one chunk
+/// per forward pass, so their chunk length must equal the batch size
+/// ([`PreparedCampaign::with_chunk_len`] enforces this).
+pub fn campaign_chunks(
+    config: &CampaignConfig,
+    num_inputs: usize,
+    chunk_len: usize,
+) -> Vec<TrialChunk> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    (0..num_inputs)
+        .flat_map(|input| {
+            (0..config.trials)
+                .step_by(chunk_len)
+                .map(move |start| (input, start, chunk_len.min(config.trials - start)))
+        })
+        .enumerate()
+        .map(|(index, (input, start, len))| TrialChunk {
+            index,
+            input,
+            start,
+            len,
+        })
+        .collect()
 }
 
 /// Runs a fault-injection campaign: for every input, one golden (fault-free) run followed
@@ -334,71 +422,258 @@ pub fn run_campaign(
     judge: &dyn SdcJudge,
     config: &CampaignConfig,
 ) -> Result<CampaignResult, CampaignError> {
-    config.validate()?;
-    let categories = judge.categories();
-    let mut result = CampaignResult {
-        categories: categories.clone(),
-        sdc_counts: vec![0; categories.len()],
-        trials: 0,
-        unactivated: 0,
-    };
-    // Plan once onto the configured backend (an uncompilable graph errors even for an
-    // empty input list, as it always has); golden and faulty passes execute on the same
-    // backend, so on a fixed-point backend the whole campaign — reference outputs
-    // included — is genuine fixed-point inference. The golden passes run in the caller's
-    // buffer arena. Warming with the dominant faulty-pass shape pre-sizes every arena
-    // handed out afterwards — word buffers and f32 mirrors alike on a fixed backend —
-    // so worker first passes of that shape perform no output-buffer allocations (other
-    // shapes — a heterogeneous input, the golden chunks, a short trial tail — re-size
-    // their buffers lazily; the fixed backend's softmax/concat kernels also keep small
-    // per-pass scratch, so only the f32 reference path is strictly allocation-free). A
-    // non-batchable input skips warming; the faulty passes report the real error.
-    let plan = target.graph.compile_with(config.backend.backend())?;
-    if inputs.is_empty() {
-        return Ok(result);
-    }
-    let warm_feed = if config.batch > 1 {
-        inputs[0].repeat_batch(config.batch.min(config.trials)).ok()
-    } else {
-        Some(inputs[0].clone())
-    };
-    if let Some(feed) = warm_feed {
-        plan.warm(&[(target.input_name, feed)])?;
-    }
-    let mut values = plan.buffers();
-    let goldens = golden_outputs(&plan, &mut values, target, inputs, config)?;
-    let spaces: Vec<InjectionSpace> = inputs
-        .iter()
-        .map(|input| InjectionSpace::build_on(&plan, target, input))
-        .collect::<Result<_, _>>()?;
+    let prepared = PreparedCampaign::new(target, inputs, judge, config)?;
+    let mut result = prepared.empty_result();
+    let chunks = prepared.chunks();
 
-    // The faulty runs, as index-keyed work units (chunk order = (input, trial) order).
-    let chunk = chunk_len(config);
-    let units: Vec<TrialChunk> = (0..inputs.len())
-        .flat_map(|input| {
-            (0..config.trials)
-                .step_by(chunk)
-                .map(move |start| TrialChunk {
-                    input,
-                    start,
-                    len: chunk.min(config.trials - start),
-                })
+    let tallies: Vec<ChunkTally> = if config.workers <= 1 {
+        // Serial: every unit runs inline in one arena; the collect short-circuits, so a
+        // failing unit stops the campaign immediately.
+        let mut values = prepared.buffers();
+        chunks
+            .iter()
+            .map(|&unit| prepared.run_chunk(&mut values, unit))
+            .collect::<Result<_, _>>()?
+    } else {
+        // Parallel: units run on the pool, each worker owning its own arena; the pool
+        // returns tallies in unit order whatever the scheduling was. In-flight units
+        // still complete after a failure; the error reported is deterministically the
+        // first in (input, trial) order, annotated with the count of further failures.
+        let prepared = &prepared;
+        collect_unit_results(
+            ThreadPool::new(config.workers).run_with(
+                |_worker| prepared.buffers(),
+                chunks
+                    .iter()
+                    .map(|&unit| move |values: &mut Values| prepared.run_chunk(values, unit)),
+            ),
+        )?
+    };
+    // Reduce in (input, trial) order (the counts are order-independent sums).
+    for tally in &tallies {
+        result.absorb(tally);
+    }
+    Ok(result)
+}
+
+/// Reduces per-unit results: all tallies, or the first error in unit order with the
+/// count of additional suppressed failures attached (so a multi-chunk service failure is
+/// never silently truncated to one error).
+fn collect_unit_results(
+    results: Vec<Result<ChunkTally, CampaignError>>,
+) -> Result<Vec<ChunkTally>, CampaignError> {
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    let mut tallies = Vec::with_capacity(results.len());
+    for result in results {
+        match result {
+            Ok(tally) => tallies.push(tally),
+            Err(first) => {
+                return Err(if failures > 1 {
+                    CampaignError::Failures {
+                        first: Box::new(first),
+                        suppressed: failures - 1,
+                    }
+                } else {
+                    first
+                });
+            }
+        }
+    }
+    Ok(tallies)
+}
+
+/// A campaign compiled down to its schedulable work units: the execution plan, the
+/// golden outputs, the per-input injection spaces and the canonical chunk list.
+///
+/// This is the seam the streaming campaign service (`ranger-serve`) builds on: prepare
+/// once, then execute any subset of [`PreparedCampaign::chunks`] in any order — on any
+/// executor — and sum the [`ChunkTally`]s. Because fault plans are keyed by
+/// `(input, trial)` index, every such execution reproduces the counts of
+/// [`run_campaign`] bit for bit; skipping chunks whose tallies were already persisted by
+/// a checkpoint store is how a killed campaign resumes without re-running its prefix.
+pub struct PreparedCampaign<'a> {
+    target: &'a InjectionTarget<'a>,
+    inputs: &'a [Tensor],
+    judge: &'a dyn SdcJudge,
+    config: CampaignConfig,
+    plan: ExecPlan<'a>,
+    goldens: Vec<Tensor>,
+    spaces: Vec<InjectionSpace>,
+    categories: Vec<String>,
+    chunks: Vec<TrialChunk>,
+}
+
+impl<'a> PreparedCampaign<'a> {
+    /// Prepares a campaign with the canonical chunk length ([`default_chunk_len`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignError`] if the configuration is degenerate, the graph cannot
+    /// be compiled on the configured backend, or a golden pass fails.
+    pub fn new(
+        target: &'a InjectionTarget<'a>,
+        inputs: &'a [Tensor],
+        judge: &'a dyn SdcJudge,
+        config: &CampaignConfig,
+    ) -> Result<Self, CampaignError> {
+        // Validate before computing the default chunk length, which divides by `workers`.
+        config.validate()?;
+        Self::with_chunk_len(target, inputs, judge, config, default_chunk_len(config))
+    }
+
+    /// Prepares a campaign partitioned into `chunk_len`-trial work units.
+    ///
+    /// Any chunk length reproduces the same counts; it only sets scheduling and
+    /// checkpoint granularity. Batched campaigns execute one chunk per `[batch, ...]`
+    /// forward pass, so `chunk_len` must equal `config.batch` when batching is enabled.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedCampaign::new`]; additionally rejects a zero `chunk_len` and a
+    /// batched configuration whose `chunk_len` differs from the batch size.
+    pub fn with_chunk_len(
+        target: &'a InjectionTarget<'a>,
+        inputs: &'a [Tensor],
+        judge: &'a dyn SdcJudge,
+        config: &CampaignConfig,
+        chunk_len: usize,
+    ) -> Result<Self, CampaignError> {
+        config.validate()?;
+        if chunk_len == 0 {
+            return Err(CampaignError::InvalidConfig(
+                "campaign chunk length must be positive".to_string(),
+            ));
+        }
+        if config.batch > 1 && chunk_len != config.batch {
+            return Err(CampaignError::InvalidConfig(format!(
+                "campaign chunk length {chunk_len} does not match batch size {}: a \
+                 batched campaign executes exactly one chunk per forward pass",
+                config.batch
+            )));
+        }
+        // Plan once onto the configured backend (an uncompilable graph errors even for
+        // an empty input list, as it always has); golden and faulty passes execute on
+        // the same backend, so on a fixed-point backend the whole campaign — reference
+        // outputs included — is genuine fixed-point inference. Warming with the dominant
+        // faulty-pass shape pre-sizes every arena handed out afterwards — word buffers
+        // and f32 mirrors alike on a fixed backend — so worker first passes of that
+        // shape perform no output-buffer allocations (other shapes — a heterogeneous
+        // input, the golden chunks, a short trial tail — re-size their buffers lazily;
+        // the fixed backend's softmax/concat kernels also keep small per-pass scratch,
+        // so only the f32 reference path is strictly allocation-free). A non-batchable
+        // input skips warming; the faulty passes report the real error.
+        let plan = target.graph.compile_with(config.backend.backend())?;
+        let categories = judge.categories();
+        if inputs.is_empty() {
+            return Ok(PreparedCampaign {
+                target,
+                inputs,
+                judge,
+                config: *config,
+                plan,
+                goldens: Vec::new(),
+                spaces: Vec::new(),
+                categories,
+                chunks: Vec::new(),
+            });
+        }
+        let warm_feed = if config.batch > 1 {
+            inputs[0].repeat_batch(config.batch.min(config.trials)).ok()
+        } else {
+            Some(inputs[0].clone())
+        };
+        if let Some(feed) = warm_feed {
+            plan.warm(&[(target.input_name, feed)])?;
+        }
+        let mut values = plan.buffers();
+        let goldens = golden_outputs(&plan, &mut values, target, inputs, config)?;
+        let spaces: Vec<InjectionSpace> = inputs
+            .iter()
+            .map(|input| InjectionSpace::build_on(&plan, target, input))
+            .collect::<Result<_, _>>()?;
+        let chunks = campaign_chunks(config, inputs.len(), chunk_len);
+        Ok(PreparedCampaign {
+            target,
+            inputs,
+            judge,
+            config: *config,
+            plan,
+            goldens,
+            spaces,
+            categories,
+            chunks,
         })
-        .collect();
-    let run_chunk = |values: &mut Values, unit: TrialChunk| -> Result<ChunkTally, CampaignError> {
-        let input = &inputs[unit.input];
-        let golden = &goldens[unit.input];
-        let space = &spaces[unit.input];
-        let mut tally = ChunkTally::new(categories.len());
+    }
+
+    /// The campaign's work units in canonical order.
+    pub fn chunks(&self) -> &[TrialChunk] {
+        &self.chunks
+    }
+
+    /// The judge categories, in the order every tally and result reports them.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// The configuration this campaign was prepared with.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The number of inputs the campaign injects into.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The fault-free outputs, one per input (computed during preparation).
+    pub fn goldens(&self) -> &[Tensor] {
+        &self.goldens
+    }
+
+    /// A fresh buffer arena for executing chunks (one per executor thread).
+    pub fn buffers(&self) -> Values {
+        self.plan.buffers()
+    }
+
+    /// An all-zero result over this campaign's categories, ready to
+    /// [`absorb`](CampaignResult::absorb) chunk tallies.
+    pub fn empty_result(&self) -> CampaignResult {
+        CampaignResult {
+            categories: self.categories.clone(),
+            sdc_counts: vec![0; self.categories.len()],
+            trials: 0,
+            unactivated: 0,
+        }
+    }
+
+    /// Executes one work unit in the given arena and returns its partial tally.
+    ///
+    /// Chunks are independent: any execution order, any thread, any subset. The tally of
+    /// a chunk depends only on the campaign configuration and the chunk geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignError`] if a forward pass fails or the input cannot be
+    /// batched.
+    pub fn run_chunk(
+        &self,
+        values: &mut Values,
+        unit: TrialChunk,
+    ) -> Result<ChunkTally, CampaignError> {
+        let input = &self.inputs[unit.input];
+        let golden = &self.goldens[unit.input];
+        let space = &self.spaces[unit.input];
+        let config = &self.config;
+        let mut tally = ChunkTally::new(self.categories.len());
         if config.batch <= 1 {
             // Per-sample path: one forward pass per trial.
-            let feeds = [(target.input_name, input.clone())];
+            let feeds = [(self.target.input_name, input.clone())];
             for trial in unit.start..unit.start + unit.len {
                 let mut rng = trial_rng(config.seed, unit.input, trial);
                 let mut injector = FaultInjector::plan_random(config.fault, space, &mut rng);
-                plan.run_into(values, &feeds, &mut injector)?;
-                let faulty = values.get(target.output)?;
-                tally.record(judge, golden, faulty, injector.fully_injected());
+                self.plan.run_into(values, &feeds, &mut injector)?;
+                let faulty = values.get(self.target.output)?;
+                tally.record(self.judge, golden, faulty, injector.fully_injected());
             }
         } else {
             // Batched path: the whole chunk in one [len, ...] pass, one plan per row group.
@@ -413,51 +688,19 @@ pub fn run_campaign(
             })?;
             let rows_per_trial = input.batch_rows();
             let mut injector = BatchFaultInjector::new(plans, space);
-            plan.run_into(values, &[(target.input_name, feed)], &mut injector)?;
+            self.plan
+                .run_into(values, &[(self.target.input_name, feed)], &mut injector)?;
             if let Some(violation) = injector.violation() {
                 return Err(CampaignError::InvalidConfig(violation.to_string()));
             }
-            let output = values.get(target.output)?;
+            let output = values.get(self.target.output)?;
             for (t, trial) in injector.trials().iter().enumerate() {
                 let faulty = slice_row_group(output, t * rows_per_trial, rows_per_trial)?;
-                tally.record(judge, golden, &faulty, trial.fully_injected());
+                tally.record(self.judge, golden, &faulty, trial.fully_injected());
             }
         }
         Ok(tally)
-    };
-
-    let tallies: Vec<ChunkTally> = if config.workers <= 1 {
-        // Serial: every unit runs inline, reusing the caller's arena; the collect
-        // short-circuits, so a failing unit stops the campaign immediately.
-        units
-            .iter()
-            .map(|&unit| run_chunk(&mut values, unit))
-            .collect::<Result<_, _>>()?
-    } else {
-        // Parallel: units run on the pool, each worker owning its own arena; the pool
-        // returns tallies in unit order whatever the scheduling was. In-flight units
-        // still complete after a failure, but the error reported is deterministically
-        // the first in (input, trial) order.
-        let run_chunk = &run_chunk;
-        ThreadPool::new(config.workers)
-            .run_with(
-                |_worker| plan.buffers(),
-                units
-                    .iter()
-                    .map(|&unit| move |values: &mut Values| run_chunk(values, unit)),
-            )
-            .into_iter()
-            .collect::<Result<_, _>>()?
-    };
-    // Reduce in (input, trial) order (the counts are order-independent sums).
-    for tally in tallies {
-        for (count, partial) in result.sdc_counts.iter_mut().zip(&tally.sdc_counts) {
-            *count += partial;
-        }
-        result.trials += tally.trials;
-        result.unactivated += tally.unactivated;
     }
-    Ok(result)
 }
 
 /// Computes the fault-free output of every input: one pass per input on the per-sample
@@ -1022,6 +1265,147 @@ mod tests {
             ..CampaignConfig::default()
         };
         assert!(emulation.validate().is_ok());
+    }
+
+    /// When several parallel work units fail, the reported error must carry the count of
+    /// the suppressed ones — a multi-chunk service failure is not one failure.
+    #[test]
+    fn parallel_failures_report_the_suppressed_count() {
+        use ranger_graph::{Graph, Op};
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        // Same non-batch-scaling shape as above: every batched chunk fails.
+        let c = g.add_const("c", Tensor::ones(vec![50]), false);
+        let _frozen = g.add_node("frozen", Op::Identity, vec![c]);
+        let y = g.add_node("double", Op::ScalarMul { factor: 2.0 }, vec![x]);
+        let target = InjectionTarget {
+            graph: &g,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 3])];
+        let judge = ClassifierJudge::top1();
+        let config = |trials| CampaignConfig {
+            trials,
+            batch: 4,
+            workers: 2,
+            seed: 4,
+            ..CampaignConfig::default()
+        };
+        // 20 trials / batch 4 = 5 chunks, all failing: first error + 4 suppressed.
+        let err = run_campaign(&target, &inputs, &judge, &config(20)).unwrap_err();
+        match &err {
+            CampaignError::Failures { first, suppressed } => {
+                assert_eq!(*suppressed, 4, "expected 4 suppressed failures: {err}");
+                assert!(
+                    first.to_string().contains("batch dimension"),
+                    "first error lost its message: {first}"
+                );
+            }
+            other => panic!("expected CampaignError::Failures, got {other:?}"),
+        }
+        assert!(
+            err.to_string().contains("4 additional work-unit failure"),
+            "display should surface the suppressed count: {err}"
+        );
+        // A single failing unit stays unwrapped: no "plus 0 suppressed" noise.
+        let err = run_campaign(&target, &inputs, &judge, &config(4)).unwrap_err();
+        assert!(
+            !matches!(err, CampaignError::Failures { .. }),
+            "a lone failure must not be wrapped: {err:?}"
+        );
+    }
+
+    /// `campaign_chunks` covers the `inputs × trials` space exactly once, in canonical
+    /// `(input, trial)` order, with contiguous indices.
+    #[test]
+    fn campaign_chunks_partition_the_trial_space() {
+        let config = CampaignConfig {
+            trials: 23,
+            ..CampaignConfig::default()
+        };
+        let chunks = campaign_chunks(&config, 3, 7);
+        assert_eq!(chunks.len(), 3 * 4); // ceil(23 / 7) = 4 chunks per input
+        let mut expected_index = 0;
+        for input in 0..3 {
+            let mut next_trial = 0;
+            for chunk in chunks.iter().filter(|c| c.input == input) {
+                assert_eq!(chunk.index, expected_index);
+                assert_eq!(chunk.start, next_trial);
+                assert!(chunk.len > 0);
+                next_trial += chunk.len;
+                expected_index += 1;
+            }
+            assert_eq!(next_trial, config.trials, "input {input} not fully covered");
+        }
+    }
+
+    /// Executing a prepared campaign's chunks manually — in reverse order, in one arena —
+    /// absorbs to the exact counts of `run_campaign`. This is the contract the resumable
+    /// service is built on.
+    #[test]
+    fn prepared_campaign_chunks_reproduce_run_campaign_in_any_order() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
+        let judge = ClassifierJudge::top1();
+        let config = CampaignConfig {
+            trials: 25,
+            batch: 1,
+            workers: 1,
+            seed: 11,
+            ..CampaignConfig::default()
+        };
+        let reference = run_campaign(&target, &inputs, &judge, &config).unwrap();
+
+        // A chunk length unrelated to the default partition.
+        let prepared = PreparedCampaign::with_chunk_len(&target, &inputs, &judge, &config, 6)
+            .expect("preparation failed");
+        let mut values = prepared.buffers();
+        let mut result = prepared.empty_result();
+        let mut chunks: Vec<TrialChunk> = prepared.chunks().to_vec();
+        chunks.reverse();
+        for chunk in chunks {
+            let tally = prepared.run_chunk(&mut values, chunk).unwrap();
+            result.absorb(&tally);
+        }
+        assert_eq!(result.sdc_counts, reference.sdc_counts);
+        assert_eq!(result.trials, reference.trials);
+        assert_eq!(result.unactivated, reference.unactivated);
+    }
+
+    /// A batched campaign's chunk length is its batch size — anything else is rejected
+    /// before any pass runs.
+    #[test]
+    fn prepared_campaign_rejects_chunk_len_batch_mismatch() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6])];
+        let judge = ClassifierJudge::top1();
+        let config = CampaignConfig {
+            trials: 12,
+            batch: 4,
+            ..CampaignConfig::default()
+        };
+        let err = PreparedCampaign::with_chunk_len(&target, &inputs, &judge, &config, 3)
+            .err()
+            .expect("mismatched chunk length must be rejected");
+        assert!(err.to_string().contains("does not match batch size"));
+        let err = PreparedCampaign::with_chunk_len(&target, &inputs, &judge, &config, 0)
+            .err()
+            .expect("zero chunk length must be rejected");
+        assert!(err.to_string().contains("must be positive"));
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub mod judge;
 pub mod sensitivity;
 pub mod space;
 
-pub use campaign::{run_campaign, trial_rng, CampaignConfig, CampaignError, CampaignResult};
+pub use campaign::{
+    campaign_chunks, default_chunk_len, run_campaign, trial_rng, CampaignConfig, CampaignError,
+    CampaignResult, ChunkTally, PreparedCampaign, TrialChunk,
+};
 pub use fault::FaultModel;
 pub use injector::{BatchFaultInjector, FaultInjector};
 pub use judge::{ClassifierJudge, SdcJudge, SteeringJudge};
@@ -80,7 +83,8 @@ pub use space::{InjectionSite, InjectionSpace};
 /// Convenience re-exports for experiment code.
 pub mod prelude {
     pub use crate::campaign::{
-        run_campaign, trial_rng, CampaignConfig, CampaignError, CampaignResult,
+        campaign_chunks, default_chunk_len, run_campaign, trial_rng, CampaignConfig, CampaignError,
+        CampaignResult, ChunkTally, PreparedCampaign, TrialChunk,
     };
     pub use crate::fault::FaultModel;
     pub use crate::injector::{BatchFaultInjector, FaultInjector};

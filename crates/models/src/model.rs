@@ -99,6 +99,29 @@ impl fmt::Display for ModelKind {
     }
 }
 
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    /// Parses the user-facing model names accepted across the CLI and the campaign
+    /// service (case-insensitive, with the common aliases).
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name.to_ascii_lowercase().as_str() {
+            "lenet" => Ok(ModelKind::LeNet),
+            "alexnet" => Ok(ModelKind::AlexNet),
+            "vgg11" => Ok(ModelKind::Vgg11),
+            "vgg16" => Ok(ModelKind::Vgg16),
+            "resnet18" | "resnet-18" | "resnet" => Ok(ModelKind::ResNet18),
+            "squeezenet" => Ok(ModelKind::SqueezeNet),
+            "dave" => Ok(ModelKind::Dave),
+            "comma" | "comma.ai" => Ok(ModelKind::Comma),
+            other => Err(format!(
+                "unknown model '{other}' (expected lenet, alexnet, vgg11, vgg16, \
+                 resnet18, squeezenet, dave or comma)"
+            )),
+        }
+    }
+}
+
 /// The activation function family a model is built with.
 ///
 /// The default is ReLU (as in the paper's original models); `Tanh` reproduces the defence

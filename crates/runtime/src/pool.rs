@@ -157,6 +157,86 @@ impl ThreadPool {
         debug_assert_eq!(completed.len(), task_count);
         completed.into_iter().map(|(_, result)| result).collect()
     }
+
+    /// Runs every task like [`ThreadPool::run_with`], but delivers each `(index, result)`
+    /// pair to `consume` **as it completes**, on the calling thread, instead of
+    /// collecting results into a `Vec`.
+    ///
+    /// This is the streaming entry point the campaign service drives: workers push
+    /// completed chunk tallies through a channel while the caller — which owns the
+    /// checkpoint file and the client event stream — consumes them incrementally, so a
+    /// million-trial campaign reports progress long before it finishes. Completion order
+    /// is arbitrary (that's the point of stealing); consumers wanting ordered emission
+    /// reorder on `index`.
+    ///
+    /// With one worker, tasks run inline and `consume` is called after each task in task
+    /// order — same semantics, no threads. `consume` is `FnMut` on the caller's thread,
+    /// so it may freely mutate caller state (append to a file, update a tally) without
+    /// locks. The pool still joins all workers before returning.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first observed task (or `init`) panic after all workers have
+    /// stopped. If `consume` panics, remaining results are dropped and the panic
+    /// surfaces once the workers retire.
+    pub fn run_with_consumer<S, T, F, I, N, C>(&self, init: N, tasks: I, mut consume: C)
+    where
+        T: Send,
+        F: FnOnce(&mut S) -> T + Send,
+        I: IntoIterator<Item = F>,
+        N: Fn(usize) -> S + Sync,
+        C: FnMut(usize, T),
+    {
+        let tasks: Vec<F> = tasks.into_iter().collect();
+        let task_count = tasks.len();
+        if task_count == 0 {
+            return;
+        }
+        if self.workers == 1 {
+            // Inline fast path: no threads, strictly task-ordered delivery.
+            let mut scratch = init(0);
+            for (index, task) in tasks.into_iter().enumerate() {
+                consume(index, task(&mut scratch));
+            }
+            return;
+        }
+
+        let workers = self.workers.min(task_count);
+        let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (index, task) in tasks.into_iter().enumerate() {
+            queues[index % workers]
+                .lock()
+                .expect("queue lock poisoned during distribution")
+                .push_back((index, task));
+        }
+
+        let (sender, receiver) = std::sync::mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let queues = &queues;
+                let init = &init;
+                let sender = sender.clone();
+                scope.spawn(move || {
+                    let mut scratch = init(worker);
+                    while let Some((index, task)) = next_task(queues, worker) {
+                        // A send only fails when the consumer was dropped early (a
+                        // panicking `consume`); finishing the remaining tasks silently
+                        // is then the most useful behavior — the panic is already on
+                        // its way to the caller.
+                        let _ = sender.send((index, task(&mut scratch)));
+                    }
+                });
+            }
+            // Drop the caller's clone so the receiver disconnects once all workers
+            // retire; until then, deliver results as they arrive.
+            drop(sender);
+            for (index, result) in receiver {
+                consume(index, result);
+            }
+            // `scope` joins every worker here and re-raises the first panic, if any.
+        });
+    }
 }
 
 /// Pops the next task for `worker`: the front of its own queue, else the back entry of
@@ -307,5 +387,116 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
         ThreadPool::new(0);
+    }
+
+    #[test]
+    fn consumer_receives_every_result_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let mut seen = [false; 100];
+        pool.run_with_consumer(
+            |_| (),
+            (0..100usize).map(|i| move |_: &mut ()| i * 3),
+            |index, result| {
+                assert_eq!(result, index * 3);
+                assert!(!seen[index], "result {index} delivered twice");
+                seen[index] = true;
+            },
+        );
+        assert!(seen.iter().all(|&s| s), "some results never arrived");
+    }
+
+    #[test]
+    fn consumer_runs_on_the_calling_thread_and_may_mutate_caller_state() {
+        let caller = std::thread::current().id();
+        let pool = ThreadPool::new(3);
+        let mut total = 0u64;
+        pool.run_with_consumer(
+            |_| (),
+            (1..=50u64).map(|i| move |_: &mut ()| i),
+            |_, value| {
+                assert_eq!(std::thread::current().id(), caller);
+                total += value; // no lock: `consume` is exclusive to the caller
+            },
+        );
+        assert_eq!(total, 50 * 51 / 2);
+    }
+
+    #[test]
+    fn consumer_observes_results_before_all_tasks_finish() {
+        // One task blocks until the consumer has seen another task's result — only
+        // possible if delivery is incremental, not join-then-deliver.
+        use std::sync::atomic::AtomicBool;
+        let unblocked = AtomicBool::new(false);
+        let pool = ThreadPool::new(2);
+        let mut order = Vec::new();
+        pool.run_with_consumer(
+            |_| (),
+            vec![
+                Box::new(|_: &mut ()| {
+                    while !unblocked.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    0usize
+                }) as Box<dyn FnOnce(&mut ()) -> usize + Send>,
+                Box::new(|_: &mut ()| 1usize),
+            ],
+            |index, _| {
+                if index == 1 {
+                    unblocked.store(true, Ordering::SeqCst);
+                }
+                order.push(index);
+            },
+        );
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], 1, "the blocked task's result cannot arrive first");
+    }
+
+    #[test]
+    fn single_worker_consumer_is_inline_and_task_ordered() {
+        let pool = ThreadPool::new(1);
+        let mut order = Vec::new();
+        pool.run_with_consumer(
+            |_| (),
+            (0..10usize).map(|i| move |_: &mut ()| i),
+            |index, result| {
+                assert_eq!(index, result);
+                order.push(index);
+            },
+        );
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consumer_with_empty_task_list_is_a_no_op() {
+        let pool = ThreadPool::new(4);
+        pool.run_with_consumer(
+            |_| (),
+            Vec::<fn(&mut ()) -> u32>::new(),
+            |_, _| panic!("no results expected"),
+        );
+    }
+
+    #[test]
+    fn a_panicking_task_still_reaches_the_consumer_caller() {
+        let pool = ThreadPool::new(2);
+        let delivered = AtomicUsize::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_with_consumer(
+                |_| (),
+                (0..16).map(|i| {
+                    move |_: &mut ()| {
+                        if i == 7 {
+                            panic!("task 7 exploded");
+                        }
+                        i
+                    }
+                }),
+                |_, _| {
+                    delivered.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        }));
+        assert!(outcome.is_err(), "worker panic must reach the caller");
+        assert!(delivered.load(Ordering::SeqCst) <= 15);
     }
 }

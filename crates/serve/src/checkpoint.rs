@@ -1,0 +1,319 @@
+//! The append-only, fsync'd checkpoint store.
+//!
+//! A checkpoint file is a line-JSON log: a header line naming the format version and the
+//! campaign [fingerprint](crate::fingerprint::campaign_fingerprint), then one record per
+//! completed chunk, appended in completion order and `fsync`'d before the chunk is
+//! reported downstream — so every chunk event a client ever observed is durable. On
+//! open, a file whose final line was torn by a crash mid-write is truncated back to the
+//! last complete record (the log is append-only, so everything before the tear is
+//! intact); corruption anywhere else is refused loudly.
+//!
+//! Records are keyed by chunk *index* into the campaign's canonical partition, so the
+//! file's order carries no meaning and replaying is order-independent. The driver
+//! additionally verifies each record's geometry against the prepared campaign before
+//! trusting it — a fingerprint match plus geometry match is what makes resumed counts
+//! provably identical to an uninterrupted run.
+
+use crate::ServeError;
+use ranger_inject::{ChunkTally, TrialChunk};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk checkpoint format; files with any other version are refused.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The header line opening every checkpoint file.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    version: u32,
+    fingerprint: String,
+}
+
+/// One durable completed-chunk record: the chunk's geometry plus its tally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// The work unit this record completes.
+    pub chunk: TrialChunk,
+    /// The partial counts that unit produced.
+    pub tally: ChunkTally,
+}
+
+/// An open checkpoint file: the already-completed records plus an append handle.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    file: File,
+    fingerprint: String,
+    completed: BTreeMap<usize, ChunkRecord>,
+}
+
+impl CheckpointStore {
+    /// Opens (or creates) the checkpoint file at `path` for the campaign identified by
+    /// `fingerprint`.
+    ///
+    /// A fresh file gets a header and is fsync'd immediately. An existing file is
+    /// replayed: its records populate [`CheckpointStore::completed`], and a torn final
+    /// line — the signature of a crash mid-append — is silently truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::FingerprintMismatch`] if the file belongs to a different
+    /// campaign, [`ServeError::Corrupt`] if it is malformed beyond a torn tail (wrong
+    /// version, unparseable interior line, missing header), or [`ServeError::Io`] on
+    /// file-system failures.
+    pub fn open(path: &Path, fingerprint: &str) -> Result<Self, ServeError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut content = String::new();
+        file.read_to_string(&mut content)?;
+
+        let mut completed = BTreeMap::new();
+        if content.is_empty() {
+            let header = serde_json::to_string(&Header {
+                version: CHECKPOINT_VERSION,
+                fingerprint: fingerprint.to_string(),
+            })?;
+            file.write_all(header.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_data()?;
+        } else {
+            // Walk the log line by line, tracking the byte offset of the last line that
+            // parsed, so a torn tail can be truncated precisely.
+            let mut lines = split_with_offsets(&content);
+            let (header_line, header_end) = lines
+                .next()
+                .ok_or_else(|| ServeError::Corrupt("empty header line".to_string()))?;
+            let header: Header = serde_json::from_str(header_line).map_err(|e| {
+                ServeError::Corrupt(format!("unreadable header '{header_line}': {e}"))
+            })?;
+            if header.version != CHECKPOINT_VERSION {
+                return Err(ServeError::Corrupt(format!(
+                    "checkpoint format version {} is not the supported version \
+                     {CHECKPOINT_VERSION}",
+                    header.version
+                )));
+            }
+            if header.fingerprint != fingerprint {
+                return Err(ServeError::FingerprintMismatch {
+                    expected: fingerprint.to_string(),
+                    found: header.fingerprint,
+                });
+            }
+            let mut valid_len = header_end;
+            let mut torn = false;
+            while let Some((line, end)) = lines.next() {
+                if line.is_empty() {
+                    continue; // a trailing newline produces one empty fragment
+                }
+                match serde_json::from_str::<ChunkRecord>(line) {
+                    Ok(record) => {
+                        completed.insert(record.chunk.index, record);
+                        valid_len = end;
+                    }
+                    Err(e) => {
+                        // Only the final line may fail to parse (a record torn by a
+                        // crash mid-write); anything earlier means real corruption.
+                        if lines.next().is_some() {
+                            return Err(ServeError::Corrupt(format!(
+                                "unreadable interior record '{line}': {e}"
+                            )));
+                        }
+                        torn = true;
+                    }
+                }
+            }
+            if torn || valid_len < content.len() as u64 {
+                file.set_len(valid_len)?;
+                file.sync_data()?;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(CheckpointStore {
+            path: path.to_path_buf(),
+            file,
+            fingerprint: fingerprint.to_string(),
+            completed,
+        })
+    }
+
+    /// The campaign fingerprint this store is keyed by.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The completed-chunk records recovered from (and appended to) this file, keyed by
+    /// chunk index.
+    pub fn completed(&self) -> &BTreeMap<usize, ChunkRecord> {
+        &self.completed
+    }
+
+    /// Number of completed chunks on record.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether no chunk has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Durably appends one completed-chunk record: the line is written and `fsync`'d
+    /// before this returns, so a caller that then reports the chunk downstream can
+    /// guarantee every reported chunk survives a kill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Json`] or [`ServeError::Io`] if encoding or the durable
+    /// write fails.
+    pub fn append(&mut self, record: &ChunkRecord) -> Result<(), ServeError> {
+        let line = serde_json::to_string(record)?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()?;
+        self.completed.insert(record.chunk.index, record.clone());
+        Ok(())
+    }
+}
+
+/// Splits `content` at newlines, yielding each line together with the byte offset just
+/// past its terminating newline (or past the end for an unterminated final line).
+fn split_with_offsets(content: &str) -> impl Iterator<Item = (&str, u64)> {
+    let bytes_total = content.len() as u64;
+    content.split('\n').scan(0u64, move |offset, line| {
+        let start = *offset;
+        let end = start + line.len() as u64;
+        // +1 for the newline, unless this is an unterminated final fragment.
+        *offset = (end + 1).min(bytes_total.max(end));
+        Some((line, (*offset).min(bytes_total)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ranger-serve-checkpoint-{}-{name}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn record(index: usize, trials: u64) -> ChunkRecord {
+        ChunkRecord {
+            chunk: TrialChunk {
+                index,
+                input: 0,
+                start: index * trials as usize,
+                len: trials as usize,
+            },
+            tally: ChunkTally {
+                sdc_counts: vec![index as u64],
+                trials,
+                unactivated: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn append_and_reopen_round_trips_records() {
+        let path = tmp("round-trip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = CheckpointStore::open(&path, "f00d").unwrap();
+            assert!(store.is_empty());
+            store.append(&record(0, 8)).unwrap();
+            store.append(&record(2, 8)).unwrap();
+            assert_eq!(store.len(), 2);
+        }
+        let store = CheckpointStore::open(&path, "f00d").unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.completed()[&0], record(0, 8));
+        assert_eq!(store.completed()[&2], record(2, 8));
+        assert!(!store.completed().contains_key(&1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_torn_final_record_is_truncated_and_earlier_records_survive() {
+        let path = tmp("torn-tail");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = CheckpointStore::open(&path, "f00d").unwrap();
+            store.append(&record(0, 8)).unwrap();
+            store.append(&record(1, 8)).unwrap();
+        }
+        // Simulate a crash mid-append: half a record at the end, no newline.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"chunk\":{\"index\":2,\"inp").unwrap();
+        drop(file);
+
+        let before = std::fs::metadata(&path).unwrap().len();
+        let store = CheckpointStore::open(&path, "f00d").unwrap();
+        assert_eq!(store.len(), 2, "intact records must survive the tear");
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "the torn tail must be truncated");
+
+        // The truncated file reopens cleanly and accepts new appends.
+        let mut store = CheckpointStore::open(&path, "f00d").unwrap();
+        store.append(&record(2, 8)).unwrap();
+        drop(store);
+        let store = CheckpointStore::open(&path, "f00d").unwrap();
+        assert_eq!(store.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let path = tmp("mismatch");
+        let _ = std::fs::remove_file(&path);
+        drop(CheckpointStore::open(&path, "aaaa").unwrap());
+        let err = CheckpointStore::open(&path, "bbbb").unwrap_err();
+        assert!(
+            matches!(err, ServeError::FingerprintMismatch { .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("aaaa"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_version_and_interior_corruption_are_refused() {
+        let path = tmp("version");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{\"version\":99,\"fingerprint\":\"aaaa\"}\n").unwrap();
+        let err = CheckpointStore::open(&path, "aaaa").unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "got {err:?}");
+
+        // Interior garbage (a non-final unreadable line) is corruption, not a torn tail.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\ngarbage-line\n{}\n",
+                "{\"version\":1,\"fingerprint\":\"aaaa\"}",
+                serde_json::to_string(&record(0, 4)).unwrap()
+            ),
+        )
+        .unwrap();
+        let err = CheckpointStore::open(&path, "aaaa").unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

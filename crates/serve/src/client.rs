@@ -1,0 +1,158 @@
+//! The blocking client the CLI (and the tests) use to talk to a campaign server.
+//!
+//! One request per connection, mirroring the server's framing: connect, write one JSON
+//! line, read the response line(s). [`Client::stream`] keeps its connection open and
+//! delivers each event to a callback until the server sends the terminal
+//! [`Response::End`] line.
+
+use crate::protocol::{Request, Response, StatusInfo};
+use crate::sink::CampaignEvent;
+use crate::spec::CampaignSpec;
+use crate::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Summary returned by a successful submit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submitted {
+    /// The campaign id (its fingerprint hex) — pass to status/stream/cancel.
+    pub id: String,
+    /// Work units in the campaign's partition.
+    pub total_chunks: usize,
+    /// Work units recovered from an earlier run's checkpoint.
+    pub resumed_chunks: usize,
+}
+
+/// A blocking campaign-service client addressing one server.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the server at `addr` (e.g. `127.0.0.1:7171`). No connection is made
+    /// until a request method is called.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    /// Submits (or resumes) a campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] if the server reports an error or answers out
+    /// of protocol, and I/O / JSON errors for transport failures.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<Submitted, ServeError> {
+        match self.round_trip(&Request::Submit { spec: spec.clone() })? {
+            (
+                Response::Submitted {
+                    id,
+                    total_chunks,
+                    resumed_chunks,
+                },
+                _,
+            ) => Ok(Submitted {
+                id,
+                total_chunks,
+                resumed_chunks,
+            }),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches a campaign's progress summary.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn status(&self, id: &str) -> Result<StatusInfo, ServeError> {
+        match self.round_trip(&Request::Status { id: id.to_string() })? {
+            (Response::Status(info), _) => Ok(info),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Follows a campaign's event stream from the beginning, invoking `on_event` for
+    /// every event, and returns the terminal state string once the stream ends
+    /// (`"done"`, `"cancelled"` or `"failed: <message>"`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`]; additionally fails if the stream ends without a terminal
+    /// line (server died mid-stream).
+    pub fn stream(
+        &self,
+        id: &str,
+        mut on_event: impl FnMut(&CampaignEvent),
+    ) -> Result<String, ServeError> {
+        let (first, mut reader) = self.round_trip(&Request::Stream { id: id.to_string() })?;
+        let mut response = first;
+        loop {
+            match response {
+                Response::Event(event) => on_event(&event),
+                Response::End { state } => return Ok(state),
+                Response::Error { message } => return Err(ServeError::Protocol(message)),
+                other => return Err(unexpected(other)),
+            }
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ServeError::Protocol(
+                    "stream ended without a terminal state line".to_string(),
+                ));
+            }
+            response = serde_json::from_str(line.trim())?;
+        }
+    }
+
+    /// Cooperatively cancels a running campaign.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn cancel(&self, id: &str) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Cancel { id: id.to_string() })? {
+            (Response::Ok, _) => Ok(()),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Shutdown)? {
+            (Response::Ok, _) => Ok(()),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Opens a connection, sends one request line and reads the first response line.
+    fn round_trip(
+        &self,
+        request: &Request,
+    ) -> Result<(Response, BufReader<TcpStream>), ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        let line = serde_json::to_string(request)?;
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut response_line = String::new();
+        if reader.read_line(&mut response_line)? == 0 {
+            return Err(ServeError::Protocol(
+                "server closed the connection without responding".to_string(),
+            ));
+        }
+        let response: Response = serde_json::from_str(response_line.trim())?;
+        if let Response::Error { message } = response {
+            return Err(ServeError::Protocol(message));
+        }
+        Ok((response, reader))
+    }
+}
+
+fn unexpected(response: Response) -> ServeError {
+    ServeError::Protocol(format!("unexpected response: {response:?}"))
+}

@@ -1,0 +1,223 @@
+//! The chunked campaign driver: checkpointed, streaming execution of a
+//! [`PreparedCampaign`].
+//!
+//! [`drive`] is the heart of the service. It takes a campaign already compiled into
+//! work units, a [`CheckpointStore`] keyed by the campaign's fingerprint, a worker pool
+//! and a [`CampaignSink`], and executes every chunk not yet on record:
+//!
+//! * **Pending chunks** run on the pool via
+//!   [`ThreadPool::run_with_consumer`], one buffer arena
+//!   per worker; each completed tally is appended to the checkpoint — fsync'd — *before*
+//!   it is reported, so every chunk event a client observes is durable.
+//! * **Resumed chunks** are replayed from the store (after verifying their geometry
+//!   against the prepared partition) without running a single forward pass.
+//! * **Emission** is reordered to canonical chunk-index order whatever the completion
+//!   order was, so the cumulative tallies the sink observes are deterministic and
+//!   monotone — a resumed stream is indistinguishable from an uninterrupted one.
+//!
+//! Because fault plans are keyed by `(input, trial)` index, the final result is
+//! bit-for-bit the [`run_campaign`](ranger_inject::run_campaign) result for the same
+//! configuration, however many times the campaign was killed and resumed in between.
+
+use crate::checkpoint::{CheckpointStore, ChunkRecord};
+use crate::sink::{CampaignEvent, CampaignSink, SinkFlow};
+use crate::ServeError;
+use ranger_inject::{CampaignError, CampaignResult, ChunkTally, PreparedCampaign, TrialChunk};
+use ranger_runtime::ThreadPool;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How a driven campaign ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriveOutcome {
+    /// Every chunk is accounted for; the result equals the in-process API's.
+    Completed(CampaignResult),
+    /// The campaign was stopped — by the sink or the cancel flag — after a prefix of
+    /// chunks. The partial result covers every chunk emitted before the stop; all
+    /// completed chunks (emitted or not) are durable in the checkpoint.
+    Stopped(CampaignResult),
+}
+
+/// Drives a prepared campaign to completion (or cancellation), streaming ordered tally
+/// events into `sink` and persisting every completed chunk into `store`.
+///
+/// `cancel` is checked before each pending chunk executes and may be set at any time by
+/// another thread (the service's cancel request); the sink returning [`SinkFlow::Stop`]
+/// sets it too. Stopping is cooperative: in-flight chunks finish and are checkpointed,
+/// further chunks are skipped.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Corrupt`] if a checkpoint record's geometry does not match the
+/// prepared partition (the fingerprint should make this unreachable short of file
+/// tampering), or [`ServeError::Campaign`] if work units fail — with
+/// [`CampaignError::Failures`] context when more than one did.
+pub fn drive(
+    prepared: &PreparedCampaign<'_>,
+    store: &mut CheckpointStore,
+    pool: &ThreadPool,
+    cancel: &AtomicBool,
+    sink: &mut dyn CampaignSink,
+) -> Result<DriveOutcome, ServeError> {
+    let chunks = prepared.chunks();
+    // Trust no record until its geometry matches the canonical partition exactly.
+    for record in store.completed().values() {
+        let expected = chunks.get(record.chunk.index);
+        if expected != Some(&record.chunk) {
+            return Err(ServeError::Corrupt(format!(
+                "checkpoint record for chunk {} has geometry {:?} but the campaign \
+                 partition expects {:?}",
+                record.chunk.index, record.chunk, expected
+            )));
+        }
+    }
+
+    let trials_total = (prepared.config().trials * prepared.num_inputs()) as u64;
+    let golden = CampaignEvent::GoldenDone {
+        total_chunks: chunks.len(),
+        resumed_chunks: store.len(),
+        trials_total,
+        categories: prepared.categories().to_vec(),
+    };
+    if sink.event(&golden) == SinkFlow::Stop {
+        cancel.store(true, Ordering::SeqCst);
+        return Ok(DriveOutcome::Stopped(prepared.empty_result()));
+    }
+
+    // Emission state: tallies parked until their index is next, replayed records first.
+    let mut ready: BTreeMap<usize, (ChunkTally, bool)> = store
+        .completed()
+        .values()
+        .map(|record| (record.chunk.index, (record.tally.clone(), true)))
+        .collect();
+    let mut cumulative = prepared.empty_result();
+    let mut next_emit = 0usize;
+    let mut stopped = false;
+
+    // Drains every in-order tally into the cumulative result and the sink. Kept as a
+    // closure-free helper so the pool consumer below can call it without aliasing.
+    fn emit_ready(
+        ready: &mut BTreeMap<usize, (ChunkTally, bool)>,
+        next_emit: &mut usize,
+        cumulative: &mut CampaignResult,
+        chunks: &[TrialChunk],
+        sink: &mut dyn CampaignSink,
+        cancel: &AtomicBool,
+        stopped: &mut bool,
+    ) {
+        while !*stopped {
+            let Some((tally, resumed)) = ready.remove(next_emit) else {
+                break;
+            };
+            cumulative.absorb(&tally);
+            let event = CampaignEvent::ChunkDone {
+                chunk: chunks[*next_emit],
+                tally,
+                resumed,
+                cumulative: cumulative.clone(),
+            };
+            *next_emit += 1;
+            if sink.event(&event) == SinkFlow::Stop {
+                cancel.store(true, Ordering::SeqCst);
+                *stopped = true;
+            }
+        }
+    }
+
+    emit_ready(
+        &mut ready,
+        &mut next_emit,
+        &mut cumulative,
+        chunks,
+        sink,
+        cancel,
+        &mut stopped,
+    );
+
+    // Everything not on record runs on the pool; completion order is arbitrary.
+    let pending: Vec<TrialChunk> = chunks
+        .iter()
+        .filter(|chunk| !store.completed().contains_key(&chunk.index))
+        .copied()
+        .collect();
+    // The first failure in chunk-index order, plus how many more failed behind it.
+    let mut first_failure: Option<(usize, CampaignError)> = None;
+    let mut failures = 0usize;
+    let mut append_failure: Option<ServeError> = None;
+    {
+        let pending = &pending;
+        let store = &mut *store;
+        let ready = &mut ready;
+        let next_emit = &mut next_emit;
+        let cumulative = &mut cumulative;
+        let stopped = &mut stopped;
+        let first_failure = &mut first_failure;
+        let failures = &mut failures;
+        let append_failure = &mut append_failure;
+        pool.run_with_consumer(
+            |_worker| prepared.buffers(),
+            pending.iter().map(|&chunk| {
+                move |values: &mut ranger_graph::exec::Values| {
+                    if cancel.load(Ordering::SeqCst) {
+                        return Ok(None); // cooperative cancellation: skip, don't run
+                    }
+                    prepared.run_chunk(values, chunk).map(Some)
+                }
+            }),
+            |task_index, result: Result<Option<ChunkTally>, CampaignError>| {
+                let chunk = pending[task_index];
+                match result {
+                    Ok(None) => {} // skipped after cancellation
+                    Ok(Some(tally)) => {
+                        // Durability before visibility: fsync the record, then emit.
+                        let record = ChunkRecord { chunk, tally };
+                        if let Err(e) = store.append(&record) {
+                            if append_failure.is_none() {
+                                *append_failure = Some(e);
+                            }
+                            cancel.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                        ready.insert(chunk.index, (record.tally, false));
+                        emit_ready(ready, next_emit, cumulative, chunks, sink, cancel, stopped);
+                    }
+                    Err(error) => {
+                        *failures += 1;
+                        let earlier = first_failure
+                            .as_ref()
+                            .is_some_and(|&(index, _)| index < chunk.index);
+                        if !earlier {
+                            *first_failure = Some((chunk.index, error));
+                        }
+                        // A failing campaign cannot complete; stop scheduling work.
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                }
+            },
+        );
+    }
+
+    if let Some(e) = append_failure {
+        return Err(e);
+    }
+    if let Some((_, first)) = first_failure {
+        return Err(ServeError::Campaign(if failures > 1 {
+            CampaignError::Failures {
+                first: Box::new(first),
+                suppressed: failures - 1,
+            }
+        } else {
+            first
+        }));
+    }
+    if cancel.load(Ordering::SeqCst) || stopped {
+        return Ok(DriveOutcome::Stopped(cumulative));
+    }
+
+    debug_assert_eq!(next_emit, chunks.len(), "all chunks must have been emitted");
+    debug_assert_eq!(cumulative.trials, trials_total);
+    sink.event(&CampaignEvent::CampaignDone {
+        result: cumulative.clone(),
+    });
+    Ok(DriveOutcome::Completed(cumulative))
+}

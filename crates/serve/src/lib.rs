@@ -1,0 +1,119 @@
+//! A streaming, resumable campaign service for long fault-injection fleets.
+//!
+//! The paper's numbers are aggregate SDC statistics over very large injection campaigns.
+//! [`ranger_inject::run_campaign`] computes them in one in-process call — which means a
+//! million-trial campaign that dies at trial 900k loses everything, and nobody can watch
+//! the tallies converge. This crate turns the campaign runner into a **service**, in
+//! three layers:
+//!
+//! * [`driver`] — a chunked campaign driver built on
+//!   [`PreparedCampaign`](ranger_inject::PreparedCampaign): work units execute on the
+//!   [`ranger_runtime`] pool and an ordered stream of incremental tally events flows
+//!   through a [`CampaignSink`].
+//! * [`checkpoint`] — an append-only, fsync'd, versioned file of completed-chunk
+//!   records, keyed by a [campaign fingerprint](fingerprint::campaign_fingerprint). A
+//!   restarted driver verifies the fingerprint, skips the completed chunks and — because
+//!   fault plans are keyed by `(input, trial)` index, never by schedule — reproduces the
+//!   counts of an uninterrupted run bit for bit.
+//! * [`server`] / [`client`] — a front end on [`std::net::TcpListener`] speaking
+//!   line-delimited JSON (submit / status / stream / cancel), with a matching blocking
+//!   client used by the CLI.
+//!
+//! Everything is plain `std` plus the workspace's vendored serde: no async runtime, no
+//! external services. Campaign identity doubles as the wire-level id, so re-submitting a
+//! campaign to a restarted server *is* resuming it.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod client;
+pub mod driver;
+pub mod fingerprint;
+pub mod protocol;
+pub mod server;
+pub mod sink;
+pub mod spec;
+
+pub use checkpoint::{CheckpointStore, ChunkRecord, CHECKPOINT_VERSION};
+pub use client::{Client, Submitted};
+pub use driver::{drive, DriveOutcome};
+pub use fingerprint::campaign_fingerprint;
+pub use protocol::{Request, Response, StatusInfo};
+pub use server::CampaignServer;
+pub use sink::{CampaignEvent, CampaignSink, CollectSink, NullSink, SinkFlow};
+pub use spec::{CampaignSpec, MaterializedCampaign, ModelSpec, SavedModel};
+
+use std::fmt;
+
+/// Errors surfaced by the campaign service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying campaign preparation or execution failed.
+    Campaign(ranger_inject::CampaignError),
+    /// A file operation (checkpoint, saved model) failed.
+    Io(std::io::Error),
+    /// A JSON payload (wire message, checkpoint record, saved model) failed to encode or
+    /// decode.
+    Json(serde_json::Error),
+    /// A checkpoint file exists but belongs to a different campaign.
+    FingerprintMismatch {
+        /// The fingerprint of the campaign being resumed.
+        expected: String,
+        /// The fingerprint recorded in the checkpoint file.
+        found: String,
+    },
+    /// A checkpoint file is structurally invalid beyond a torn final record.
+    Corrupt(String),
+    /// A wire request was malformed or referenced an unknown campaign.
+    Protocol(String),
+    /// A campaign specification could not be materialized into a runnable campaign.
+    Spec(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Campaign(e) => write!(f, "campaign error: {e}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Json(e) => write!(f, "JSON error: {e}"),
+            ServeError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint mismatch: the file records campaign {found} but \
+                 this campaign is {expected} (same graph, config, seed and backend are \
+                 required to resume)"
+            ),
+            ServeError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Spec(msg) => write!(f, "invalid campaign spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Campaign(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            ServeError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ranger_inject::CampaignError> for ServeError {
+    fn from(e: ranger_inject::CampaignError) -> Self {
+        ServeError::Campaign(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Json(e)
+    }
+}

@@ -1,0 +1,170 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every connection carries exactly one request: the client writes one JSON line, the
+//! server answers with one JSON [`Response`] line — except for [`Request::Stream`],
+//! where the server writes a [`Response::Event`] line per campaign event and closes
+//! with [`Response::End`]. One-request-per-connection keeps framing trivial (a
+//! `BufRead::read_line` on each side) and makes the server trivially robust to clients
+//! vanishing mid-conversation.
+//!
+//! Campaign ids are [campaign fingerprints](crate::fingerprint::campaign_fingerprint),
+//! so submitting the same spec twice — or to a restarted server — addresses the same
+//! campaign and resumes its checkpoint instead of starting over.
+
+use crate::sink::CampaignEvent;
+use crate::spec::CampaignSpec;
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire protocol; bumped on incompatible change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client request, one JSON line per connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a campaign (or resume it, if its checkpoint already exists).
+    Submit {
+        /// The complete campaign description.
+        spec: CampaignSpec,
+    },
+    /// Ask for a campaign's current progress.
+    Status {
+        /// The campaign id returned by submit.
+        id: String,
+    },
+    /// Follow a campaign's event stream from the beginning until it ends.
+    Stream {
+        /// The campaign id returned by submit.
+        id: String,
+    },
+    /// Cooperatively stop a running campaign (its checkpoint survives for resumption).
+    Cancel {
+        /// The campaign id returned by submit.
+        id: String,
+    },
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// Progress summary returned by [`Request::Status`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusInfo {
+    /// The campaign id.
+    pub id: String,
+    /// `"running"`, `"done"`, `"cancelled"` or `"failed: <message>"`.
+    pub state: String,
+    /// Judge categories, in reporting order (empty until the golden pass finishes).
+    pub categories: Vec<String>,
+    /// Per-category SDC counts tallied so far.
+    pub sdc_counts: Vec<u64>,
+    /// Trials tallied so far.
+    pub trials_done: u64,
+    /// Trials the campaign will tally in total.
+    pub trials_total: u64,
+    /// Work units emitted so far (resumed units included).
+    pub done_chunks: usize,
+    /// Work units in the campaign's partition.
+    pub total_chunks: usize,
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A campaign was accepted (or re-addressed): its id and partition summary.
+    Submitted {
+        /// The campaign id — the campaign's fingerprint hex.
+        id: String,
+        /// Work units in the campaign's partition.
+        total_chunks: usize,
+        /// Work units already completed by an earlier run of this campaign.
+        resumed_chunks: usize,
+    },
+    /// Progress of a known campaign.
+    Status(StatusInfo),
+    /// One campaign event on a stream connection.
+    Event(CampaignEvent),
+    /// End of a stream: the campaign's terminal state (`"done"`, `"cancelled"` or
+    /// `"failed: <message>"`).
+    End {
+        /// The terminal state string.
+        state: String,
+    },
+    /// The request was understood and performed; nothing further to report.
+    Ok,
+    /// The request failed; the message says why.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use ranger_inject::CampaignConfig;
+
+    #[test]
+    fn requests_round_trip_through_json_lines() {
+        let requests = vec![
+            Request::Submit {
+                spec: CampaignSpec {
+                    model: ModelSpec::Kind {
+                        name: "lenet".to_string(),
+                    },
+                    inputs: 2,
+                    config: CampaignConfig::default(),
+                },
+            },
+            Request::Status {
+                id: "abc123".to_string(),
+            },
+            Request::Stream {
+                id: "abc123".to_string(),
+            },
+            Request::Cancel {
+                id: "abc123".to_string(),
+            },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = serde_json::to_string(&request).unwrap();
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json_lines() {
+        let responses = vec![
+            Response::Submitted {
+                id: "abc".to_string(),
+                total_chunks: 10,
+                resumed_chunks: 3,
+            },
+            Response::Status(StatusInfo {
+                id: "abc".to_string(),
+                state: "running".to_string(),
+                categories: vec!["top-1".to_string()],
+                sdc_counts: vec![4],
+                trials_done: 40,
+                trials_total: 100,
+                done_chunks: 5,
+                total_chunks: 13,
+            }),
+            Response::End {
+                state: "done".to_string(),
+            },
+            Response::Ok,
+            Response::Error {
+                message: "no such campaign".to_string(),
+            },
+        ];
+        for response in responses {
+            let line = serde_json::to_string(&response).unwrap();
+            assert!(!line.contains('\n'));
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+}

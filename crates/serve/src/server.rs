@@ -1,0 +1,429 @@
+//! The TCP front end: a thread-per-connection campaign server.
+//!
+//! [`CampaignServer`] binds a [`std::net::TcpListener`], then serves line-JSON
+//! [`Request`]s. Each submitted campaign runs on its own worker thread, driving the
+//! checkpointed [`driver`](crate::driver) with a sink that appends events to an
+//! in-memory log; any number of stream connections replay that log and follow it live
+//! via a condvar. One [`ThreadPool`] value per worker-count is shared across all
+//! campaigns ever submitted to the server, so back-to-back requests reuse the pool
+//! configuration instead of rebuilding per request.
+//!
+//! The server is deliberately boring: blocking I/O, `std` threads, no async runtime —
+//! campaign forward passes dominate any realistic workload by orders of magnitude.
+
+use crate::driver::{drive, DriveOutcome};
+use crate::protocol::{Request, Response, StatusInfo};
+use crate::sink::{CampaignEvent, CampaignSink, SinkFlow};
+use crate::spec::{CampaignSpec, MaterializedCampaign};
+use crate::{CheckpointStore, ServeError};
+use ranger_inject::{CampaignResult, PreparedCampaign};
+use ranger_runtime::ThreadPool;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A campaign's lifecycle state as exposed over the wire.
+#[derive(Debug, Clone, PartialEq)]
+enum RunState {
+    Running,
+    Done,
+    Cancelled,
+    Failed(String),
+}
+
+impl RunState {
+    fn label(&self) -> String {
+        match self {
+            RunState::Running => "running".to_string(),
+            RunState::Done => "done".to_string(),
+            RunState::Cancelled => "cancelled".to_string(),
+            RunState::Failed(message) => format!("failed: {message}"),
+        }
+    }
+}
+
+/// Mutable progress of one campaign, guarded by the handle's mutex.
+struct Progress {
+    state: RunState,
+    events: Vec<CampaignEvent>,
+    total_chunks: usize,
+    resumed_chunks: usize,
+    trials_total: u64,
+    done_chunks: usize,
+    categories: Vec<String>,
+    cumulative: Option<CampaignResult>,
+}
+
+/// One campaign registered with the server.
+struct CampaignHandle {
+    id: String,
+    cancel: AtomicBool,
+    progress: Mutex<Progress>,
+    changed: Condvar,
+}
+
+impl CampaignHandle {
+    fn status(&self) -> StatusInfo {
+        let progress = self.progress.lock().expect("progress lock poisoned");
+        StatusInfo {
+            id: self.id.clone(),
+            state: progress.state.label(),
+            categories: progress.categories.clone(),
+            sdc_counts: progress
+                .cumulative
+                .as_ref()
+                .map(|c| c.sdc_counts.clone())
+                .unwrap_or_default(),
+            trials_done: progress.cumulative.as_ref().map(|c| c.trials).unwrap_or(0),
+            trials_total: progress.trials_total,
+            done_chunks: progress.done_chunks,
+            total_chunks: progress.total_chunks,
+        }
+    }
+
+    fn finish(&self, state: RunState) {
+        let mut progress = self.progress.lock().expect("progress lock poisoned");
+        progress.state = state;
+        self.changed.notify_all();
+    }
+}
+
+/// The sink a campaign worker drives: events go into the handle's log, stream followers
+/// are woken, and a pending cancel request stops the drive.
+struct ServerSink {
+    handle: Arc<CampaignHandle>,
+}
+
+impl CampaignSink for ServerSink {
+    fn event(&mut self, event: &CampaignEvent) -> SinkFlow {
+        let mut progress = self.handle.progress.lock().expect("progress lock poisoned");
+        match event {
+            CampaignEvent::GoldenDone {
+                total_chunks,
+                resumed_chunks,
+                trials_total,
+                categories,
+            } => {
+                progress.total_chunks = *total_chunks;
+                progress.resumed_chunks = *resumed_chunks;
+                progress.trials_total = *trials_total;
+                progress.categories = categories.clone();
+            }
+            CampaignEvent::ChunkDone { cumulative, .. } => {
+                progress.done_chunks += 1;
+                progress.cumulative = Some(cumulative.clone());
+            }
+            CampaignEvent::CampaignDone { result } => {
+                progress.cumulative = Some(result.clone());
+            }
+        }
+        progress.events.push(event.clone());
+        self.handle.changed.notify_all();
+        drop(progress);
+        if self.handle.cancel.load(Ordering::SeqCst) {
+            SinkFlow::Stop
+        } else {
+            SinkFlow::Continue
+        }
+    }
+}
+
+/// Shared server state: the campaign registry, the pool cache and the shutdown flag.
+struct ServerState {
+    checkpoint_dir: PathBuf,
+    campaigns: Mutex<HashMap<String, Arc<CampaignHandle>>>,
+    /// One pool value per worker count, shared by every campaign the server ever runs.
+    pools: Mutex<HashMap<usize, ThreadPool>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn pool_for(&self, workers: usize) -> ThreadPool {
+        self.pools
+            .lock()
+            .expect("pool lock poisoned")
+            .entry(workers.max(1))
+            .or_insert_with(|| ThreadPool::new(workers.max(1)))
+            .clone()
+    }
+}
+
+/// A bound, not-yet-running campaign server.
+pub struct CampaignServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl CampaignServer {
+    /// Binds the server to `addr` (e.g. `127.0.0.1:0` for an ephemeral port), keeping
+    /// campaign checkpoints under `checkpoint_dir` (one file per campaign fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the bind or checkpoint-directory creation fails.
+    pub fn bind(addr: &str, checkpoint_dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let checkpoint_dir = checkpoint_dir.into();
+        std::fs::create_dir_all(&checkpoint_dir)?;
+        let listener = TcpListener::bind(addr)?;
+        Ok(CampaignServer {
+            listener,
+            state: Arc::new(ServerState {
+                checkpoint_dir,
+                campaigns: Mutex::new(HashMap::new()),
+                pools: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The address the server is listening on (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the socket address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves connections until a [`Request::Shutdown`] arrives. Each connection is
+    /// handled on its own thread; campaign workers detach and keep checkpointing even
+    /// if their submitter disconnects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if accepting fails for a reason other than shutdown.
+    pub fn run(self) -> Result<(), ServeError> {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(&state, stream));
+        }
+        Ok(())
+    }
+}
+
+/// Reads the connection's single request line and dispatches it.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+        return;
+    }
+    let request: Request = match serde_json::from_str(line.trim()) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = write_line(
+                &mut writer,
+                &Response::Error {
+                    message: format!("unreadable request from {peer:?}: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Submit { spec } => {
+            let response = match submit(state, spec) {
+                Ok(response) => response,
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            };
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Status { id } => {
+            let response = match lookup(state, &id) {
+                Some(handle) => Response::Status(handle.status()),
+                None => unknown_campaign(&id),
+            };
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Stream { id } => match lookup(state, &id) {
+            Some(handle) => stream_events(&handle, &mut writer),
+            None => {
+                let _ = write_line(&mut writer, &unknown_campaign(&id));
+            }
+        },
+        Request::Cancel { id } => {
+            let response = match lookup(state, &id) {
+                Some(handle) => {
+                    handle.cancel.store(true, Ordering::SeqCst);
+                    handle.changed.notify_all();
+                    Response::Ok
+                }
+                None => unknown_campaign(&id),
+            };
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = write_line(&mut writer, &Response::Ok);
+            // Unblock the accept loop so `run` observes the flag and returns.
+            if let Ok(addr) = writer.get_ref().local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+    }
+}
+
+fn lookup(state: &ServerState, id: &str) -> Option<Arc<CampaignHandle>> {
+    state
+        .campaigns
+        .lock()
+        .expect("campaign registry poisoned")
+        .get(id)
+        .cloned()
+}
+
+fn unknown_campaign(id: &str) -> Response {
+    Response::Error {
+        message: format!("no campaign with id {id} on this server"),
+    }
+}
+
+/// Registers a campaign and starts (or re-addresses) its worker.
+///
+/// The spec is materialized synchronously so the response can carry the real partition
+/// and resume counts; the expensive part — golden passes and the trial fleet — happens
+/// on the detached worker thread. Identical specs fingerprint identically, so a
+/// resubmission while the campaign runs simply re-addresses it, and a resubmission
+/// after a crash resumes from its checkpoint.
+fn submit(state: &Arc<ServerState>, spec: CampaignSpec) -> Result<Response, ServeError> {
+    let materialized = spec.materialize()?;
+    let id = materialized.fingerprint()?;
+    let total_chunks = ranger_inject::campaign_chunks(
+        &materialized.config,
+        materialized.inputs.len(),
+        ranger_inject::default_chunk_len(&materialized.config),
+    )
+    .len();
+
+    let mut campaigns = state.campaigns.lock().expect("campaign registry poisoned");
+    if let Some(existing) = campaigns.get(&id) {
+        let progress = existing.progress.lock().expect("progress lock poisoned");
+        if progress.state == RunState::Running {
+            // Same campaign, already in flight: point the client at it. The checkpoint
+            // must NOT be reopened here — the live worker owns the file, and open's
+            // torn-tail truncation would race its appends.
+            return Ok(Response::Submitted {
+                id,
+                total_chunks,
+                resumed_chunks: progress.resumed_chunks,
+            });
+        }
+    }
+    // Not running: this submit owns the checkpoint until its worker finishes.
+    let store = CheckpointStore::open(&state.checkpoint_dir.join(format!("{id}.jsonl")), &id)?;
+    let resumed_chunks = store.len();
+    let handle = Arc::new(CampaignHandle {
+        id: id.clone(),
+        cancel: AtomicBool::new(false),
+        progress: Mutex::new(Progress {
+            state: RunState::Running,
+            events: Vec::new(),
+            total_chunks,
+            resumed_chunks,
+            trials_total: (materialized.config.trials * materialized.inputs.len()) as u64,
+            done_chunks: 0,
+            categories: Vec::new(),
+            cumulative: None,
+        }),
+        changed: Condvar::new(),
+    });
+    campaigns.insert(id.clone(), Arc::clone(&handle));
+    drop(campaigns);
+
+    let pool = state.pool_for(materialized.config.workers);
+    let worker_handle = Arc::clone(&handle);
+    std::thread::spawn(move || run_campaign_worker(materialized, store, pool, worker_handle));
+    Ok(Response::Submitted {
+        id,
+        total_chunks,
+        resumed_chunks,
+    })
+}
+
+/// The detached campaign worker: prepares, drives, and records the terminal state.
+fn run_campaign_worker(
+    materialized: MaterializedCampaign,
+    mut store: CheckpointStore,
+    pool: ThreadPool,
+    handle: Arc<CampaignHandle>,
+) {
+    let target = materialized.target();
+    let prepared = match PreparedCampaign::new(
+        &target,
+        &materialized.inputs,
+        materialized.judge.as_ref(),
+        &materialized.config,
+    ) {
+        Ok(prepared) => prepared,
+        Err(e) => {
+            handle.finish(RunState::Failed(e.to_string()));
+            return;
+        }
+    };
+    let mut sink = ServerSink {
+        handle: Arc::clone(&handle),
+    };
+    match drive(&prepared, &mut store, &pool, &handle.cancel, &mut sink) {
+        Ok(DriveOutcome::Completed(_)) => handle.finish(RunState::Done),
+        Ok(DriveOutcome::Stopped(_)) => handle.finish(RunState::Cancelled),
+        Err(e) => handle.finish(RunState::Failed(e.to_string())),
+    }
+}
+
+/// Streams a campaign's event log — replay first, then live — ending with the terminal
+/// state line.
+fn stream_events(handle: &CampaignHandle, writer: &mut BufWriter<TcpStream>) {
+    let mut next = 0usize;
+    loop {
+        // Snapshot under the lock, write outside it, so a slow client never stalls the
+        // campaign worker.
+        let (batch, state) = {
+            let mut progress = handle.progress.lock().expect("progress lock poisoned");
+            while progress.events.len() == next && progress.state == RunState::Running {
+                progress = handle
+                    .changed
+                    .wait(progress)
+                    .expect("progress lock poisoned");
+            }
+            let batch: Vec<CampaignEvent> = progress.events[next..].to_vec();
+            (batch, progress.state.clone())
+        };
+        next += batch.len();
+        for event in batch {
+            if write_line(writer, &Response::Event(event)).is_err() {
+                return; // client went away; the campaign keeps running
+            }
+        }
+        if state != RunState::Running {
+            let _ = write_line(
+                writer,
+                &Response::End {
+                    state: state.label(),
+                },
+            );
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut BufWriter<TcpStream>, response: &Response) -> Result<(), ServeError> {
+    let line = serde_json::to_string(response)?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(())
+}

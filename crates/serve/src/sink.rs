@@ -1,0 +1,135 @@
+//! The incremental event stream a driven campaign emits.
+//!
+//! The driver pushes three kinds of events through a [`CampaignSink`], always in
+//! canonical chunk order: one [`CampaignEvent::GoldenDone`] once preparation (golden
+//! passes, injection spaces, checkpoint replay) finishes, one
+//! [`CampaignEvent::ChunkDone`] per work unit — resumed units included, so a client
+//! watching a restarted campaign sees the full tally history — and one
+//! [`CampaignEvent::CampaignDone`] carrying the final result. Cumulative tallies are
+//! absorbed in emission order, which makes every field of the running
+//! [`CampaignResult`] monotonically non-decreasing across the stream.
+
+use ranger_inject::{CampaignResult, ChunkTally, TrialChunk};
+use serde::{Deserialize, Serialize};
+
+/// One incremental event of a driven campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// Preparation finished: the golden passes ran, the partition is fixed and any
+    /// checkpointed prefix has been recovered. Always the first event.
+    GoldenDone {
+        /// Total number of work units in the campaign's canonical partition.
+        total_chunks: usize,
+        /// How many of them were recovered from the checkpoint instead of re-run.
+        resumed_chunks: usize,
+        /// Total trials the campaign will tally (`trials × inputs`).
+        trials_total: u64,
+        /// The judge categories, in reporting order.
+        categories: Vec<String>,
+    },
+    /// One work unit's counts are durable and folded into the running totals. Emitted in
+    /// chunk-index order regardless of completion order.
+    ChunkDone {
+        /// The completed work unit.
+        chunk: TrialChunk,
+        /// The unit's own partial counts.
+        tally: ChunkTally,
+        /// Whether the unit was recovered from the checkpoint rather than executed.
+        resumed: bool,
+        /// Running totals over all units emitted so far — monotone across the stream.
+        cumulative: CampaignResult,
+    },
+    /// Every work unit is accounted for; `result` is bit-for-bit the
+    /// [`CampaignResult`] the in-process [`ranger_inject::run_campaign`] API reports for
+    /// the same campaign. Always the last event of a completed campaign.
+    CampaignDone {
+        /// The final campaign statistics.
+        result: CampaignResult,
+    },
+}
+
+impl CampaignEvent {
+    /// Number of trials tallied so far at this point in the stream.
+    pub fn trials_done(&self) -> u64 {
+        match self {
+            CampaignEvent::GoldenDone { .. } => 0,
+            CampaignEvent::ChunkDone { cumulative, .. } => cumulative.trials,
+            CampaignEvent::CampaignDone { result } => result.trials,
+        }
+    }
+}
+
+/// A sink's verdict after each event: keep driving, or stop the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFlow {
+    /// Keep the campaign running.
+    Continue,
+    /// Stop scheduling further work; chunks already durable stay in the checkpoint, so
+    /// a later run resumes from here.
+    Stop,
+}
+
+/// Receives a driven campaign's event stream.
+///
+/// The driver calls this on its own (consumer) thread, never concurrently, so
+/// implementations can mutate local state freely. Returning [`SinkFlow::Stop`] is the
+/// cooperative cancellation path — the service's cancel request and the kill-after-k
+/// resume tests are both built on it.
+pub trait CampaignSink {
+    /// Handles one event and decides whether to keep going.
+    fn event(&mut self, event: &CampaignEvent) -> SinkFlow;
+}
+
+/// A sink that discards events (drive for the result alone).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl CampaignSink for NullSink {
+    fn event(&mut self, _event: &CampaignEvent) -> SinkFlow {
+        SinkFlow::Continue
+    }
+}
+
+/// A sink that records every event, optionally stopping after a fixed number of chunk
+/// events — the in-process stand-in for a killed campaign.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Every event received, in emission order.
+    pub events: Vec<CampaignEvent>,
+    /// If set, request a stop once this many [`CampaignEvent::ChunkDone`] events have
+    /// been observed.
+    pub stop_after_chunks: Option<usize>,
+}
+
+impl CollectSink {
+    /// A sink that collects the whole stream.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// A sink that stops the campaign after `chunks` chunk events.
+    pub fn stopping_after(chunks: usize) -> Self {
+        CollectSink {
+            events: Vec::new(),
+            stop_after_chunks: Some(chunks),
+        }
+    }
+
+    /// Number of chunk events observed so far.
+    pub fn chunks_seen(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::ChunkDone { .. }))
+            .count()
+    }
+}
+
+impl CampaignSink for CollectSink {
+    fn event(&mut self, event: &CampaignEvent) -> SinkFlow {
+        self.events.push(event.clone());
+        match self.stop_after_chunks {
+            Some(limit) if self.chunks_seen() >= limit => SinkFlow::Stop,
+            _ => SinkFlow::Continue,
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Wire-level campaign specifications and their materialization.
+//!
+//! A [`CampaignSpec`] is everything a *remote* client can say about a campaign: which
+//! model (a benchmark name built deterministically from the seed, or a saved-model file
+//! on the server's disk), how many validation inputs, and the full
+//! [`CampaignConfig`]. [`CampaignSpec::materialize`] turns it into the owned model,
+//! inputs and judge the driver needs — deterministically, so a client, a server and a
+//! restarted server all materialize the identical campaign and therefore the identical
+//! fingerprint.
+
+use crate::fingerprint::campaign_fingerprint;
+use crate::ServeError;
+use ranger_datasets::driving::AngleUnit;
+use ranger_inject::{
+    default_chunk_len, CampaignConfig, ClassifierJudge, InjectionTarget, SdcJudge, SteeringJudge,
+};
+use ranger_models::zoo::ModelZoo;
+use ranger_models::{archs, Model, ModelConfig, ModelKind, Task};
+use ranger_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Where the campaign's model comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// A benchmark architecture built deterministically (untrained weights) from the
+    /// campaign seed — reproducible across processes and machines, no files needed.
+    Kind {
+        /// The benchmark name (`lenet`, `alexnet`, …, as accepted by the CLI).
+        name: String,
+    },
+    /// A model saved by `ranger-cli train` / `protect`, loaded from the server's disk.
+    Path {
+        /// Path to the saved-model JSON file.
+        path: String,
+    },
+}
+
+/// A complete, self-contained campaign request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// The model under test.
+    pub model: ModelSpec,
+    /// How many validation inputs to inject into.
+    pub inputs: usize,
+    /// The campaign configuration (trials, batch, workers, backend, fault, seed).
+    pub config: CampaignConfig,
+}
+
+/// The on-disk representation written by `ranger-cli train` and `protect`: the model
+/// plus a record of how it was produced. Lives here so both the CLI and the campaign
+/// service read the same format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// The model itself (weights live in the graph's constant nodes).
+    pub model: Model,
+    /// Seed the model (and its dataset) was derived from.
+    pub seed: u64,
+    /// Whether the graph already contains Ranger's range-restriction operators.
+    pub protected: bool,
+    /// The bound percentile used when protecting, if any.
+    pub percentile: Option<f64>,
+}
+
+impl SavedModel {
+    /// Writes the model as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] if serialization or the write fails.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, serde_json::to_string(self)?)?;
+        Ok(())
+    }
+
+    /// Reads a model from a JSON file written by [`SavedModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] if the file cannot be read or decoded.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+/// A spec turned into the owned pieces a campaign needs: model, inputs and judge.
+pub struct MaterializedCampaign {
+    /// The model under test.
+    pub model: Model,
+    /// The validation inputs, one `[1, ...]` tensor per injected input.
+    pub inputs: Vec<Tensor>,
+    /// The SDC judge matching the model's task.
+    pub judge: Box<dyn SdcJudge>,
+    /// The campaign configuration the spec carried.
+    pub config: CampaignConfig,
+}
+
+impl std::fmt::Debug for MaterializedCampaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaterializedCampaign")
+            .field("model", &self.model.config)
+            .field("inputs", &self.inputs.len())
+            .field("judge", &self.judge.categories())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl CampaignSpec {
+    /// Builds the model, inputs and judge this spec describes.
+    ///
+    /// Materialization is deterministic in the spec: `Kind` models are built from
+    /// `config.seed`, and the validation inputs are drawn from the seed-keyed synthetic
+    /// datasets — so the same spec materializes the same campaign in every process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Spec`] for an unknown model name or a zero input count,
+    /// and I/O / decode errors for an unreadable saved-model file.
+    pub fn materialize(&self) -> Result<MaterializedCampaign, ServeError> {
+        if self.inputs == 0 {
+            return Err(ServeError::Spec(
+                "a campaign needs at least one input".to_string(),
+            ));
+        }
+        let model = match &self.model {
+            ModelSpec::Kind { name } => {
+                let kind: ModelKind = name.parse().map_err(ServeError::Spec)?;
+                archs::build(&ModelConfig::new(kind), self.config.seed)
+            }
+            ModelSpec::Path { path } => SavedModel::load(Path::new(path))?.model,
+        };
+        let (inputs, judge): (Vec<Tensor>, Box<dyn SdcJudge>) = match model.task {
+            Task::Classification { .. } => {
+                let data = ModelZoo::classification_data(model.config.kind, self.config.seed);
+                let n = self.inputs.min(data.validation.len());
+                (
+                    (0..n).map(|i| data.validation_batch(&[i]).0).collect(),
+                    Box::new(ClassifierJudge::top1()),
+                )
+            }
+            Task::Regression { unit } => {
+                let data = ModelZoo::driving_data(self.config.seed);
+                let n = self.inputs.min(data.validation.len());
+                (
+                    (0..n)
+                        .map(|i| data.validation_batch(&[i], AngleUnit::Degrees).0)
+                        .collect(),
+                    Box::new(SteeringJudge::paper_thresholds(unit == AngleUnit::Radians)),
+                )
+            }
+        };
+        Ok(MaterializedCampaign {
+            model,
+            inputs,
+            judge,
+            config: self.config,
+        })
+    }
+}
+
+impl MaterializedCampaign {
+    /// The injection target view over the owned model.
+    pub fn target(&self) -> InjectionTarget<'_> {
+        InjectionTarget {
+            graph: &self.model.graph,
+            input_name: &self.model.input_name,
+            output: self.model.output,
+            excluded: &self.model.excluded_from_injection,
+        }
+    }
+
+    /// The campaign's fingerprint under its canonical (default) chunk partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Json`] if fingerprint serialization fails.
+    pub fn fingerprint(&self) -> Result<String, ServeError> {
+        campaign_fingerprint(
+            &self.target(),
+            &self.inputs,
+            &self.config,
+            &self.judge.categories(),
+            default_chunk_len(&self.config),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lenet_spec() -> CampaignSpec {
+        CampaignSpec {
+            model: ModelSpec::Kind {
+                name: "lenet".to_string(),
+            },
+            inputs: 2,
+            config: CampaignConfig {
+                trials: 8,
+                batch: 1,
+                workers: 1,
+                seed: 5,
+                ..CampaignConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn materialization_is_deterministic_across_calls() {
+        let spec = lenet_spec();
+        let a = spec.materialize().unwrap();
+        let b = spec.materialize().unwrap();
+        assert_eq!(a.inputs.len(), 2);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_spec() {
+        let spec = lenet_spec();
+        let reference = spec.materialize().unwrap().fingerprint().unwrap();
+
+        let mut reseeded = lenet_spec();
+        reseeded.config.seed += 1;
+        assert_ne!(
+            reference,
+            reseeded.materialize().unwrap().fingerprint().unwrap()
+        );
+
+        let mut fewer_inputs = lenet_spec();
+        fewer_inputs.inputs = 1;
+        assert_ne!(
+            reference,
+            fewer_inputs.materialize().unwrap().fingerprint().unwrap()
+        );
+    }
+
+    #[test]
+    fn steering_specs_get_the_paper_judge() {
+        let spec = CampaignSpec {
+            model: ModelSpec::Kind {
+                name: "dave".to_string(),
+            },
+            inputs: 1,
+            config: CampaignConfig {
+                trials: 4,
+                seed: 2,
+                ..CampaignConfig::default()
+            },
+        };
+        let materialized = spec.materialize().unwrap();
+        assert_eq!(materialized.judge.categories().len(), 4);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut unknown = lenet_spec();
+        unknown.model = ModelSpec::Kind {
+            name: "resnext".to_string(),
+        };
+        assert!(matches!(
+            unknown.materialize().unwrap_err(),
+            ServeError::Spec(_)
+        ));
+
+        let mut empty = lenet_spec();
+        empty.inputs = 0;
+        assert!(matches!(
+            empty.materialize().unwrap_err(),
+            ServeError::Spec(_)
+        ));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = lenet_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}
