@@ -10,6 +10,9 @@
 //!   and `Pipeline` rely on.
 //! * `profiling/bounds` — cost of deriving restriction bounds from profiling samples.
 //! * `injection/trial` — throughput of a single fault-injection trial.
+//! * `campaign_simd/*` — the identical campaign on the scalar f32 reference vs. the
+//!   runtime-dispatched SIMD backend: bit-for-bit equal SDC counts (asserted), lower
+//!   ns/trial on convolution-dominated models.
 //!
 //! Run with `cargo bench -p ranger-bench`. Set `RANGER_BENCH_FILTER` to a
 //! comma-separated list of group names (e.g. `campaign_fixed,campaign_batched`) to run
@@ -603,10 +606,116 @@ fn bench_campaign_fixed() {
     campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
 }
 
+/// The acceptance benchmark for the SIMD backend: the identical campaign (same seed,
+/// same trials, same fault model) run on the scalar f32 reference and on the
+/// runtime-dispatched SIMD backend. The SDC counts must match bit for bit — the SIMD
+/// kernels preserve the reference's accumulation order — and the SIMD run should be
+/// measurably faster per trial on the convolution-dominated LeNet. The deep narrow MLP
+/// is measured too as the adversarial shape: rows of width 8 leave little lane-level
+/// parallelism, so it bounds the dispatch overhead rather than showing a win.
+///
+/// Uses the same trials/seed/batch grid as `campaign_batched`, so in a combined run
+/// `campaign_simd/lenet/simd/batch_N` is directly comparable to
+/// `campaign_batched/lenet/batch_N` (the same-run-ratio rule from docs/NUMERICS.md).
+fn bench_campaign_simd() {
+    use rand::{rngs::StdRng, SeedableRng};
+    use ranger_graph::GraphBuilder;
+
+    let trials = 64usize;
+    let judge = ClassifierJudge::top1();
+
+    let campaign = |label: &str,
+                    graph: &ranger_graph::Graph,
+                    input_name: &str,
+                    output: ranger_graph::NodeId,
+                    input: &Tensor| {
+        let target = InjectionTarget {
+            graph,
+            input_name,
+            output,
+            excluded: &[],
+        };
+        let mut reference = None;
+        let mut scalar_ns = 0.0;
+        for backend in [BackendKind::F32, BackendKind::Simd] {
+            for batch in [1usize, 16] {
+                let config = CampaignConfig {
+                    trials,
+                    batch,
+                    workers: 1,
+                    backend,
+                    fault: FaultModel::single_bit_fixed32(),
+                    seed: 5,
+                };
+                let mut counts = Vec::new();
+                let total_ns = bench(
+                    &format!("campaign_simd/{label}/{backend}/batch_{batch}"),
+                    1,
+                    10,
+                    || {
+                        let result = ranger_inject::run_campaign(
+                            &target,
+                            std::slice::from_ref(input),
+                            &judge,
+                            &config,
+                        )
+                        .unwrap();
+                        counts = result.sdc_counts.clone();
+                    },
+                );
+                match &reference {
+                    None => {
+                        reference = Some(counts.clone());
+                        scalar_ns = total_ns;
+                    }
+                    Some(expected) => assert_eq!(
+                        &counts, expected,
+                        "the SIMD backend must reproduce the f32 SDC counts bit for bit"
+                    ),
+                }
+                note_ns_per_trial(
+                    &format!("campaign_simd/{label}/{backend}/batch_{batch}"),
+                    total_ns / trials as f64,
+                );
+                println!(
+                    "campaign_simd/{label}/{backend}/batch_{batch}: {:>8.0} ns/trial \
+                     ({:.2}x f32 batch_1)",
+                    total_ns / trials as f64,
+                    scalar_ns / total_ns
+                );
+            }
+        }
+    };
+
+    let model = archs::build(&ModelConfig::lenet(), 0);
+    let input = model_input(&model);
+    campaign(
+        "lenet",
+        &model.graph,
+        &model.input_name,
+        model.output,
+        &input,
+    );
+
+    // Deep, narrow MLP — the dispatch-bound shape with width-8 rows: bounds the SIMD
+    // backend's overhead where there is almost nothing to vectorize.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let mut h = b.dense(x, 8, 8, &mut rng);
+    for _ in 0..63 {
+        h = b.relu(h);
+        h = b.dense(h, 8, 8, &mut rng);
+    }
+    let probs = b.softmax(h);
+    let deep = b.into_graph();
+    campaign("deep_mlp", &deep, "x", probs, &Tensor::ones(vec![1, 8]));
+}
+
 fn main() {
     let json_path = json_output_path();
     let filter = std::env::var("RANGER_BENCH_FILTER").unwrap_or_default();
-    let groups: [(&str, fn()); 8] = [
+    let groups: [(&str, fn()); 9] = [
         ("insertion", bench_insertion),
         ("inference", bench_inference),
         ("exec_plan", bench_exec_plan),
@@ -615,6 +724,7 @@ fn main() {
         ("campaign_batched", bench_campaign_batched),
         ("campaign_parallel", bench_campaign_parallel),
         ("campaign_fixed", bench_campaign_fixed),
+        ("campaign_simd", bench_campaign_simd),
     ];
     let mut ran = 0usize;
     for (name, run) in groups {

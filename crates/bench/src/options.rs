@@ -15,8 +15,9 @@ pub struct ExpOptions {
     /// Worker threads executing campaign trials (1 = the serial path; any value
     /// reproduces identical SDC counts). Defaults to `RANGER_WORKERS` when set.
     pub workers: usize,
-    /// Execution backend campaigns run on (f32 reference, or genuine fixed16/fixed32
-    /// inference). Defaults to `RANGER_BACKEND` when set. Build campaign configurations
+    /// Execution backend campaigns run on (f32 reference, genuine fixed16/fixed32
+    /// inference, or the runtime-dispatched SIMD f32 path). Defaults to
+    /// `RANGER_BACKEND` when set. Build campaign configurations
     /// through [`ExpOptions::campaign`] so a fixed backend realigns the experiment's
     /// fault datatype to its word format; fixed-point-specific binaries (fig9) manage
     /// the backend themselves.
@@ -48,14 +49,30 @@ impl Default for ExpOptions {
 
 impl ExpOptions {
     /// Parses options from command-line arguments (`--trials N --batch N --workers N
-    /// --backend f32|fixed16|fixed32 --inputs N --seed N --full --models lenet,dave`).
-    /// Unknown arguments are ignored so binaries can add their own flags.
+    /// --backend f32|fixed16|fixed32|simd --inputs N --seed N --full --models
+    /// lenet,dave`). Unknown arguments are ignored so binaries can add their own flags.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
 
     /// Parses options from an explicit argument iterator.
+    ///
+    /// An unknown `--backend` value aborts the process with an error naming the known
+    /// backends — silently running an experiment on the default backend would produce a
+    /// result labelled with the wrong backend (the same fail-fast rule
+    /// `RANGER_BENCH_FILTER` follows).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_parse(args) {
+            Ok(opts) => opts,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Parses options, reporting misuse as an `Err` instead of exiting.
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut opts = ExpOptions::default();
         let args: Vec<String> = args.into_iter().collect();
         let mut i = 0;
@@ -80,10 +97,11 @@ impl ExpOptions {
                     }
                 }
                 "--backend" => {
-                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                        opts.backend = v;
-                        i += 1;
-                    }
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| "--backend requires a value".to_string())?;
+                    opts.backend = value.parse().map_err(|e| format!("--backend: {e}"))?;
+                    i += 1;
                 }
                 "--inputs" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
@@ -115,7 +133,7 @@ impl ExpOptions {
             }
             i += 1;
         }
-        opts
+        Ok(opts)
     }
 
     /// Builds the campaign configuration for this run: trials, batch, workers, backend
@@ -204,7 +222,20 @@ mod tests {
             parse(&["--backend", "fixed16"]).backend,
             BackendKind::Fixed16
         );
-        assert_eq!(parse(&["--backend", "warp"]).backend, parse(&[]).backend);
+        assert_eq!(parse(&["--backend", "simd"]).backend, BackendKind::Simd);
+    }
+
+    /// An unknown backend must not silently run the experiment on the default backend:
+    /// the result would be labelled with a backend that never executed.
+    #[test]
+    fn unknown_backend_is_rejected_with_the_known_names() {
+        let err = ExpOptions::try_parse(["--backend".to_string(), "warp".to_string()]).unwrap_err();
+        assert!(err.contains("unknown backend"), "unexpected error: {err}");
+        for name in ["f32", "fixed16", "fixed32", "simd"] {
+            assert!(err.contains(name), "error does not list {name}: {err}");
+        }
+        let err = ExpOptions::try_parse(["--backend".to_string()]).unwrap_err();
+        assert!(err.contains("requires a value"));
     }
 
     /// `ExpOptions::campaign` must always hand the runner a valid configuration: on a

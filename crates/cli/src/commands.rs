@@ -51,16 +51,19 @@ pub fn train(options: &Options) -> Result<String, CliError> {
     ))
 }
 
-/// Parses `--backend f32|fixed16|fixed32` (default: `RANGER_BACKEND`, then f32) and the
-/// fault datatype that goes with it: an explicit `--fixed16` flag wins, otherwise a
-/// fixed-point backend implies faults in its own word format (the only valid pairing —
-/// the campaign rejects mismatches), and the f32 backend keeps the paper's default
-/// fixed32 emulation.
+/// Parses `--backend f32|fixed16|fixed32|simd` (default: `RANGER_BACKEND`, then f32)
+/// and the fault datatype that goes with it: an explicit `--fixed16` flag wins,
+/// otherwise a fixed-point backend implies faults in its own word format (the only
+/// valid pairing — the campaign rejects mismatches), and the f32-computing backends
+/// (`f32`, `simd`) keep the paper's default fixed32 emulation.
+///
+/// Both the flag and the `RANGER_BACKEND` fallback reject unknown names with the known
+/// backends listed — a misspelled sweep must fail loudly, not silently run f32.
 pub(crate) fn parse_backend_and_datatype(
     options: &Options,
 ) -> Result<(BackendKind, DataType), CliError> {
     let backend = match options.get("backend") {
-        None => ranger_inject::default_backend(),
+        None => ranger_inject::try_default_backend().map_err(CliError::Usage)?,
         Some(raw) => raw.parse().map_err(CliError::Usage)?,
     };
     let datatype = if options.has_flag("fixed16") {
@@ -436,6 +439,22 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(rates(&fixed), rates(&fixed_again));
+
+        // The SIMD backend computes the same f32 semantics bit for bit, so its SDC
+        // rates are identical to the scalar f32 report for the same seed.
+        let simd = inject(&opts(&[
+            "--in",
+            protected_path.to_str().unwrap(),
+            "--trials",
+            "20",
+            "--inputs",
+            "1",
+            "--backend",
+            "simd",
+        ]))
+        .unwrap();
+        assert!(simd.contains("backend simd"));
+        assert_eq!(rates(&report), rates(&simd));
 
         // An unknown backend is a usage error; a contradictory backend/fault pairing is
         // rejected by the campaign with a descriptive message.

@@ -121,7 +121,7 @@ COMMANDS:
              [--policy saturate|zero|random] [--seed N]
              Derive restriction bounds from the training data and insert Ranger.
     inject   --in <model.json> [--trials N] [--batch N] [--workers N] [--inputs N]
-             [--backend f32|fixed16|fixed32] [--bits N] [--fixed16] [--seed N]
+             [--backend f32|fixed16|fixed32|simd] [--bits N] [--fixed16] [--seed N]
              Run a fault-injection campaign and report SDC rates. --batch N executes N
              trials per forward pass and --workers N runs trial chunks on an N-worker
              pool (identical results either way, less wall-clock per trial).
@@ -129,8 +129,10 @@ COMMANDS:
              bits directly in the stored integer words (faults default to the
              backend's own word format); the default f32 backend emulates fixed-point
              corruption on float compute (--fixed16 selects the 16-bit fault model).
+             --backend simd runs the f32 semantics on the widest SIMD tier the host
+             offers (AVX-512/AVX2/NEON), bit-for-bit equal counts, less wall-clock.
     pipeline --model <name> [--trials N] [--batch N] [--workers N] [--inputs N]
-             [--backend f32|fixed16|fixed32] [--seed N] [--percentile P] [--fraction F]
+             [--backend f32|fixed16|fixed32|simd] [--seed N] [--percentile P] [--fraction F]
              [--policy saturate|zero|random] [--bits N] [--fixed16] [--quick]
              [--out report.json]
              Run the full profile -> protect -> inject pipeline and print the JSON report.
@@ -141,7 +143,7 @@ COMMANDS:
              chunk by chunk, checkpointing every completed chunk so a killed server
              resumes exactly where it stopped (default addr 127.0.0.1:7171).
     submit   --addr HOST:PORT (--model <name> | --in <model.json>) [--inputs N]
-             [--trials N] [--batch N] [--workers N] [--backend f32|fixed16|fixed32]
+             [--trials N] [--batch N] [--workers N] [--backend f32|fixed16|fixed32|simd]
              [--bits N] [--fixed16] [--seed N]
              Submit a campaign to a running server and print its id. Submitting an
              identical spec again resumes it from its checkpoint.

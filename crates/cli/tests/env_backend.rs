@@ -1,0 +1,42 @@
+//! A misconfigured `RANGER_BACKEND` environment variable must fail fast with a usage
+//! error naming the known backends — not silently fall back to the f32 default the way
+//! the pre-PR-7 code did. The binary is spawned as a subprocess so the env var cannot
+//! race other tests that read `RANGER_BACKEND` in-process.
+
+use std::process::Command;
+
+#[test]
+fn misconfigured_ranger_backend_env_is_a_clean_usage_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ranger-cli"))
+        .args(["pipeline", "--model", "lenet", "--quick"])
+        .env("RANGER_BACKEND", "warp")
+        .output()
+        .expect("spawn ranger-cli");
+    assert!(
+        !output.status.success(),
+        "pipeline must not run under an unknown RANGER_BACKEND"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("RANGER_BACKEND") && stderr.contains("known backends"),
+        "unexpected stderr: {stderr}"
+    );
+}
+
+#[test]
+fn ranger_backend_env_selects_the_simd_backend() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ranger-cli"))
+        .args([
+            "pipeline", "--model", "lenet", "--quick", "--trials", "5", "--inputs", "1",
+        ])
+        .env("RANGER_BACKEND", "simd")
+        .output()
+        .expect("spawn ranger-cli");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "pipeline failed: {stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("\"backend\": \"simd\""),
+        "report does not name the simd backend: {stdout}"
+    );
+}

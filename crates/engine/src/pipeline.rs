@@ -321,6 +321,8 @@ impl RateSummary {
 /// Side-by-side campaign results for the unprotected and protected arms.
 #[derive(Debug, Clone, Serialize)]
 pub struct CampaignComparison {
+    /// The execution backend every forward pass (golden and faulty) ran on.
+    pub backend: String,
     /// Trials per input.
     pub trials_per_input: usize,
     /// Number of (correctly predicted) inputs injected into.
@@ -705,6 +707,7 @@ impl Pipeline {
                     .collect();
                 (
                     Some(CampaignComparison {
+                        backend: config.backend.backend().name().to_string(),
                         trials_per_input: config.trials,
                         inputs: inputs.len(),
                         baseline: RateSummary::from_result(&baseline),
@@ -964,6 +967,50 @@ mod tests {
             parallel.protected_result.as_ref().unwrap().sdc_counts,
             "fixed16 protected arm diverged across worker counts"
         );
+    }
+
+    /// The `.backend(BackendKind::Simd)` knob computes the same f32 semantics on the
+    /// vector path, so the whole campaign section of the report — SDC counts included —
+    /// is bit-for-bit the f32 pipeline's, and the report names the backend that ran.
+    #[test]
+    fn simd_pipeline_report_is_bit_for_bit_the_f32_report() {
+        use ranger_inject::BackendKind;
+        let run = |backend: BackendKind, zoo_tag: &str| {
+            Pipeline::for_model(ModelKind::LeNet)
+                .seed(23)
+                .train(quick_recipe())
+                .zoo(temp_zoo(zoo_tag))
+                .campaign(CampaignConfig {
+                    trials: 12,
+                    batch: 1,
+                    workers: 1,
+                    backend: BackendKind::F32, // overridden by the knob below
+                    fault: FaultModel::single_bit_fixed32(),
+                    seed: 23,
+                })
+                .backend(backend)
+                .inputs(1)
+                .run_full()
+                .unwrap()
+        };
+        let f32_run = run(BackendKind::F32, "simd-parity-f32");
+        let simd_run = run(BackendKind::Simd, "simd-parity-simd");
+        assert_eq!(
+            f32_run.baseline_result.as_ref().unwrap().sdc_counts,
+            simd_run.baseline_result.as_ref().unwrap().sdc_counts,
+            "simd baseline arm diverged from the f32 reference"
+        );
+        assert_eq!(
+            f32_run.protected_result.as_ref().unwrap().sdc_counts,
+            simd_run.protected_result.as_ref().unwrap().sdc_counts,
+            "simd protected arm diverged from the f32 reference"
+        );
+        assert_eq!(
+            simd_run.report.campaign.as_ref().unwrap().backend,
+            "simd",
+            "the report must name the backend that executed the campaign"
+        );
+        assert_eq!(f32_run.report.campaign.as_ref().unwrap().backend, "f32");
     }
 
     /// A mismatched backend/fault pairing in an explicit campaign config surfaces as a

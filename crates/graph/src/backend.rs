@@ -29,7 +29,7 @@
 //! path.
 
 use crate::error::GraphError;
-use crate::exec::{arity_err, eval_node_into, Interceptor, Values};
+use crate::exec::{arity_err, eval_node_into, input, Interceptor, Values};
 use crate::graph::{Node, NodeId};
 use crate::op::{Op, RestorePolicy};
 use crate::ops::activation::softmax_layout;
@@ -92,6 +92,113 @@ impl ExecBackend for ReferenceBackend {
     ) -> Result<(), GraphError> {
         let mut output = values.take_recycled(node.id);
         eval_node_into(node, values, feeds, &mut output)?;
+        if node.op.is_injectable() {
+            interceptor.after_op(node, &mut output);
+        }
+        values.set(node.id, output);
+        Ok(())
+    }
+}
+
+/// The runtime-dispatched SIMD `f32` backend: the reference semantics, computed with
+/// the widest vector unit the host offers.
+///
+/// The three hot kernels — 2-D convolution, matmul and the three-pass stable softmax —
+/// evaluate through `ranger-simd`'s portable kernel bodies, dispatched once per process
+/// to AVX-512, AVX2+FMA, NEON or the scalar fallback
+/// ([`ranger_simd::active_tier`]; `RANGER_SIMD_FORCE` pins a tier for testing). Every
+/// other operator delegates to [`eval_node_into`], the same dispatch the
+/// [`ReferenceBackend`] uses.
+///
+/// **This backend is bit-for-bit equal to the reference**, not merely close: the ported
+/// kernels vectorize across independent output lanes with separate multiply and add
+/// (never FMA, never a re-associated reduction), so every output element sees exactly
+/// the scalar kernel's partial products in the scalar kernel's order. SDC counts from
+/// campaigns on this backend are therefore pinned *equal* to f32-reference counts —
+/// see docs/NUMERICS.md ("SIMD backend") and `tests/backend_differential.rs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdBackend;
+
+impl SimdBackend {
+    /// Computes `node` into `out`, routing the ported kernels through `ranger-simd`.
+    fn eval_into(
+        &self,
+        node: &Node,
+        values: &Values,
+        feeds: &[(&str, Tensor)],
+        out: &mut Tensor,
+    ) -> Result<(), GraphError> {
+        match &node.op {
+            Op::Conv2d { stride, padding } => {
+                if node.inputs.len() != 2 {
+                    return Err(arity_err(node, 2));
+                }
+                let x = input(node, values, 0)?;
+                let w = input(node, values, 1)?;
+                // The shared validator guarantees this backend accepts exactly the
+                // graphs (and reports exactly the errors) the f32 kernel does.
+                let g = conv2d_geometry(node.id, x.dims(), w.dims(), *stride, *padding)?;
+                let shape = ranger_simd::Conv2dShape {
+                    batch: g.batch,
+                    cin: g.cin,
+                    height: g.height,
+                    width: g.width,
+                    cout: g.cout,
+                    kh: g.kh,
+                    kw: g.kw,
+                    stride: *stride,
+                    pad_h: g.pad_h,
+                    pad_w: g.pad_w,
+                    out_h: g.out_h,
+                    out_w: g.out_w,
+                };
+                out.reset_fill(&[g.batch, g.cout, g.out_h, g.out_w], 0.0);
+                ranger_simd::conv2d(x.data(), w.data(), &shape, out.data_mut());
+                Ok(())
+            }
+            Op::MatMul if node.inputs.len() == 2 => {
+                let a = input(node, values, 0)?;
+                let b = input(node, values, 1)?;
+                let (ls, rs) = (a.dims(), b.dims());
+                if ls.len() != 2 || rs.len() != 2 || ls[1] != rs[0] {
+                    // Invalid operands: delegate so the error is the reference's, word
+                    // for word.
+                    return eval_node_into(node, values, feeds, out);
+                }
+                let (m, k, n) = (ls[0], ls[1], rs[1]);
+                out.reset_fill(&[m, n], 0.0);
+                ranger_simd::matmul(a.data(), b.data(), m, k, n, out.data_mut());
+                Ok(())
+            }
+            Op::Softmax if node.inputs.len() == 1 => {
+                let x = input(node, values, 0)?;
+                let dims = x.dims().to_vec();
+                let (rows, last) = softmax_layout(node.id, &dims, x.len())?;
+                out.reset_fill(&dims, 0.0);
+                ranger_simd::softmax(x.data(), rows, last, out.data_mut());
+                Ok(())
+            }
+            // Everything else — elementwise ops, pooling, shape ops, feeds — is the
+            // reference dispatch itself, so it cannot diverge from it.
+            _ => eval_node_into(node, values, feeds, out),
+        }
+    }
+}
+
+impl ExecBackend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn eval_node(
+        &self,
+        node: &Node,
+        values: &mut Values,
+        feeds: &[(&str, Tensor)],
+        interceptor: &mut dyn Interceptor,
+    ) -> Result<(), GraphError> {
+        let mut output = values.take_recycled(node.id);
+        self.eval_into(node, values, feeds, &mut output)?;
         if node.op.is_injectable() {
             interceptor.after_op(node, &mut output);
         }
@@ -497,6 +604,7 @@ impl ExecBackend for FixedBackend {
 }
 
 static REFERENCE: ReferenceBackend = ReferenceBackend;
+static SIMD: SimdBackend = SimdBackend;
 static FIXED16: FixedBackend = FixedBackend {
     spec: FixedSpec::q16(),
 };
@@ -515,6 +623,9 @@ pub enum BackendKind {
     Fixed16,
     /// Genuine Q24.8 (32-bit) fixed-point inference — the paper's RQ1–RQ3 datatype.
     Fixed32,
+    /// Runtime-dispatched SIMD `f32` inference ([`SimdBackend`]) — reference semantics,
+    /// bit-for-bit, on the widest vector unit the host offers.
+    Simd,
 }
 
 impl BackendKind {
@@ -524,6 +635,7 @@ impl BackendKind {
             BackendKind::F32 => &REFERENCE,
             BackendKind::Fixed16 => &FIXED16,
             BackendKind::Fixed32 => &FIXED32,
+            BackendKind::Simd => &SIMD,
         }
     }
 
@@ -533,8 +645,23 @@ impl BackendKind {
     }
 
     /// Every selectable backend, in documentation order.
-    pub fn all() -> [BackendKind; 3] {
-        [BackendKind::F32, BackendKind::Fixed16, BackendKind::Fixed32]
+    pub fn all() -> [BackendKind; 4] {
+        [
+            BackendKind::F32,
+            BackendKind::Fixed16,
+            BackendKind::Fixed32,
+            BackendKind::Simd,
+        ]
+    }
+
+    /// The known backend names, comma-separated — the list every "unknown backend"
+    /// error cites, built from [`BackendKind::all`] so it cannot go stale.
+    pub fn known_names() -> String {
+        Self::all()
+            .iter()
+            .map(|k| k.backend().name())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 }
 
@@ -552,25 +679,51 @@ impl std::str::FromStr for BackendKind {
             "f32" | "float32" | "float" => Ok(BackendKind::F32),
             "fixed16" | "q16" => Ok(BackendKind::Fixed16),
             "fixed32" | "q32" => Ok(BackendKind::Fixed32),
+            "simd" => Ok(BackendKind::Simd),
             other => Err(format!(
-                "unknown backend '{other}' (expected f32, fixed16 or fixed32)"
+                "unknown backend '{other}' (known backends: {})",
+                BackendKind::known_names()
             )),
         }
     }
 }
 
 /// The default backend for campaign configurations: the `RANGER_BACKEND` environment
-/// variable if it names a backend, otherwise [`BackendKind::F32`].
+/// variable if set (an empty value counts as unset), otherwise [`BackendKind::F32`].
 ///
 /// Reading the environment here — once, at configuration-default time, never inside the
-/// executors — lets a CI job sweep an entire test suite through the fixed-point path
-/// (`RANGER_BACKEND=fixed16 cargo test`) without every call site growing a knob,
-/// mirroring how `RANGER_WORKERS` sweeps the thread pool.
+/// executors — lets a CI job sweep an entire test suite through an alternative path
+/// (`RANGER_BACKEND=fixed16 cargo test`, `RANGER_BACKEND=simd cargo test`) without every
+/// call site growing a knob, mirroring how `RANGER_WORKERS` sweeps the thread pool.
+///
+/// # Errors
+///
+/// Returns an error listing the known backends if `RANGER_BACKEND` is set to a name
+/// [`BackendKind`] does not recognise. A misspelled sweep must fail loudly: silently
+/// falling back to `f32` would run — and report on — the wrong backend (the same
+/// fail-fast rule `RANGER_BENCH_FILTER` follows).
+pub fn try_default_backend() -> Result<BackendKind, String> {
+    match std::env::var("RANGER_BACKEND") {
+        Ok(value) if !value.is_empty() => value
+            .parse()
+            .map_err(|e| format!("invalid RANGER_BACKEND: {e}")),
+        _ => Ok(BackendKind::F32),
+    }
+}
+
+/// [`try_default_backend`], panicking on a misconfigured `RANGER_BACKEND`.
+///
+/// Infallible call sites (configuration `Default` impls) use this; surfaces with an
+/// error channel (the CLI) use [`try_default_backend`] and report cleanly.
+///
+/// # Panics
+///
+/// Panics if `RANGER_BACKEND` is set to an unknown name.
 pub fn default_backend() -> BackendKind {
-    std::env::var("RANGER_BACKEND")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(BackendKind::F32)
+    match try_default_backend() {
+        Ok(kind) => kind,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -607,8 +760,104 @@ mod tests {
         assert_eq!(BackendKind::F32.spec(), None);
         assert_eq!(BackendKind::Fixed16.spec(), Some(FixedSpec::q16()));
         assert_eq!(BackendKind::Fixed32.spec(), Some(FixedSpec::q32()));
+        // The SIMD backend computes native f32: no quantization spec, so campaigns
+        // pair it with f32 fault models exactly like the reference.
+        assert_eq!(BackendKind::Simd.spec(), None);
         assert_eq!(BackendKind::Fixed16.backend().name(), "fixed16");
         assert_eq!(BackendKind::F32.backend().name(), "f32");
+        assert_eq!(BackendKind::Simd.backend().name(), "simd");
+    }
+
+    #[test]
+    fn unknown_backend_error_lists_every_known_name() {
+        let err = "warp".parse::<BackendKind>().unwrap_err();
+        for name in ["f32", "fixed16", "fixed32", "simd"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    /// The `RANGER_BACKEND` audit (mirroring the `RANGER_BENCH_FILTER` fix): an unknown
+    /// name must be rejected with the known backends, never silently fall back to f32.
+    /// The graph test binary has no other reader of `RANGER_BACKEND`, so the temporary
+    /// mutation cannot race another test; the sweep value (CI sets `fixed16` etc.) is
+    /// restored on exit.
+    #[test]
+    fn misconfigured_ranger_backend_is_rejected_not_defaulted() {
+        let original = std::env::var("RANGER_BACKEND").ok();
+        std::env::set_var("RANGER_BACKEND", "warp");
+        let err = try_default_backend().unwrap_err();
+        assert!(err.contains("RANGER_BACKEND"), "{err}");
+        assert!(err.contains("known backends"), "{err}");
+        std::env::set_var("RANGER_BACKEND", "simd");
+        assert_eq!(try_default_backend(), Ok(BackendKind::Simd));
+        std::env::set_var("RANGER_BACKEND", "");
+        assert_eq!(try_default_backend(), Ok(BackendKind::F32));
+        std::env::remove_var("RANGER_BACKEND");
+        assert_eq!(try_default_backend(), Ok(BackendKind::F32));
+        if let Some(value) = original {
+            std::env::set_var("RANGER_BACKEND", value);
+        }
+    }
+
+    /// The SimdBackend contract in one place: ported kernels (conv2d, matmul, softmax)
+    /// and delegated ops alike reproduce the reference bit-for-bit on a full forward
+    /// pass.
+    #[test]
+    fn simd_backend_matches_reference_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut b = GraphBuilder::new();
+        let x = b.input("x");
+        let c = b.conv2d(x, 2, 3, 3, 1, crate::op::Padding::Same, &mut rng);
+        let c = b.relu(c);
+        let p = b.max_pool(c, 2, 2);
+        let f = b.flatten(p);
+        let h = b.dense(f, 3 * 3 * 3, 8, &mut rng);
+        let h = b.tanh(h);
+        let y = b.dense(h, 8, 4, &mut rng);
+        let _probs = b.softmax(y);
+        let graph = b.into_graph();
+
+        let feed: Vec<f32> = (0..2 * 2 * 6 * 6)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
+        let feeds = [("x", Tensor::from_vec(vec![2, 2, 6, 6], feed).unwrap())];
+        let reference = graph
+            .compile()
+            .unwrap()
+            .run(&feeds, &mut NoopInterceptor)
+            .unwrap();
+        let simd = graph
+            .compile_with(BackendKind::Simd.backend())
+            .unwrap()
+            .run(&feeds, &mut NoopInterceptor)
+            .unwrap();
+        for node in graph.nodes() {
+            let (r, s) = (reference.get(node.id).unwrap(), simd.get(node.id).unwrap());
+            assert_eq!(r.dims(), s.dims());
+            let (rb, sb): (Vec<u32>, Vec<u32>) = (
+                r.data().iter().map(|v| v.to_bits()).collect(),
+                s.data().iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(rb, sb, "node {} ({:?}) diverged", node.name, node.op);
+        }
+    }
+
+    #[test]
+    fn simd_backend_reports_reference_errors_for_invalid_operands() {
+        // Mismatched matmul operands: the SIMD backend must surface the reference
+        // error, word for word.
+        let build = |kind: BackendKind| {
+            let mut g = crate::graph::Graph::new();
+            let x = g.add_input("x");
+            let y = g.add_node("prod", Op::MatMul, vec![x, x]);
+            let plan = g.compile_with(kind.backend()).unwrap();
+            plan.run_simple(&[("x", Tensor::ones(vec![2, 3]))], y)
+                .unwrap_err()
+        };
+        assert_eq!(
+            format!("{}", build(BackendKind::Simd)),
+            format!("{}", build(BackendKind::F32))
+        );
     }
 
     #[test]

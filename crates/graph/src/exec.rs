@@ -369,7 +369,11 @@ pub fn arity_err(node: &Node, expected: usize) -> GraphError {
     }
 }
 
-fn input<'v>(node: &Node, values: &'v Values, idx: usize) -> Result<&'v Tensor, GraphError> {
+pub(crate) fn input<'v>(
+    node: &Node,
+    values: &'v Values,
+    idx: usize,
+) -> Result<&'v Tensor, GraphError> {
     let id = *node
         .inputs
         .get(idx)

@@ -50,7 +50,10 @@ pub mod op;
 pub mod ops;
 pub mod plan;
 
-pub use backend::{default_backend, BackendKind, ExecBackend, FixedBackend, ReferenceBackend};
+pub use backend::{
+    default_backend, try_default_backend, BackendKind, ExecBackend, FixedBackend, ReferenceBackend,
+    SimdBackend,
+};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use exec::{Executor, Interceptor};

@@ -76,7 +76,7 @@ pub use injector::{BatchFaultInjector, FaultInjector};
 pub use judge::{ClassifierJudge, SdcJudge, SteeringJudge};
 // Backend selection is part of the campaign configuration surface; re-exported so
 // campaign callers need not depend on ranger-graph directly.
-pub use ranger_graph::{default_backend, BackendKind};
+pub use ranger_graph::{default_backend, try_default_backend, BackendKind};
 pub use sensitivity::{bit_sensitivity, BitSensitivity};
 pub use space::{InjectionSite, InjectionSpace};
 
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::sensitivity::{bit_sensitivity, BitSensitivity};
     pub use crate::space::{InjectionSite, InjectionSpace};
     pub use crate::InjectionTarget;
-    pub use ranger_graph::{default_backend, BackendKind};
+    pub use ranger_graph::{default_backend, try_default_backend, BackendKind};
 }
 
 use ranger_graph::{Graph, NodeId};

@@ -1,5 +1,6 @@
 //! The resumability property, pinned as a proptest: for ANY chunk partition, ANY kill
-//! point, ANY worker count, batching mode and backend, a campaign that is stopped after
+//! point, ANY worker count, batching mode and backend (f32, fixed16 or the
+//! runtime-dispatched SIMD path), a campaign that is stopped after
 //! `k` chunks and then re-driven from its checkpoint finishes with bit-for-bit the SDC,
 //! trial and unactivated counts of an uninterrupted `run_campaign`.
 //!
@@ -50,10 +51,10 @@ proptest! {
         kill_after in 0usize..24,
         workers in 1usize..5,
         batched in 0u8..2,
-        fixed16 in 0u8..2,
+        backend_choice in 0u8..3,
         seed in 0u64..1000,
     ) {
-        let (batched, fixed16) = (batched == 1, fixed16 == 1);
+        let batched = batched == 1;
         let (graph, probs) = toy_classifier(seed.wrapping_mul(3).wrapping_add(1));
         let target = InjectionTarget {
             graph: &graph,
@@ -63,10 +64,12 @@ proptest! {
         };
         let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
         let judge = ClassifierJudge::top1();
-        let (backend, fault) = if fixed16 {
-            (BackendKind::Fixed16, FaultModel::single_bit_fixed16())
-        } else {
-            (BackendKind::F32, FaultModel::single_bit_fixed32())
+        let (backend, fault) = match backend_choice {
+            0 => (BackendKind::F32, FaultModel::single_bit_fixed32()),
+            1 => (BackendKind::Fixed16, FaultModel::single_bit_fixed16()),
+            // The SIMD backend computes f32 semantics, so it pairs with the same
+            // emulated fault model as the reference.
+            _ => (BackendKind::Simd, FaultModel::single_bit_fixed32()),
         };
         let config = CampaignConfig {
             trials: 10,
@@ -91,7 +94,7 @@ proptest! {
         ).unwrap();
         let pool = ThreadPool::new(workers);
         let path = tmp(format!(
-            "{chunk_len}-{kill_after}-{workers}-{batched}-{fixed16}-{seed}"
+            "{chunk_len}-{kill_after}-{workers}-{batched}-{backend_choice}-{seed}"
         ));
         let _ = std::fs::remove_file(&path);
 

@@ -1,0 +1,293 @@
+//! Runtime tier detection and the [`SimdOp`] dispatch seam.
+//!
+//! A kernel is a type implementing [`SimdOp`]: one generic `eval` body written against
+//! [`SimdF32`]. [`dispatch`] detects the widest available tier once per process
+//! ([`active_tier`]), then evaluates the body inside that tier's `#[target_feature]`
+//! wrapper — monomorphization plus `#[inline(always)]` lane ops means LLVM compiles the
+//! whole body with the tier's instruction set enabled, while the same source also
+//! compiles as the plain-`f32` scalar fallback.
+//!
+//! `RANGER_SIMD_FORCE` overrides detection for testing (values: `avx512`, `avx2`,
+//! `neon`, `scalar`). Forcing a tier the host cannot execute is a hard configuration
+//! error — the process fails fast with the valid names rather than silently running a
+//! different tier than the one CI asked to cover.
+
+use crate::vec::ScalarVec;
+use crate::vec::SimdF32;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// One rung of the dispatch ladder, widest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// AVX-512 (`avx512f`): 16 `f32` lanes. x86-64 only.
+    Avx512,
+    /// AVX2 + FMA (the x86-64-v3 pair): 8 `f32` lanes. x86-64 only.
+    Avx2Fma,
+    /// NEON: 4 `f32` lanes. Baseline on aarch64.
+    Neon,
+    /// Plain `f32` arithmetic — always available, and the semantic anchor the vector
+    /// tiers are pinned against.
+    Scalar,
+}
+
+impl SimdTier {
+    /// Every tier, widest first — the detection order of the ladder.
+    pub const LADDER: [SimdTier; 4] = [
+        SimdTier::Avx512,
+        SimdTier::Avx2Fma,
+        SimdTier::Neon,
+        SimdTier::Scalar,
+    ];
+
+    /// The stable name `RANGER_SIMD_FORCE` selects this tier by.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Avx512 => "avx512",
+            SimdTier::Avx2Fma => "avx2",
+            SimdTier::Neon => "neon",
+            SimdTier::Scalar => "scalar",
+        }
+    }
+
+    /// Number of `f32` lanes this tier's vectors hold.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdTier::Avx512 => 16,
+            SimdTier::Avx2Fma => 8,
+            SimdTier::Neon => 4,
+            SimdTier::Scalar => 1,
+        }
+    }
+
+    /// Whether the running CPU can execute this tier.
+    pub fn available(self) -> bool {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2Fma => {
+                is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "aarch64")]
+            SimdTier::Neon => true,
+            SimdTier::Scalar => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Parses a `RANGER_SIMD_FORCE` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error listing the valid names if `name` matches no tier.
+    pub fn parse(name: &str) -> Result<SimdTier, String> {
+        Self::LADDER
+            .iter()
+            .copied()
+            .find(|t| t.name() == name.to_ascii_lowercase())
+            .ok_or_else(|| {
+                format!(
+                    "unknown SIMD tier '{name}' (valid RANGER_SIMD_FORCE values: \
+                     avx512, avx2, neon, scalar)"
+                )
+            })
+    }
+}
+
+impl fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The widest tier the running CPU offers, ignoring any `RANGER_SIMD_FORCE` override.
+pub fn detected_tier() -> SimdTier {
+    SimdTier::LADDER
+        .iter()
+        .copied()
+        .find(|t| t.available())
+        .unwrap_or(SimdTier::Scalar)
+}
+
+/// Resolves the tier to run: the forced name if any, else the detected widest.
+///
+/// Pure so the force/availability rules are unit-testable without touching the
+/// process environment.
+///
+/// # Errors
+///
+/// Returns an error if `forced` names no tier or names one `available` rejects.
+fn resolve(forced: Option<&str>, detected: SimdTier) -> Result<SimdTier, String> {
+    match forced {
+        None | Some("") => Ok(detected),
+        Some(name) => {
+            let tier = SimdTier::parse(name)?;
+            if tier.available() {
+                Ok(tier)
+            } else {
+                Err(format!(
+                    "RANGER_SIMD_FORCE={name} is not executable on this host \
+                     (widest available tier: {detected})"
+                ))
+            }
+        }
+    }
+}
+
+/// The tier every [`dispatch`] call evaluates on, resolved once per process: the
+/// `RANGER_SIMD_FORCE` override if set, otherwise the widest detected tier.
+///
+/// # Panics
+///
+/// Panics if `RANGER_SIMD_FORCE` names an unknown tier or one this host cannot
+/// execute — a misconfigured sweep must fail loudly, not silently measure the wrong
+/// instruction set (the same fail-fast rule `RANGER_BENCH_FILTER` follows).
+pub fn active_tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let forced = std::env::var("RANGER_SIMD_FORCE").ok();
+        match resolve(forced.as_deref(), detected_tier()) {
+            Ok(tier) => tier,
+            Err(e) => panic!("{e}"),
+        }
+    })
+}
+
+/// One SIMD kernel: a generic body evaluated against the active tier's lane type by
+/// [`dispatch`].
+pub trait SimdOp {
+    /// The kernel's result type.
+    type Output;
+
+    /// Evaluates the kernel with `V`'s lane width.
+    ///
+    /// Implementations must be `#[inline(always)]` so the body compiles inside the
+    /// per-tier `#[target_feature]` wrappers.
+    ///
+    /// # Safety
+    ///
+    /// `V`'s instruction set must be available on the running CPU.
+    unsafe fn eval<V: SimdF32>(&mut self) -> Self::Output;
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn eval_avx512<O: SimdOp>(op: &mut O) -> O::Output {
+    op.eval::<crate::vec::x86::Avx512Vec>()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn eval_avx2<O: SimdOp>(op: &mut O) -> O::Output {
+    op.eval::<crate::vec::x86::Avx2Vec>()
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn eval_neon<O: SimdOp>(op: &mut O) -> O::Output {
+    op.eval::<crate::vec::arm::NeonVec>()
+}
+
+/// Evaluates `op` on the [`active_tier`].
+pub fn dispatch<O: SimdOp>(op: &mut O) -> O::Output {
+    match active_tier() {
+        // SAFETY: each wrapper is reached only when `active_tier` resolved to its tier,
+        // which `SimdTier::available` verified on this CPU.
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => unsafe { eval_avx512(op) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2Fma => unsafe { eval_avx2(op) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { eval_neon(op) },
+        // SAFETY: the scalar body uses no vector instructions at all.
+        _ => unsafe { op.eval::<ScalarVec>() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_widest_first_and_scalar_is_always_available() {
+        assert_eq!(SimdTier::LADDER[3], SimdTier::Scalar);
+        assert!(SimdTier::Scalar.available());
+        let mut lanes: Vec<usize> = SimdTier::LADDER.iter().map(|t| t.lanes()).collect();
+        let sorted = {
+            lanes.sort_by(|a, b| b.cmp(a));
+            lanes
+        };
+        assert_eq!(
+            sorted,
+            SimdTier::LADDER
+                .iter()
+                .map(|t| t.lanes())
+                .collect::<Vec<_>>(),
+            "the ladder must try wider tiers first"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_names_and_rejects_unknown_ones() {
+        for tier in SimdTier::LADDER {
+            assert_eq!(SimdTier::parse(tier.name()), Ok(tier));
+        }
+        assert_eq!(SimdTier::parse("AVX2"), Ok(SimdTier::Avx2Fma));
+        let err = SimdTier::parse("sse9").unwrap_err();
+        for name in ["avx512", "avx2", "neon", "scalar"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn resolve_honours_the_force_and_rejects_the_unavailable() {
+        let detected = detected_tier();
+        assert_eq!(resolve(None, detected), Ok(detected));
+        assert_eq!(resolve(Some(""), detected), Ok(detected));
+        assert_eq!(resolve(Some("scalar"), detected), Ok(SimdTier::Scalar));
+        assert!(resolve(Some("warp9"), detected).is_err());
+        // Whichever architecture runs this, one of the two vector families is foreign.
+        let foreign = if cfg!(target_arch = "aarch64") {
+            "avx512"
+        } else {
+            "neon"
+        };
+        let err = resolve(Some(foreign), detected).unwrap_err();
+        assert!(
+            err.contains("not executable"),
+            "forcing a foreign tier must fail fast: {err}"
+        );
+    }
+
+    #[test]
+    fn detected_tier_is_executable() {
+        assert!(detected_tier().available());
+        // The force-aware resolution must agree with the environment this test process
+        // actually runs under (CI sets RANGER_SIMD_FORCE=scalar for the fallback leg).
+        match std::env::var("RANGER_SIMD_FORCE") {
+            Ok(name) if !name.is_empty() => {
+                assert_eq!(active_tier(), SimdTier::parse(&name).unwrap())
+            }
+            _ => assert_eq!(active_tier(), detected_tier()),
+        }
+    }
+
+    struct SumSquares<'a>(&'a [f32]);
+    impl SimdOp for SumSquares<'_> {
+        type Output = f32;
+        #[inline(always)]
+        unsafe fn eval<V: SimdF32>(&mut self) -> f32 {
+            // Scalar-order accumulation regardless of lane width: this toy op checks
+            // the dispatch plumbing, not vector math.
+            self.0.iter().map(|v| v * v).sum()
+        }
+    }
+
+    #[test]
+    fn dispatch_evaluates_on_every_available_tier() {
+        let data = [1.0f32, 2.0, 3.0];
+        assert_eq!(dispatch(&mut SumSquares(&data)), 14.0);
+    }
+}

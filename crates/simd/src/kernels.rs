@@ -1,0 +1,486 @@
+//! The three ported kernel bodies: blocked conv2d, matmul, three-pass softmax.
+//!
+//! Each body mirrors its scalar reference loop-for-loop (see the [crate docs](crate) for
+//! why that makes the vectorization bit-preserving); the only freedom taken is *which
+//! independent output elements* one instruction covers. Shape validation stays in
+//! `ranger-graph` — these entry points assert the slice contracts they need for memory
+//! safety and otherwise trust the caller's geometry.
+
+use crate::dispatch::{dispatch, SimdOp};
+use crate::vec::{maxps, SimdF32};
+
+/// Validated conv2d geometry, mirroring `ranger-graph`'s `Conv2dGeometry` (NCHW
+/// activations `(batch, cin, height, width)`, OIHW filters `(cout, cin, kh, kw)`).
+#[derive(Debug, Clone, Copy)]
+pub struct Conv2dShape {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub cin: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Output channels (filter count).
+    pub cout: usize,
+    /// Filter height.
+    pub kh: usize,
+    /// Filter width.
+    pub kw: usize,
+    /// Stride (both spatial dimensions).
+    pub stride: usize,
+    /// Leading padding rows.
+    pub pad_h: usize,
+    /// Leading padding columns.
+    pub pad_w: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+/// `out[j] += x[j] * w` for equal-length slices — the shared inner loop of conv2d and
+/// matmul. Separate multiply and add (never FMA), so every `out[j]` rounds exactly like
+/// the scalar `*o += x * w` it replaces.
+#[inline(always)]
+unsafe fn axpy<V: SimdF32>(out: &mut [f32], x: &[f32], w: f32) {
+    debug_assert_eq!(out.len(), x.len());
+    let n = out.len();
+    let wv = V::splat(w);
+    let mut i = 0;
+    while i + V::LANES <= n {
+        let xv = V::load(x.as_ptr().add(i));
+        let ov = V::load(out.as_ptr().add(i));
+        ov.add(xv.mul(wv)).store(out.as_mut_ptr().add(i));
+        i += V::LANES;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) += *x.get_unchecked(i) * w;
+        i += 1;
+    }
+}
+
+struct Conv2dOp<'a> {
+    x: &'a [f32],
+    w: &'a [f32],
+    out: &'a mut [f32],
+    shape: Conv2dShape,
+}
+
+impl SimdOp for Conv2dOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    unsafe fn eval<V: SimdF32>(&mut self) {
+        let g = self.shape;
+        let (n, cin, h, win) = (g.batch, g.cin, g.height, g.width);
+        let (cout, kh, kw, stride) = (g.cout, g.kh, g.kw, g.stride);
+        let (ho, pad_h) = (g.out_h, g.pad_h);
+        let (wo, pad_w) = (g.out_w, g.pad_w);
+        // The row-group blocked nest of `conv2d_forward_into`, verbatim: per output
+        // element the partial products arrive in (ic, ky, kx) order, and the innermost
+        // `ox` walk is the independent-lane axis the vector unit covers.
+        for b in 0..n {
+            for oc in 0..cout {
+                for oy in 0..ho {
+                    let out_row = &mut self.out[((b * cout + oc) * ho + oy) * wo..][..wo];
+                    for ic in 0..cin {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad_h as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let x_row = &self.x[((b * cin + ic) * h + iy as usize) * win..][..win];
+                            let w_row = &self.w[((oc * cin + ic) * kh + ky) * kw..][..kw];
+                            for (kx, &wv) in w_row.iter().enumerate() {
+                                // Valid output columns: 0 <= ox * stride + kx - pad_w < win
+                                // (same clamping as the reference, empty when the kernel
+                                // column lies entirely in the padding).
+                                let kx_off = kx as isize - pad_w as isize;
+                                let ox_min = if kx_off >= 0 {
+                                    0
+                                } else {
+                                    wo.min(((-kx_off) as usize).div_ceil(stride))
+                                };
+                                let ox_end = if win as isize <= kx_off {
+                                    0
+                                } else {
+                                    wo.min((win as isize - 1 - kx_off) as usize / stride + 1)
+                                };
+                                let ox_end = ox_end.max(ox_min);
+                                if stride == 1 {
+                                    // Unit stride reads a contiguous input run: vector
+                                    // lanes cover consecutive output columns.
+                                    let x_base = (ox_min as isize + kx_off) as usize;
+                                    axpy::<V>(
+                                        &mut out_row[ox_min..ox_end],
+                                        &x_row[x_base..x_base + (ox_end - ox_min)],
+                                        wv,
+                                    );
+                                } else {
+                                    // Strided gather: keep the reference's scalar walk.
+                                    for (o, ox) in out_row[ox_min..ox_end].iter_mut().zip(ox_min..)
+                                    {
+                                        let ix = (ox * stride) as isize + kx_off;
+                                        *o += x_row[ix as usize] * wv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runtime-dispatched 2-D convolution, bit-for-bit equal to
+/// `ranger_graph::ops::conv2d_forward_into`.
+///
+/// `out` must be zero-initialized by the caller (the backend recycles and refills its
+/// arena buffer, exactly as for the reference kernel).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `shape` — geometry validation belongs to
+/// the caller; these checks only guard memory safety.
+pub fn conv2d(x: &[f32], w: &[f32], shape: &Conv2dShape, out: &mut [f32]) {
+    let g = *shape;
+    assert_eq!(x.len(), g.batch * g.cin * g.height * g.width);
+    assert_eq!(w.len(), g.cout * g.cin * g.kh * g.kw);
+    assert_eq!(out.len(), g.batch * g.cout * g.out_h * g.out_w);
+    assert!(g.stride > 0, "conv2d stride must be positive");
+    dispatch(&mut Conv2dOp {
+        x,
+        w,
+        out,
+        shape: g,
+    });
+}
+
+struct MatMulOp<'a> {
+    a: &'a [f32],
+    b: &'a [f32],
+    out: &'a mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+impl SimdOp for MatMulOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    unsafe fn eval<V: SimdF32>(&mut self) {
+        let (m, k, n) = (self.m, self.k, self.n);
+        // The (i, p, j) nest of `Tensor::matmul_into`, verbatim — including the
+        // `a == 0.0` skip, which is semantic: skipped partial products never round, and
+        // sparse rows (post-ReLU activations) keep their exact shortcut.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.a[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &self.b[p * n..(p + 1) * n];
+                let out_row = &mut self.out[i * n..(i + 1) * n];
+                axpy::<V>(out_row, row, a);
+            }
+        }
+    }
+}
+
+/// Runtime-dispatched matrix multiplication (`a` is `m×k`, `b` is `k×n`), bit-for-bit
+/// equal to `Tensor::matmul_into`.
+///
+/// `out` must be zero-initialized by the caller.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`/`k`/`n`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    dispatch(&mut MatMulOp { a, b, out, m, k, n });
+}
+
+struct SoftmaxOp<'a> {
+    x: &'a [f32],
+    out: &'a mut [f32],
+    rows: usize,
+    row_len: usize,
+}
+
+impl SimdOp for SoftmaxOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    unsafe fn eval<V: SimdF32>(&mut self) {
+        let last = self.row_len;
+        for r in 0..self.rows {
+            let row = &self.x[r * last..(r + 1) * last];
+            let orow = &mut self.out[r * last..(r + 1) * last];
+
+            // Pass 1 — vectorized max. Folding new elements in as the NaN-dropping
+            // operand mirrors the reference's NaN-ignoring `f32::max` fold; the only
+            // freedom is the sign of a ±0.0 maximum, which cannot change any softmax
+            // output (crate docs).
+            let mut max = f32::NEG_INFINITY;
+            let mut i = 0;
+            if last >= V::LANES {
+                let mut acc = V::splat(f32::NEG_INFINITY);
+                while i + V::LANES <= last {
+                    acc = V::load(row.as_ptr().add(i)).max(acc);
+                    i += V::LANES;
+                }
+                max = acc.reduce_max();
+            }
+            while i < last {
+                max = maxps(*row.get_unchecked(i), max);
+                i += 1;
+            }
+
+            // Pass 2 — scalar exp-and-sum, verbatim from the reference: `exp` keeps
+            // transcendental bit parity and `denom` accumulates in element order.
+            let mut denom = 0.0f32;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *o = e;
+                denom += e;
+            }
+
+            // Pass 3 — vectorized normalize: IEEE division is correctly rounded, so
+            // each lane divides exactly like the scalar `*o /= denom`.
+            let dv = V::splat(denom);
+            let mut i = 0;
+            while i + V::LANES <= last {
+                let ov = V::load(orow.as_ptr().add(i));
+                ov.div(dv).store(orow.as_mut_ptr().add(i));
+                i += V::LANES;
+            }
+            while i < last {
+                *orow.get_unchecked_mut(i) /= denom;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Runtime-dispatched three-pass stable softmax over rows of length `row_len`,
+/// bit-for-bit equal to `ranger_graph::ops::softmax_forward_into`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `rows * row_len`.
+pub fn softmax(x: &[f32], rows: usize, row_len: usize, out: &mut [f32]) {
+    assert_eq!(x.len(), rows * row_len);
+    assert_eq!(out.len(), rows * row_len);
+    dispatch(&mut SoftmaxOp {
+        x,
+        out,
+        rows,
+        row_len,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::active_tier;
+    use crate::vec::ScalarVec;
+
+    /// SplitMix64 over raw bit patterns: full-range f32 operands (subnormals, ±0,
+    /// infinities, NaN) without depending on `rand`.
+    struct Bits(u64);
+    impl Bits {
+        fn next_f32(&mut self) -> f32 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            f32::from_bits((z ^ (z >> 31)) as u32)
+        }
+        fn fill(&mut self, n: usize) -> Vec<f32> {
+            (0..n).map(|_| self.next_f32()).collect()
+        }
+    }
+
+    /// Bit patterns with NaN canonicalized: NaN *payloads* are the one bit IEEE leaves
+    /// unspecified — LLVM does not pin scalar `fadd` operand order, so two NaN partial
+    /// products can merge with either payload even between two scalar builds. Every
+    /// judged quantity is payload-insensitive (NaN comparisons are false regardless),
+    /// so the contract is exact bits for every non-NaN value and NaN-as-a-class.
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter()
+            .map(|x| if x.is_nan() { 0x7FC0_0000 } else { x.to_bits() })
+            .collect()
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_preserves_input() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let w = [1.0];
+        let shape = Conv2dShape {
+            batch: 1,
+            cin: 1,
+            height: 2,
+            width: 2,
+            cout: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad_h: 0,
+            pad_w: 0,
+            out_h: 2,
+            out_w: 2,
+        };
+        let mut out = [0.0; 4];
+        conv2d(&x, &w, &shape, &mut out);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn conv2d_active_tier_matches_scalar_tier_bit_for_bit() {
+        let mut rng = Bits(7);
+        // Shapes chosen to cover padding, strides, vector-width remainders and the
+        // kernel-wider-than-input clamp.
+        for g in [
+            Conv2dShape {
+                batch: 2,
+                cin: 3,
+                height: 7,
+                width: 19,
+                cout: 4,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad_h: 1,
+                pad_w: 1,
+                out_h: 7,
+                out_w: 19,
+            },
+            Conv2dShape {
+                batch: 1,
+                cin: 2,
+                height: 9,
+                width: 9,
+                cout: 3,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                pad_h: 1,
+                pad_w: 1,
+                out_h: 5,
+                out_w: 5,
+            },
+            Conv2dShape {
+                batch: 1,
+                cin: 1,
+                height: 2,
+                width: 2,
+                cout: 1,
+                kh: 7,
+                kw: 7,
+                stride: 2,
+                pad_h: 3,
+                pad_w: 3,
+                out_h: 1,
+                out_w: 1,
+            },
+        ] {
+            let x = rng.fill(g.batch * g.cin * g.height * g.width);
+            let w = rng.fill(g.cout * g.cin * g.kh * g.kw);
+            let out_len = g.batch * g.cout * g.out_h * g.out_w;
+            let mut simd_out = vec![0.0f32; out_len];
+            conv2d(&x, &w, &g, &mut simd_out);
+            let mut scalar_out = vec![0.0f32; out_len];
+            // SAFETY: the scalar body uses no vector instructions.
+            unsafe {
+                Conv2dOp {
+                    x: &x,
+                    w: &w,
+                    out: &mut scalar_out,
+                    shape: g,
+                }
+                .eval::<ScalarVec>()
+            };
+            assert_eq!(
+                bits(&simd_out),
+                bits(&scalar_out),
+                "conv2d diverged from scalar on tier {} for {g:?}",
+                active_tier()
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_known_result_and_scalar_parity() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        matmul(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+
+        let mut rng = Bits(21);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 17), (4, 4, 8), (2, 7, 33)] {
+            let a = rng.fill(m * k);
+            let b = rng.fill(k * n);
+            let mut simd_out = vec![0.0f32; m * n];
+            matmul(&a, &b, m, k, n, &mut simd_out);
+            let mut scalar_out = vec![0.0f32; m * n];
+            // SAFETY: the scalar body uses no vector instructions.
+            unsafe {
+                MatMulOp {
+                    a: &a,
+                    b: &b,
+                    out: &mut scalar_out,
+                    m,
+                    k,
+                    n,
+                }
+                .eval::<ScalarVec>()
+            };
+            assert_eq!(
+                bits(&simd_out),
+                bits(&scalar_out),
+                "matmul diverged from scalar on tier {} for ({m},{k},{n})",
+                active_tier()
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalize_and_match_scalar_bit_for_bit() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out = [0.0f32; 4];
+        softmax(&x, 1, 4, &mut out);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+
+        let mut rng = Bits(33);
+        for (rows, len) in [(1, 1), (3, 10), (2, 16), (5, 23)] {
+            let x = rng.fill(rows * len);
+            let mut simd_out = vec![0.0f32; rows * len];
+            softmax(&x, rows, len, &mut simd_out);
+            let mut scalar_out = vec![0.0f32; rows * len];
+            // SAFETY: the scalar body uses no vector instructions.
+            unsafe {
+                SoftmaxOp {
+                    x: &x,
+                    out: &mut scalar_out,
+                    rows,
+                    row_len: len,
+                }
+                .eval::<ScalarVec>()
+            };
+            assert_eq!(
+                bits(&simd_out),
+                bits(&scalar_out),
+                "softmax diverged from scalar on tier {} for ({rows},{len})",
+                active_tier()
+            );
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Backend parity: the fixed-point execution backends against the f32 reference.
+//! Backend parity: the fixed-point and SIMD execution backends against the f32
+//! reference.
 //!
 //! The discipline mirrors `pipeline_parity.rs`: `eval_node_into` (through
 //! `ReferenceBackend`) is the single semantic oracle, and every alternative backend is
@@ -14,6 +15,10 @@
 //!   from the formats' resolution (measured once and frozen with margin; see the table),
 //!   sit exactly on the representable grid, and be deterministic across repeated runs
 //!   and across every (workers × batch) campaign combination.
+//!
+//! The SIMD backend gets the stricter pin: it computes the *same* f32 semantics, so its
+//! zoo outputs and campaign SDC counts must equal the reference **bit-for-bit** — its
+//! "tolerance" is zero, measured and frozen as equality.
 
 use ranger_engine::canonical_input;
 use ranger_graph::exec::NoopInterceptor;
@@ -50,6 +55,45 @@ const TOLERANCES: [(ModelKind, f32, f32); 8] = [
     (ModelKind::Dave, 0.02, 2.0),
     (ModelKind::Comma, 25.0, 500.0),
 ];
+
+/// Every zoo model: the SIMD backend reproduces the f32 reference **bit-for-bit** —
+/// not within a tolerance. Its kernels preserve the reference's accumulation order and
+/// rounding steps (no reduction-dimension vectorization, no FMA; see `ranger-simd`'s
+/// crate docs), so the measured divergence on every zoo model is exactly zero and that
+/// zero is frozen here as equality. Also pinned: determinism across repeated runs and
+/// across a reused arena (the campaign hot path).
+#[test]
+fn simd_backend_is_bit_for_bit_exact_on_every_zoo_model() {
+    for (kind, _, _) in TOLERANCES {
+        let model = archs::build(&ModelConfig::new(kind), 0);
+        let input = canonical_input(&model);
+        let feeds = [(model.input_name.as_str(), input)];
+        let reference = model
+            .graph
+            .compile()
+            .unwrap()
+            .run_simple(&feeds, model.output)
+            .unwrap();
+        let plan = model
+            .graph
+            .compile_with(BackendKind::Simd.backend())
+            .unwrap();
+        let out = plan.run_simple(&feeds, model.output).unwrap();
+        assert_eq!(out, reference, "{kind} on simd diverged from the reference");
+        let again = plan.run_simple(&feeds, model.output).unwrap();
+        assert_eq!(out, again, "{kind} on simd: repeated runs diverged");
+        let mut values = plan.buffers();
+        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+            .unwrap();
+        plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+            .unwrap();
+        assert_eq!(
+            values.get(model.output).unwrap(),
+            &out,
+            "{kind} on simd: arena-reusing pass diverged"
+        );
+    }
+}
 
 /// Every zoo model: fixed16/fixed32 outputs stay within the documented tolerance of the
 /// reference backend, land exactly on the representable grid, stay within the format's
@@ -206,10 +250,12 @@ fn campaign_counts_are_bit_for_bit_across_workers_and_batch_on_every_backend() {
             output: model.output,
             excluded: &model.excluded_from_injection,
         };
+        let mut f32_counts = None;
         for (backend, fault) in [
             (BackendKind::F32, FaultModel::single_bit_fixed32()),
             (BackendKind::Fixed16, FaultModel::single_bit_fixed16()),
             (BackendKind::Fixed32, FaultModel::single_bit_fixed32()),
+            (BackendKind::Simd, FaultModel::single_bit_fixed32()),
         ] {
             let config = |workers, batch| CampaignConfig {
                 trials: 16,
@@ -221,6 +267,18 @@ fn campaign_counts_are_bit_for_bit_across_workers_and_batch_on_every_backend() {
             };
             let reference = run_campaign(&target, &inputs, judge.as_ref(), &config(1, 1)).unwrap();
             assert_eq!(reference.trials, 16, "{kind} on {backend}");
+            match backend {
+                // The SIMD backend computes the f32 semantics bit for bit with the
+                // same fault model, so its counts are pinned *across backends*: equal
+                // to the f32 reference, not merely self-consistent across the grid.
+                BackendKind::Simd => assert_eq!(
+                    Some(&reference.sdc_counts),
+                    f32_counts.as_ref(),
+                    "{kind}: simd campaign counts diverged from the f32 reference"
+                ),
+                BackendKind::F32 => f32_counts = Some(reference.sdc_counts.clone()),
+                _ => {}
+            }
             for workers in [2usize, 4] {
                 for batch in [1usize, 16] {
                     let run =
