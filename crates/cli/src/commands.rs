@@ -133,6 +133,11 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
     let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
     let bits = options.get_parsed("bits", 1usize)?;
     let (backend, datatype) = parse_backend_and_datatype(options)?;
+    let profile_ops = options.has_flag("profile");
+    if profile_ops {
+        // Timing slots are sized when plans warm, so the registry must be on already.
+        ranger_obs::set_enabled(true);
+    }
 
     let mut builder = Pipeline::for_model(kind)
         .seed(seed)
@@ -151,14 +156,23 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
     if options.has_flag("quick") {
         builder = builder.train(TrainConfig::quick());
     }
+    if let Some(path) = options.get("metrics-json") {
+        builder = builder.metrics(path);
+    }
     let report = builder.run()?;
     let json = serde_json::to_string_pretty(&report)?;
+    let mut out_lines = vec![json];
     if let Some(out) = options.get("out") {
-        std::fs::write(out, &json)?;
-        Ok(format!("{json}\n(wrote {out})"))
-    } else {
-        Ok(json)
+        std::fs::write(out, &out_lines[0])?;
+        out_lines.push(format!("(wrote {out})"));
     }
+    if let Some(path) = options.get("metrics-json") {
+        out_lines.push(format!("(wrote metrics snapshot to {path})"));
+    }
+    if profile_ops {
+        out_lines.push(profile_table(&ranger_obs::registry().snapshot()));
+    }
+    Ok(out_lines.join("\n"))
 }
 
 /// `ranger-cli inject`: runs a fault-injection campaign against a saved model.
@@ -173,6 +187,14 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
     let seed = options.get_parsed("seed", saved.seed)?;
     let (backend, datatype) = parse_backend_and_datatype(options)?;
     let fault = FaultModel { datatype, bits };
+    let metrics_json = options.get("metrics-json").map(str::to_string);
+    let profile_ops = options.has_flag("profile");
+    if metrics_json.is_some() || profile_ops {
+        // Timing slots are sized when the campaign's plans warm, so the registry must
+        // be on before run_campaign compiles anything. Metrics draw no RNG and never
+        // steer execution: the SDC counts below are bit-for-bit the unobserved run's.
+        ranger_obs::set_enabled(true);
+    }
 
     let model = &saved.model;
     let (batches, judge): (Vec<Tensor>, Box<dyn SdcJudge>) = match model.task {
@@ -227,7 +249,65 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
             rate.confidence95_percent()
         ));
     }
+    if let Some(path) = &metrics_json {
+        let mut json = ranger_obs::registry().snapshot().to_json();
+        json.push('\n');
+        std::fs::write(path, json)?;
+        lines.push(format!("(wrote metrics snapshot to {path})"));
+    }
+    if profile_ops {
+        lines.push(profile_table(&ranger_obs::registry().snapshot()));
+    }
     Ok(lines.join("\n"))
+}
+
+/// Renders the registry's `plan.op.<kind>.{nanos,calls}` counters as a per-op wall-time
+/// table, widest op first. `calls` counts node evaluations (passes × nodes of that
+/// kind); `share` is the op's fraction of all timed plan nanoseconds.
+pub(crate) fn profile_table(snapshot: &ranger_obs::MetricsSnapshot) -> String {
+    let mut by_kind: std::collections::BTreeMap<&str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for (name, value) in snapshot.counters_with_prefix("plan.op.") {
+        let rest = &name["plan.op.".len()..];
+        if let Some(kind) = rest.strip_suffix(".nanos") {
+            by_kind.entry(kind).or_default().0 = value;
+        } else if let Some(kind) = rest.strip_suffix(".calls") {
+            by_kind.entry(kind).or_default().1 = value;
+        }
+    }
+    let mut rows: Vec<(&str, u64, u64)> = by_kind
+        .into_iter()
+        .map(|(kind, (nanos, calls))| (kind, nanos, calls))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let total_nanos: u64 = rows.iter().map(|&(_, nanos, _)| nanos).sum();
+    let mut lines = vec![
+        "per-op wall time (golden + faulty passes):".to_string(),
+        format!(
+            "  {:<16} {:>10} {:>12} {:>12} {:>7}",
+            "op", "calls", "total ms", "mean us", "share"
+        ),
+    ];
+    for (kind, nanos, calls) in rows {
+        let mean_us = if calls > 0 {
+            nanos as f64 / calls as f64 / 1_000.0
+        } else {
+            0.0
+        };
+        let share = if total_nanos > 0 {
+            nanos as f64 / total_nanos as f64 * 100.0
+        } else {
+            0.0
+        };
+        lines.push(format!(
+            "  {kind:<16} {calls:>10} {:>12.2} {mean_us:>12.2} {share:>6.1}%",
+            nanos as f64 / 1_000_000.0
+        ));
+    }
+    if total_nanos == 0 {
+        lines.push("  (no timed plan passes were recorded)".to_string());
+    }
+    lines.join("\n")
 }
 
 /// `ranger-cli info`: prints a summary of a saved model.
@@ -301,6 +381,7 @@ pub fn dispatch(command: &str, options: &Options) -> Result<String, CliError> {
         "status" => crate::serve_commands::status(options),
         "stream" => crate::serve_commands::stream(options),
         "cancel" => crate::serve_commands::cancel(options),
+        "metrics" => crate::serve_commands::metrics(options),
         "shutdown" => crate::serve_commands::shutdown(options),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!(

@@ -103,6 +103,7 @@ impl From<ranger_engine::PipelineError> for CliError {
             e @ ranger_engine::PipelineError::Interrupted => {
                 CliError::Serve(ranger_serve::ServeError::Protocol(e.to_string()))
             }
+            ranger_engine::PipelineError::MetricsIo(e) => CliError::Io(e),
         }
     }
 }
@@ -122,6 +123,7 @@ COMMANDS:
              Derive restriction bounds from the training data and insert Ranger.
     inject   --in <model.json> [--trials N] [--batch N] [--workers N] [--inputs N]
              [--backend f32|fixed16|fixed32|simd] [--bits N] [--fixed16] [--seed N]
+             [--metrics-json <path>] [--profile]
              Run a fault-injection campaign and report SDC rates. --batch N executes N
              trials per forward pass and --workers N runs trial chunks on an N-worker
              pool (identical results either way, less wall-clock per trial).
@@ -131,10 +133,13 @@ COMMANDS:
              corruption on float compute (--fixed16 selects the 16-bit fault model).
              --backend simd runs the f32 semantics on the widest SIMD tier the host
              offers (AVX-512/AVX2/NEON), bit-for-bit equal counts, less wall-clock.
+             --metrics-json writes the run's metrics snapshot (per-op plan timings,
+             pool worker tallies, campaign latency histograms) as one line of JSON;
+             --profile prints a per-op wall-time table. Neither changes any count.
     pipeline --model <name> [--trials N] [--batch N] [--workers N] [--inputs N]
              [--backend f32|fixed16|fixed32|simd] [--seed N] [--percentile P] [--fraction F]
              [--policy saturate|zero|random] [--bits N] [--fixed16] [--quick]
-             [--out report.json]
+             [--out report.json] [--metrics-json <path>] [--profile]
              Run the full profile -> protect -> inject pipeline and print the JSON report.
     info     --in <model.json>
              Print a summary of a saved model (operators, parameters, restrictions).
@@ -148,12 +153,16 @@ COMMANDS:
              Submit a campaign to a running server and print its id. Submitting an
              identical spec again resumes it from its checkpoint.
     status   --addr HOST:PORT --id <campaign-id>
-             Print a submitted campaign's progress and running SDC tallies.
+             Print a submitted campaign's progress: chunks done/total (and how many
+             were resumed from checkpoint), trials/sec and running SDC tallies.
     stream   --addr HOST:PORT --id <campaign-id>
              Follow a campaign's event stream live: one line per completed chunk with
              cumulative tallies, ending with the final SDC rates.
     cancel   --addr HOST:PORT --id <campaign-id>
              Cooperatively stop a running campaign (completed chunks stay durable).
+    metrics  --addr HOST:PORT
+             Print the server's metrics-registry snapshot as one line of JSON
+             (request counts, checkpoint sync latency, campaign histograms).
     shutdown --addr HOST:PORT
              Ask the server to exit.
     help     Print this message.

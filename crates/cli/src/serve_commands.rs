@@ -95,10 +95,13 @@ pub fn status(options: &Options) -> Result<String, CliError> {
     let mut lines = vec![
         format!("campaign {}", info.id),
         format!("  state:   {}", info.state),
-        format!("  chunks:  {}/{} done", info.done_chunks, info.total_chunks),
         format!(
-            "  trials:  {}/{} tallied",
-            info.trials_done, info.trials_total
+            "  chunks:  {}/{} done ({} resumed from checkpoint)",
+            info.done_chunks, info.total_chunks, info.resumed_chunks
+        ),
+        format!(
+            "  trials:  {}/{} tallied ({:.1}/s executed)",
+            info.trials_done, info.trials_total, info.trials_per_sec
         ),
     ];
     for (category, count) in info.categories.iter().zip(&info.sdc_counts) {
@@ -139,6 +142,12 @@ pub fn cancel(options: &Options) -> Result<String, CliError> {
     Ok(format!(
         "cancel requested for campaign {id}; completed chunks stay in its checkpoint"
     ))
+}
+
+/// `ranger-cli metrics`: fetches and prints the server's metrics-registry snapshot
+/// (one line of JSON; pipe through a JSON formatter for a readable view).
+pub fn metrics(options: &Options) -> Result<String, CliError> {
+    Ok(client_for(options).metrics()?)
 }
 
 /// `ranger-cli shutdown`: asks the server to exit.

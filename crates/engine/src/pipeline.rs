@@ -72,6 +72,8 @@ pub enum PipelineError {
     /// A streamed campaign was stopped by its sink before completion; completed chunks
     /// stay durable in the checkpoint directory, so re-running the pipeline resumes.
     Interrupted,
+    /// Writing the metrics snapshot requested by [`Pipeline::metrics`] failed.
+    MetricsIo(std::io::Error),
 }
 
 impl fmt::Display for PipelineError {
@@ -89,6 +91,9 @@ impl fmt::Display for PipelineError {
                 "the streamed campaign was stopped by its sink before completion \
                  (completed chunks remain checkpointed; re-run to resume)"
             ),
+            PipelineError::MetricsIo(e) => {
+                write!(f, "writing the metrics snapshot failed: {e}")
+            }
         }
     }
 }
@@ -101,6 +106,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Graph(e) => Some(e),
             PipelineError::Campaign(e) => Some(e),
             PipelineError::Serve(e) => Some(e),
+            PipelineError::MetricsIo(e) => Some(e),
         }
     }
 }
@@ -439,6 +445,7 @@ pub struct Pipeline {
     judge: JudgeSpec,
     steering_tolerance_degrees: f32,
     serve_checkpoints: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
 }
 
 impl Pipeline {
@@ -468,6 +475,7 @@ impl Pipeline {
             judge: JudgeSpec::Auto,
             steering_tolerance_degrees: 60.0,
             serve_checkpoints: None,
+            metrics_json: None,
         }
     }
 
@@ -573,6 +581,16 @@ impl Pipeline {
         self
     }
 
+    /// Turns the metrics registry on for this run and writes its snapshot — the
+    /// one-line JSON document of `ranger_obs::MetricsSnapshot::to_json`, covering
+    /// per-op plan timings, pool worker tallies and campaign latency histograms — to
+    /// `path` once the pipeline finishes. Metrics draw no RNG and never steer
+    /// execution, so every reported count is bit-for-bit the unobserved run's.
+    pub fn metrics(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_json = Some(path.into());
+        self
+    }
+
     /// Runs the pipeline and returns the serializable report.
     ///
     /// # Errors
@@ -618,6 +636,10 @@ impl Pipeline {
     }
 
     fn run_with_exec(self, exec: &mut CampaignExec<'_>) -> Result<PipelineOutcome, PipelineError> {
+        if self.metrics_json.is_some() {
+            // Must be on before plans are warmed: timing slots are sized at warm time.
+            ranger_obs::set_enabled(true);
+        }
         if !(0.0..=1.0).contains(&self.profile_fraction) || self.profile_fraction.is_nan() {
             return Err(PipelineError::InvalidConfig(format!(
                 "profile fraction must lie in [0, 1], got {} (the paper profiles 20% of \
@@ -740,6 +762,11 @@ impl Pipeline {
             },
             campaign,
         };
+        if let Some(path) = &self.metrics_json {
+            let mut json = ranger_obs::registry().snapshot().to_json();
+            json.push('\n');
+            std::fs::write(path, json).map_err(PipelineError::MetricsIo)?;
+        }
         Ok(PipelineOutcome {
             report,
             model,

@@ -50,7 +50,9 @@ use crate::error::GraphError;
 use crate::exec::{Interceptor, NoopInterceptor, Values};
 use crate::graph::{Graph, NodeId};
 use ranger_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 static REFERENCE: ReferenceBackend = ReferenceBackend;
 
@@ -117,8 +119,25 @@ impl Graph {
             backend,
             order,
             shapes: OnceLock::new(),
+            timings: OnceLock::new(),
         })
     }
+}
+
+/// Pre-sized per-node wall-time slots, created once at [`ExecPlan::warm`] time.
+///
+/// One `AtomicU64` of accumulated nanoseconds per graph node plus a pass counter:
+/// recording from [`ExecPlan::run_into`] is two clock reads and one relaxed
+/// `fetch_add` per node, with **zero allocations** — the slots exist before the
+/// first timed pass, so the `alloc_free_plan` counting-allocator pin holds with
+/// metrics enabled. Atomic slots also let the many worker threads sharing one
+/// campaign plan record concurrently.
+#[derive(Debug)]
+struct PlanTimings {
+    /// Accumulated wall nanoseconds per node, indexed by `NodeId::index()`.
+    node_nanos: Vec<AtomicU64>,
+    /// Number of completed timed passes.
+    passes: AtomicU64,
 }
 
 /// A compiled execution plan over a borrowed [`Graph`].
@@ -134,6 +153,8 @@ pub struct ExecPlan<'g> {
     order: Vec<NodeId>,
     /// Per-node output dimensions, recorded on the first completed run.
     shapes: OnceLock<Vec<Option<Vec<usize>>>>,
+    /// Per-node wall-time slots, created at warm time iff metrics are enabled.
+    timings: OnceLock<PlanTimings>,
 }
 
 impl<'g> ExecPlan<'g> {
@@ -181,6 +202,12 @@ impl<'g> ExecPlan<'g> {
     /// node's recycled buffer. The `interceptor` is called after every operator, as under
     /// [`Executor`](crate::exec::Executor).
     ///
+    /// If the plan was [warmed](ExecPlan::warm) while metrics were enabled
+    /// (`ranger_obs`), each node's wall time is accumulated into a pre-sized atomic
+    /// slot — still zero allocations, no RNG, and no branching on observed values,
+    /// so results are bit-for-bit identical with metrics on or off. Drain the slots
+    /// into the global registry with [`ExecPlan::publish_timings`].
+    ///
     /// # Errors
     ///
     /// Returns a [`GraphError`] if a feed is missing or any operator receives invalid
@@ -192,9 +219,20 @@ impl<'g> ExecPlan<'g> {
         interceptor: &mut dyn Interceptor,
     ) -> Result<(), GraphError> {
         values.reset(self.graph.len());
-        for &id in &self.order {
-            let node = self.graph.node(id)?;
-            self.backend.eval_node(node, values, feeds, interceptor)?;
+        if let Some(timings) = self.timings.get() {
+            for &id in &self.order {
+                let node = self.graph.node(id)?;
+                let start = Instant::now();
+                self.backend.eval_node(node, values, feeds, interceptor)?;
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                timings.node_nanos[id.index()].fetch_add(nanos, Ordering::Relaxed);
+            }
+            timings.passes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            for &id in &self.order {
+                let node = self.graph.node(id)?;
+                self.backend.eval_node(node, values, feeds, interceptor)?;
+            }
         }
         Ok(())
     }
@@ -212,6 +250,7 @@ impl<'g> ExecPlan<'g> {
     /// See [`ExecPlan::run_into`].
     pub fn warm(&self, feeds: &[(&str, Tensor)]) -> Result<(), GraphError> {
         if self.shapes.get().is_some() {
+            self.ensure_timings();
             return Ok(());
         }
         let values = self.run(feeds, &mut NoopInterceptor)?;
@@ -221,7 +260,85 @@ impl<'g> ExecPlan<'g> {
             .map(|i| values.dims_of(NodeId::new(i)).map(|d| d.to_vec()))
             .collect();
         let _ = self.shapes.set(recorded);
+        self.ensure_timings();
         Ok(())
+    }
+
+    /// Creates the per-node timing slots if metrics are enabled and none exist yet.
+    ///
+    /// Allocation happens here — at warm time, outside the hot loop — never in
+    /// [`ExecPlan::run_into`]. Plans warmed while metrics are disabled never time
+    /// at all, so the disabled cost in the pass loop is a single pointer check.
+    fn ensure_timings(&self) {
+        if self.timings.get().is_none() && ranger_obs::enabled() {
+            let _ = self.timings.set(PlanTimings {
+                node_nanos: (0..self.graph.len()).map(|_| AtomicU64::new(0)).collect(),
+                passes: AtomicU64::new(0),
+            });
+        }
+    }
+
+    /// Accumulated wall nanoseconds recorded for node `id`, or `None` if the plan
+    /// is not timing (never warmed with metrics enabled).
+    pub fn node_nanos(&self, id: NodeId) -> Option<u64> {
+        self.timings
+            .get()
+            .and_then(|t| t.node_nanos.get(id.index()))
+            .map(|slot| slot.load(Ordering::Relaxed))
+    }
+
+    /// Number of timed passes completed so far (0 if the plan is not timing).
+    pub fn timed_passes(&self) -> u64 {
+        self.timings
+            .get()
+            .map(|t| t.passes.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Drains the per-node timing slots into the global metrics registry,
+    /// aggregated by operator kind.
+    ///
+    /// For each kind present in the graph this adds to three counters in
+    /// [`ranger_obs::registry()`]:
+    ///
+    /// - `plan.op.<Kind>.nanos` — accumulated wall time across that kind's nodes,
+    /// - `plan.op.<Kind>.calls` — kernel invocations (timed passes × nodes of the
+    ///   kind),
+    ///
+    /// plus `plan.passes` for the pass total. Slots are swapped to zero, so
+    /// calling this repeatedly (e.g. once per campaign on a reused plan) never
+    /// double-counts. A plan that is not timing publishes nothing.
+    pub fn publish_timings(&self) {
+        let Some(timings) = self.timings.get() else {
+            return;
+        };
+        let passes = timings.passes.swap(0, Ordering::Relaxed);
+        // Aggregate per op kind; the kind set is tiny, so a linear scan beats a map.
+        let mut kinds: Vec<(&'static str, u64, u64)> = Vec::new();
+        for &id in &self.order {
+            let Ok(node) = self.graph.node(id) else {
+                continue;
+            };
+            let nanos = timings.node_nanos[id.index()].swap(0, Ordering::Relaxed);
+            let kind = node.op.kind_name();
+            match kinds.iter_mut().find(|(k, _, _)| *k == kind) {
+                Some((_, total, nodes)) => {
+                    *total += nanos;
+                    *nodes += 1;
+                }
+                None => kinds.push((kind, nanos, 1)),
+            }
+        }
+        let registry = ranger_obs::registry();
+        registry.counter("plan.passes").add(passes);
+        for (kind, nanos, nodes) in kinds {
+            registry
+                .counter(&format!("plan.op.{kind}.nanos"))
+                .add(nanos);
+            registry
+                .counter(&format!("plan.op.{kind}.calls"))
+                .add(passes * nodes);
+        }
     }
 
     /// Runs a forward pass and returns a freshly allocated value store.
@@ -369,6 +486,62 @@ mod tests {
         // Warming twice is a no-op.
         plan.warm(&[("x", Tensor::ones(vec![1, 4]))]).unwrap();
         assert_eq!(plan.order().len(), graph.len());
+    }
+
+    /// One test (not several) because it toggles the process-global enable flag:
+    /// graph tests run in parallel, and a sibling test observing the flag
+    /// mid-toggle would be racy.
+    #[test]
+    fn timing_slots_follow_the_metrics_enable_state() {
+        let was_enabled = ranger_obs::enabled();
+
+        // Warmed while disabled: no slots, no timing.
+        if !was_enabled {
+            let (graph, y) = toy();
+            let plan = graph.compile().unwrap();
+            plan.warm(&[("x", Tensor::ones(vec![1, 4]))]).unwrap();
+            plan.run_simple(&[("x", Tensor::ones(vec![1, 4]))], y)
+                .unwrap();
+            assert_eq!(plan.timed_passes(), 0);
+            assert_eq!(plan.node_nanos(y), None);
+        }
+
+        let (graph, y) = toy();
+        let plan = graph.compile().unwrap();
+        ranger_obs::set_enabled(true);
+        plan.warm(&[("x", Tensor::ones(vec![1, 4]))]).unwrap();
+        let mut values = plan.buffers();
+        for _ in 0..2 {
+            plan.run_into(
+                &mut values,
+                &[("x", Tensor::ones(vec![1, 4]))],
+                &mut NoopInterceptor,
+            )
+            .unwrap();
+        }
+        // warm() itself ran one pass before the slots existed; only the two
+        // explicit passes are timed.
+        assert_eq!(plan.timed_passes(), 2);
+        assert!(plan.node_nanos(y).is_some());
+
+        // Publishing drains the slots into per-kind registry counters. Deltas, not
+        // absolutes: the registry is process-global and other tests share it.
+        let registry = ranger_obs::registry();
+        let calls_before = registry.counter("plan.op.MatMul.calls").value();
+        plan.publish_timings();
+        // toy() has two dense layers = two MatMul nodes, each called twice.
+        assert_eq!(
+            registry.counter("plan.op.MatMul.calls").value() - calls_before,
+            4
+        );
+        assert_eq!(plan.timed_passes(), 0, "publishing drains the slots");
+        // Publishing again adds nothing.
+        plan.publish_timings();
+        assert_eq!(
+            registry.counter("plan.op.MatMul.calls").value() - calls_before,
+            4
+        );
+        ranger_obs::set_enabled(was_enabled);
     }
 
     #[test]

@@ -152,4 +152,52 @@ fn repeated_plan_passes_allocate_nothing_after_warm_up() {
         "warmed fixed16 run_into + lazy-mirror read must not allocate ({fewest} \
          allocations over 100 passes in the quietest of 3 attempts)"
     );
+
+    // Metrics on: timing slots are sized once at warm() (one Vec of atomics), and a
+    // timed pass only reads the clock and bumps pre-sized atomics — so the warmed hot
+    // path stays allocation-free with the registry recording. This is the other half
+    // of the observability contract (the determinism half is pinned in the repo-root
+    // `metrics_determinism` test).
+    let was_enabled = ranger_obs::enabled();
+    ranger_obs::set_enabled(true);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let c = b.conv2d(x, 1, 4, 3, 1, ranger_graph::op::Padding::Same, &mut rng);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    let f = b.flatten(p);
+    let h = b.dense(f, 4 * 4 * 4, 10, &mut rng);
+    let probs = b.softmax(h);
+    let graph = b.into_graph();
+    let plan = graph.compile().unwrap();
+    let feeds = [("x", Tensor::ones(vec![1, 1, 8, 8]))];
+    plan.warm(&feeds).unwrap();
+    let mut fewest = usize::MAX;
+    for attempt in 0..3 {
+        let mut values = plan.buffers();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..100 {
+            plan.run_into(&mut values, &feeds, &mut NoopInterceptor)
+                .unwrap();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        fewest = fewest.min(after - before);
+        if attempt == 0 {
+            assert_eq!(values.get(probs).unwrap().dims(), &[1, 10]);
+        }
+        if fewest == 0 {
+            break;
+        }
+    }
+    assert!(
+        plan.timed_passes() > 0,
+        "the enabled plan must actually have timed its passes"
+    );
+    ranger_obs::set_enabled(was_enabled);
+    assert_eq!(
+        fewest, 0,
+        "metrics-enabled warmed run_into must not allocate ({fewest} allocations over \
+         100 timed passes in the quietest of 3 attempts)"
+    );
 }

@@ -150,12 +150,18 @@ pub enum CampaignError {
     Graph(GraphError),
     /// Several independent work units failed. `first` is the error of the earliest unit
     /// in `(input, trial)` order — the same error a serial campaign would have stopped
-    /// on — and `suppressed` counts the additional unit failures that were observed but
-    /// not reported individually (a parallel campaign lets in-flight units complete
-    /// after a failure, so a multi-chunk service failure can produce many).
+    /// on, identified by its `(input, chunk)` coordinates — and `suppressed` counts the
+    /// additional unit failures that were observed but not reported individually (a
+    /// parallel campaign lets in-flight units complete after a failure, so a
+    /// multi-chunk service failure can produce many).
     Failures {
         /// The earliest failure in `(input, trial)` order.
         first: Box<CampaignError>,
+        /// The input index of the earliest failing work unit.
+        input: usize,
+        /// The canonical chunk index ([`TrialChunk::index`]) of the earliest failing
+        /// work unit.
+        chunk: usize,
         /// How many further unit failures were suppressed behind `first`.
         suppressed: usize,
     },
@@ -168,10 +174,16 @@ impl fmt::Display for CampaignError {
                 write!(f, "invalid campaign configuration: {message}")
             }
             CampaignError::Graph(e) => write!(f, "campaign forward pass failed: {e}"),
-            CampaignError::Failures { first, suppressed } => {
+            CampaignError::Failures {
+                first,
+                input,
+                chunk,
+                suppressed,
+            } => {
                 write!(
                     f,
-                    "{first} (plus {suppressed} additional work-unit failure(s) suppressed)"
+                    "{first} (first failing work unit: input {input}, chunk {chunk}; plus \
+                     {suppressed} additional work-unit failure(s) suppressed)"
                 )
             }
         }
@@ -426,6 +438,12 @@ pub fn run_campaign(
     let mut result = prepared.empty_result();
     let chunks = prepared.chunks();
 
+    // Cold-path registry lookup: one histogram record per campaign, not per trial.
+    // Recorded on success only, so the distribution is of completed campaigns.
+    let run_hist =
+        ranger_obs::enabled().then(|| ranger_obs::registry().histogram("campaign.run_nanos"));
+    let run_start = run_hist.as_ref().map(|_| std::time::Instant::now());
+
     let tallies: Vec<ChunkTally> = if config.workers <= 1 {
         // Serial: every unit runs inline in one arena; the collect short-circuits, so a
         // failing unit stops the campaign immediately.
@@ -438,9 +456,11 @@ pub fn run_campaign(
         // Parallel: units run on the pool, each worker owning its own arena; the pool
         // returns tallies in unit order whatever the scheduling was. In-flight units
         // still complete after a failure; the error reported is deterministically the
-        // first in (input, trial) order, annotated with the count of further failures.
+        // first in (input, trial) order, annotated with its (input, chunk) identity and
+        // the count of further failures.
         let prepared = &prepared;
         collect_unit_results(
+            chunks,
             ThreadPool::new(config.workers).run_with(
                 |_worker| prepared.buffers(),
                 chunks
@@ -453,24 +473,36 @@ pub fn run_campaign(
     for tally in &tallies {
         result.absorb(tally);
     }
+    prepared.publish_metrics();
+    if let (Some(hist), Some(start)) = (run_hist, run_start) {
+        hist.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
     Ok(result)
 }
 
-/// Reduces per-unit results: all tallies, or the first error in unit order with the
-/// count of additional suppressed failures attached (so a multi-chunk service failure is
-/// never silently truncated to one error).
+/// Reduces per-unit results: all tallies, or the first error in unit order — identified
+/// by its `(input, chunk)` coordinates — with the count of additional suppressed
+/// failures attached (so a multi-chunk service failure is never silently truncated to
+/// one anonymous error).
+///
+/// `chunks` must be the unit list the results were produced from, in the same order.
 fn collect_unit_results(
+    chunks: &[TrialChunk],
     results: Vec<Result<ChunkTally, CampaignError>>,
 ) -> Result<Vec<ChunkTally>, CampaignError> {
+    debug_assert_eq!(chunks.len(), results.len());
     let failures = results.iter().filter(|r| r.is_err()).count();
     let mut tallies = Vec::with_capacity(results.len());
-    for result in results {
+    for (position, result) in results.into_iter().enumerate() {
         match result {
             Ok(tally) => tallies.push(tally),
             Err(first) => {
                 return Err(if failures > 1 {
+                    let unit = chunks[position];
                     CampaignError::Failures {
                         first: Box::new(first),
+                        input: unit.input,
+                        chunk: unit.index,
                         suppressed: failures - 1,
                     }
                 } else {
@@ -501,6 +533,40 @@ pub struct PreparedCampaign<'a> {
     spaces: Vec<InjectionSpace>,
     categories: Vec<String>,
     chunks: Vec<TrialChunk>,
+    metrics: Option<CampaignMetrics>,
+}
+
+/// Metric handles for the campaign hot path, resolved once at preparation time so
+/// executing a chunk never takes the registry lock.
+///
+/// `None` when metrics were disabled at preparation: the hot path then skips even
+/// the clock reads. Recording is pure observation — latencies and counts are
+/// written, never read back, so enabling metrics cannot change a single draw or
+/// verdict (pinned by `tests/metrics_determinism.rs`).
+struct CampaignMetrics {
+    /// Latency of each golden (fault-free) forward pass.
+    golden_pass_nanos: std::sync::Arc<ranger_obs::Histogram>,
+    /// Latency of each faulty forward pass (one trial per-sample, one chunk batched).
+    faulty_pass_nanos: std::sync::Arc<ranger_obs::Histogram>,
+    /// Completion latency of each work unit, quantiles included.
+    chunk_nanos: std::sync::Arc<ranger_obs::Histogram>,
+    /// Trials executed; divide by `campaign.run_nanos` for trials/sec.
+    trials: std::sync::Arc<ranger_obs::Counter>,
+}
+
+impl CampaignMetrics {
+    fn resolve() -> Option<Self> {
+        if !ranger_obs::enabled() {
+            return None;
+        }
+        let registry = ranger_obs::registry();
+        Some(CampaignMetrics {
+            golden_pass_nanos: registry.histogram("campaign.golden_pass_nanos"),
+            faulty_pass_nanos: registry.histogram("campaign.faulty_pass_nanos"),
+            chunk_nanos: registry.histogram("campaign.chunk_nanos"),
+            trials: registry.counter("campaign.trials"),
+        })
+    }
 }
 
 impl<'a> PreparedCampaign<'a> {
@@ -564,6 +630,7 @@ impl<'a> PreparedCampaign<'a> {
         // input skips warming; the faulty passes report the real error.
         let plan = target.graph.compile_with(config.backend.backend())?;
         let categories = judge.categories();
+        let metrics = CampaignMetrics::resolve();
         if inputs.is_empty() {
             return Ok(PreparedCampaign {
                 target,
@@ -575,6 +642,7 @@ impl<'a> PreparedCampaign<'a> {
                 spaces: Vec::new(),
                 categories,
                 chunks: Vec::new(),
+                metrics,
             });
         }
         let warm_feed = if config.batch > 1 {
@@ -586,7 +654,7 @@ impl<'a> PreparedCampaign<'a> {
             plan.warm(&[(target.input_name, feed)])?;
         }
         let mut values = plan.buffers();
-        let goldens = golden_outputs(&plan, &mut values, target, inputs, config)?;
+        let goldens = golden_outputs(&plan, &mut values, target, inputs, config, metrics.as_ref())?;
         let spaces: Vec<InjectionSpace> = inputs
             .iter()
             .map(|input| InjectionSpace::build_on(&plan, target, input))
@@ -602,6 +670,7 @@ impl<'a> PreparedCampaign<'a> {
             spaces,
             categories,
             chunks,
+            metrics,
         })
     }
 
@@ -664,6 +733,9 @@ impl<'a> PreparedCampaign<'a> {
         let golden = &self.goldens[unit.input];
         let space = &self.spaces[unit.input];
         let config = &self.config;
+        // Pre-resolved handles, pure observation: no registry lock, no RNG, and the
+        // recorded values are never read back by campaign logic.
+        let _chunk_span = self.metrics.as_ref().map(|m| m.chunk_nanos.span());
         let mut tally = ChunkTally::new(self.categories.len());
         if config.batch <= 1 {
             // Per-sample path: one forward pass per trial.
@@ -671,7 +743,9 @@ impl<'a> PreparedCampaign<'a> {
             for trial in unit.start..unit.start + unit.len {
                 let mut rng = trial_rng(config.seed, unit.input, trial);
                 let mut injector = FaultInjector::plan_random(config.fault, space, &mut rng);
+                let pass_span = self.metrics.as_ref().map(|m| m.faulty_pass_nanos.span());
                 self.plan.run_into(values, &feeds, &mut injector)?;
+                drop(pass_span);
                 let faulty = values.get(self.target.output)?;
                 tally.record(self.judge, golden, faulty, injector.fully_injected());
             }
@@ -688,8 +762,10 @@ impl<'a> PreparedCampaign<'a> {
             })?;
             let rows_per_trial = input.batch_rows();
             let mut injector = BatchFaultInjector::new(plans, space);
+            let pass_span = self.metrics.as_ref().map(|m| m.faulty_pass_nanos.span());
             self.plan
                 .run_into(values, &[(self.target.input_name, feed)], &mut injector)?;
+            drop(pass_span);
             if let Some(violation) = injector.violation() {
                 return Err(CampaignError::InvalidConfig(violation.to_string()));
             }
@@ -699,7 +775,21 @@ impl<'a> PreparedCampaign<'a> {
                 tally.record(self.judge, golden, &faulty, trial.fully_injected());
             }
         }
+        if let Some(metrics) = &self.metrics {
+            metrics.trials.add(tally.trials);
+        }
         Ok(tally)
+    }
+
+    /// Drains the plan's per-node timing slots into the global metrics registry
+    /// (per-op-kind `plan.op.<Kind>.{nanos,calls}` counters).
+    ///
+    /// [`run_campaign`] calls this once at the end of a campaign; drivers that
+    /// execute chunks themselves (the streaming service) should call it when their
+    /// run completes. Draining, so repeated calls never double-count; a no-op when
+    /// the campaign was prepared with metrics disabled.
+    pub fn publish_metrics(&self) {
+        self.plan.publish_timings();
     }
 }
 
@@ -711,12 +801,15 @@ fn golden_outputs(
     target: &InjectionTarget<'_>,
     inputs: &[Tensor],
     config: &CampaignConfig,
+    metrics: Option<&CampaignMetrics>,
 ) -> Result<Vec<Tensor>, CampaignError> {
     let mut goldens: Vec<Tensor> = Vec::with_capacity(inputs.len());
     if config.batch <= 1 {
         for input in inputs {
             let feeds = [(target.input_name, input.clone())];
+            let span = metrics.map(|m| m.golden_pass_nanos.span());
             plan.run_into(values, &feeds, &mut NoopInterceptor)?;
+            drop(span);
             goldens.push(values.get(target.output)?.clone());
         }
         return Ok(goldens);
@@ -725,11 +818,13 @@ fn golden_outputs(
         let stacked = Tensor::stack_batch(chunk).map_err(|e| {
             CampaignError::InvalidConfig(format!("campaign inputs cannot be batched: {e}"))
         })?;
+        let span = metrics.map(|m| m.golden_pass_nanos.span());
         plan.run_into(
             values,
             &[(target.input_name, stacked)],
             &mut NoopInterceptor,
         )?;
+        drop(span);
         let output = values.get(target.output)?;
         let mut row = 0usize;
         for input in chunk {
@@ -1296,8 +1391,14 @@ mod tests {
         // 20 trials / batch 4 = 5 chunks, all failing: first error + 4 suppressed.
         let err = run_campaign(&target, &inputs, &judge, &config(20)).unwrap_err();
         match &err {
-            CampaignError::Failures { first, suppressed } => {
+            CampaignError::Failures {
+                first,
+                input,
+                chunk,
+                suppressed,
+            } => {
                 assert_eq!(*suppressed, 4, "expected 4 suppressed failures: {err}");
+                assert_eq!((*input, *chunk), (0, 0), "earliest failing unit: {err}");
                 assert!(
                     first.to_string().contains("batch dimension"),
                     "first error lost its message: {first}"
@@ -1308,6 +1409,11 @@ mod tests {
         assert!(
             err.to_string().contains("4 additional work-unit failure"),
             "display should surface the suppressed count: {err}"
+        );
+        assert!(
+            err.to_string()
+                .contains("first failing work unit: input 0, chunk 0"),
+            "display should name the earliest failing (input, chunk) unit: {err}"
         );
         // A single failing unit stays unwrapped: no "plus 0 suppressed" noise.
         let err = run_campaign(&target, &inputs, &judge, &config(4)).unwrap_err();

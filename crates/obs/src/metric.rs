@@ -1,0 +1,322 @@
+//! The three metric primitives and the RAII span timer.
+//!
+//! Every primitive shares the registry's enable flag: when it is off, recording is
+//! one relaxed load and an early return, with no clock read and no RMW — cheap
+//! enough to stay compiled into the hottest loops.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of log2 buckets in a [`Histogram`].
+///
+/// Bucket `i` holds values whose bit length is `i` (bucket 0 holds only zero), so
+/// 64 buckets cover the whole `u64` range — in particular any duration expressible
+/// in nanoseconds.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing `u64`, recorded with relaxed atomics.
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Counter {
+            enabled,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter (no-op while the registry is disabled).
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter (no-op while the registry is disabled).
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Returns the current value (readable even while disabled).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed level that can move both ways (active campaigns, configured workers).
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Gauge {
+            enabled,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge to `v` (no-op while the registry is disabled).
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (which may be negative) to the gauge (no-op while disabled).
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the current level (readable even while disabled).
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log2-bucketed distribution with approximate quantiles and an exact max.
+///
+/// Values (typically nanoseconds) land in the bucket matching their bit length, so
+/// quantiles are exact to within a factor of two — plenty for latency triage —
+/// while recording stays four relaxed RMWs with no locking and no allocation.
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Histogram {
+            enabled,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (no-op while the registry is disabled).
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts a span timer that records its elapsed nanoseconds here on drop.
+    ///
+    /// While the registry is disabled the span is inert: no clock is read at either
+    /// end.
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            histogram: self,
+            start: if self.enabled.load(Ordering::Relaxed) {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Summarizes the distribution: count, sum, p50/p90/p99 and exact max.
+    pub fn summary(&self) -> crate::HistogramSummary {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        crate::HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: quantile(&buckets, count, max, 0.50),
+            p90: quantile(&buckets, count, max, 0.90),
+            p99: quantile(&buckets, count, max, 0.99),
+            max,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII timer from [`Histogram::span`]: records elapsed nanoseconds on drop.
+///
+/// Dropping a span started while the registry was disabled does nothing, even if
+/// the registry was enabled in between — a span never records a half-timed
+/// interval.
+pub struct Span<'a> {
+    histogram: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Discards the span without recording (e.g. on an error path that would
+    /// pollute a success-latency distribution).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram
+                .record(saturating_nanos(start.elapsed().as_nanos()));
+        }
+    }
+}
+
+/// Clamps a `u128` nanosecond count into the `u64` a histogram stores.
+///
+/// 2^64 ns is ~584 years, so saturation is theoretical — but the clamp keeps the
+/// conversion total.
+fn saturating_nanos(nanos: u128) -> u64 {
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+
+/// Maps a value to its log2 bucket: 0 → 0, otherwise the value's bit length.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Largest value a bucket can hold: `2^i - 1` for bucket `i`.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// Estimates quantile `q` by walking the cumulative bucket counts.
+///
+/// Returns the upper bound of the bucket containing the `ceil(q · count)`-th
+/// observation, clamped to the exact recorded max so the tail never overshoots.
+fn quantile(buckets: &[u64], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (index, &bucket) in buckets.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= target {
+            return bucket_upper_bound(index).min(max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_flag() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_summary_reports_quantiles_within_a_factor_of_two() {
+        let histogram = Histogram::new(enabled_flag());
+        // 100 observations: 90 fast (≈100ns), 10 slow (≈100µs).
+        for _ in 0..90 {
+            histogram.record(100);
+        }
+        for _ in 0..10 {
+            histogram.record(100_000);
+        }
+        let summary = histogram.summary();
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.sum, 90 * 100 + 10 * 100_000);
+        assert_eq!(summary.max, 100_000);
+        // p50/p90 land in the fast bucket [64, 127], p99 in the slow one.
+        assert!((100..200).contains(&summary.p50), "p50 = {}", summary.p50);
+        assert!((100..200).contains(&summary.p90), "p90 = {}", summary.p90);
+        assert!(
+            summary.p99 >= 65_536 && summary.p99 <= 100_000,
+            "p99 = {}",
+            summary.p99
+        );
+    }
+
+    #[test]
+    fn quantiles_never_exceed_the_exact_max() {
+        let histogram = Histogram::new(enabled_flag());
+        histogram.record(1_000);
+        let summary = histogram.summary();
+        assert_eq!(summary.p50, 1_000);
+        assert_eq!(summary.p99, 1_000);
+        assert_eq!(summary.max, 1_000);
+    }
+
+    #[test]
+    fn span_records_elapsed_nanos() {
+        let histogram = Histogram::new(enabled_flag());
+        {
+            let _span = histogram.span();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let summary = histogram.summary();
+        assert_eq!(summary.count, 1);
+        assert!(summary.max >= 1_000_000, "max = {}", summary.max);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let histogram = Histogram::new(enabled_flag());
+        let span = histogram.span();
+        span.cancel();
+        assert_eq!(histogram.summary().count, 0);
+    }
+
+    #[test]
+    fn span_started_while_disabled_stays_inert_after_enable() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let histogram = Histogram::new(Arc::clone(&flag));
+        let span = histogram.span();
+        flag.store(true, Ordering::Relaxed);
+        drop(span);
+        assert_eq!(histogram.summary().count, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Point-in-time metric snapshots and their line-JSON serialization.
+
+/// The summarized state of one [`Histogram`](crate::Histogram).
+///
+/// `p50`/`p90`/`p99` are log2-bucket estimates (exact within a factor of two,
+/// clamped to `max`); `count`, `sum` and `max` are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values (e.g. total nanoseconds).
+    pub sum: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+}
+
+/// A point-in-time, name-sorted copy of a registry's metrics.
+///
+/// Produced by [`MetricsRegistry::snapshot`](crate::MetricsRegistry::snapshot);
+/// serialized by [`to_json`](MetricsSnapshot::to_json) as a single JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Whether the registry was recording when the snapshot was taken.
+    pub enabled: bool,
+    /// All counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge level by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Returns the counters whose names start with `prefix`, in name order.
+    ///
+    /// Handy for pulling out one layer's family, e.g. `plan.op.` or
+    /// `pool.worker.`.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters
+            .iter()
+            .filter(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, value)| (name.as_str(), *value))
+    }
+
+    /// Serializes the snapshot as one line of JSON.
+    ///
+    /// Assembled by hand, the same trick as the bench harness reports: the
+    /// vendored serde subset has no `BTreeMap` impl, and the key order should be
+    /// deterministic (name-sorted) either way.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(
+            64 + 32 * (self.counters.len() + self.gauges.len()) + 96 * self.histograms.len(),
+        );
+        out.push_str("{\"enabled\":");
+        out.push_str(if self.enabled { "true" } else { "false" });
+
+        out.push_str(",\"counters\":{");
+        for (index, (name, value)) in self.counters.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+
+        out.push_str(",\"gauges\":{");
+        for (index, (name, value)) in self.gauges.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+
+        out.push_str(",\"histograms\":{");
+        for (index, (name, summary)) in self.histograms.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                summary.count, summary.sum, summary.p50, summary.p90, summary.p99, summary.max
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Appends `value` as a JSON string literal, escaping quotes, backslashes and
+/// control characters.
+///
+/// Metric names are ASCII identifiers in practice, but the escape keeps the
+/// serializer total.
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_json_is_one_deterministic_line() {
+        let snapshot = MetricsSnapshot {
+            enabled: true,
+            counters: vec![("a.count".to_owned(), 3), ("b.count".to_owned(), 0)],
+            gauges: vec![("depth".to_owned(), -2)],
+            histograms: vec![(
+                "lat".to_owned(),
+                HistogramSummary {
+                    count: 2,
+                    sum: 30,
+                    p50: 15,
+                    p90: 20,
+                    p99: 20,
+                    max: 20,
+                },
+            )],
+        };
+        let json = snapshot.to_json();
+        assert_eq!(
+            json,
+            "{\"enabled\":true,\"counters\":{\"a.count\":3,\"b.count\":0},\
+             \"gauges\":{\"depth\":-2},\"histograms\":{\"lat\":{\"count\":2,\
+             \"sum\":30,\"p50\":15,\"p90\":20,\"p99\":20,\"max\":20}}}"
+        );
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let snapshot = MetricsSnapshot {
+            enabled: false,
+            counters: vec![("we\"ird\\name\n".to_owned(), 1)],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert!(snapshot.to_json().contains("\"we\\\"ird\\\\name\\n\":1"));
+    }
+
+    #[test]
+    fn prefix_query_selects_one_family() {
+        let snapshot = MetricsSnapshot {
+            enabled: true,
+            counters: vec![
+                ("plan.op.Conv2D.nanos".to_owned(), 10),
+                ("plan.op.Relu.nanos".to_owned(), 2),
+                ("pool.worker.0.tasks".to_owned(), 5),
+            ],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let ops: Vec<_> = snapshot.counters_with_prefix("plan.op.").collect();
+        assert_eq!(
+            ops,
+            vec![("plan.op.Conv2D.nanos", 10), ("plan.op.Relu.nanos", 2)]
+        );
+    }
+}

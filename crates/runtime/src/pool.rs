@@ -18,9 +18,16 @@
 //! The queues are `Mutex<VecDeque>`s, not lock-free Chase–Lev deques: campaign tasks are
 //! whole forward passes (tens of microseconds to milliseconds), so queue operations are
 //! nowhere near the contention regime where lock-free stealing pays for its complexity.
+//!
+//! When metrics are enabled (`ranger_obs`), every worker tallies its executed tasks,
+//! steals and park time (time spent in the steal-scan/idle path rather than running a
+//! task — these workers retire instead of sleeping, so that is the whole of their
+//! non-working time) into locals, flushed to `pool.worker.<i>.{tasks,steals,park_nanos}`
+//! counters once at retirement. The task loop itself touches no shared metric state.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A fixed-width scoped thread pool with per-worker injector queues and work stealing.
 ///
@@ -111,13 +118,18 @@ impl ThreadPool {
         }
         if self.workers == 1 {
             // Inline fast path: no threads, same semantics (including scratch reuse).
+            let mut stats = WorkerStats::new();
+            stats.tasks = task_count as u64;
             let mut scratch = init(0);
-            return tasks.into_iter().map(|task| task(&mut scratch)).collect();
+            let results = tasks.into_iter().map(|task| task(&mut scratch)).collect();
+            stats.flush(0);
+            return results;
         }
 
         // One injector queue per worker, filled round-robin so the initial split is
         // balanced without any coordination.
         let workers = self.workers.min(task_count);
+        observe_run(workers);
         let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (index, task) in tasks.into_iter().enumerate() {
@@ -135,12 +147,14 @@ impl ThreadPool {
                 let init = &init;
                 scope.spawn(move || {
                     let mut scratch = init(worker);
+                    let mut stats = WorkerStats::new();
                     // Completed (index, result) pairs stay worker-local until the worker
                     // retires, so the shared results mutex is touched once per worker.
                     let mut completed: Vec<(usize, T)> = Vec::new();
-                    while let Some((index, task)) = next_task(queues, worker) {
+                    while let Some((index, task)) = next_task(queues, worker, &mut stats) {
                         completed.push((index, task(&mut scratch)));
                     }
+                    stats.flush(worker);
                     results
                         .lock()
                         .expect("result lock poisoned by a panicking worker")
@@ -194,14 +208,18 @@ impl ThreadPool {
         }
         if self.workers == 1 {
             // Inline fast path: no threads, strictly task-ordered delivery.
+            let mut stats = WorkerStats::new();
+            stats.tasks = task_count as u64;
             let mut scratch = init(0);
             for (index, task) in tasks.into_iter().enumerate() {
                 consume(index, task(&mut scratch));
             }
+            stats.flush(0);
             return;
         }
 
         let workers = self.workers.min(task_count);
+        observe_run(workers);
         let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (index, task) in tasks.into_iter().enumerate() {
@@ -219,13 +237,15 @@ impl ThreadPool {
                 let sender = sender.clone();
                 scope.spawn(move || {
                     let mut scratch = init(worker);
-                    while let Some((index, task)) = next_task(queues, worker) {
+                    let mut stats = WorkerStats::new();
+                    while let Some((index, task)) = next_task(queues, worker, &mut stats) {
                         // A send only fails when the consumer was dropped early (a
                         // panicking `consume`); finishing the remaining tasks silently
                         // is then the most useful behavior — the panic is already on
                         // its way to the caller.
                         let _ = sender.send((index, task(&mut scratch)));
                     }
+                    stats.flush(worker);
                 });
             }
             // Drop the caller's clone so the receiver disconnects once all workers
@@ -239,41 +259,120 @@ impl ThreadPool {
     }
 }
 
+/// Worker-local observability tallies, flushed to the global registry once at worker
+/// retirement.
+///
+/// The enable flag is sampled when the worker starts, so the task loop costs nothing
+/// when metrics are off and never takes a registry lock either way. Flushing adds the
+/// tallies to `pool.worker.<i>.{tasks,steals,park_nanos}` counters — cumulative across
+/// pool runs, keyed by the worker's slot in its run.
+struct WorkerStats {
+    enabled: bool,
+    /// Tasks this worker executed (own-queue pops plus steals).
+    tasks: u64,
+    /// Tasks obtained from a peer's queue.
+    steals: u64,
+    /// Nanoseconds spent off the own-queue fast path: steal scans plus the final
+    /// empty scan before retirement. These workers retire rather than sleep, so this
+    /// is the whole of their non-working time.
+    park_nanos: u64,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            enabled: ranger_obs::enabled(),
+            tasks: 0,
+            steals: 0,
+            park_nanos: 0,
+        }
+    }
+
+    fn flush(&self, worker: usize) {
+        if !self.enabled {
+            return;
+        }
+        let registry = ranger_obs::registry();
+        registry
+            .counter(&format!("pool.worker.{worker}.tasks"))
+            .add(self.tasks);
+        registry
+            .counter(&format!("pool.worker.{worker}.steals"))
+            .add(self.steals);
+        registry
+            .counter(&format!("pool.worker.{worker}.park_nanos"))
+            .add(self.park_nanos);
+    }
+}
+
+/// Records the width of a parallel pool run in the `pool.workers` gauge.
+fn observe_run(workers: usize) {
+    if ranger_obs::enabled() {
+        ranger_obs::registry()
+            .gauge("pool.workers")
+            .set(workers as i64);
+    }
+}
+
 /// Pops the next task for `worker`: the front of its own queue, else the back entry of
 /// the most loaded peer (steal-from-richest keeps the remaining work spread out; owners
 /// take the front, thieves the back, so they contend on a queue's ends only when it is
 /// nearly empty). No new tasks are ever injected after distribution, so the worker can
 /// retire once a full scan observes every queue empty; a victim drained between the
 /// scan and the steal just triggers a re-scan.
-fn next_task<F>(queues: &[Mutex<VecDeque<(usize, F)>>], worker: usize) -> Option<(usize, F)> {
+///
+/// Tallies every pop into `stats`; time spent past the own-queue fast path counts as
+/// park time. Pure observation — scheduling decisions never read the tallies.
+fn next_task<F>(
+    queues: &[Mutex<VecDeque<(usize, F)>>],
+    worker: usize,
+    stats: &mut WorkerStats,
+) -> Option<(usize, F)> {
     if let Some(task) = queues[worker]
         .lock()
         .expect("queue lock poisoned by a panicking worker")
         .pop_front()
     {
+        stats.tasks += 1;
         return Some(task);
     }
-    loop {
+    let idle_start = if stats.enabled {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    let stolen = loop {
         // Steal: scan peers for the longest queue. Each retry only happens after an
         // observed-non-empty queue turned empty, and queues never refill, so the loop
         // terminates.
-        let (victim, observed) = queues
+        let Some((victim, observed)) = queues
             .iter()
             .enumerate()
             .filter(|&(peer, _)| peer != worker)
             .map(|(peer, queue)| (peer, queue.lock().map(|q| q.len()).unwrap_or(0)))
-            .max_by_key(|&(_, len)| len)?;
+            .max_by_key(|&(_, len)| len)
+        else {
+            break None;
+        };
         if observed == 0 {
-            return None;
+            break None;
         }
         if let Some(task) = queues[victim]
             .lock()
             .expect("queue lock poisoned by a panicking worker")
             .pop_back()
         {
-            return Some(task);
+            break Some(task);
         }
+    };
+    if let Some(start) = idle_start {
+        stats.park_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
+    if stolen.is_some() {
+        stats.tasks += 1;
+        stats.steals += 1;
+    }
+    stolen
 }
 
 #[cfg(test)]
@@ -474,6 +573,61 @@ mod tests {
             Vec::<fn(&mut ()) -> u32>::new(),
             |_, _| panic!("no results expected"),
         );
+    }
+
+    /// One test (not several) because it toggles the process-global enable flag;
+    /// delta-based and `>=` assertions throughout because the counters are shared.
+    #[test]
+    fn workers_flush_task_steal_and_park_tallies_when_metrics_are_enabled() {
+        let registry = ranger_obs::registry();
+        let was_enabled = ranger_obs::enabled();
+
+        // While disabled (the default), pool runs leave no counters behind.
+        if !was_enabled {
+            let before = registry.counter("pool.worker.0.tasks").value();
+            ThreadPool::new(2).run((0..8usize).map(|i| move |_: &mut ()| i));
+            assert_eq!(registry.counter("pool.worker.0.tasks").value(), before);
+        }
+
+        let tasks_before: u64 = (0..4)
+            .map(|w| registry.counter(&format!("pool.worker.{w}.tasks")).value())
+            .sum();
+        ranger_obs::set_enabled(true);
+
+        // Uneven task durations force at least some cross-queue traffic in practice,
+        // but only the task total is deterministic — steals/park are observed, not
+        // asserted beyond existence.
+        let pool = ThreadPool::new(4);
+        let results = pool.run((0..97usize).map(|i| {
+            move |_: &mut ()| {
+                if i % 5 == 0 {
+                    std::thread::yield_now();
+                }
+                i
+            }
+        }));
+        assert_eq!(results.len(), 97);
+
+        let tasks_after: u64 = (0..4)
+            .map(|w| registry.counter(&format!("pool.worker.{w}.tasks")).value())
+            .sum();
+        assert!(
+            tasks_after - tasks_before >= 97,
+            "expected ≥97 new tasks recorded, saw {}",
+            tasks_after - tasks_before
+        );
+        // The steal/park counters exist for every worker slot that ran.
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counter("pool.worker.0.steals").is_some());
+        assert!(snapshot.counter("pool.worker.0.park_nanos").is_some());
+        assert_eq!(snapshot.gauge("pool.workers"), Some(4));
+
+        // The single-worker inline path tallies into slot 0, too.
+        let inline_before = registry.counter("pool.worker.0.tasks").value();
+        ThreadPool::new(1).run((0..13usize).map(|i| move |_: &mut ()| i));
+        assert!(registry.counter("pool.worker.0.tasks").value() - inline_before >= 13);
+
+        ranger_obs::set_enabled(was_enabled);
     }
 
     #[test]

@@ -56,7 +56,9 @@ impl CheckpointStore {
     ///
     /// A fresh file gets a header and is fsync'd immediately. An existing file is
     /// replayed: its records populate [`CheckpointStore::completed`], and a torn final
-    /// line — the signature of a crash mid-append — is silently truncated away.
+    /// line — the signature of a crash mid-append — is truncated away, with one
+    /// warning line (naming the byte offset the file was cut back to) on stderr and
+    /// a tick of the `checkpoint.torn_tails` counter in the global metrics registry.
     ///
     /// # Errors
     ///
@@ -135,6 +137,18 @@ impl CheckpointStore {
                 }
             }
             if torn || valid_len < content.len() as u64 {
+                // A tear is expected after a kill, but never silent: one warning line
+                // with the cut offset, and a registry count for fleet-level visibility.
+                eprintln!(
+                    "warning: checkpoint {} had a torn tail; truncated from {} to {} bytes \
+                     (the cut record's chunk will re-run on resume)",
+                    path.display(),
+                    content.len(),
+                    valid_len
+                );
+                ranger_obs::registry()
+                    .counter("checkpoint.torn_tails")
+                    .increment();
                 file.set_len(valid_len)?;
                 file.sync_data()?;
             }
@@ -186,7 +200,16 @@ impl CheckpointStore {
         let line = serde_json::to_string(record)?;
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
-        self.file.sync_data()?;
+        // The fsync dominates append cost by orders of magnitude, so the registry
+        // lookup here is noise — no need to cache the handle on the store.
+        if ranger_obs::enabled() {
+            let hist = ranger_obs::registry().histogram("checkpoint.sync_nanos");
+            let start = std::time::Instant::now();
+            self.file.sync_data()?;
+            hist.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        } else {
+            self.file.sync_data()?;
+        }
         self.completed.insert(record.chunk.index, record.clone());
         Ok(())
     }
@@ -265,11 +288,28 @@ mod tests {
         file.write_all(b"{\"chunk\":{\"index\":2,\"inp").unwrap();
         drop(file);
 
+        // The truncation must be visible in the metrics registry. The flag is
+        // process-global, so sample/restore it and use a delta-based assertion.
+        let was_enabled = ranger_obs::enabled();
+        ranger_obs::set_enabled(true);
+        let torn_before = ranger_obs::registry()
+            .counter("checkpoint.torn_tails")
+            .value();
+
         let before = std::fs::metadata(&path).unwrap().len();
         let store = CheckpointStore::open(&path, "f00d").unwrap();
         assert_eq!(store.len(), 2, "intact records must survive the tear");
         let after = std::fs::metadata(&path).unwrap().len();
         assert!(after < before, "the torn tail must be truncated");
+
+        let torn_after = ranger_obs::registry()
+            .counter("checkpoint.torn_tails")
+            .value();
+        ranger_obs::set_enabled(was_enabled);
+        assert!(
+            torn_after > torn_before,
+            "the torn tail must tick checkpoint.torn_tails ({torn_before} -> {torn_after})"
+        );
 
         // The truncated file reopens cleanly and accepts new appends.
         let mut store = CheckpointStore::open(&path, "f00d").unwrap();

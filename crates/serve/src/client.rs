@@ -116,6 +116,19 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics-registry snapshot as its one-line JSON document
+    /// (see `ranger_obs::MetricsSnapshot::to_json` for the schema).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        match self.round_trip(&Request::Metrics)? {
+            (Response::Metrics { snapshot }, _) => Ok(snapshot),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the server to shut down.
     ///
     /// # Errors

@@ -197,13 +197,20 @@ pub fn drive(
         );
     }
 
+    // Fold whatever plan timings accumulated into the registry, whatever the outcome:
+    // a stopped or failed drive still spent wall time worth accounting for.
+    prepared.publish_metrics();
+
     if let Some(e) = append_failure {
         return Err(e);
     }
-    if let Some((_, first)) = first_failure {
+    if let Some((index, first)) = first_failure {
+        let unit = chunks[index];
         return Err(ServeError::Campaign(if failures > 1 {
             CampaignError::Failures {
                 first: Box::new(first),
+                input: unit.input,
+                chunk: unit.index,
                 suppressed: failures - 1,
             }
         } else {

@@ -41,6 +41,8 @@ pub enum Request {
         /// The campaign id returned by submit.
         id: String,
     },
+    /// Ask for a snapshot of the server's metrics registry.
+    Metrics,
     /// Stop accepting connections and shut the server down.
     Shutdown,
 }
@@ -64,6 +66,11 @@ pub struct StatusInfo {
     pub done_chunks: usize,
     /// Work units in the campaign's partition.
     pub total_chunks: usize,
+    /// Work units replayed from the checkpoint instead of executed.
+    pub resumed_chunks: usize,
+    /// Freshly executed trials per wall-clock second since the campaign started
+    /// (resumed trials excluded; `0.0` until the first executed chunk lands).
+    pub trials_per_sec: f64,
 }
 
 /// A server response line.
@@ -87,6 +94,13 @@ pub enum Response {
     End {
         /// The terminal state string.
         state: String,
+    },
+    /// A snapshot of the server's metrics registry, as the one-line JSON document
+    /// produced by `ranger_obs::MetricsSnapshot::to_json` (kept as an opaque string so
+    /// the wire format never constrains the registry's contents).
+    Metrics {
+        /// The snapshot JSON document.
+        snapshot: String,
     },
     /// The request was understood and performed; nothing further to report.
     Ok,
@@ -124,6 +138,7 @@ mod tests {
             Request::Cancel {
                 id: "abc123".to_string(),
             },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for request in requests {
@@ -151,9 +166,15 @@ mod tests {
                 trials_total: 100,
                 done_chunks: 5,
                 total_chunks: 13,
+                resumed_chunks: 2,
+                trials_per_sec: 1250.5,
             }),
             Response::End {
                 state: "done".to_string(),
+            },
+            Response::Metrics {
+                snapshot: "{\"enabled\":true,\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+                    .to_string(),
             },
             Response::Ok,
             Response::Error {

@@ -53,6 +53,13 @@ struct Progress {
     resumed_chunks: usize,
     trials_total: u64,
     done_chunks: usize,
+    /// Trials replayed from the checkpoint rather than executed — excluded from the
+    /// trials/sec rate so resuming a near-finished campaign doesn't report a miracle.
+    resumed_trials: u64,
+    /// When the worker was registered; the denominator of the trials/sec rate.
+    started: std::time::Instant,
+    /// When the campaign reached a terminal state, freezing the rate.
+    finished: Option<std::time::Instant>,
     categories: Vec<String>,
     cumulative: Option<CampaignResult>,
 }
@@ -68,6 +75,18 @@ struct CampaignHandle {
 impl CampaignHandle {
     fn status(&self) -> StatusInfo {
         let progress = self.progress.lock().expect("progress lock poisoned");
+        let trials_done = progress.cumulative.as_ref().map(|c| c.trials).unwrap_or(0);
+        let executed = trials_done.saturating_sub(progress.resumed_trials);
+        let elapsed = progress
+            .finished
+            .map(|end| end.duration_since(progress.started))
+            .unwrap_or_else(|| progress.started.elapsed())
+            .as_secs_f64();
+        let trials_per_sec = if executed > 0 && elapsed > 0.0 {
+            executed as f64 / elapsed
+        } else {
+            0.0
+        };
         StatusInfo {
             id: self.id.clone(),
             state: progress.state.label(),
@@ -77,17 +96,23 @@ impl CampaignHandle {
                 .as_ref()
                 .map(|c| c.sdc_counts.clone())
                 .unwrap_or_default(),
-            trials_done: progress.cumulative.as_ref().map(|c| c.trials).unwrap_or(0),
+            trials_done,
             trials_total: progress.trials_total,
             done_chunks: progress.done_chunks,
             total_chunks: progress.total_chunks,
+            resumed_chunks: progress.resumed_chunks,
+            trials_per_sec,
         }
     }
 
     fn finish(&self, state: RunState) {
         let mut progress = self.progress.lock().expect("progress lock poisoned");
         progress.state = state;
+        progress.finished = Some(std::time::Instant::now());
         self.changed.notify_all();
+        ranger_obs::registry()
+            .gauge("serve.active_campaigns")
+            .add(-1);
     }
 }
 
@@ -112,8 +137,16 @@ impl CampaignSink for ServerSink {
                 progress.trials_total = *trials_total;
                 progress.categories = categories.clone();
             }
-            CampaignEvent::ChunkDone { cumulative, .. } => {
+            CampaignEvent::ChunkDone {
+                tally,
+                resumed,
+                cumulative,
+                ..
+            } => {
                 progress.done_chunks += 1;
+                if *resumed {
+                    progress.resumed_trials += tally.trials;
+                }
                 progress.cumulative = Some(cumulative.clone());
             }
             CampaignEvent::CampaignDone { result } => {
@@ -168,6 +201,10 @@ impl CampaignServer {
         let checkpoint_dir = checkpoint_dir.into();
         std::fs::create_dir_all(&checkpoint_dir)?;
         let listener = TcpListener::bind(addr)?;
+        // A server exists to be observed: turn the registry on so the `metrics`
+        // request has something to report. Metrics never draw RNG or steer results,
+        // so this cannot perturb campaign counts.
+        ranger_obs::set_enabled(true);
         Ok(CampaignServer {
             listener,
             state: Arc::new(ServerState {
@@ -223,6 +260,7 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let request: Request = match serde_json::from_str(line.trim()) {
         Ok(request) => request,
         Err(e) => {
+            observe_request("unreadable");
             let _ = write_line(
                 &mut writer,
                 &Response::Error {
@@ -232,6 +270,14 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             return;
         }
     };
+    observe_request(match request {
+        Request::Submit { .. } => "submit",
+        Request::Status { .. } => "status",
+        Request::Stream { .. } => "stream",
+        Request::Cancel { .. } => "cancel",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    });
     match request {
         Request::Submit { spec } => {
             let response = match submit(state, spec) {
@@ -266,6 +312,14 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             };
             let _ = write_line(&mut writer, &response);
         }
+        Request::Metrics => {
+            let _ = write_line(
+                &mut writer,
+                &Response::Metrics {
+                    snapshot: ranger_obs::registry().snapshot().to_json(),
+                },
+            );
+        }
         Request::Shutdown => {
             state.shutdown.store(true, Ordering::SeqCst);
             let _ = write_line(&mut writer, &Response::Ok);
@@ -274,6 +328,16 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
                 let _ = TcpStream::connect(addr);
             }
         }
+    }
+}
+
+/// Counts one request under `serve.requests.<kind>` (a no-op registry write when
+/// metrics are off; never branches on any observed value).
+fn observe_request(kind: &str) {
+    if ranger_obs::enabled() {
+        ranger_obs::registry()
+            .counter(&format!("serve.requests.{kind}"))
+            .increment();
     }
 }
 
@@ -336,6 +400,9 @@ fn submit(state: &Arc<ServerState>, spec: CampaignSpec) -> Result<Response, Serv
             resumed_chunks,
             trials_total: (materialized.config.trials * materialized.inputs.len()) as u64,
             done_chunks: 0,
+            resumed_trials: 0,
+            started: std::time::Instant::now(),
+            finished: None,
             categories: Vec::new(),
             cumulative: None,
         }),
@@ -343,6 +410,9 @@ fn submit(state: &Arc<ServerState>, spec: CampaignSpec) -> Result<Response, Serv
     });
     campaigns.insert(id.clone(), Arc::clone(&handle));
     drop(campaigns);
+    ranger_obs::registry()
+        .gauge("serve.active_campaigns")
+        .add(1);
 
     let pool = state.pool_for(materialized.config.workers);
     let worker_handle = Arc::clone(&handle);
