@@ -25,7 +25,9 @@ use ranger::bounds::{profile_bounds, ActivationBounds, BoundsConfig};
 use ranger::transform::{apply_ranger, RangerConfig};
 use ranger_graph::exec::NoopInterceptor;
 use ranger_graph::Executor;
-use ranger_inject::{BackendKind, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget};
+use ranger_inject::{
+    BackendKind, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget, TILE_AUTO,
+};
 use ranger_models::archs;
 use ranger_models::{Model, ModelConfig, ModelKind};
 use ranger_tensor::Tensor;
@@ -48,15 +50,23 @@ struct BenchRecord {
 static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Times `f` over `iters` iterations after `warmup` warm-up calls; returns ns/iter.
+///
+/// Each iteration is timed on its own and the **minimum** is reported: every source of
+/// interference (scheduler preemption, a neighbour process, a frequency dip) only ever
+/// adds time, so the fastest observed iteration is the least-contaminated estimate of
+/// the true cost. A mean over one timed block lets a single hiccup taint the whole
+/// figure, which matters here because the campaign benches assert cross-config ratios.
 fn bench<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) -> f64 {
     for _ in 0..warmup {
         f();
     }
-    let start = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..iters {
+        let start = Instant::now();
         f();
+        best = best.min(start.elapsed().as_nanos() as f64);
     }
-    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    let ns = best;
     println!("{name:<40} {:>12.0} ns/iter   ({iters} iters)", ns);
     RECORDS.lock().unwrap().push(BenchRecord {
         name: name.to_string(),
@@ -248,6 +258,31 @@ fn bench_exec_plan() {
         executor_ns / plan_ns
     );
 
+    // The dispatch-tier-cache pin (PR 9): the SIMD backend on the deep narrow MLP is
+    // the adversarial dispatch-bound shape — width-8 rows leave almost nothing to
+    // vectorize, so every nanosecond separating this from the scalar plan is kernel
+    // *entry* overhead. With the tier ladder resolved once into the process-wide
+    // kernel table (one indirect call per kernel instead of a per-call tier match),
+    // the ratio printed here should sit near 1.0x; the ~10% gap the ROADMAP recorded
+    // for per-call dispatch is the regression this guards against.
+    let simd_plan = deep.compile_with(&ranger_graph::SimdBackend).unwrap();
+    let mut simd_values = simd_plan.buffers();
+    let simd_ns = bench("exec_plan/deep_mlp/simd_plan", 10, 500, || {
+        simd_plan
+            .run_into(
+                &mut simd_values,
+                &[("x", deep_input.clone())],
+                &mut NoopInterceptor,
+            )
+            .unwrap();
+        simd_values.get(deep_out).unwrap();
+    });
+    println!(
+        "exec_plan/deep_mlp: simd plan runs at {:.2}x the scalar plan \
+         (dispatch-cache pin: near 1.0x, nothing to vectorize at width 8)",
+        plan_ns / simd_ns
+    );
+
     let model = archs::build(&ModelConfig::lenet(), 0);
     let input = model_input(&model);
     let output = model.output;
@@ -305,6 +340,7 @@ fn bench_injection() {
             backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
+            tile: 0,
         };
         ranger_inject::run_campaign(&target, std::slice::from_ref(&input), &judge, &config)
             .unwrap();
@@ -312,18 +348,27 @@ fn bench_injection() {
 }
 
 /// The acceptance benchmark for batched campaigns: the same campaign (same seed, same
-/// trials, bit-for-bit identical SDC counts) run per-sample (`batch = 1`) and batched.
-/// The batched runs must be measurably faster per trial — fixed per-pass costs (graph
-/// walk, operator dispatch, interceptor scan, constant materialization) are amortized
-/// over `batch` trials.
+/// trials, bit-for-bit identical SDC counts — asserted in-loop at every grid point) run
+/// per-sample (`batch = 1`), batched untiled, and batched with the row-group tiled
+/// scheduler (`tile = auto` derives the row-group height from the warmed shapes and the
+/// cache budget). Untiled batching amortizes fixed per-pass costs (graph walk, operator
+/// dispatch, interceptor scan, constant materialization) but multiplies every
+/// activation by `batch`, blowing the working set past cache on conv models; the tiled
+/// schedule keeps the amortization while holding each segment's live rows cache-sized,
+/// which is what makes batch 16/64 beat per-sample on LeNet (the PR-9 acceptance bar,
+/// on both the f32 and simd backends, same-run).
 ///
-/// Two models are measured: LeNet (convolution-dominated, modest win) and a deep narrow
-/// MLP (dispatch-dominated, large win).
+/// Two models are measured: LeNet (convolution-dominated — the shape untiled batching
+/// loses on) and a deep narrow MLP (dispatch-dominated — batching wins even untiled,
+/// and tiling must not give the win back).
 fn bench_campaign_batched() {
     use rand::{rngs::StdRng, SeedableRng};
     use ranger_graph::GraphBuilder;
 
-    let trials = 64usize;
+    // 256 trials: enough passes that the flat per-campaign prepare cost (plan compile +
+    // single-row warm, ~a quarter of a millisecond regardless of batch) stops dominating
+    // the per-trial figure and the comparison measures the execution schedules.
+    let trials = 256usize;
     let judge = ClassifierJudge::top1();
 
     let campaign = |label: &str,
@@ -337,52 +382,97 @@ fn bench_campaign_batched() {
             output,
             excluded: &[],
         };
-        let mut reference = None;
-        let mut per_sample_ns = 0.0;
-        for batch in [1usize, 16, 64] {
-            let config = CampaignConfig {
-                trials,
-                batch,
-                workers: 1,
-                backend: BackendKind::F32,
-                fault: FaultModel::single_bit_fixed32(),
-                seed: 5,
-            };
-            let mut counts = Vec::new();
-            let total_ns = bench(
-                &format!("campaign_batched/{label}/batch_{batch}"),
-                1,
-                10,
-                || {
+        for backend in [BackendKind::F32, BackendKind::Simd] {
+            struct Entry {
+                name: String,
+                config: CampaignConfig,
+                best_ns: f64,
+                counts: Vec<u64>,
+            }
+            let mut entries: Vec<Entry> = [
+                (1usize, 0usize),
+                (16, 0),
+                (16, 4),
+                (16, TILE_AUTO),
+                (64, 0),
+                (64, 4),
+                (64, TILE_AUTO),
+            ]
+            .iter()
+            .map(|&(batch, tile)| {
+                let tile_label = match tile {
+                    0 => "untiled".to_string(),
+                    TILE_AUTO => "tile_auto".to_string(),
+                    n => format!("tile_{n}"),
+                };
+                Entry {
+                    name: format!("campaign_batched/{label}/{backend}/batch_{batch}/{tile_label}"),
+                    config: CampaignConfig {
+                        trials,
+                        batch,
+                        workers: 1,
+                        backend,
+                        fault: FaultModel::single_bit_fixed32(),
+                        seed: 5,
+                        tile,
+                    },
+                    best_ns: f64::INFINITY,
+                    counts: Vec::new(),
+                }
+            })
+            .collect();
+            // The grid points are compared against each other (the per-sample ratio is
+            // the acceptance figure), so they are measured INTERLEAVED: each round runs
+            // one campaign per config, round-robin, and every config keeps its own
+            // per-round minimum. Sequential blocks would let slow machine drift
+            // (frequency, a neighbour waking up) land entirely on whichever config was
+            // measured at the wrong moment and fake a regression; interleaving spreads
+            // the drift across all configs alike. Round 0 is the warm-up and is not
+            // recorded.
+            let iters = 20usize;
+            for round in 0..=iters {
+                for entry in &mut entries {
+                    let start = Instant::now();
                     let result = ranger_inject::run_campaign(
                         &target,
                         std::slice::from_ref(input),
                         &judge,
-                        &config,
+                        &entry.config,
                     )
                     .unwrap();
-                    counts = result.sdc_counts.clone();
-                },
-            );
-            match &reference {
-                None => {
-                    reference = Some(counts.clone());
-                    per_sample_ns = total_ns;
+                    let ns = start.elapsed().as_nanos() as f64;
+                    if round > 0 {
+                        entry.best_ns = entry.best_ns.min(ns);
+                    }
+                    entry.counts = result.sdc_counts;
                 }
-                Some(expected) => assert_eq!(
-                    &counts, expected,
-                    "batched campaign must reproduce the per-sample SDC counts"
-                ),
             }
-            note_ns_per_trial(
-                &format!("campaign_batched/{label}/batch_{batch}"),
-                total_ns / trials as f64,
-            );
-            println!(
-                "campaign_batched/{label}/batch_{batch}: {:>8.0} ns/trial ({:.2}x per-sample)",
-                total_ns / trials as f64,
-                per_sample_ns / total_ns
-            );
+            let reference_counts = entries[0].counts.clone();
+            let per_sample_ns = entries[0].best_ns;
+            for entry in &entries {
+                assert_eq!(
+                    &entry.counts, &reference_counts,
+                    "batched/tiled campaign must reproduce the per-sample SDC counts \
+                     ({})",
+                    entry.name
+                );
+                println!(
+                    "{:<40} {:>12.0} ns/iter   ({iters} iters, interleaved)",
+                    entry.name, entry.best_ns
+                );
+                RECORDS.lock().unwrap().push(BenchRecord {
+                    name: entry.name.clone(),
+                    ns_per_iter: entry.best_ns,
+                    iters,
+                    ns_per_trial: Some(entry.best_ns / trials as f64),
+                });
+                println!(
+                    "{}: {:>8.0} ns/trial ({:.2}x per-sample)",
+                    entry.name,
+                    entry.best_ns / trials as f64,
+                    per_sample_ns / entry.best_ns
+                );
+            }
         }
     };
 
@@ -444,6 +534,7 @@ fn bench_campaign_parallel() {
                 backend: BackendKind::F32,
                 fault: FaultModel::single_bit_fixed32(),
                 seed: 5,
+                tile: 0,
             };
             let mut counts = Vec::new();
             let total_ns = bench(
@@ -546,6 +637,7 @@ fn bench_campaign_fixed() {
                     backend,
                     fault,
                     seed: 5,
+                    tile: 0,
                 };
                 let mut counts = Vec::new();
                 let total_ns = bench(
@@ -646,6 +738,7 @@ fn bench_campaign_simd() {
                     backend,
                     fault: FaultModel::single_bit_fixed32(),
                     seed: 5,
+                    tile: 0,
                 };
                 let mut counts = Vec::new();
                 let total_ns = bench(

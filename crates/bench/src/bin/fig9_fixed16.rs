@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backend,
         fault: FaultModel::single_bit_fixed16(),
         seed: opts.seed,
+        tile: opts.tile,
     };
     let mut rows = Vec::new();
 

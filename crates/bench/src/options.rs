@@ -1,6 +1,6 @@
 //! Command-line options shared by every experiment binary.
 
-use ranger_inject::{BackendKind, CampaignConfig, FaultModel};
+use ranger_inject::{BackendKind, CampaignConfig, FaultModel, TILE_AUTO};
 use ranger_models::ModelKind;
 use ranger_tensor::DataType;
 
@@ -22,6 +22,10 @@ pub struct ExpOptions {
     /// fault datatype to its word format; fixed-point-specific binaries (fig9) manage
     /// the backend themselves.
     pub backend: BackendKind,
+    /// Trials per row group on the tiled batched scheduler (0 = untiled,
+    /// [`TILE_AUTO`] = derive from the warmed plan's cache footprint; any tile size
+    /// reproduces identical SDC counts). Defaults to `RANGER_TILE` when set.
+    pub tile: usize,
     /// Number of (correctly predicted) inputs per model.
     pub inputs: usize,
     /// Seed for model training, datasets and fault sampling.
@@ -39,6 +43,7 @@ impl Default for ExpOptions {
             batch: 1,
             workers: ranger_runtime::default_workers(),
             backend: ranger_inject::default_backend(),
+            tile: ranger_inject::default_tile(),
             inputs: 5,
             seed: 42,
             full: false,
@@ -49,8 +54,9 @@ impl Default for ExpOptions {
 
 impl ExpOptions {
     /// Parses options from command-line arguments (`--trials N --batch N --workers N
-    /// --backend f32|fixed16|fixed32|simd --inputs N --seed N --full --models
-    /// lenet,dave`). Unknown arguments are ignored so binaries can add their own flags.
+    /// --backend f32|fixed16|fixed32|simd --tile N|auto --inputs N --seed N --full
+    /// --models lenet,dave`). Unknown arguments are ignored so binaries can add their
+    /// own flags.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -101,6 +107,22 @@ impl ExpOptions {
                         .get(i + 1)
                         .ok_or_else(|| "--backend requires a value".to_string())?;
                     opts.backend = value.parse().map_err(|e| format!("--backend: {e}"))?;
+                    i += 1;
+                }
+                "--tile" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| "--tile requires a value".to_string())?;
+                    opts.tile = if value.eq_ignore_ascii_case("auto") {
+                        TILE_AUTO
+                    } else {
+                        value.parse().map_err(|_| {
+                            format!(
+                                "--tile: invalid value '{value}' (expected a \
+                                 trials-per-row-group count, 0 to disable, or 'auto')"
+                            )
+                        })?
+                    };
                     i += 1;
                 }
                 "--inputs" => {
@@ -157,6 +179,7 @@ impl ExpOptions {
             backend: self.backend,
             fault,
             seed: self.seed,
+            tile: self.tile,
         }
     }
 
@@ -258,6 +281,23 @@ mod tests {
         assert!(passthrough.validate().is_ok());
         assert_eq!(parse(&[]).batch, 1, "per-sample path is the default");
         assert!(parse(&[]).workers >= 1, "worker default is always usable");
+    }
+
+    /// `--tile` mirrors `--backend`'s fail-fast rule: a junk value must abort, never
+    /// silently run the untiled scheduler under a tiled label.
+    #[test]
+    fn tile_flag_parses_counts_and_auto_and_rejects_junk() {
+        assert_eq!(parse(&["--tile", "4"]).tile, 4);
+        assert_eq!(parse(&["--tile", "0"]).tile, 0);
+        assert_eq!(parse(&["--tile", "auto"]).tile, TILE_AUTO);
+        assert_eq!(
+            parse(&["--tile", "8"]).campaign(FaultModel::default()).tile,
+            8
+        );
+        let err = ExpOptions::try_parse(["--tile".to_string(), "soon".to_string()]).unwrap_err();
+        assert!(err.contains("--tile"), "unexpected error: {err}");
+        let err = ExpOptions::try_parse(["--tile".to_string()]).unwrap_err();
+        assert!(err.contains("requires a value"));
     }
 
     #[test]

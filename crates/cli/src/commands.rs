@@ -77,6 +77,23 @@ pub(crate) fn parse_backend_and_datatype(
     Ok((backend, datatype))
 }
 
+/// Parses `--tile N|auto` (default: `RANGER_TILE`, then untiled): how many trials of
+/// each batched campaign pass the tiled scheduler runs per row group. `0` disables
+/// tiling, `auto` derives the group size from the warmed plan's cache footprint. Junk
+/// values are rejected loudly — silently running untiled would mislabel the run.
+pub(crate) fn parse_tile(options: &Options) -> Result<usize, CliError> {
+    match options.get("tile") {
+        None => ranger_inject::try_default_tile().map_err(CliError::Usage),
+        Some(raw) if raw.eq_ignore_ascii_case("auto") => Ok(ranger_inject::TILE_AUTO),
+        Some(raw) => raw.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "invalid --tile '{raw}': expected a trials-per-row-group count (0 \
+                 disables tiling) or 'auto'"
+            ))
+        }),
+    }
+}
+
 /// Parses `--policy saturate|zero|random` into the protector for that policy.
 fn parse_policy(options: &Options) -> Result<RestorePolicy, CliError> {
     match options.get("policy").unwrap_or("saturate") {
@@ -133,6 +150,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
     let fraction = options.get_parsed("fraction", ranger_engine::DEFAULT_PROFILE_FRACTION)?;
     let bits = options.get_parsed("bits", 1usize)?;
     let (backend, datatype) = parse_backend_and_datatype(options)?;
+    let tile = parse_tile(options)?;
     let profile_ops = options.has_flag("profile");
     if profile_ops {
         // Timing slots are sized when plans warm, so the registry must be on already.
@@ -151,6 +169,7 @@ pub fn pipeline(options: &Options) -> Result<String, CliError> {
             backend,
             fault: FaultModel { datatype, bits },
             seed,
+            tile,
         })
         .inputs(inputs);
     if options.has_flag("quick") {
@@ -186,6 +205,7 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
     let saved = SavedModel::load(Path::new(&input))?;
     let seed = options.get_parsed("seed", saved.seed)?;
     let (backend, datatype) = parse_backend_and_datatype(options)?;
+    let tile = parse_tile(options)?;
     let fault = FaultModel { datatype, bits };
     let metrics_json = options.get("metrics-json").map(str::to_string);
     let profile_ops = options.has_flag("profile");
@@ -230,6 +250,7 @@ pub fn inject(options: &Options) -> Result<String, CliError> {
         backend,
         fault,
         seed,
+        tile,
     };
     let result = run_campaign(&target, &batches, judge.as_ref(), &config)?;
     let mut lines = vec![format!(

@@ -121,12 +121,15 @@ COMMANDS:
     protect  --in <model.json> --out <protected.json> [--percentile P] [--fraction F]
              [--policy saturate|zero|random] [--seed N]
              Derive restriction bounds from the training data and insert Ranger.
-    inject   --in <model.json> [--trials N] [--batch N] [--workers N] [--inputs N]
-             [--backend f32|fixed16|fixed32|simd] [--bits N] [--fixed16] [--seed N]
-             [--metrics-json <path>] [--profile]
+    inject   --in <model.json> [--trials N] [--batch N] [--workers N] [--tile N|auto]
+             [--inputs N] [--backend f32|fixed16|fixed32|simd] [--bits N] [--fixed16]
+             [--seed N] [--metrics-json <path>] [--profile]
              Run a fault-injection campaign and report SDC rates. --batch N executes N
              trials per forward pass and --workers N runs trial chunks on an N-worker
              pool (identical results either way, less wall-clock per trial).
+             --tile N runs batched passes as row groups of N trials through cache-sized
+             segments of the graph (auto derives the group height from the warmed
+             shapes); pure scheduling, counts stay bit-for-bit identical.
              --backend fixed16|fixed32 runs genuine fixed-point inference and flips
              bits directly in the stored integer words (faults default to the
              backend's own word format); the default f32 backend emulates fixed-point
@@ -136,8 +139,8 @@ COMMANDS:
              --metrics-json writes the run's metrics snapshot (per-op plan timings,
              pool worker tallies, campaign latency histograms) as one line of JSON;
              --profile prints a per-op wall-time table. Neither changes any count.
-    pipeline --model <name> [--trials N] [--batch N] [--workers N] [--inputs N]
-             [--backend f32|fixed16|fixed32|simd] [--seed N] [--percentile P] [--fraction F]
+    pipeline --model <name> [--trials N] [--batch N] [--workers N] [--tile N|auto]
+             [--inputs N] [--backend f32|fixed16|fixed32|simd] [--seed N] [--percentile P] [--fraction F]
              [--policy saturate|zero|random] [--bits N] [--fixed16] [--quick]
              [--out report.json] [--metrics-json <path>] [--profile]
              Run the full profile -> protect -> inject pipeline and print the JSON report.
@@ -148,8 +151,8 @@ COMMANDS:
              chunk by chunk, checkpointing every completed chunk so a killed server
              resumes exactly where it stopped (default addr 127.0.0.1:7171).
     submit   --addr HOST:PORT (--model <name> | --in <model.json>) [--inputs N]
-             [--trials N] [--batch N] [--workers N] [--backend f32|fixed16|fixed32|simd]
-             [--bits N] [--fixed16] [--seed N]
+             [--trials N] [--batch N] [--workers N] [--tile N|auto]
+             [--backend f32|fixed16|fixed32|simd] [--bits N] [--fixed16] [--seed N]
              Submit a campaign to a running server and print its id. Submitting an
              identical spec again resumes it from its checkpoint.
     status   --addr HOST:PORT --id <campaign-id>

@@ -71,6 +71,7 @@ fn a_sigkilled_server_resumes_to_the_exact_uninterrupted_counts() {
             backend: ranger_inject::BackendKind::F32,
             fault: ranger_inject::FaultModel::single_bit_fixed32(),
             seed: 29,
+            tile: 0,
         },
     };
 

@@ -441,6 +441,7 @@ pub struct Pipeline {
     batch: Option<usize>,
     workers: Option<usize>,
     backend: Option<ranger_graph::BackendKind>,
+    tile: Option<usize>,
     inputs: usize,
     judge: JudgeSpec,
     steering_tolerance_degrees: f32,
@@ -471,6 +472,7 @@ impl Pipeline {
             batch: None,
             workers: None,
             backend: None,
+            tile: None,
             inputs: 5,
             judge: JudgeSpec::Auto,
             steering_tolerance_degrees: 60.0,
@@ -559,6 +561,18 @@ impl Pipeline {
     /// [`CampaignConfig::validate`]), keeping the flip count.
     pub fn backend(mut self, backend: ranger_graph::BackendKind) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the campaign row-group size: how many trials of each batched forward pass
+    /// the tiled scheduler executes per row group (`0` = untiled,
+    /// [`ranger_inject::TILE_AUTO`] = derive from the warmed plan's cache footprint).
+    /// Overrides [`CampaignConfig::tile`] in whatever config was (or will be) passed to
+    /// [`Pipeline::campaign`]. Any tile size produces bit-for-bit the SDC counts of the
+    /// untiled batched pass; cache-sized row groups cut batched wall-clock on
+    /// convolutional models.
+    pub fn tile(mut self, tile: usize) -> Self {
+        self.tile = Some(tile);
         self
     }
 
@@ -653,6 +667,9 @@ impl Pipeline {
             }
             if let Some(workers) = self.workers {
                 config.workers = workers;
+            }
+            if let Some(tile) = self.tile {
+                config.tile = tile;
             }
             if let Some(backend) = self.backend {
                 config.backend = backend;
@@ -970,6 +987,7 @@ mod tests {
                     backend: BackendKind::F32, // overridden by the knob below
                     fault: FaultModel::single_bit_fixed32(), // realigned by the knob below
                     seed: 29,
+                    tile: 0,
                 })
                 .backend(BackendKind::Fixed16)
                 .workers(workers)
@@ -1014,6 +1032,7 @@ mod tests {
                     backend: BackendKind::F32, // overridden by the knob below
                     fault: FaultModel::single_bit_fixed32(),
                     seed: 23,
+                    tile: 0,
                 })
                 .backend(backend)
                 .inputs(1)

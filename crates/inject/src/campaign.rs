@@ -35,7 +35,9 @@ use crate::InjectionTarget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ranger_graph::exec::{NoopInterceptor, Values};
-use ranger_graph::{default_backend, BackendKind, ExecPlan, GraphError};
+use ranger_graph::{
+    default_backend, BackendKind, ExecPlan, GraphError, TiledSchedule, DEFAULT_TILE_BUDGET_BYTES,
+};
 use ranger_runtime::{trial_stream_seed, ThreadPool};
 use ranger_tensor::stats::Proportion;
 use ranger_tensor::{DataType, Tensor};
@@ -43,7 +45,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Configuration of a fault-injection campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct CampaignConfig {
     /// Number of fault-injection trials per input.
     pub trials: usize,
@@ -67,7 +69,54 @@ pub struct CampaignConfig {
     pub fault: FaultModel,
     /// RNG seed so campaigns are reproducible.
     pub seed: u64,
+    /// How many trials of a batched pass execute per row group on the tiled scheduler.
+    /// `0` (the default) runs every batched pass untiled; `k` runs the tileable segments
+    /// of the plan over row groups of `k` trials each, so a segment's live activations
+    /// stay cache-sized instead of scaling with the whole batch; [`TILE_AUTO`] derives
+    /// the group size from the warmed plan's per-row footprint against
+    /// [`DEFAULT_TILE_BUDGET_BYTES`]. Tiling is a pure scheduling knob: every tile size
+    /// reports SDC counts bit-for-bit identical to the untiled batched pass (fault plans
+    /// stay keyed by `(input, trial)` index and the injector translates row-group
+    /// coordinates). Ignored on the per-sample path (`batch = 1`).
+    pub tile: usize,
 }
+
+// Hand-written (the vendored serde derive has no `#[serde(default)]`): configs
+// serialized before the tiled scheduler existed — persisted fingerprints, checkpoint
+// manifests — must keep deserializing, with a missing `tile` meaning untiled.
+impl serde::Deserialize for CampaignConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: serde::Deserialize>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            T::from_value(value.get_field(name).unwrap_or(&serde::Value::Null))
+                .map_err(|e| serde::Error::new(format!("CampaignConfig.{name}: {e}")))
+        }
+        if value.as_object().is_none() {
+            return Err(serde::Error::new(
+                "expected object for struct CampaignConfig",
+            ));
+        }
+        Ok(CampaignConfig {
+            trials: field(value, "trials")?,
+            batch: field(value, "batch")?,
+            workers: field(value, "workers")?,
+            backend: field(value, "backend")?,
+            fault: field(value, "fault")?,
+            seed: field(value, "seed")?,
+            tile: match value.get_field("tile") {
+                Some(_) => field(value, "tile")?,
+                None => 0,
+            },
+        })
+    }
+}
+
+/// Sentinel for [`CampaignConfig::tile`]: derive the row-group size from the warmed
+/// plan's per-row activation footprint so each segment's working set fits
+/// [`DEFAULT_TILE_BUDGET_BYTES`].
+pub const TILE_AUTO: usize = usize::MAX;
 
 impl Default for CampaignConfig {
     fn default() -> Self {
@@ -87,7 +136,55 @@ impl Default for CampaignConfig {
                 None => FaultModel::default(),
             },
             seed: 0,
+            tile: default_tile(),
         }
+    }
+}
+
+/// The default row-group size for campaign configurations: the `RANGER_TILE` environment
+/// variable if set (an empty value counts as unset), otherwise `0` (untiled).
+///
+/// Accepts a trial count (`RANGER_TILE=4`) or `auto` ([`TILE_AUTO`]). Reading the
+/// environment here — once, at configuration-default time, never inside the executors —
+/// lets a CI job sweep an entire test suite through the tiled scheduler
+/// (`RANGER_TILE=4 cargo test`) without every call site growing a knob, mirroring
+/// `RANGER_BACKEND` and `RANGER_WORKERS`.
+///
+/// # Errors
+///
+/// Returns an error if `RANGER_TILE` is set to something that is neither a number nor
+/// `auto`. A misspelled sweep must fail loudly: silently falling back to untiled would
+/// run — and report timings for — the wrong scheduler.
+pub fn try_default_tile() -> Result<usize, String> {
+    match std::env::var("RANGER_TILE") {
+        Ok(value) if !value.is_empty() => {
+            if value.eq_ignore_ascii_case("auto") {
+                Ok(TILE_AUTO)
+            } else {
+                value.parse::<usize>().map_err(|_| {
+                    format!(
+                        "invalid RANGER_TILE '{value}': expected a trials-per-row-group \
+                         count (0 disables tiling) or 'auto'"
+                    )
+                })
+            }
+        }
+        _ => Ok(0),
+    }
+}
+
+/// [`try_default_tile`], panicking on a misconfigured `RANGER_TILE`.
+///
+/// Infallible call sites (configuration `Default` impls) use this; surfaces with an
+/// error channel (the CLI) use [`try_default_tile`] and report cleanly.
+///
+/// # Panics
+///
+/// Panics if `RANGER_TILE` is set to an unrecognised value.
+pub fn default_tile() -> usize {
+    match try_default_tile() {
+        Ok(tile) => tile,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -534,6 +631,15 @@ pub struct PreparedCampaign<'a> {
     categories: Vec<String>,
     chunks: Vec<TrialChunk>,
     metrics: Option<CampaignMetrics>,
+    tiled: Option<TiledCampaign>,
+}
+
+/// The tiled-scheduler state of a prepared campaign: the segment schedule (computed once
+/// per campaign, not per pass) and the resolved row-group height every batched pass —
+/// golden and faulty — runs with.
+struct TiledCampaign {
+    schedule: TiledSchedule,
+    tile_rows: usize,
 }
 
 /// Metric handles for the campaign hot path, resolved once at preparation time so
@@ -620,14 +726,16 @@ impl<'a> PreparedCampaign<'a> {
         // Plan once onto the configured backend (an uncompilable graph errors even for
         // an empty input list, as it always has); golden and faulty passes execute on
         // the same backend, so on a fixed-point backend the whole campaign — reference
-        // outputs included — is genuine fixed-point inference. Warming with the dominant
-        // faulty-pass shape pre-sizes every arena handed out afterwards — word buffers
-        // and f32 mirrors alike on a fixed backend — so worker first passes of that
-        // shape perform no output-buffer allocations (other shapes — a heterogeneous
-        // input, the golden chunks, a short trial tail — re-size their buffers lazily;
-        // the fixed backend's softmax/concat kernels also keep small per-pass scratch,
-        // so only the f32 reference path is strictly allocation-free). A non-batchable
-        // input skips warming; the faulty passes report the real error.
+        // outputs included — is genuine fixed-point inference. Warming runs one
+        // single-row pass: that records every per-row shape (all the tiled scheduler
+        // needs — `derive_tile_rows` sizes row groups from `dims[1..]`, which a lead of
+        // 1 records exactly) at 1/batch the cost of warming with the batched feed. On
+        // LeNet at batch 64 the batched warm pass costs as much compute as a whole
+        // 64-trial campaign, which single-handedly erased batching's throughput win.
+        // The price is one allocation burst on each worker arena's first batched pass
+        // (the cold-store contract: first pass sizes, every later pass is
+        // allocation-free); that is per worker per campaign, not per chunk, and
+        // disappears against any real trial count.
         let plan = target.graph.compile_with(config.backend.backend())?;
         let categories = judge.categories();
         let metrics = CampaignMetrics::resolve();
@@ -643,18 +751,44 @@ impl<'a> PreparedCampaign<'a> {
                 categories,
                 chunks: Vec::new(),
                 metrics,
+                tiled: None,
             });
         }
-        let warm_feed = if config.batch > 1 {
-            inputs[0].repeat_batch(config.batch.min(config.trials)).ok()
+        plan.warm(&[(target.input_name, inputs[0].clone())])?;
+        // Resolve the tiled schedule after warming: TILE_AUTO sizes row groups from the
+        // warmed per-node shapes, and a plan with no tileable segment (everything behind
+        // a barrier) simply stays untiled. Tiling only reshapes batched passes, so the
+        // per-sample path ignores the knob entirely.
+        let tiled = if config.batch > 1 && config.tile != 0 {
+            let schedule = plan.tiled_schedule(&[target.output]);
+            if schedule.segments() == 0 {
+                None
+            } else {
+                let rows_per_trial = inputs[0].batch_rows().max(1);
+                let tile_trials = if config.tile == TILE_AUTO {
+                    (plan.derive_tile_rows(&schedule, DEFAULT_TILE_BUDGET_BYTES) / rows_per_trial)
+                        .max(1)
+                } else {
+                    config.tile
+                };
+                Some(TiledCampaign {
+                    schedule,
+                    tile_rows: tile_trials.saturating_mul(rows_per_trial),
+                })
+            }
         } else {
-            Some(inputs[0].clone())
+            None
         };
-        if let Some(feed) = warm_feed {
-            plan.warm(&[(target.input_name, feed)])?;
-        }
         let mut values = plan.buffers();
-        let goldens = golden_outputs(&plan, &mut values, target, inputs, config, metrics.as_ref())?;
+        let goldens = golden_outputs(
+            &plan,
+            &mut values,
+            target,
+            inputs,
+            config,
+            metrics.as_ref(),
+            tiled.as_ref(),
+        )?;
         let spaces: Vec<InjectionSpace> = inputs
             .iter()
             .map(|input| InjectionSpace::build_on(&plan, target, input))
@@ -671,6 +805,7 @@ impl<'a> PreparedCampaign<'a> {
             categories,
             chunks,
             metrics,
+            tiled,
         })
     }
 
@@ -762,9 +897,18 @@ impl<'a> PreparedCampaign<'a> {
             })?;
             let rows_per_trial = input.batch_rows();
             let mut injector = BatchFaultInjector::new(plans, space);
+            let feeds = [(self.target.input_name, feed)];
             let pass_span = self.metrics.as_ref().map(|m| m.faulty_pass_nanos.span());
-            self.plan
-                .run_into(values, &[(self.target.input_name, feed)], &mut injector)?;
+            match &self.tiled {
+                Some(tiled) => self.plan.run_tiled_into(
+                    values,
+                    &feeds,
+                    &mut injector,
+                    &tiled.schedule,
+                    tiled.tile_rows,
+                )?,
+                None => self.plan.run_into(values, &feeds, &mut injector)?,
+            }
             drop(pass_span);
             if let Some(violation) = injector.violation() {
                 return Err(CampaignError::InvalidConfig(violation.to_string()));
@@ -802,6 +946,7 @@ fn golden_outputs(
     inputs: &[Tensor],
     config: &CampaignConfig,
     metrics: Option<&CampaignMetrics>,
+    tiled: Option<&TiledCampaign>,
 ) -> Result<Vec<Tensor>, CampaignError> {
     let mut goldens: Vec<Tensor> = Vec::with_capacity(inputs.len());
     if config.batch <= 1 {
@@ -818,12 +963,18 @@ fn golden_outputs(
         let stacked = Tensor::stack_batch(chunk).map_err(|e| {
             CampaignError::InvalidConfig(format!("campaign inputs cannot be batched: {e}"))
         })?;
+        let feeds = [(target.input_name, stacked)];
         let span = metrics.map(|m| m.golden_pass_nanos.span());
-        plan.run_into(
-            values,
-            &[(target.input_name, stacked)],
-            &mut NoopInterceptor,
-        )?;
+        match tiled {
+            Some(tiled) => plan.run_tiled_into(
+                values,
+                &feeds,
+                &mut NoopInterceptor,
+                &tiled.schedule,
+                tiled.tile_rows,
+            )?,
+            None => plan.run_into(values, &feeds, &mut NoopInterceptor)?,
+        }
         drop(span);
         let output = values.get(target.output)?;
         let mut row = 0usize;
@@ -914,6 +1065,7 @@ mod tests {
             backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 21,
+            tile: 0,
         };
         let judge = ClassifierJudge::top1();
         let fast = run_campaign(&target, &inputs, &judge, &config).unwrap();
@@ -1137,13 +1289,85 @@ mod tests {
             backend: BackendKind::Fixed16,
             fault: FaultModel::single_bit_fixed16(),
             seed: 3,
+            tile: 2,
         };
         let json = serde_json::to_string(&config).unwrap();
         assert!(json.contains("\"batch\""));
         assert!(json.contains("\"workers\""));
         assert!(json.contains("\"backend\""));
+        assert!(json.contains("\"tile\""));
         let revived: CampaignConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(revived, config);
+        // Configs serialized before the tiled scheduler existed deserialize to untiled,
+        // so persisted fingerprints and checkpoints keep their meaning.
+        let legacy: CampaignConfig = serde_json::from_str(
+            &json
+                .replace(",\"tile\":2", "")
+                .replace("\"tile\":2,", "")
+                .replace("\"tile\":2", ""),
+        )
+        .unwrap();
+        assert_eq!(legacy.tile, 0);
+    }
+
+    /// The `RANGER_TILE` audit (mirroring `RANGER_BACKEND`): junk must be rejected
+    /// loudly, never silently fall back to untiled. The inject test binary has no other
+    /// reader of `RANGER_TILE`, so the temporary mutation cannot race another test; the
+    /// sweep value is restored on exit.
+    #[test]
+    fn misconfigured_ranger_tile_is_rejected_not_defaulted() {
+        let original = std::env::var("RANGER_TILE").ok();
+        std::env::set_var("RANGER_TILE", "sometimes");
+        let err = try_default_tile().unwrap_err();
+        assert!(err.contains("RANGER_TILE"), "{err}");
+        assert!(err.contains("auto"), "{err}");
+        std::env::set_var("RANGER_TILE", "4");
+        assert_eq!(try_default_tile(), Ok(4));
+        std::env::set_var("RANGER_TILE", "auto");
+        assert_eq!(try_default_tile(), Ok(TILE_AUTO));
+        std::env::set_var("RANGER_TILE", "");
+        assert_eq!(try_default_tile(), Ok(0));
+        std::env::remove_var("RANGER_TILE");
+        assert_eq!(try_default_tile(), Ok(0));
+        if let Some(value) = original {
+            std::env::set_var("RANGER_TILE", value);
+        }
+    }
+
+    /// The tiled-scheduler acceptance at the campaign level: every tile size — including
+    /// one trial per group, a non-divisor, the whole batch and the auto-derived size —
+    /// reports SDC, trial and unactivated counts bit-for-bit identical to the untiled
+    /// batched campaign (which itself matches per-sample). Runs on the default backend so
+    /// the CI `RANGER_BACKEND` sweep covers every compute path.
+    #[test]
+    fn tiled_campaign_matches_untiled_campaign_at_every_tile_size() {
+        let (graph, probs) = toy_classifier();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
+        let judge = ClassifierJudge::top1();
+        let config = |tile| CampaignConfig {
+            trials: 30,
+            batch: 16,
+            workers: 1,
+            seed: 17,
+            tile,
+            ..CampaignConfig::default()
+        };
+        let untiled = run_campaign(&target, &inputs, &judge, &config(0)).unwrap();
+        for tile in [1usize, 3, 16, TILE_AUTO] {
+            let tiled = run_campaign(&target, &inputs, &judge, &config(tile)).unwrap();
+            assert_eq!(
+                tiled.sdc_counts, untiled.sdc_counts,
+                "tile = {tile} diverged from the untiled SDC counts"
+            );
+            assert_eq!(tiled.trials, untiled.trials, "tile = {tile}");
+            assert_eq!(tiled.unactivated, untiled.unactivated, "tile = {tile}");
+        }
     }
 
     #[test]
@@ -1261,6 +1485,7 @@ mod tests {
                 backend,
                 fault,
                 seed: 23,
+                tile: 0,
             };
             let reference = run_campaign(&target, &inputs, &judge, &config(1, 1)).unwrap();
             assert_eq!(reference.trials, 60, "{backend}");
@@ -1299,6 +1524,7 @@ mod tests {
             backend: BackendKind::Fixed16,
             fault: FaultModel::single_bit_fixed16(),
             seed: 2,
+            tile: 0,
         };
         let result = run_campaign(&target, &inputs, &judge, &config).unwrap();
         assert_eq!(result.trials, 40);

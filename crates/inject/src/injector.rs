@@ -3,7 +3,7 @@
 use crate::fault::FaultModel;
 use crate::space::{InjectionSite, InjectionSpace};
 use rand::Rng;
-use ranger_graph::{Interceptor, Node, NodeId};
+use ranger_graph::{Interceptor, Node, NodeId, TileRows};
 use ranger_tensor::{DataType, QTensor, Tensor};
 
 /// One planned corruption: a site plus the bit to flip there.
@@ -107,6 +107,52 @@ impl Interceptor for FaultInjector {
             }
         }
     }
+
+    /// Tiled twin of `after_op`: the plan's element coordinates address the **full**
+    /// batched output, so each flip lands in exactly the row group that owns its
+    /// element — whatever the tile size, every planned element is flipped exactly once
+    /// per pass, which is what pins tiled and untiled passes bit-for-bit.
+    fn after_op_tile(&mut self, node: &Node, output: &mut Tensor, rows: TileRows) {
+        let per_row = output.len() / rows.rows.max(1);
+        let base = rows.row_start * per_row;
+        let full_len = per_row * rows.total_rows;
+        for flip in &self.plan {
+            if flip.site.node == node.id
+                && flip.site.element < full_len
+                && (base..base + output.len()).contains(&flip.site.element)
+            {
+                let local = flip.site.element - base;
+                let value = output.data()[local];
+                let corrupted = self.fault.datatype.flip_bit(value, flip.bit);
+                output.data_mut()[local] = corrupted;
+                self.injected.push(*flip);
+            }
+        }
+    }
+
+    /// Word-level twin of [`FaultInjector::after_op_tile`], with the datatype rule of
+    /// [`FaultInjector::after_op_words`].
+    fn after_op_words_tile(&mut self, node: &Node, output: &mut QTensor, rows: TileRows) {
+        let per_row = output.len() / rows.rows.max(1);
+        let base = rows.row_start * per_row;
+        let full_len = per_row * rows.total_rows;
+        for flip in &self.plan {
+            if flip.site.node == node.id
+                && flip.site.element < full_len
+                && (base..base + output.len()).contains(&flip.site.element)
+            {
+                let local = flip.site.element - base;
+                if self.fault.datatype == DataType::Fixed(output.spec()) {
+                    output.flip_word(local, flip.bit);
+                } else {
+                    let value = output.get_f32(local);
+                    let corrupted = self.fault.datatype.flip_bit(value, flip.bit);
+                    output.set_from_f32(local, corrupted);
+                }
+                self.injected.push(*flip);
+            }
+        }
+    }
 }
 
 /// An [`Interceptor`] that applies one [`FaultInjector`] plan per row group of a batched
@@ -130,6 +176,15 @@ pub struct BatchFaultInjector {
     trials: Vec<FaultInjector>,
     space: InjectionSpace,
     violation: Option<String>,
+    /// Every trial's planned flips as `(node index, trial, plan index)`, sorted by
+    /// node. The interceptor hooks fire once per operator — and once per (operator,
+    /// row group) under tiling — so scanning every trial's whole plan inside each
+    /// hook is O(trials × nodes × row groups) per pass; with this index a hook is a
+    /// binary search plus exactly the flips that target its operator. Sorted by
+    /// `(node, trial, plan index)`, the index visits a node's flips in the same
+    /// trial-major order the scan did, so injection order — and therefore every
+    /// count — is unchanged.
+    flips_by_node: Vec<(usize, usize, usize)>,
 }
 
 impl BatchFaultInjector {
@@ -145,11 +200,32 @@ impl BatchFaultInjector {
             !trials.is_empty(),
             "a batched injector needs at least one trial"
         );
+        let mut flips_by_node: Vec<(usize, usize, usize)> = trials
+            .iter()
+            .enumerate()
+            .flat_map(|(t, injector)| {
+                injector
+                    .plan
+                    .iter()
+                    .enumerate()
+                    .map(move |(f, flip)| (flip.site.node.index(), t, f))
+            })
+            .collect();
+        flips_by_node.sort_unstable();
         BatchFaultInjector {
             trials,
             space: space.clone(),
             violation: None,
+            flips_by_node,
         }
+    }
+
+    /// The indices into `flips_by_node` whose flips target `node`.
+    fn flips_of(&self, node: NodeId) -> std::ops::Range<usize> {
+        let idx = node.index();
+        let start = self.flips_by_node.partition_point(|&(n, _, _)| n < idx);
+        let end = start + self.flips_by_node[start..].partition_point(|&(n, _, _)| n == idx);
+        start..end
     }
 
     /// The per-trial injectors, in row-group order (borrow after the pass to read each
@@ -194,23 +270,19 @@ impl Interceptor for BatchFaultInjector {
         // The per-trial slice length is the operator's single-sample output size, as
         // recorded in the injection space the plans were sampled from (for hand-built
         // plans targeting nodes outside the space, the even split is the only guess).
-        for t in 0..self.trials.len() {
-            for f in 0..self.trials[t].plan.len() {
-                let flip = self.trials[t].plan[f];
-                if flip.site.node != node.id {
-                    continue;
-                }
-                let Some(per_trial) = self.checked_per_trial(node, output.len()) else {
-                    continue;
-                };
-                if flip.site.element < per_trial {
-                    let index = t * per_trial + flip.site.element;
-                    let injector = &mut self.trials[t];
-                    let value = output.data()[index];
-                    let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
-                    output.data_mut()[index] = corrupted;
-                    injector.injected.push(flip);
-                }
+        for k in self.flips_of(node.id) {
+            let (_, t, f) = self.flips_by_node[k];
+            let flip = self.trials[t].plan[f];
+            let Some(per_trial) = self.checked_per_trial(node, output.len()) else {
+                continue;
+            };
+            if flip.site.element < per_trial {
+                let index = t * per_trial + flip.site.element;
+                let injector = &mut self.trials[t];
+                let value = output.data()[index];
+                let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
+                output.data_mut()[index] = corrupted;
+                injector.injected.push(flip);
             }
         }
     }
@@ -220,24 +292,81 @@ impl Interceptor for BatchFaultInjector {
     /// [`FaultInjector::after_op_words`] for the datatype rule), with the same
     /// batch-scaling violation check.
     fn after_op_words(&mut self, node: &Node, output: &mut QTensor) {
-        for t in 0..self.trials.len() {
-            for f in 0..self.trials[t].plan.len() {
-                let flip = self.trials[t].plan[f];
-                if flip.site.node != node.id {
-                    continue;
+        for k in self.flips_of(node.id) {
+            let (_, t, f) = self.flips_by_node[k];
+            let flip = self.trials[t].plan[f];
+            let Some(per_trial) = self.checked_per_trial(node, output.len()) else {
+                continue;
+            };
+            if flip.site.element < per_trial {
+                let index = t * per_trial + flip.site.element;
+                let injector = &mut self.trials[t];
+                if injector.fault.datatype == DataType::Fixed(output.spec()) {
+                    output.flip_word(index, flip.bit);
+                } else {
+                    let value = output.get_f32(index);
+                    let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
+                    output.set_from_f32(index, corrupted);
                 }
-                let Some(per_trial) = self.checked_per_trial(node, output.len()) else {
-                    continue;
-                };
-                if flip.site.element < per_trial {
-                    let index = t * per_trial + flip.site.element;
+                injector.injected.push(flip);
+            }
+        }
+    }
+
+    /// Tiled twin of the batched `after_op`. Trial `t` owns elements
+    /// `[t * per_trial, (t + 1) * per_trial)` of the **full** batched output; a row
+    /// group covers the contiguous element range `[base, base + tile len)`. A planned
+    /// flip fires iff its global index falls inside the current group — row groups
+    /// partition the batch, so across the groups of one pass every flip fires exactly
+    /// once, at the same element the untiled pass would corrupt. No alignment between
+    /// tile boundaries and trial boundaries is required.
+    fn after_op_tile(&mut self, node: &Node, output: &mut Tensor, rows: TileRows) {
+        let per_row = output.len() / rows.rows.max(1);
+        let base = rows.row_start * per_row;
+        let full_len = per_row * rows.total_rows;
+        for k in self.flips_of(node.id) {
+            let (_, t, f) = self.flips_by_node[k];
+            let flip = self.trials[t].plan[f];
+            let Some(per_trial) = self.checked_per_trial(node, full_len) else {
+                continue;
+            };
+            if flip.site.element < per_trial {
+                let global = t * per_trial + flip.site.element;
+                if (base..base + output.len()).contains(&global) {
+                    let local = global - base;
+                    let injector = &mut self.trials[t];
+                    let value = output.data()[local];
+                    let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
+                    output.data_mut()[local] = corrupted;
+                    injector.injected.push(flip);
+                }
+            }
+        }
+    }
+
+    /// Word-level twin of [`BatchFaultInjector::after_op_tile`], with the datatype rule
+    /// of [`FaultInjector::after_op_words`].
+    fn after_op_words_tile(&mut self, node: &Node, output: &mut QTensor, rows: TileRows) {
+        let per_row = output.len() / rows.rows.max(1);
+        let base = rows.row_start * per_row;
+        let full_len = per_row * rows.total_rows;
+        for k in self.flips_of(node.id) {
+            let (_, t, f) = self.flips_by_node[k];
+            let flip = self.trials[t].plan[f];
+            let Some(per_trial) = self.checked_per_trial(node, full_len) else {
+                continue;
+            };
+            if flip.site.element < per_trial {
+                let global = t * per_trial + flip.site.element;
+                if (base..base + output.len()).contains(&global) {
+                    let local = global - base;
                     let injector = &mut self.trials[t];
                     if injector.fault.datatype == DataType::Fixed(output.spec()) {
-                        output.flip_word(index, flip.bit);
+                        output.flip_word(local, flip.bit);
                     } else {
-                        let value = output.get_f32(index);
+                        let value = output.get_f32(local);
                         let corrupted = injector.fault.datatype.flip_bit(value, flip.bit);
-                        output.set_from_f32(index, corrupted);
+                        output.set_from_f32(local, corrupted);
                     }
                     injector.injected.push(flip);
                 }
@@ -451,6 +580,63 @@ mod tests {
             )
             .unwrap();
             assert_eq!(values.get(y).unwrap(), &golden, "bit {bit}");
+        }
+    }
+
+    /// The tiled bit-for-bit discipline at the injector level: the same batched plans,
+    /// run through the tiled scheduler at several tile sizes (including a non-divisor
+    /// and one larger than the batch), corrupt exactly the same elements as the untiled
+    /// batched pass — on the f32 reference and on a fixed-point backend's words.
+    #[test]
+    fn batched_tiled_passes_match_untiled_at_every_tile_size() {
+        use ranger_graph::BackendKind;
+        let (graph, y) = toy();
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: y,
+            excluded: &[],
+        };
+        let input = Tensor::ones(vec![1, 3]);
+        let space = InjectionSpace::build(&target, &input).unwrap();
+        for kind in [BackendKind::F32, BackendKind::Fixed16] {
+            let fault = match kind {
+                BackendKind::Fixed16 => FaultModel {
+                    datatype: ranger_tensor::DataType::fixed16(),
+                    bits: 1,
+                },
+                _ => FaultModel::single_bit_fixed32(),
+            };
+            let mut rng = StdRng::seed_from_u64(9);
+            let trials: Vec<FaultInjector> = (0..4)
+                .map(|_| FaultInjector::plan_random(fault, &space, &mut rng))
+                .collect();
+            let plan = graph.compile_with(kind.backend()).unwrap();
+            let feeds = [("x", input.repeat_batch(4).unwrap())];
+            let mut untiled = BatchFaultInjector::new(trials.clone(), &space);
+            let golden = plan.run(&feeds, &mut untiled).unwrap();
+            let golden_out = golden.get(y).unwrap();
+            assert!(untiled.trials().iter().all(FaultInjector::fully_injected));
+
+            let schedule = plan.tiled_schedule(&[y]);
+            assert!(schedule.segments() >= 1);
+            for tile_rows in [1usize, 2, 3, 7] {
+                let mut tiled = BatchFaultInjector::new(trials.clone(), &space);
+                let mut values = plan.buffers();
+                plan.run_tiled_into(&mut values, &feeds, &mut tiled, &schedule, tile_rows)
+                    .unwrap();
+                assert!(
+                    tiled.trials().iter().all(FaultInjector::fully_injected),
+                    "{kind:?} tile_rows={tile_rows}: every flip must land exactly once"
+                );
+                assert!(tiled.violation().is_none());
+                let out = values.get(y).unwrap();
+                let (a, b): (Vec<u32>, Vec<u32>) = (
+                    golden_out.data().iter().map(|v| v.to_bits()).collect(),
+                    out.data().iter().map(|v| v.to_bits()).collect(),
+                );
+                assert_eq!(a, b, "{kind:?} tile_rows={tile_rows} diverged");
+            }
         }
     }
 

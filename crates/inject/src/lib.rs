@@ -50,6 +50,7 @@
 //!     backend: BackendKind::F32, // or Fixed16/Fixed32 for genuine fixed-point inference
 //!     fault: FaultModel::single_bit_fixed32(),
 //!     seed: 1,
+//!     tile: 2,    // run batched passes in row groups of 2 trials (0 = untiled)
 //! };
 //! let inputs = vec![Tensor::ones(vec![1, 4])];
 //! let judge = ClassifierJudge::top1();
@@ -68,8 +69,9 @@ pub mod sensitivity;
 pub mod space;
 
 pub use campaign::{
-    campaign_chunks, default_chunk_len, run_campaign, trial_rng, CampaignConfig, CampaignError,
-    CampaignResult, ChunkTally, PreparedCampaign, TrialChunk,
+    campaign_chunks, default_chunk_len, default_tile, run_campaign, trial_rng, try_default_tile,
+    CampaignConfig, CampaignError, CampaignResult, ChunkTally, PreparedCampaign, TrialChunk,
+    TILE_AUTO,
 };
 pub use fault::FaultModel;
 pub use injector::{BatchFaultInjector, FaultInjector};
@@ -83,8 +85,9 @@ pub use space::{InjectionSite, InjectionSpace};
 /// Convenience re-exports for experiment code.
 pub mod prelude {
     pub use crate::campaign::{
-        campaign_chunks, default_chunk_len, run_campaign, trial_rng, CampaignConfig, CampaignError,
-        CampaignResult, ChunkTally, PreparedCampaign, TrialChunk,
+        campaign_chunks, default_chunk_len, default_tile, run_campaign, trial_rng,
+        try_default_tile, CampaignConfig, CampaignError, CampaignResult, ChunkTally,
+        PreparedCampaign, TrialChunk, TILE_AUTO,
     };
     pub use crate::fault::FaultModel;
     pub use crate::injector::{BatchFaultInjector, FaultInjector};

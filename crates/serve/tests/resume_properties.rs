@@ -80,6 +80,7 @@ proptest! {
             backend,
             fault,
             seed,
+            tile: 0,
         };
 
         // Ground truth: the uninterrupted in-process API.

@@ -24,6 +24,7 @@ fn small_lenet_spec() -> CampaignSpec {
             backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 11,
+            tile: 0,
         },
     }
 }

@@ -174,20 +174,31 @@ pub trait SimdOp {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
-unsafe fn eval_avx512<O: SimdOp>(op: &mut O) -> O::Output {
+pub(crate) unsafe fn eval_avx512<O: SimdOp>(op: &mut O) -> O::Output {
     op.eval::<crate::vec::x86::Avx512Vec>()
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-unsafe fn eval_avx2<O: SimdOp>(op: &mut O) -> O::Output {
+pub(crate) unsafe fn eval_avx2<O: SimdOp>(op: &mut O) -> O::Output {
     op.eval::<crate::vec::x86::Avx2Vec>()
 }
 
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
-unsafe fn eval_neon<O: SimdOp>(op: &mut O) -> O::Output {
+pub(crate) unsafe fn eval_neon<O: SimdOp>(op: &mut O) -> O::Output {
     op.eval::<crate::vec::arm::NeonVec>()
+}
+
+/// The scalar rung in the same shape as the `#[target_feature]` wrappers, so the
+/// kernel-table entries (see `kernels::kernels`) monomorphize every tier uniformly.
+///
+/// # Safety
+///
+/// Trivially safe — the scalar body uses no vector instructions; the signature is
+/// `unsafe` only to match its siblings.
+pub(crate) unsafe fn eval_scalar<O: SimdOp>(op: &mut O) -> O::Output {
+    op.eval::<ScalarVec>()
 }
 
 /// Evaluates `op` on the [`active_tier`].

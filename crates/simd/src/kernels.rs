@@ -6,8 +6,9 @@
 //! `ranger-graph` — these entry points assert the slice contracts they need for memory
 //! safety and otherwise trust the caller's geometry.
 
-use crate::dispatch::{dispatch, SimdOp};
+use crate::dispatch::{SimdOp, SimdTier};
 use crate::vec::{maxps, SimdF32};
+use std::sync::OnceLock;
 
 /// Validated conv2d geometry, mirroring `ranger-graph`'s `Conv2dGeometry` (NCHW
 /// activations `(batch, cin, height, width)`, OIHW filters `(cout, cin, kh, kw)`).
@@ -56,6 +57,34 @@ unsafe fn axpy<V: SimdF32>(out: &mut [f32], x: &[f32], w: f32) {
     }
     while i < n {
         *out.get_unchecked_mut(i) += *x.get_unchecked(i) * w;
+        i += 1;
+    }
+}
+
+/// `out[j] += x[base + j * stride] * w` — the strided-input counterpart of [`axpy`],
+/// used by conv2d rows with `stride > 1`. Lanes gather their strided inputs into a
+/// stack buffer, then run the exact same splat-multiply-add as the contiguous path, so
+/// every `out[j]` still receives exactly one `+ x * w` with identical operands and
+/// rounding to the scalar walk it replaces.
+#[inline(always)]
+unsafe fn axpy_gather<V: SimdF32>(out: &mut [f32], x: &[f32], base: usize, stride: usize, w: f32) {
+    debug_assert!(V::LANES <= 16);
+    debug_assert!(out.is_empty() || base + (out.len() - 1) * stride < x.len());
+    let n = out.len();
+    let wv = V::splat(w);
+    let mut buf = [0.0f32; 16];
+    let mut i = 0;
+    while i + V::LANES <= n {
+        for (lane, slot) in buf[..V::LANES].iter_mut().enumerate() {
+            *slot = *x.get_unchecked(base + (i + lane) * stride);
+        }
+        let xv = V::load(buf.as_ptr());
+        let ov = V::load(out.as_ptr().add(i));
+        ov.add(xv.mul(wv)).store(out.as_mut_ptr().add(i));
+        i += V::LANES;
+    }
+    while i < n {
+        *out.get_unchecked_mut(i) += *x.get_unchecked(base + i * stride) * w;
         i += 1;
     }
 }
@@ -118,12 +147,17 @@ impl SimdOp for Conv2dOp<'_> {
                                         wv,
                                     );
                                 } else {
-                                    // Strided gather: keep the reference's scalar walk.
-                                    for (o, ox) in out_row[ox_min..ox_end].iter_mut().zip(ox_min..)
-                                    {
-                                        let ix = (ox * stride) as isize + kx_off;
-                                        *o += x_row[ix as usize] * wv;
-                                    }
+                                    // Strided input run: gather the lanes, then the
+                                    // same multiply-add as the contiguous path.
+                                    // `ox_min` guarantees `ox_min * stride + kx_off >= 0`.
+                                    let x_base = (ox_min * stride) as isize + kx_off;
+                                    axpy_gather::<V>(
+                                        &mut out_row[ox_min..ox_end],
+                                        x_row,
+                                        x_base as usize,
+                                        stride,
+                                        wv,
+                                    );
                                 }
                             }
                         }
@@ -145,17 +179,7 @@ impl SimdOp for Conv2dOp<'_> {
 /// Panics if the slice lengths disagree with `shape` — geometry validation belongs to
 /// the caller; these checks only guard memory safety.
 pub fn conv2d(x: &[f32], w: &[f32], shape: &Conv2dShape, out: &mut [f32]) {
-    let g = *shape;
-    assert_eq!(x.len(), g.batch * g.cin * g.height * g.width);
-    assert_eq!(w.len(), g.cout * g.cin * g.kh * g.kw);
-    assert_eq!(out.len(), g.batch * g.cout * g.out_h * g.out_w);
-    assert!(g.stride > 0, "conv2d stride must be positive");
-    dispatch(&mut Conv2dOp {
-        x,
-        w,
-        out,
-        shape: g,
-    });
+    kernels().conv2d(x, w, shape, out);
 }
 
 struct MatMulOp<'a> {
@@ -199,10 +223,7 @@ impl SimdOp for MatMulOp<'_> {
 ///
 /// Panics if the slice lengths disagree with `m`/`k`/`n`.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(out.len(), m * n);
-    dispatch(&mut MatMulOp { a, b, out, m, k, n });
+    kernels().matmul(a, b, m, k, n, out);
 }
 
 struct SoftmaxOp<'a> {
@@ -274,14 +295,138 @@ impl SimdOp for SoftmaxOp<'_> {
 ///
 /// Panics if the slice lengths disagree with `rows * row_len`.
 pub fn softmax(x: &[f32], rows: usize, row_len: usize, out: &mut [f32]) {
-    assert_eq!(x.len(), rows * row_len);
-    assert_eq!(out.len(), rows * row_len);
-    dispatch(&mut SoftmaxOp {
-        x,
-        out,
-        rows,
-        row_len,
-    });
+    kernels().softmax(x, rows, row_len, out);
+}
+
+// ---- Resolved kernel table -----------------------------------------------------------
+
+type Conv2dFn = fn(&[f32], &[f32], &Conv2dShape, &mut [f32]);
+type MatMulFn = fn(&[f32], &[f32], usize, usize, usize, &mut [f32]);
+type SoftmaxFn = fn(&[f32], usize, usize, &mut [f32]);
+
+/// The three kernel entry points resolved to one tier.
+///
+/// [`kernels`] builds this table once per process from the active tier: each entry is a
+/// monomorphic function compiled inside that tier's `#[target_feature]` wrapper, so a
+/// kernel call costs one indirect call instead of walking the tier `match` on every
+/// invocation — the per-call dispatch overhead that showed up on deep, narrow graphs
+/// where each kernel does little work. The free functions [`conv2d`], [`matmul`] and
+/// [`softmax`] call through the table; [`dispatch`](crate::dispatch::dispatch) remains
+/// the seam for custom [`SimdOp`] implementations.
+pub struct Kernels {
+    conv2d: Conv2dFn,
+    matmul: MatMulFn,
+    softmax: SoftmaxFn,
+}
+
+impl Kernels {
+    /// Tier-resolved [`conv2d`] (same contract and panics).
+    #[inline]
+    pub fn conv2d(&self, x: &[f32], w: &[f32], shape: &Conv2dShape, out: &mut [f32]) {
+        let g = *shape;
+        assert_eq!(x.len(), g.batch * g.cin * g.height * g.width);
+        assert_eq!(w.len(), g.cout * g.cin * g.kh * g.kw);
+        assert_eq!(out.len(), g.batch * g.cout * g.out_h * g.out_w);
+        assert!(g.stride > 0, "conv2d stride must be positive");
+        (self.conv2d)(x, w, shape, out);
+    }
+
+    /// Tier-resolved [`matmul`] (same contract and panics).
+    #[inline]
+    pub fn matmul(&self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), k * n);
+        assert_eq!(out.len(), m * n);
+        (self.matmul)(a, b, m, k, n, out);
+    }
+
+    /// Tier-resolved [`softmax`] (same contract and panics).
+    #[inline]
+    pub fn softmax(&self, x: &[f32], rows: usize, row_len: usize, out: &mut [f32]) {
+        assert_eq!(x.len(), rows * row_len);
+        assert_eq!(out.len(), rows * row_len);
+        (self.softmax)(x, rows, row_len, out);
+    }
+}
+
+/// Generates one tier's monomorphic entry points. The modules are private and a tier is
+/// installed into the table only after `active_tier` has verified it is executable on
+/// this CPU, so the `unsafe` blocks cannot be reached for a foreign tier.
+macro_rules! tier_entries {
+    ($name:ident, $eval:path) => {
+        mod $name {
+            use super::{Conv2dOp, Conv2dShape, MatMulOp, SoftmaxOp};
+
+            pub fn conv2d(x: &[f32], w: &[f32], shape: &Conv2dShape, out: &mut [f32]) {
+                // SAFETY: this tier was verified available before being installed.
+                unsafe {
+                    $eval(&mut Conv2dOp {
+                        x,
+                        w,
+                        out,
+                        shape: *shape,
+                    })
+                }
+            }
+
+            pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+                // SAFETY: this tier was verified available before being installed.
+                unsafe { $eval(&mut MatMulOp { a, b, out, m, k, n }) }
+            }
+
+            pub fn softmax(x: &[f32], rows: usize, row_len: usize, out: &mut [f32]) {
+                // SAFETY: this tier was verified available before being installed.
+                unsafe {
+                    $eval(&mut SoftmaxOp {
+                        x,
+                        out,
+                        rows,
+                        row_len,
+                    })
+                }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+tier_entries!(avx512_entries, crate::dispatch::eval_avx512);
+#[cfg(target_arch = "x86_64")]
+tier_entries!(avx2_entries, crate::dispatch::eval_avx2);
+#[cfg(target_arch = "aarch64")]
+tier_entries!(neon_entries, crate::dispatch::eval_neon);
+tier_entries!(scalar_entries, crate::dispatch::eval_scalar);
+
+/// The process-wide kernel table, resolved from the tier ladder exactly once — the
+/// dispatch tier cache: plans compiled against the SIMD backend reach these cached
+/// kernel fns instead of re-matching the ladder per kernel call.
+pub fn kernels() -> &'static Kernels {
+    static TABLE: OnceLock<Kernels> = OnceLock::new();
+    TABLE.get_or_init(|| match crate::dispatch::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => Kernels {
+            conv2d: avx512_entries::conv2d,
+            matmul: avx512_entries::matmul,
+            softmax: avx512_entries::softmax,
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2Fma => Kernels {
+            conv2d: avx2_entries::conv2d,
+            matmul: avx2_entries::matmul,
+            softmax: avx2_entries::softmax,
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => Kernels {
+            conv2d: neon_entries::conv2d,
+            matmul: neon_entries::matmul,
+            softmax: neon_entries::softmax,
+        },
+        _ => Kernels {
+            conv2d: scalar_entries::conv2d,
+            matmul: scalar_entries::matmul,
+            softmax: scalar_entries::softmax,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -388,6 +533,36 @@ mod tests {
                 out_h: 1,
                 out_w: 1,
             },
+            // Strided rows wide enough (out_w >= 16 lanes) that the gather path runs
+            // its vector loop on every tier, with padding exercising clamped ends.
+            Conv2dShape {
+                batch: 1,
+                cin: 2,
+                height: 5,
+                width: 67,
+                cout: 2,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                pad_h: 1,
+                pad_w: 1,
+                out_h: 3,
+                out_w: 34,
+            },
+            Conv2dShape {
+                batch: 2,
+                cin: 1,
+                height: 4,
+                width: 58,
+                cout: 2,
+                kh: 2,
+                kw: 4,
+                stride: 3,
+                pad_h: 0,
+                pad_w: 0,
+                out_h: 1,
+                out_w: 19,
+            },
         ] {
             let x = rng.fill(g.batch * g.cin * g.height * g.width);
             let w = rng.fill(g.cout * g.cin * g.kh * g.kw);
@@ -448,6 +623,31 @@ mod tests {
                 active_tier()
             );
         }
+    }
+
+    #[test]
+    fn kernel_table_matches_generic_dispatch_bit_for_bit() {
+        use crate::dispatch::dispatch;
+        let mut rng = Bits(55);
+        let (m, k, n) = (3, 5, 17);
+        let a = rng.fill(m * k);
+        let b = rng.fill(k * n);
+        let mut table_out = vec![0.0f32; m * n];
+        matmul(&a, &b, m, k, n, &mut table_out);
+        let mut dispatch_out = vec![0.0f32; m * n];
+        dispatch(&mut MatMulOp {
+            a: &a,
+            b: &b,
+            out: &mut dispatch_out,
+            m,
+            k,
+            n,
+        });
+        assert_eq!(
+            bits(&table_out),
+            bits(&dispatch_out),
+            "the resolved table must evaluate on the same tier as generic dispatch"
+        );
     }
 
     #[test]

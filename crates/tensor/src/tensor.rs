@@ -502,6 +502,29 @@ impl Tensor {
         Ok(())
     }
 
+    /// Appends the rows of `src` to this tensor along the leading (batch) dimension:
+    /// `[n, d...]` followed by `[m, d...]` becomes `[n + m, d...]`. Within reserved
+    /// capacity the append reuses the backing allocation, which is how tiled execution
+    /// materializes a full-batch value from row-group outputs without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if either tensor is rank 0 or the trailing
+    /// dimensions disagree; the tensor is left unchanged.
+    pub fn push_rows(&mut self, src: &Tensor) -> Result<(), TensorError> {
+        let (d, s) = (self.dims(), src.dims());
+        if d.is_empty() || s.is_empty() || d[1..] != s[1..] {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: src.shape.clone(),
+            });
+        }
+        let lead = d[0] + s[0];
+        self.data.extend_from_slice(&src.data);
+        self.shape.set_lead(lead);
+        Ok(())
+    }
+
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
         for v in &mut self.data {
@@ -876,6 +899,22 @@ mod tests {
         assert_eq!(row.dims(), &[1, 2]);
         assert_eq!(row.data(), &[3.0, 4.0]);
         assert_eq!(row.data().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn push_rows_appends_within_capacity_and_validates_trailing_dims() {
+        let full = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut out = Tensor::with_capacity_for(&[3, 2]);
+        let ptr = out.data().as_ptr();
+        out.reset_from_slice(&[1, 2], &full.data()[..2]).unwrap();
+        out.push_rows(&full.slice_rows(1, 2).unwrap()).unwrap();
+        assert_eq!(out, full);
+        // The appends fit within the reserved capacity: the buffer never moved.
+        assert_eq!(out.data().as_ptr(), ptr);
+        // Mismatched trailing dims and rank-0 operands leave the tensor unchanged.
+        assert!(out.push_rows(&Tensor::zeros(vec![1, 3])).is_err());
+        assert!(out.push_rows(&Tensor::scalar(1.0)).is_err());
+        assert_eq!(out, full);
     }
 
     #[test]

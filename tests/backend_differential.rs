@@ -169,7 +169,7 @@ proptest! {
         width in 1usize..11,
         cout in 1usize..5,
         kernel in 1usize..4,
-        stride in 1usize..3,
+        stride in 1usize..5,
         same_pad in 0u8..2,
         seed in 0u64..u64::MAX,
     ) {
@@ -275,6 +275,33 @@ proptest! {
             Tolerance::Bits,
             &context,
         );
+    }
+}
+
+/// The gathered strided-conv path, pinned deterministically at widths that push the
+/// vectorized output row past the widest lane count the dispatcher can pick (16 on
+/// AVX-512) *and* leave a scalar tail: every stride the gather kernel serves (2, 3, 4)
+/// stays bit-exact on full-range operands, with both `Same` padding (negative `kx_off`,
+/// clamped `ox` ranges) and `Valid` padding (dense runs). The proptest above samples
+/// this geometry; this test guarantees the deep-vector-body cases run on every CI box.
+#[test]
+fn simd_strided_conv_gather_path_is_bit_exact_across_lane_widths() {
+    for stride in [2usize, 3, 4] {
+        for (width, padding) in [
+            (77, Padding::Same),
+            (77, Padding::Valid),
+            (64, Padding::Same),
+            (39, Padding::Valid),
+        ] {
+            let context = format!("strided conv gather stride {stride} width {width} {padding:?}");
+            let mut gen = FullRangeF32::new(0xC0FFEE ^ (stride as u64) << 8 ^ width as u64);
+            let mut g = Graph::new();
+            let x = g.add_input("x");
+            let w = g.add_const("w", gen.tensor(vec![3, 2, 3, 3]), true);
+            let conv = g.add_node("conv", Op::Conv2d { stride, padding }, vec![x, w]);
+            let feeds = [("x", gen.tensor(vec![2, 2, 9, width]))];
+            assert_backends_match(&g, &feeds, &[conv], Tolerance::Bits, &context);
+        }
     }
 }
 

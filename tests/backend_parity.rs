@@ -264,6 +264,7 @@ fn campaign_counts_are_bit_for_bit_across_workers_and_batch_on_every_backend() {
                 backend,
                 fault,
                 seed: 31,
+                tile: 0,
             };
             let reference = run_campaign(&target, &inputs, judge.as_ref(), &config(1, 1)).unwrap();
             assert_eq!(reference.trials, 16, "{kind} on {backend}");

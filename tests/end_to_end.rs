@@ -77,6 +77,7 @@ fn campaign(
         backend: BackendKind::F32,
         fault: FaultModel::single_bit_fixed32(),
         seed,
+        tile: 0,
     };
     run_campaign(&target, inputs, &ClassifierJudge::top1(), &config).expect("campaign succeeds")
 }
@@ -177,6 +178,7 @@ fn ranger_protects_the_steering_model_and_preserves_regression_accuracy() {
         backend: BackendKind::F32,
         fault: FaultModel::single_bit_fixed32(),
         seed: 5,
+        tile: 0,
     };
     let target_orig = InjectionTarget {
         graph: &model.graph,
@@ -219,6 +221,7 @@ fn fixed16_campaign_also_benefits_from_ranger() {
             backend,
             fault: FaultModel::single_bit_fixed16(),
             seed: 9,
+            tile: 0,
         };
         let run = |m: &Model| {
             let target = InjectionTarget {
@@ -252,6 +255,7 @@ fn multi_bit_faults_are_still_mitigated() {
             backend: BackendKind::F32,
             fault: FaultModel::multi_bit_fixed32(bits),
             seed: 13 + bits as u64,
+            tile: 0,
         };
         let run = |m: &Model| {
             let target = InjectionTarget {
@@ -351,6 +355,7 @@ fn pipeline_end_to_end_reduces_sdc_and_keeps_overhead_low() {
             backend: BackendKind::F32,
             fault: FaultModel::single_bit_fixed32(),
             seed: 3,
+            tile: 0,
         })
         .inputs(3)
         .run()

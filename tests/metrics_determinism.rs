@@ -3,10 +3,11 @@
 //! count.
 //!
 //! The pin runs the same LeNet campaign twice — registry off, then registry on — for
-//! every (workers × batch × backend) combination the campaign driver dispatches over,
-//! and requires the tallies to be **bit-for-bit** identical. A second assertion block
-//! checks the flip side: the metrics-on runs really did record (per-op plan timings,
-//! campaign histograms, trial counts), so the equality above is not vacuous.
+//! every (workers × batch × tile × backend) combination the campaign driver dispatches
+//! over, and requires the tallies to be **bit-for-bit** identical. A second assertion
+//! block checks the flip side: the metrics-on runs really did record (per-op plan
+//! timings, row-group scheduler counters, campaign histograms, trial counts), so the
+//! equality above is not vacuous.
 //!
 //! The enable flag is process-global, so this file keeps everything in one `#[test]`
 //! (the same discipline as the graph and runtime metric tests) and restores the flag
@@ -37,31 +38,35 @@ fn sdc_counts_are_bit_for_bit_identical_with_metrics_on_and_off() {
     ] {
         for workers in [1usize, 4] {
             for batch in [1usize, 16] {
-                let config = CampaignConfig {
-                    trials: 16,
-                    batch,
-                    workers,
-                    backend,
-                    fault,
-                    seed: 31,
-                };
-                ranger_obs::set_enabled(false);
-                let off = run_campaign(&target, &inputs, &judge, &config).unwrap();
-                ranger_obs::set_enabled(true);
-                let on = run_campaign(&target, &inputs, &judge, &config).unwrap();
-                let grid = format!("backend {backend}, workers {workers}, batch {batch}");
-                assert_eq!(
-                    off.sdc_counts, on.sdc_counts,
-                    "metrics moved the SDC counts on {grid}"
-                );
-                assert_eq!(
-                    off.unactivated, on.unactivated,
-                    "metrics moved the unactivated tally on {grid}"
-                );
-                assert_eq!(
-                    off.trials, on.trials,
-                    "metrics moved the trial count on {grid}"
-                );
+                for tile in [0usize, 4] {
+                    let config = CampaignConfig {
+                        trials: 16,
+                        batch,
+                        workers,
+                        backend,
+                        fault,
+                        seed: 31,
+                        tile,
+                    };
+                    ranger_obs::set_enabled(false);
+                    let off = run_campaign(&target, &inputs, &judge, &config).unwrap();
+                    ranger_obs::set_enabled(true);
+                    let on = run_campaign(&target, &inputs, &judge, &config).unwrap();
+                    let grid =
+                        format!("backend {backend}, workers {workers}, batch {batch}, tile {tile}");
+                    assert_eq!(
+                        off.sdc_counts, on.sdc_counts,
+                        "metrics moved the SDC counts on {grid}"
+                    );
+                    assert_eq!(
+                        off.unactivated, on.unactivated,
+                        "metrics moved the unactivated tally on {grid}"
+                    );
+                    assert_eq!(
+                        off.trials, on.trials,
+                        "metrics moved the trial count on {grid}"
+                    );
+                }
             }
         }
     }
@@ -79,6 +84,11 @@ fn sdc_counts_are_bit_for_bit_identical_with_metrics_on_and_off() {
     assert!(
         snapshot.histogram("campaign.faulty_pass_nanos").is_some(),
         "the enabled runs must have a faulty-pass latency histogram"
+    );
+    assert!(
+        snapshot.counter("plan.tile.segments").unwrap_or(0) > 0
+            && snapshot.counter("plan.tile.rows").unwrap_or(0) > 0,
+        "the enabled tiled runs must have published row-group scheduler counters"
     );
     ranger_obs::set_enabled(was_enabled);
 }
