@@ -399,6 +399,7 @@ pub fn dispatch(command: &str, options: &Options) -> Result<String, CliError> {
         "info" => info(options),
         "serve" => crate::serve_commands::serve(options),
         "submit" => crate::serve_commands::submit(options),
+        "work" => crate::serve_commands::work(options),
         "status" => crate::serve_commands::status(options),
         "stream" => crate::serve_commands::stream(options),
         "cancel" => crate::serve_commands::cancel(options),

@@ -154,7 +154,16 @@ COMMANDS:
              [--trials N] [--batch N] [--workers N] [--tile N|auto]
              [--backend f32|fixed16|fixed32|simd] [--bits N] [--fixed16] [--seed N]
              Submit a campaign to a running server and print its id. Submitting an
-             identical spec again resumes it from its checkpoint.
+             identical spec again resumes it from its checkpoint. With --remote the
+             server coordinates instead of executing: it leases chunk ranges to
+             'work' processes and merge-verifies the records they push back.
+    work     --addr HOST:PORT --id <campaign-id> [--name <worker>] [--lease-ms N]
+             [--claim N] [--poll-ms N]
+             Join a --remote campaign as a worker host: claim an exclusive lease over
+             a chunk range, execute it locally, push the records back and repeat.
+             Leases expire after --lease-ms without renewal (pushes renew; default
+             30000 or $RANGER_LEASE_MS), so a killed worker's range is re-leased to
+             the survivors and the merged counts stay bit-for-bit identical.
     status   --addr HOST:PORT --id <campaign-id>
              Print a submitted campaign's progress: chunks done/total (and how many
              were resumed from checkpoint), trials/sec and running SDC tallies.

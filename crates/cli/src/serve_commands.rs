@@ -9,7 +9,10 @@
 use crate::commands::{parse_backend_and_datatype, parse_model_name, parse_tile};
 use crate::{CliError, Options};
 use ranger_inject::{CampaignConfig, CampaignResult, FaultModel};
-use ranger_serve::{CampaignEvent, CampaignServer, CampaignSpec, Client, ModelSpec};
+use ranger_serve::{
+    default_lease_ms, CampaignEvent, CampaignServer, CampaignSpec, Client, ModelSpec, WorkEvent,
+    WorkOptions,
+};
 use std::io::Write;
 
 /// The address used when `--addr` is not given.
@@ -76,18 +79,74 @@ fn client_for(options: &Options) -> Client {
     Client::new(options.get("addr").unwrap_or(DEFAULT_ADDR))
 }
 
-/// `ranger-cli submit`: submits (or resumes) a campaign and prints its id.
+/// `ranger-cli submit`: submits (or resumes) a campaign and prints its id. With
+/// `--remote` the server only coordinates: it leases chunk ranges to `work` processes
+/// and merges the records they push back, executing nothing itself.
 pub fn submit(options: &Options) -> Result<String, CliError> {
     let spec = spec_from_options(options)?;
-    let submitted = client_for(options).submit(&spec)?;
+    let addr = options.get("addr").unwrap_or(DEFAULT_ADDR);
+    let client = client_for(options);
+    if options.has_flag("remote") {
+        let submitted = client.submit_remote(&spec)?;
+        return Ok(format!(
+            "submitted remote campaign {} ({} chunks, {} resumed from checkpoint)\n\
+             execute it with: ranger-cli work --addr {} --id {}",
+            submitted.id, submitted.total_chunks, submitted.resumed_chunks, addr, submitted.id
+        ));
+    }
+    let submitted = client.submit(&spec)?;
     Ok(format!(
         "submitted campaign {} ({} chunks, {} resumed from checkpoint)\nfollow it with: ranger-cli stream --addr {} --id {}",
         submitted.id,
         submitted.total_chunks,
         submitted.resumed_chunks,
-        options.get("addr").unwrap_or(DEFAULT_ADDR),
+        addr,
         submitted.id
     ))
+}
+
+/// `ranger-cli work`: joins a coordinated campaign as a worker host — claims chunk
+/// ranges, executes them locally, pushes the records back and repeats until the
+/// campaign reaches a terminal state.
+pub fn work(options: &Options) -> Result<String, CliError> {
+    let addr = options.get("addr").unwrap_or(DEFAULT_ADDR);
+    let id = options.require("id")?;
+    let defaults = WorkOptions::default();
+    let work_options = WorkOptions {
+        worker: options
+            .get("name")
+            .map(str::to_string)
+            .unwrap_or(defaults.worker),
+        ttl_ms: options.get_parsed("lease-ms", default_lease_ms())?,
+        claim_chunks: options.get_parsed("claim", defaults.claim_chunks)?,
+        poll_ms: options.get_parsed("poll-ms", defaults.poll_ms)?,
+    };
+    let report = ranger_serve::work(addr, id, &work_options, |event| {
+        println!("{}", render_work_event(event));
+        let _ = std::io::stdout().flush();
+    })?;
+    Ok(format!(
+        "worker {} finished: campaign {} is {} ({} chunks / {} trials executed here)",
+        work_options.worker,
+        report.id,
+        report.final_state,
+        report.chunks_executed,
+        report.trials_executed
+    ))
+}
+
+/// One human-readable line per worker event.
+fn render_work_event(event: &WorkEvent) -> String {
+    match event {
+        WorkEvent::Claimed { start, end, token } => {
+            format!("claimed chunks {start}..{end} (lease token {token})")
+        }
+        WorkEvent::Pushed { index } => format!("pushed chunk {index}"),
+        WorkEvent::LeaseLost { token, reason } => {
+            format!("lease {token} lost ({reason}); reclaiming")
+        }
+        WorkEvent::Waiting { retry_ms } => format!("no free chunks; retrying in {retry_ms}ms"),
+    }
 }
 
 /// `ranger-cli status`: prints a campaign's progress summary.

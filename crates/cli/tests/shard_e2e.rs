@@ -1,0 +1,202 @@
+//! The sharded kill-and-resume smoke test: a real coordinator process leases chunk
+//! ranges to two real `ranger-cli work` processes; one worker is SIGKILLed
+//! mid-campaign and a ghost lease is left to expire; the survivor absorbs every
+//! re-leased range and the merged counts are bit-for-bit the uninterrupted
+//! in-process run's.
+
+use ranger_serve::{CampaignSpec, ClaimOutcome, Client, ModelSpec};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ranger-cli-shard-e2e-{}-{name}",
+        std::process::id()
+    ))
+}
+
+/// Starts `ranger-cli serve` on an ephemeral port (same helper as serve_e2e).
+fn start_server(checkpoints: &Path) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let stderr = std::fs::File::create(checkpoints.with_extension("server-stderr.log"))
+        .expect("stderr log file");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ranger-cli"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--checkpoints",
+            checkpoints.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(stderr)
+        .spawn()
+        .expect("serve process starts");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("server announces its address");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected announcement: {line}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+/// Starts a real `ranger-cli work` process with its output captured to log files, so
+/// a chatty worker can never block on a full pipe.
+fn start_worker(addr: &str, id: &str, name: &str, logs: &Path) -> Child {
+    let stdout = std::fs::File::create(logs.join(format!("{name}.log"))).expect("worker log");
+    let stderr = std::fs::File::create(logs.join(format!("{name}.err"))).expect("worker err log");
+    Command::new(env!("CARGO_BIN_EXE_ranger-cli"))
+        .args([
+            "work",
+            "--addr",
+            addr,
+            "--id",
+            id,
+            "--name",
+            name,
+            "--lease-ms",
+            "1000",
+            "--claim",
+            "1",
+            "--poll-ms",
+            "50",
+        ])
+        .stdout(Stdio::from(stdout))
+        .stderr(Stdio::from(stderr))
+        .spawn()
+        .expect("work process starts")
+}
+
+fn wait_until<F: FnMut() -> bool>(mut ready: F, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn a_sigkilled_worker_is_re_leased_and_the_survivor_finishes_exactly() {
+    let checkpoints = tmp_dir("kill-worker");
+    let _ = std::fs::remove_dir_all(&checkpoints);
+    std::fs::create_dir_all(&checkpoints).unwrap();
+
+    // A partition wide enough that the kill and the expiry both land mid-flight.
+    let spec = CampaignSpec {
+        model: ModelSpec::Kind {
+            name: "lenet".to_string(),
+        },
+        inputs: 2,
+        config: ranger_inject::CampaignConfig {
+            trials: 60,
+            batch: 1,
+            workers: 2,
+            backend: ranger_inject::BackendKind::F32,
+            fault: ranger_inject::FaultModel::single_bit_fixed32(),
+            seed: 53,
+            tile: 0,
+        },
+    };
+
+    // Ground truth: the same campaign, unsharded, through the in-process API.
+    let materialized = spec.materialize().unwrap();
+    let reference = ranger_inject::run_campaign(
+        &materialized.target(),
+        &materialized.inputs,
+        materialized.judge.as_ref(),
+        &materialized.config,
+    )
+    .unwrap();
+
+    let (mut server, addr, _stdout) = start_server(&checkpoints);
+    let client = Client::new(addr.clone());
+    let submitted = client.submit_remote(&spec).unwrap();
+    assert_eq!(submitted.resumed_chunks, 0);
+    assert!(submitted.total_chunks >= 4, "need room for two workers");
+
+    // A ghost worker claims the first two chunks with a short TTL and vanishes
+    // without ever pushing or renewing: a deterministic dead-worker lease that MUST
+    // expire and be re-leased for the campaign to finish at all.
+    let ghost = match client
+        .claim_range(&submitted.id, "ghost", 600, 0, 2)
+        .unwrap()
+    {
+        ClaimOutcome::Granted(grant) => grant,
+        other => panic!("the ghost claim must be granted, got {other:?}"),
+    };
+    assert_eq!((ghost.start, ghost.end), (0, 2));
+
+    // Two real worker processes join and start executing.
+    let mut worker_a = start_worker(&addr, &submitted.id, "worker-a", &checkpoints);
+    let mut worker_b = start_worker(&addr, &submitted.id, "worker-b", &checkpoints);
+
+    // SIGKILL one worker as soon as the fleet has made real progress; whatever lease
+    // it held at that moment dies with it and must expire back into the pool.
+    wait_until(
+        || {
+            client
+                .status(&submitted.id)
+                .map(|s| s.done_chunks >= 1)
+                .unwrap_or(false)
+        },
+        "the first remotely-executed chunk to land",
+    );
+    worker_a.kill().expect("SIGKILL delivered to worker-a");
+    let _ = worker_a.wait();
+
+    // The survivor alone must finish the campaign: the ghost's range and the killed
+    // worker's range both expire and are re-leased to it.
+    wait_until(
+        || {
+            client
+                .status(&submitted.id)
+                .map(|s| s.state == "done")
+                .unwrap_or(false)
+        },
+        "the surviving worker to finish the campaign",
+    );
+
+    // Bit-for-bit parity with the unsharded run.
+    let status = client.status(&submitted.id).unwrap();
+    assert_eq!(status.done_chunks, status.total_chunks);
+    assert_eq!(status.trials_done, reference.trials);
+    assert_eq!(
+        status.sdc_counts, reference.sdc_counts,
+        "a sharded campaign that lost a worker must still merge the exact counts"
+    );
+
+    // The expiry was observable: at least the ghost's lease was reaped.
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.contains("serve.leases.expired"),
+        "the coordinator must count reaped leases, got: {metrics}"
+    );
+
+    // The terminal state ends the survivor's work loop on its own.
+    let exit = worker_b.wait().expect("worker-b exits after done");
+    assert!(exit.success(), "work must exit cleanly, got {exit:?}");
+    let log = std::fs::read_to_string(checkpoints.join("worker-b.log")).unwrap();
+    assert!(
+        log.contains("is done"),
+        "the worker reports the terminal state, got:\n{log}"
+    );
+
+    // Resubmitting the identical spec finds the whole campaign durable.
+    let resubmitted = client.submit_remote(&spec).unwrap();
+    assert_eq!(resubmitted.id, submitted.id);
+    assert_eq!(resubmitted.resumed_chunks, resubmitted.total_chunks);
+
+    client.shutdown().unwrap();
+    let exit = server.wait().expect("server exits after shutdown");
+    assert!(exit.success(), "serve must exit cleanly, got {exit:?}");
+
+    let _ = std::fs::remove_dir_all(&checkpoints);
+}

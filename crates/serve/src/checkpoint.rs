@@ -41,6 +41,53 @@ pub struct ChunkRecord {
     pub tally: ChunkTally,
 }
 
+impl ChunkRecord {
+    /// The merge-verify pass: checks this record's geometry and tally shape against the
+    /// campaign's canonical partition before it is trusted.
+    ///
+    /// A record is acceptable only if its chunk index exists in the partition, its
+    /// `(input, start, len)` geometry is byte-identical to the partition's chunk at
+    /// that index, its tally carries exactly `categories` SDC counters, and its trial
+    /// count equals the chunk length. The local driver runs this over resumed records;
+    /// the sharding coordinator runs it over every record a remote worker pushes —
+    /// a fingerprint match proves the *campaign* is the same, this proves the *record*
+    /// actually belongs to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Corrupt`] naming the first mismatch.
+    pub fn verify_against(
+        &self,
+        chunks: &[TrialChunk],
+        categories: usize,
+    ) -> Result<(), ServeError> {
+        let expected = chunks.get(self.chunk.index);
+        if expected != Some(&self.chunk) {
+            return Err(ServeError::Corrupt(format!(
+                "checkpoint record for chunk {} has geometry {:?} but the campaign \
+                 partition expects {:?}",
+                self.chunk.index, self.chunk, expected
+            )));
+        }
+        if self.tally.sdc_counts.len() != categories {
+            return Err(ServeError::Corrupt(format!(
+                "checkpoint record for chunk {} carries {} SDC counters but the \
+                 campaign judges {categories} categories",
+                self.chunk.index,
+                self.tally.sdc_counts.len()
+            )));
+        }
+        if self.tally.trials != self.chunk.len as u64 {
+            return Err(ServeError::Corrupt(format!(
+                "checkpoint record for chunk {} tallies {} trials but the chunk spans \
+                 {} trials",
+                self.chunk.index, self.tally.trials, self.chunk.len
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// An open checkpoint file: the already-completed records plus an append handle.
 #[derive(Debug)]
 pub struct CheckpointStore {
@@ -331,6 +378,83 @@ mod tests {
             "got {err:?}"
         );
         assert!(err.to_string().contains("aaaa"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The canonical 4-chunk partition the merge-verify tests pretend to run: one
+    /// input, trials 0..32 in 8-trial chunks, one judge category.
+    fn partition() -> Vec<TrialChunk> {
+        (0..4)
+            .map(|index| TrialChunk {
+                index,
+                input: 0,
+                start: index * 8,
+                len: 8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_verify_accepts_a_faithful_record() {
+        let chunks = partition();
+        record(2, 8).verify_against(&chunks, 1).unwrap();
+    }
+
+    #[test]
+    fn merge_verify_refuses_a_wrong_chunk_index() {
+        let chunks = partition();
+        // Index past the partition: nothing to merge it into.
+        let err = record(9, 8).verify_against(&chunks, 1).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("geometry"), "{err}");
+
+        // Index inside the partition but geometry lifted from another chunk — a record
+        // relabeled to fill a different slot must not pass.
+        let mut forged = record(1, 8);
+        forged.chunk.index = 3;
+        let err = forged.verify_against(&chunks, 1).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn merge_verify_refuses_a_truncated_tally() {
+        let chunks = partition();
+        // Arity: the tally must carry one counter per judge category.
+        let mut truncated = record(1, 8);
+        truncated.tally.sdc_counts.clear();
+        let err = truncated.verify_against(&chunks, 1).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("SDC counters"), "{err}");
+
+        // Trial count: a tally over fewer trials than the chunk spans is partial work
+        // masquerading as a completed chunk.
+        let mut short = record(1, 8);
+        short.tally.trials = 5;
+        let err = short.verify_against(&chunks, 1).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("trials"), "{err}");
+    }
+
+    #[test]
+    fn merge_verify_rejections_never_reach_the_store() {
+        // The coordinator's contract: verify first, append second. Model it directly —
+        // a record that fails verification must leave the durable file byte-identical.
+        let path = tmp("merge-verify");
+        let _ = std::fs::remove_file(&path);
+        let chunks = partition();
+        let mut store = CheckpointStore::open(&path, "f00d").unwrap();
+        store.append(&record(0, 8)).unwrap();
+        let bytes_before = std::fs::metadata(&path).unwrap().len();
+
+        let mut forged = record(1, 8);
+        forged.tally.sdc_counts.clear();
+        assert!(forged.verify_against(&chunks, 1).is_err());
+        // (the caller refuses to append on a verify error; nothing to do here)
+
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes_before);
+        drop(store);
+        let store = CheckpointStore::open(&path, "f00d").unwrap();
+        assert_eq!(store.len(), 1, "only the faithful record is durable");
         let _ = std::fs::remove_file(&path);
     }
 

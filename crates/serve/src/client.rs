@@ -5,6 +5,8 @@
 //! delivers each event to a callback until the server sends the terminal
 //! [`Response::End`] line.
 
+use crate::checkpoint::ChunkRecord;
+use crate::lease::LeaseGrant;
 use crate::protocol::{Request, Response, StatusInfo};
 use crate::sink::CampaignEvent;
 use crate::spec::CampaignSpec;
@@ -21,6 +23,21 @@ pub struct Submitted {
     pub total_chunks: usize,
     /// Work units recovered from an earlier run's checkpoint.
     pub resumed_chunks: usize,
+}
+
+/// What a claim attempt came back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// A lease was granted over a chunk range.
+    Granted(LeaseGrant),
+    /// No chunk is free right now. While `state` is `"running"` the worker should
+    /// retry after `retry_ms`; any other state is terminal for the worker.
+    NoWork {
+        /// The campaign's lifecycle state label.
+        state: String,
+        /// Suggested delay before the next claim attempt.
+        retry_ms: u64,
+    },
 }
 
 /// A blocking campaign-service client addressing one server.
@@ -56,6 +73,150 @@ impl Client {
                 total_chunks,
                 resumed_chunks,
             }),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Submits (or resumes) a campaign for **coordination only**: the server leases
+    /// chunk ranges to worker hosts and merges their records instead of executing the
+    /// campaign itself. Pair with [`Client::claim`]/[`Client::push`] loops on the
+    /// workers (the CLI's `work` command).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn submit_remote(&self, spec: &CampaignSpec) -> Result<Submitted, ServeError> {
+        match self.round_trip(&Request::SubmitRemote { spec: spec.clone() })? {
+            (
+                Response::Submitted {
+                    id,
+                    total_chunks,
+                    resumed_chunks,
+                },
+                _,
+            ) => Ok(Submitted {
+                id,
+                total_chunks,
+                resumed_chunks,
+            }),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the spec of a coordinated campaign, so a joining worker can materialize
+    /// the identical campaign locally and verify its fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn spec(&self, id: &str) -> Result<CampaignSpec, ServeError> {
+        match self.round_trip(&Request::Spec { id: id.to_string() })? {
+            (Response::Spec { spec }, _) => Ok(spec),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Claims an exclusive lease over the next free contiguous chunk range (up to
+    /// `max_chunks` chunks, valid for `ttl_ms` without renewal).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Lease`] carries the coordinator's typed refusal; otherwise see
+    /// [`Client::submit`].
+    pub fn claim(
+        &self,
+        id: &str,
+        worker: &str,
+        ttl_ms: u64,
+        max_chunks: usize,
+    ) -> Result<ClaimOutcome, ServeError> {
+        self.claim_request(Request::Claim {
+            id: id.to_string(),
+            worker: worker.to_string(),
+            ttl_ms,
+            max_chunks,
+            range: None,
+        })
+    }
+
+    /// Claims an explicit `[start, end)` chunk range.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::claim`]; overlap with a live lease or a completed chunk comes
+    /// back as [`ServeError::Lease`].
+    pub fn claim_range(
+        &self,
+        id: &str,
+        worker: &str,
+        ttl_ms: u64,
+        start: usize,
+        end: usize,
+    ) -> Result<ClaimOutcome, ServeError> {
+        self.claim_request(Request::Claim {
+            id: id.to_string(),
+            worker: worker.to_string(),
+            ttl_ms,
+            max_chunks: end.saturating_sub(start),
+            range: Some((start, end)),
+        })
+    }
+
+    fn claim_request(&self, request: Request) -> Result<ClaimOutcome, ServeError> {
+        match self.round_trip(&request)? {
+            (Response::Leased { grant }, _) => Ok(ClaimOutcome::Granted(grant)),
+            (Response::NoWork { state, retry_ms }, _) => {
+                Ok(ClaimOutcome::NoWork { state, retry_ms })
+            }
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Extends a live lease's deadline, returning the refreshed grant.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::claim`].
+    pub fn renew(&self, id: &str, token: u64, ttl_ms: u64) -> Result<LeaseGrant, ServeError> {
+        match self.round_trip(&Request::Renew {
+            id: id.to_string(),
+            token,
+            ttl_ms,
+        })? {
+            (Response::Leased { grant }, _) => Ok(grant),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Gives up a live lease, freeing its unfinished chunks for other workers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::claim`].
+    pub fn release(&self, id: &str, token: u64) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Release {
+            id: id.to_string(),
+            token,
+        })? {
+            (Response::Ok, _) => Ok(()),
+            (other, _) => Err(unexpected(other)),
+        }
+    }
+
+    /// Ships one completed-chunk record to the coordinator, which merge-verifies it,
+    /// appends it durably and renews the lease.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::claim`]; a rejected record surfaces the coordinator's error
+    /// message as [`ServeError::Protocol`] (corruption) or [`ServeError::Lease`].
+    pub fn push(&self, id: &str, token: u64, record: &ChunkRecord) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Push {
+            id: id.to_string(),
+            token,
+            record: record.clone(),
+        })? {
+            (Response::Ok, _) => Ok(()),
             (other, _) => Err(unexpected(other)),
         }
     }
@@ -159,10 +320,11 @@ impl Client {
             ));
         }
         let response: Response = serde_json::from_str(response_line.trim())?;
-        if let Response::Error { message } = response {
-            return Err(ServeError::Protocol(message));
+        match response {
+            Response::Error { message } => Err(ServeError::Protocol(message)),
+            Response::LeaseDenied { error } => Err(ServeError::Lease(error)),
+            response => Ok((response, reader)),
         }
-        Ok((response, reader))
     }
 }
 

@@ -60,16 +60,11 @@ pub fn drive(
     sink: &mut dyn CampaignSink,
 ) -> Result<DriveOutcome, ServeError> {
     let chunks = prepared.chunks();
-    // Trust no record until its geometry matches the canonical partition exactly.
+    // Trust no record until it passes the same merge-verify pass the sharding
+    // coordinator applies to remote records: geometry and tally shape must match the
+    // canonical partition exactly.
     for record in store.completed().values() {
-        let expected = chunks.get(record.chunk.index);
-        if expected != Some(&record.chunk) {
-            return Err(ServeError::Corrupt(format!(
-                "checkpoint record for chunk {} has geometry {:?} but the campaign \
-                 partition expects {:?}",
-                record.chunk.index, record.chunk, expected
-            )));
-        }
+        record.verify_against(chunks, prepared.categories().len())?;
     }
 
     let trials_total = (prepared.config().trials * prepared.num_inputs()) as u64;

@@ -18,6 +18,12 @@
 //! * [`server`] / [`client`] — a front end on [`std::net::TcpListener`] speaking
 //!   line-delimited JSON (submit / status / stream / cancel), with a matching blocking
 //!   client used by the CLI.
+//! * [`lease`] / [`coordinator`] / [`worker`] — the multi-host sharding layer: the
+//!   server can coordinate a campaign instead of running it, leasing exclusive chunk
+//!   ranges to worker hosts with expiring, renewable tokens and merge-verifying every
+//!   record they push back before it reaches the durable store. Because fault plans
+//!   are keyed by `(input, trial)` index, ANY partition of the chunk space across any
+//!   number of hosts reproduces the single-host counts bit for bit.
 //!
 //! Everything is plain `std` plus the workspace's vendored serde: no async runtime, no
 //! external services. Campaign identity doubles as the wire-level id, so re-submitting a
@@ -27,21 +33,29 @@
 
 pub mod checkpoint;
 pub mod client;
+pub mod coordinator;
 pub mod driver;
 pub mod fingerprint;
+pub mod lease;
 pub mod protocol;
 pub mod server;
 pub mod sink;
 pub mod spec;
+pub mod worker;
 
 pub use checkpoint::{CheckpointStore, ChunkRecord, CHECKPOINT_VERSION};
-pub use client::{Client, Submitted};
+pub use client::{ClaimOutcome, Client, Submitted};
+pub use coordinator::Coordinator;
 pub use driver::{drive, DriveOutcome};
 pub use fingerprint::campaign_fingerprint;
+pub use lease::{LeaseError, LeaseGrant, LeaseTable, TouchOutcome, MAX_LEASE_MS};
 pub use protocol::{Request, Response, StatusInfo};
 pub use server::CampaignServer;
 pub use sink::{CampaignEvent, CampaignSink, CollectSink, NullSink, SinkFlow};
 pub use spec::{CampaignSpec, MaterializedCampaign, ModelSpec, SavedModel};
+pub use worker::{
+    default_lease_ms, run_sharded, work, ShardOptions, WorkEvent, WorkOptions, WorkReport,
+};
 
 use std::fmt;
 
@@ -68,6 +82,9 @@ pub enum ServeError {
     Protocol(String),
     /// A campaign specification could not be materialized into a runnable campaign.
     Spec(String),
+    /// A lease operation was refused — the typed reason a coordinator (or its client)
+    /// reports for claim/renew/release/push refusals.
+    Lease(lease::LeaseError),
 }
 
 impl fmt::Display for ServeError {
@@ -85,6 +102,7 @@ impl fmt::Display for ServeError {
             ServeError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Spec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            ServeError::Lease(e) => write!(f, "lease refused: {e}"),
         }
     }
 }
@@ -95,6 +113,7 @@ impl std::error::Error for ServeError {
             ServeError::Campaign(e) => Some(e),
             ServeError::Io(e) => Some(e),
             ServeError::Json(e) => Some(e),
+            ServeError::Lease(e) => Some(e),
             _ => None,
         }
     }
@@ -115,5 +134,11 @@ impl From<std::io::Error> for ServeError {
 impl From<serde_json::Error> for ServeError {
     fn from(e: serde_json::Error) -> Self {
         ServeError::Json(e)
+    }
+}
+
+impl From<lease::LeaseError> for ServeError {
+    fn from(e: lease::LeaseError) -> Self {
+        ServeError::Lease(e)
     }
 }

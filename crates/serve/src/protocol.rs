@@ -11,12 +11,16 @@
 //! so submitting the same spec twice — or to a restarted server — addresses the same
 //! campaign and resumes its checkpoint instead of starting over.
 
+use crate::checkpoint::ChunkRecord;
+use crate::lease::{LeaseError, LeaseGrant};
 use crate::sink::CampaignEvent;
 use crate::spec::CampaignSpec;
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol; bumped on incompatible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the sharding surface: `SubmitRemote`, `Spec` and the lease
+/// lifecycle (`Claim` / `Renew` / `Release` / `Push`).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client request, one JSON line per connection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,6 +29,62 @@ pub enum Request {
     Submit {
         /// The complete campaign description.
         spec: CampaignSpec,
+    },
+    /// Submit a campaign for **coordination only**: the server runs no forward passes
+    /// itself — it leases chunk ranges to worker hosts (`Claim`), merge-verifies the
+    /// records they `Push` back, and owns the durable checkpoint. Resubmitting the
+    /// same spec re-addresses (or, after a restart, resumes) the same campaign.
+    SubmitRemote {
+        /// The complete campaign description.
+        spec: CampaignSpec,
+    },
+    /// Fetch the spec of a coordinated campaign, so a joining worker can materialize
+    /// the identical campaign and verify its fingerprint before claiming work.
+    Spec {
+        /// The campaign id returned by submit.
+        id: String,
+    },
+    /// Claim an exclusive lease over the next free contiguous chunk range (or an
+    /// explicit range) of a coordinated campaign.
+    Claim {
+        /// The campaign id returned by submit.
+        id: String,
+        /// The claiming worker's name (diagnostic; the returned token is the secret).
+        worker: String,
+        /// Milliseconds the lease stays valid without a renewal or push.
+        ttl_ms: u64,
+        /// Most chunks the worker wants in one lease.
+        max_chunks: usize,
+        /// An explicit `(start, end)` chunk range to claim instead of the next free
+        /// run (used by tests and schedulers that pre-partition the chunk space).
+        range: Option<(usize, usize)>,
+    },
+    /// Extend a live lease's deadline.
+    Renew {
+        /// The campaign id the lease belongs to.
+        id: String,
+        /// The lease token from the grant.
+        token: u64,
+        /// Milliseconds the lease stays valid from now.
+        ttl_ms: u64,
+    },
+    /// Give up a live lease, freeing its unfinished chunks for other workers.
+    Release {
+        /// The campaign id the lease belongs to.
+        id: String,
+        /// The lease token from the grant.
+        token: u64,
+    },
+    /// Ship one completed-chunk record to the coordinator. The record is
+    /// merge-verified against the campaign's canonical partition, durably appended,
+    /// and the lease's deadline is renewed.
+    Push {
+        /// The campaign id the record belongs to.
+        id: String,
+        /// The lease token covering the record's chunk.
+        token: u64,
+        /// The completed chunk and its tally.
+        record: ChunkRecord,
     },
     /// Ask for a campaign's current progress.
     Status {
@@ -102,6 +162,31 @@ pub enum Response {
         /// The snapshot JSON document.
         snapshot: String,
     },
+    /// The spec of a coordinated campaign, answering [`Request::Spec`].
+    Spec {
+        /// The campaign description, exactly as submitted.
+        spec: CampaignSpec,
+    },
+    /// A lease was granted (or renewed): the worker's exclusive chunk range.
+    Leased {
+        /// The grant — token, range and TTL.
+        grant: LeaseGrant,
+    },
+    /// No chunk is free to lease right now. `state` reports the campaign's lifecycle
+    /// state: while `"running"`, everything pending is out on live leases and the
+    /// worker should retry after `retry_ms`; any other state means the worker is done
+    /// here.
+    NoWork {
+        /// The campaign's lifecycle state label.
+        state: String,
+        /// Suggested delay before the next claim attempt.
+        retry_ms: u64,
+    },
+    /// A lease operation was refused; the precise, typed reason.
+    LeaseDenied {
+        /// Why the coordinator refused.
+        error: LeaseError,
+    },
     /// The request was understood and performed; nothing further to report.
     Ok,
     /// The request failed; the message says why.
@@ -140,6 +225,58 @@ mod tests {
             },
             Request::Metrics,
             Request::Shutdown,
+            Request::SubmitRemote {
+                spec: CampaignSpec {
+                    model: ModelSpec::Kind {
+                        name: "lenet".to_string(),
+                    },
+                    inputs: 2,
+                    config: CampaignConfig::default(),
+                },
+            },
+            Request::Spec {
+                id: "abc123".to_string(),
+            },
+            Request::Claim {
+                id: "abc123".to_string(),
+                worker: "host-1".to_string(),
+                ttl_ms: 30_000,
+                max_chunks: 4,
+                range: None,
+            },
+            Request::Claim {
+                id: "abc123".to_string(),
+                worker: "host-1".to_string(),
+                ttl_ms: 30_000,
+                max_chunks: 4,
+                range: Some((3, 7)),
+            },
+            Request::Renew {
+                id: "abc123".to_string(),
+                token: 9,
+                ttl_ms: 30_000,
+            },
+            Request::Release {
+                id: "abc123".to_string(),
+                token: 9,
+            },
+            Request::Push {
+                id: "abc123".to_string(),
+                token: 9,
+                record: ChunkRecord {
+                    chunk: ranger_inject::TrialChunk {
+                        index: 3,
+                        input: 1,
+                        start: 8,
+                        len: 4,
+                    },
+                    tally: ranger_inject::ChunkTally {
+                        sdc_counts: vec![1],
+                        trials: 4,
+                        unactivated: 2,
+                    },
+                },
+            },
         ];
         for request in requests {
             let line = serde_json::to_string(&request).unwrap();
@@ -179,6 +316,35 @@ mod tests {
             Response::Ok,
             Response::Error {
                 message: "no such campaign".to_string(),
+            },
+            Response::Spec {
+                spec: CampaignSpec {
+                    model: ModelSpec::Kind {
+                        name: "lenet".to_string(),
+                    },
+                    inputs: 2,
+                    config: CampaignConfig::default(),
+                },
+            },
+            Response::Leased {
+                grant: LeaseGrant {
+                    token: 9,
+                    worker: "host-1".to_string(),
+                    start: 3,
+                    end: 7,
+                    ttl_ms: 30_000,
+                },
+            },
+            Response::NoWork {
+                state: "running".to_string(),
+                retry_ms: 250,
+            },
+            Response::LeaseDenied {
+                error: LeaseError::AlreadyLeased {
+                    start: 0,
+                    end: 4,
+                    holder: "host-2".to_string(),
+                },
             },
         ];
         for response in responses {

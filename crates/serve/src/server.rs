@@ -11,7 +11,10 @@
 //! The server is deliberately boring: blocking I/O, `std` threads, no async runtime —
 //! campaign forward passes dominate any realistic workload by orders of magnitude.
 
+use crate::checkpoint::ChunkRecord;
+use crate::coordinator::Coordinator;
 use crate::driver::{drive, DriveOutcome};
+use crate::lease::LeaseError;
 use crate::protocol::{Request, Response, StatusInfo};
 use crate::sink::{CampaignEvent, CampaignSink, SinkFlow};
 use crate::spec::{CampaignSpec, MaterializedCampaign};
@@ -24,6 +27,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// A campaign's lifecycle state as exposed over the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,12 +68,21 @@ struct Progress {
     cumulative: Option<CampaignResult>,
 }
 
+/// The coordination state of a campaign submitted with [`Request::SubmitRemote`]:
+/// the lease/merge coordinator plus the spec joining workers fetch.
+struct RemoteCampaign {
+    coordinator: Mutex<Coordinator>,
+    spec: CampaignSpec,
+}
+
 /// One campaign registered with the server.
 struct CampaignHandle {
     id: String,
     cancel: AtomicBool,
     progress: Mutex<Progress>,
     changed: Condvar,
+    /// `Some` for coordinated (sharded) campaigns; `None` for locally-driven ones.
+    remote: Option<RemoteCampaign>,
 }
 
 impl CampaignHandle {
@@ -107,6 +120,9 @@ impl CampaignHandle {
 
     fn finish(&self, state: RunState) {
         let mut progress = self.progress.lock().expect("progress lock poisoned");
+        if progress.state != RunState::Running {
+            return; // idempotent: coordinated campaigns can race cancel vs final push
+        }
         progress.state = state;
         progress.finished = Some(std::time::Instant::now());
         self.changed.notify_all();
@@ -272,6 +288,12 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     };
     observe_request(match request {
         Request::Submit { .. } => "submit",
+        Request::SubmitRemote { .. } => "submit_remote",
+        Request::Spec { .. } => "spec",
+        Request::Claim { .. } => "claim",
+        Request::Renew { .. } => "renew",
+        Request::Release { .. } => "release",
+        Request::Push { .. } => "push",
         Request::Status { .. } => "status",
         Request::Stream { .. } => "stream",
         Request::Cancel { .. } => "cancel",
@@ -286,6 +308,84 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
                     message: e.to_string(),
                 },
             };
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::SubmitRemote { spec } => {
+            let response = match submit_remote(state, spec) {
+                Ok(response) => response,
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            };
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Spec { id } => {
+            let response = match lookup(state, &id) {
+                Some(handle) => match &handle.remote {
+                    Some(remote) => Response::Spec {
+                        spec: remote.spec.clone(),
+                    },
+                    None => lease_denied(LeaseError::NotRemote { id }),
+                },
+                None => unknown_campaign(&id),
+            };
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Claim {
+            id,
+            worker,
+            ttl_ms,
+            max_chunks,
+            range,
+        } => {
+            let response = with_coordinator(state, &id, |handle, coordinator| {
+                let now = Instant::now();
+                match range {
+                    Some((start, end)) => {
+                        match coordinator.claim_range(&worker, start, end, ttl_ms, now) {
+                            Ok(grant) => Response::Leased { grant },
+                            Err(error) => lease_denied(error),
+                        }
+                    }
+                    None => match coordinator.claim(&worker, max_chunks, ttl_ms, now) {
+                        Some(grant) => Response::Leased { grant },
+                        None => {
+                            let state_label = handle
+                                .progress
+                                .lock()
+                                .expect("progress lock poisoned")
+                                .state
+                                .label();
+                            Response::NoWork {
+                                state: state_label,
+                                retry_ms: CLAIM_RETRY_MS,
+                            }
+                        }
+                    },
+                }
+            });
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Renew { id, token, ttl_ms } => {
+            let response = with_coordinator(state, &id, |_handle, coordinator| {
+                match coordinator.renew(token, ttl_ms, Instant::now()) {
+                    Ok(grant) => Response::Leased { grant },
+                    Err(error) => lease_denied(error),
+                }
+            });
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Release { id, token } => {
+            let response = with_coordinator(state, &id, |_handle, coordinator| {
+                match coordinator.release(token, Instant::now()) {
+                    Ok(()) => Response::Ok,
+                    Err(error) => lease_denied(error),
+                }
+            });
+            let _ = write_line(&mut writer, &response);
+        }
+        Request::Push { id, token, record } => {
+            let response = push_record(state, &id, token, record);
             let _ = write_line(&mut writer, &response);
         }
         Request::Status { id } => {
@@ -305,6 +405,17 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             let response = match lookup(state, &id) {
                 Some(handle) => {
                     handle.cancel.store(true, Ordering::SeqCst);
+                    if let Some(remote) = &handle.remote {
+                        // No local driver thread will observe the flag: stop the
+                        // coordinator (claims start answering NoWork) and record the
+                        // terminal state here.
+                        remote
+                            .coordinator
+                            .lock()
+                            .expect("coordinator lock poisoned")
+                            .stop();
+                        handle.finish(RunState::Cancelled);
+                    }
                     handle.changed.notify_all();
                     Response::Ok
                 }
@@ -353,6 +464,156 @@ fn lookup(state: &ServerState, id: &str) -> Option<Arc<CampaignHandle>> {
 fn unknown_campaign(id: &str) -> Response {
     Response::Error {
         message: format!("no campaign with id {id} on this server"),
+    }
+}
+
+/// Delay a worker should wait before re-polling a campaign whose pending chunks are
+/// all out on live leases.
+const CLAIM_RETRY_MS: u64 = 250;
+
+fn lease_denied(error: LeaseError) -> Response {
+    Response::LeaseDenied { error }
+}
+
+/// Looks up a coordinated campaign and runs `f` with its coordinator locked. Unknown
+/// ids and locally-driven campaigns answer with the matching typed lease refusal.
+fn with_coordinator(
+    state: &ServerState,
+    id: &str,
+    f: impl FnOnce(&CampaignHandle, &mut Coordinator) -> Response,
+) -> Response {
+    let Some(handle) = lookup(state, id) else {
+        return lease_denied(LeaseError::UnknownCampaign { id: id.to_string() });
+    };
+    let Some(remote) = &handle.remote else {
+        return lease_denied(LeaseError::NotRemote { id: id.to_string() });
+    };
+    let mut coordinator = remote
+        .coordinator
+        .lock()
+        .expect("coordinator lock poisoned");
+    f(&handle, &mut coordinator)
+}
+
+/// Registers a campaign for coordination: the server leases its chunks out and merges
+/// pushed records, running no forward passes of its own.
+///
+/// Mirrors [`submit`]'s idempotency: a running coordinated campaign is re-addressed
+/// without touching its checkpoint; anything else (re)opens the store, replays the
+/// durable prefix as resumed chunks, and — if the store already covers the whole
+/// campaign — finishes immediately.
+fn submit_remote(state: &Arc<ServerState>, spec: CampaignSpec) -> Result<Response, ServeError> {
+    let materialized = spec.materialize()?;
+    let id = materialized.fingerprint()?;
+    let chunks = ranger_inject::campaign_chunks(
+        &materialized.config,
+        materialized.inputs.len(),
+        ranger_inject::default_chunk_len(&materialized.config),
+    );
+    let total_chunks = chunks.len();
+
+    let mut campaigns = state.campaigns.lock().expect("campaign registry poisoned");
+    if let Some(existing) = campaigns.get(&id) {
+        let progress = existing.progress.lock().expect("progress lock poisoned");
+        if progress.state == RunState::Running {
+            // Already coordinated (or locally running): point the worker fleet at it.
+            // The live owner holds the checkpoint; never reopen it here.
+            return Ok(Response::Submitted {
+                id,
+                total_chunks,
+                resumed_chunks: progress.resumed_chunks,
+            });
+        }
+    }
+    let store = CheckpointStore::open(&state.checkpoint_dir.join(format!("{id}.jsonl")), &id)?;
+    let categories = materialized.judge.categories();
+    let trials_total = (materialized.config.trials * materialized.inputs.len()) as u64;
+    let coordinator = Coordinator::new(store, chunks, categories, trials_total)?;
+    let resumed_chunks = coordinator.resumed_chunks();
+    let handle = Arc::new(CampaignHandle {
+        id: id.clone(),
+        cancel: AtomicBool::new(false),
+        progress: Mutex::new(Progress {
+            state: RunState::Running,
+            events: Vec::new(),
+            total_chunks,
+            resumed_chunks,
+            trials_total,
+            done_chunks: 0,
+            resumed_trials: 0,
+            started: std::time::Instant::now(),
+            finished: None,
+            categories: Vec::new(),
+            cumulative: None,
+        }),
+        changed: Condvar::new(),
+        remote: Some(RemoteCampaign {
+            coordinator: Mutex::new(coordinator),
+            spec,
+        }),
+    });
+    campaigns.insert(id.clone(), Arc::clone(&handle));
+    drop(campaigns);
+    ranger_obs::registry()
+        .gauge("serve.active_campaigns")
+        .add(1);
+
+    // Replay the resumed prefix into the event log now, so streamers and status see
+    // the same opening sequence a local drive produces.
+    let remote = handle.remote.as_ref().expect("just constructed as remote");
+    let mut coordinator = remote
+        .coordinator
+        .lock()
+        .expect("coordinator lock poisoned");
+    let mut sink = ServerSink {
+        handle: Arc::clone(&handle),
+    };
+    coordinator.begin(&mut sink);
+    let done = coordinator.is_done();
+    drop(coordinator);
+    if done {
+        handle.finish(RunState::Done);
+    }
+    Ok(Response::Submitted {
+        id,
+        total_chunks,
+        resumed_chunks,
+    })
+}
+
+/// Absorbs one pushed record into a coordinated campaign, finishing the campaign when
+/// its last chunk lands.
+fn push_record(state: &Arc<ServerState>, id: &str, token: u64, record: ChunkRecord) -> Response {
+    let Some(handle) = lookup(state, id) else {
+        return lease_denied(LeaseError::UnknownCampaign { id: id.to_string() });
+    };
+    let Some(remote) = &handle.remote else {
+        return lease_denied(LeaseError::NotRemote { id: id.to_string() });
+    };
+    let mut coordinator = remote
+        .coordinator
+        .lock()
+        .expect("coordinator lock poisoned");
+    let mut sink = ServerSink {
+        handle: Arc::clone(&handle),
+    };
+    let result = coordinator.absorb(id, token, record, Instant::now(), &mut sink);
+    let done = coordinator.is_done();
+    let stopped = coordinator.is_stopped();
+    drop(coordinator);
+    match result {
+        Ok(()) => {
+            if done {
+                handle.finish(RunState::Done);
+            } else if stopped {
+                handle.finish(RunState::Cancelled);
+            }
+            Response::Ok
+        }
+        Err(ServeError::Lease(error)) => lease_denied(error),
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        },
     }
 }
 
@@ -407,6 +668,7 @@ fn submit(state: &Arc<ServerState>, spec: CampaignSpec) -> Result<Response, Serv
             cumulative: None,
         }),
         changed: Condvar::new(),
+        remote: None,
     });
     campaigns.insert(id.clone(), Arc::clone(&handle));
     drop(campaigns);

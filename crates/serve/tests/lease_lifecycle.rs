@@ -1,0 +1,371 @@
+//! Lease-lifecycle fault injection against the coordinator, on a fake clock.
+//!
+//! Every [`Coordinator`] method takes `now: Instant`, so these tests drive the full
+//! dead-worker story deterministically — no sleeps, no wall-clock flake: a worker
+//! claims a range and vanishes; after its TTL the range is observably re-leased to a
+//! survivor; the survivor completes it; the merged counts equal the unsharded
+//! reference exactly. Alongside, the refusal matrix is pinned variant-by-variant:
+//! double-claims, stale releases and renewals of a re-leased range, pushes with dead
+//! tokens, pushes addressed to the wrong campaign, and corrupt records — none of
+//! which may leave a byte in the durable store.
+
+use rand::{rngs::StdRng, SeedableRng};
+use ranger_graph::{Graph, GraphBuilder, NodeId};
+use ranger_inject::{
+    run_campaign, CampaignConfig, ClassifierJudge, InjectionTarget, PreparedCampaign, SdcJudge,
+};
+use ranger_serve::{
+    campaign_fingerprint, CheckpointStore, ChunkRecord, CollectSink, Coordinator, LeaseError,
+    NullSink, ServeError,
+};
+use ranger_tensor::Tensor;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn toy_classifier(seed: u64) -> (Graph, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let h = b.dense(x, 6, 10, &mut rng);
+    let h = b.relu(h);
+    let y = b.dense(h, 10, 4, &mut rng);
+    let probs = b.softmax(y);
+    (b.into_graph(), probs)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ranger-serve-lease-{}-{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// A campaign small enough to hand-execute: 2 inputs × 8 trials in 4-trial chunks
+/// gives 4 chunks. Returns everything a test needs to play coordinator and workers.
+struct Rig<'a> {
+    prepared: PreparedCampaign<'a>,
+    reference: ranger_inject::CampaignResult,
+    fingerprint: String,
+    path: PathBuf,
+}
+
+fn target(graph: &Graph, probs: NodeId) -> InjectionTarget<'_> {
+    InjectionTarget {
+        graph,
+        input_name: "x",
+        output: probs,
+        excluded: &[],
+    }
+}
+
+fn rig<'a>(
+    target: &'a InjectionTarget<'a>,
+    inputs: &'a [Tensor],
+    judge: &'a ClassifierJudge,
+    name: &str,
+) -> Rig<'a> {
+    let config = CampaignConfig {
+        trials: 8,
+        batch: 1,
+        workers: 1,
+        seed: 99,
+        tile: 0,
+        ..CampaignConfig::default()
+    };
+    let reference = run_campaign(target, inputs, judge, &config).unwrap();
+    let prepared = PreparedCampaign::with_chunk_len(target, inputs, judge, &config, 4).unwrap();
+    let fingerprint =
+        campaign_fingerprint(target, inputs, &config, &judge.categories(), 4).unwrap();
+    let path = tmp(name);
+    let _ = std::fs::remove_file(&path);
+    Rig {
+        prepared,
+        reference,
+        fingerprint,
+        path,
+    }
+}
+
+fn coordinator(rig: &Rig<'_>) -> Coordinator {
+    let store = CheckpointStore::open(&rig.path, &rig.fingerprint).unwrap();
+    let trials_total = rig.reference.trials;
+    Coordinator::new(
+        store,
+        rig.prepared.chunks().to_vec(),
+        rig.prepared.categories().to_vec(),
+        trials_total,
+    )
+    .unwrap()
+}
+
+/// Executes chunk `index` exactly as a worker host would and returns its record.
+fn execute(rig: &Rig<'_>, index: usize) -> ChunkRecord {
+    let chunk = rig.prepared.chunks()[index];
+    let mut values = rig.prepared.buffers();
+    let tally = rig.prepared.run_chunk(&mut values, chunk).unwrap();
+    ChunkRecord { chunk, tally }
+}
+
+/// The tentpole lifecycle: a worker claims a range and dies; after the TTL the range
+/// is re-leased to a survivor; the survivor finishes; the merged counts are exactly
+/// the unsharded reference.
+#[test]
+fn a_dead_workers_range_is_re_leased_and_the_survivor_finishes_exactly() {
+    let (graph, probs) = toy_classifier(7);
+    let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.4)];
+    let judge = ClassifierJudge::top1();
+    let target = target(&graph, probs);
+    let rig = rig(&target, &inputs, &judge, "dead-worker");
+    let mut coord = coordinator(&rig);
+    let total = coord.total_chunks();
+    let t0 = Instant::now();
+    let mut sink = CollectSink::new();
+    coord.begin(&mut sink);
+
+    // The doomed worker claims the first two chunks with a 1s TTL and vanishes.
+    let doomed = coord.claim("doomed", 2, 1_000, t0).unwrap();
+    assert_eq!((doomed.start, doomed.end), (0, 2));
+
+    // A survivor claims the rest and completes it while the doomed lease is live.
+    let survivor = coord.claim("survivor", total, 1_000, t0).unwrap();
+    assert_eq!((survivor.start, survivor.end), (2, total));
+    for index in survivor.start..survivor.end {
+        let record = execute(&rig, index);
+        coord
+            .absorb(&rig.fingerprint, survivor.token, record, t0, &mut sink)
+            .unwrap();
+    }
+
+    // Nothing else is free while the doomed lease is live...
+    assert!(coord.claim("survivor", total, 1_000, t0).is_none());
+    assert!(!coord.is_done());
+
+    // ...but past the deadline the range is observably re-leased to the survivor,
+    let after = t0 + Duration::from_millis(1_500);
+    let release = coord.claim("survivor", total, 1_000, after).unwrap();
+    assert_eq!((release.start, release.end), (0, 2));
+    assert_ne!(
+        release.token, doomed.token,
+        "a re-lease mints a fresh token"
+    );
+
+    // ...who completes it, closing the campaign with the exact reference counts.
+    for index in release.start..release.end {
+        let record = execute(&rig, index);
+        coord
+            .absorb(&rig.fingerprint, release.token, record, after, &mut sink)
+            .unwrap();
+    }
+    assert!(coord.is_done());
+    assert_eq!(coord.cumulative(), &rig.reference);
+
+    let _ = std::fs::remove_file(&rig.path);
+}
+
+/// Claiming a range overlapping a live lease is refused with the pinned variant, and
+/// the refusal names the holder.
+#[test]
+fn double_claim_of_a_live_lease_is_refused() {
+    let (graph, probs) = toy_classifier(11);
+    let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.4)];
+    let judge = ClassifierJudge::top1();
+    let target = target(&graph, probs);
+    let rig = rig(&target, &inputs, &judge, "double-claim");
+    let mut coord = coordinator(&rig);
+    let t0 = Instant::now();
+
+    let first = coord.claim_range("alice", 0, 2, 1_000, t0).unwrap();
+    let err = coord.claim_range("bob", 1, 3, 1_000, t0).unwrap_err();
+    match err {
+        LeaseError::AlreadyLeased { start, end, holder } => {
+            assert_eq!((start, end), (first.start, first.end));
+            assert_eq!(holder, "alice");
+        }
+        other => panic!("expected AlreadyLeased, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_file(&rig.path);
+}
+
+/// A stale worker coming back after its range was re-leased: its late release and
+/// renewal are refused with the pinned `Expired` variant, and the fresh lease's
+/// deadline is untouched by the stale traffic.
+#[test]
+fn a_stale_workers_late_release_and_renew_are_refused() {
+    let (graph, probs) = toy_classifier(13);
+    let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.4)];
+    let judge = ClassifierJudge::top1();
+    let target = target(&graph, probs);
+    let rig = rig(&target, &inputs, &judge, "stale-release");
+    let mut coord = coordinator(&rig);
+    let t0 = Instant::now();
+
+    let stale = coord.claim_range("ghost", 0, 2, 500, t0).unwrap();
+    let after = t0 + Duration::from_millis(900);
+    let fresh = coord.claim_range("heir", 0, 2, 10_000, after).unwrap();
+    assert_ne!(fresh.token, stale.token);
+
+    // The ghost's release must NOT free the heir's live lease out from under it.
+    match coord.release(stale.token, after).unwrap_err() {
+        LeaseError::Expired { token } => assert_eq!(token, stale.token),
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    match coord.renew(stale.token, 10_000, after).unwrap_err() {
+        LeaseError::Expired { token } => assert_eq!(token, stale.token),
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    // A token the table never minted is Stale, not Expired.
+    match coord
+        .release(stale.token + fresh.token + 100, after)
+        .unwrap_err()
+    {
+        LeaseError::Stale { .. } => {}
+        other => panic!("expected Stale, got {other:?}"),
+    }
+    // The heir's lease survived all of it.
+    assert!(coord.claim_range("bob", 0, 2, 1_000, after).is_err());
+    coord.release(fresh.token, after).unwrap();
+
+    let _ = std::fs::remove_file(&rig.path);
+}
+
+/// A push addressed to a different campaign's fingerprint is refused before any other
+/// gate, and the store stays byte-for-byte untouched.
+#[test]
+fn a_push_for_the_wrong_campaign_is_refused_and_never_stored() {
+    let (graph, probs) = toy_classifier(17);
+    let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.4)];
+    let judge = ClassifierJudge::top1();
+    let target = target(&graph, probs);
+    let rig = rig(&target, &inputs, &judge, "wrong-fingerprint");
+    let mut coord = coordinator(&rig);
+    let t0 = Instant::now();
+
+    let grant = coord.claim_range("alice", 0, 1, 1_000, t0).unwrap();
+    let record = execute(&rig, 0);
+    let err = coord
+        .absorb(
+            "0000000000000000deadbeefdeadbeef",
+            grant.token,
+            record,
+            t0,
+            &mut NullSink,
+        )
+        .unwrap_err();
+    match err {
+        ServeError::FingerprintMismatch { expected, found } => {
+            assert_eq!(expected, rig.fingerprint);
+            assert_eq!(found, "0000000000000000deadbeefdeadbeef");
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    drop(coord);
+    let store = CheckpointStore::open(&rig.path, &rig.fingerprint).unwrap();
+    assert_eq!(store.len(), 0, "a refused push must never reach the store");
+
+    let _ = std::fs::remove_file(&rig.path);
+}
+
+/// A push whose token does not cover the record's chunk — and a push carrying a
+/// corrupt record — are refused with typed errors and leave the store empty.
+#[test]
+fn out_of_lease_and_corrupt_pushes_are_refused_and_never_stored() {
+    let (graph, probs) = toy_classifier(19);
+    let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.4)];
+    let judge = ClassifierJudge::top1();
+    let target = target(&graph, probs);
+    let rig = rig(&target, &inputs, &judge, "bad-pushes");
+    let mut coord = coordinator(&rig);
+    let t0 = Instant::now();
+
+    let grant = coord.claim_range("alice", 0, 2, 1_000, t0).unwrap();
+
+    // Chunk 3 is outside alice's 0..2 lease.
+    let outside = execute(&rig, 3);
+    match coord
+        .absorb(&rig.fingerprint, grant.token, outside, t0, &mut NullSink)
+        .unwrap_err()
+    {
+        ServeError::Lease(LeaseError::NotLeased { index, token }) => {
+            assert_eq!(index, 3);
+            assert_eq!(token, grant.token);
+        }
+        other => panic!("expected Lease(NotLeased), got {other:?}"),
+    }
+
+    // A truncated tally fails merge-verify even under a valid lease.
+    let mut corrupt = execute(&rig, 0);
+    corrupt.tally.sdc_counts.clear();
+    match coord
+        .absorb(&rig.fingerprint, grant.token, corrupt, t0, &mut NullSink)
+        .unwrap_err()
+    {
+        ServeError::Corrupt(message) => {
+            assert!(message.contains("SDC counters"), "got: {message}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    drop(coord);
+    let store = CheckpointStore::open(&rig.path, &rig.fingerprint).unwrap();
+    assert_eq!(store.len(), 0, "refused pushes must never reach the store");
+
+    let _ = std::fs::remove_file(&rig.path);
+}
+
+/// A worker retrying a push whose response was lost is answered idempotently; a
+/// different record for the same chunk is a hard corruption error.
+#[test]
+fn duplicate_pushes_are_idempotent_but_disagreements_are_corruption() {
+    let (graph, probs) = toy_classifier(23);
+    let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.4)];
+    let judge = ClassifierJudge::top1();
+    let target = target(&graph, probs);
+    let rig = rig(&target, &inputs, &judge, "duplicate");
+    let mut coord = coordinator(&rig);
+    let t0 = Instant::now();
+
+    let grant = coord.claim_range("alice", 0, 1, 1_000, t0).unwrap();
+    let record = execute(&rig, 0);
+    coord
+        .absorb(
+            &rig.fingerprint,
+            grant.token,
+            record.clone(),
+            t0,
+            &mut NullSink,
+        )
+        .unwrap();
+    // The identical record again — even with a dead token — is a silent no-op.
+    coord
+        .absorb(
+            &rig.fingerprint,
+            u64::MAX,
+            record.clone(),
+            t0,
+            &mut NullSink,
+        )
+        .unwrap();
+
+    let mut disagreeing = record;
+    disagreeing.tally.unactivated = disagreeing.tally.unactivated.wrapping_add(1);
+    match coord
+        .absorb(
+            &rig.fingerprint,
+            grant.token,
+            disagreeing,
+            t0,
+            &mut NullSink,
+        )
+        .unwrap_err()
+    {
+        ServeError::Corrupt(message) => assert!(message.contains("disagree"), "got: {message}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    drop(coord);
+    let store = CheckpointStore::open(&rig.path, &rig.fingerprint).unwrap();
+    assert_eq!(store.len(), 1, "exactly one durable record for chunk 0");
+
+    let _ = std::fs::remove_file(&rig.path);
+}

@@ -1,0 +1,182 @@
+//! The sharding parity property, pinned as a proptest: for ANY chunk partition split
+//! across ANY number of simulated worker hosts (2–4), under ANY batching mode and
+//! backend (f32, fixed16 or the runtime-dispatched SIMD path), the counts the
+//! coordinator merges are bit-for-bit the counts of an unsharded `run_campaign`.
+//!
+//! This is the property that makes multi-host sharding pure orchestration: fault plans
+//! are keyed by `(input, trial)` index, never by schedule or host, so WHO executes a
+//! chunk — and in what order the records arrive — cannot move a single count.
+//!
+//! Three legs per case:
+//!  1. a fresh sharded run matches the unsharded reference;
+//!  2. a store pre-seeded by a partial single-host drive is finished by a sharded
+//!     fleet with identical final counts (cross-mode resume, one direction);
+//!  3. the sharded fleet's own store replays through the single-host driver with zero
+//!     recomputation and identical counts (cross-mode resume, other direction).
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use ranger_graph::{Graph, GraphBuilder, NodeId};
+use ranger_inject::{
+    run_campaign, BackendKind, CampaignConfig, ClassifierJudge, FaultModel, InjectionTarget,
+    PreparedCampaign, SdcJudge,
+};
+use ranger_runtime::ThreadPool;
+use ranger_serve::{
+    campaign_fingerprint, drive, run_sharded, CampaignEvent, CheckpointStore, CollectSink,
+    DriveOutcome, NullSink, ShardOptions,
+};
+use ranger_tensor::Tensor;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+
+fn toy_classifier(seed: u64) -> (Graph, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let x = b.input("x");
+    let h = b.dense(x, 6, 12, &mut rng);
+    let h = b.relu(h);
+    let h = b.dense(h, 12, 8, &mut rng);
+    let h = b.relu(h);
+    let y = b.dense(h, 8, 4, &mut rng);
+    let probs = b.softmax(y);
+    (b.into_graph(), probs)
+}
+
+fn tmp(name: String) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ranger-serve-shard-{}-{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_partition_across_any_hosts_reproduces_the_unsharded_counts(
+        chunk_len in 1usize..8,
+        hosts in 2usize..5,
+        preseed in 0usize..12,
+        batched in 0u8..2,
+        backend_choice in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let batched = batched == 1;
+        let (graph, probs) = toy_classifier(seed.wrapping_mul(7).wrapping_add(3));
+        let target = InjectionTarget {
+            graph: &graph,
+            input_name: "x",
+            output: probs,
+            excluded: &[],
+        };
+        let inputs = vec![Tensor::ones(vec![1, 6]), Tensor::filled(vec![1, 6], 0.3)];
+        let judge = ClassifierJudge::top1();
+        let (backend, fault) = match backend_choice {
+            0 => (BackendKind::F32, FaultModel::single_bit_fixed32()),
+            1 => (BackendKind::Fixed16, FaultModel::single_bit_fixed16()),
+            // The SIMD backend computes f32 semantics, so it pairs with the same
+            // emulated fault model as the reference.
+            _ => (BackendKind::Simd, FaultModel::single_bit_fixed32()),
+        };
+        let config = CampaignConfig {
+            trials: 10,
+            batch: if batched { chunk_len } else { 1 },
+            workers: 1,
+            backend,
+            fault,
+            seed,
+            tile: 0,
+        };
+
+        // Ground truth: the uninterrupted, unsharded in-process API.
+        let reference = run_campaign(&target, &inputs, &judge, &config).unwrap();
+
+        let prepared =
+            PreparedCampaign::with_chunk_len(&target, &inputs, &judge, &config, chunk_len)
+                .unwrap();
+        let total_chunks = prepared.chunks().len();
+        let fingerprint = campaign_fingerprint(
+            &target, &inputs, &config, &judge.categories(), chunk_len,
+        ).unwrap();
+        let options = ShardOptions::hosts(hosts);
+        let path = tmp(format!(
+            "{chunk_len}-{hosts}-{preseed}-{batched}-{backend_choice}-{seed}"
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // Leg 1: a fresh sharded run over `hosts` simulated worker hosts.
+        {
+            let store = CheckpointStore::open(&path, &fingerprint).unwrap();
+            let mut sink = CollectSink::new();
+            let result = match run_sharded(&prepared, store, &options, &mut sink).unwrap() {
+                DriveOutcome::Completed(result) => result,
+                other => panic!("the sharded run must complete, got {other:?}"),
+            };
+            prop_assert_eq!(&result, &reference);
+
+            // The merged stream is indistinguishable from a single-host one: chunks
+            // in canonical order, tallies monotone, one terminal event.
+            let mut expected_index = 0usize;
+            let mut last_trials = 0u64;
+            for event in &sink.events {
+                prop_assert!(event.trials_done() >= last_trials);
+                last_trials = event.trials_done();
+                if let CampaignEvent::ChunkDone { chunk, resumed, .. } = event {
+                    prop_assert_eq!(chunk.index, expected_index);
+                    prop_assert!(!resumed);
+                    expected_index += 1;
+                }
+            }
+            prop_assert_eq!(expected_index, total_chunks);
+            let dones = sink.events.iter()
+                .filter(|e| matches!(e, CampaignEvent::CampaignDone { .. }))
+                .count();
+            prop_assert_eq!(dones, 1);
+        }
+
+        // Leg 3 (of the file just written): the sharded store replays through the
+        // single-host driver — zero forward passes, identical counts. Sharded and
+        // streamed checkpoints are the same durable artifact.
+        {
+            let mut store = CheckpointStore::open(&path, &fingerprint).unwrap();
+            prop_assert_eq!(store.len(), total_chunks);
+            let pool = ThreadPool::new(1);
+            let cancel = AtomicBool::new(false);
+            let replayed =
+                match drive(&prepared, &mut store, &pool, &cancel, &mut NullSink).unwrap() {
+                    DriveOutcome::Completed(result) => result,
+                    other => panic!("the replay drive must complete, got {other:?}"),
+                };
+            prop_assert_eq!(&replayed, &reference);
+        }
+        let _ = std::fs::remove_file(&path);
+
+        // Leg 2: a single-host drive killed after `preseed` chunks leaves a durable
+        // prefix; a sharded fleet opens the same file and must finish the campaign
+        // with the reference counts, replaying the prefix as resumed chunks.
+        {
+            let mut store = CheckpointStore::open(&path, &fingerprint).unwrap();
+            let pool = ThreadPool::new(1);
+            let cancel = AtomicBool::new(false);
+            let mut sink = CollectSink::stopping_after(preseed);
+            drive(&prepared, &mut store, &pool, &cancel, &mut sink).unwrap();
+            drop(store);
+
+            let store = CheckpointStore::open(&path, &fingerprint).unwrap();
+            let durable_before = store.len();
+            let mut sink = CollectSink::new();
+            let result = match run_sharded(&prepared, store, &options, &mut sink).unwrap() {
+                DriveOutcome::Completed(result) => result,
+                other => panic!("the sharded resume must complete, got {other:?}"),
+            };
+            prop_assert_eq!(&result, &reference);
+            let resumed_seen = sink.events.iter()
+                .filter(|e| matches!(e, CampaignEvent::ChunkDone { resumed: true, .. }))
+                .count();
+            prop_assert_eq!(resumed_seen, durable_before);
+        }
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
